@@ -1,0 +1,30 @@
+"""E6b -- spill code under finite queue files.
+
+Section 4: "in a practical system spill code will occasionally be
+required to deal with finite numbers of queues and queue positions."
+Sweeps hardware budgets (queues x positions) on the 12-FU machine and
+reports the spill-free fraction and mean spilled lifetimes -- the
+quantified version of the paper's "occasionally".
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import spill_budget
+from repro.workloads.corpus import bench_corpus
+
+SAMPLE = 96
+
+
+def test_e6b_spill_budget(benchmark):
+    loops = bench_corpus(SAMPLE)
+    result = benchmark.pedantic(
+        lambda: spill_budget(loops), rounds=1, iterations=1)
+    record("e6b_spills", result.render())
+
+    frac = result.no_spill_fraction
+    # more hardware -> fewer spills, monotonically
+    assert frac[(4, 8)] <= frac[(8, 8)] <= frac[(16, 16)] <= frac[(32, 16)]
+    # the Fig. 3 claim in spill terms: 32 queues eliminate spilling
+    assert frac[(32, 16)] >= 0.99
+    # and the mean spill count mirrors it
+    assert result.mean_spills[(32, 16)] <= result.mean_spills[(4, 8)]

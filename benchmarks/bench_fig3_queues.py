@@ -1,0 +1,28 @@
+"""E1 -- Fig. 3: queue requirements under copy insertion.
+
+Regenerates the paper's bar groups: the fraction of loops schedulable with
+at most 4/8/16/32 queues on the 4/6/12-FU QRF machines, copy operations
+inserted.  Shape requirement: the distribution concentrates at <= 32
+queues (the paper's "machine configuration required to schedule most of
+the loops ... consist of 32 queues").
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import fig3_queue_requirements
+from repro.workloads.corpus import bench_corpus
+
+
+def test_fig3_queue_requirements(benchmark):
+    loops = bench_corpus()
+    result = benchmark.pedantic(
+        lambda: fig3_queue_requirements(loops), rounds=1, iterations=1)
+    record("fig3_queues", result.render())
+
+    for machine, row in result.by_machine.items():
+        # cumulative by construction
+        assert row[4] <= row[8] <= row[16] <= row[32], machine
+        # paper shape: 32 queues cover (nearly) everything
+        assert row[32] >= 0.95, machine
+        # and 4 queues are nowhere near enough on their own
+        assert row[4] < row[32], machine

@@ -1,0 +1,33 @@
+"""E3/E4 -- Fig. 4 + Section 3 text: loop unrolling.
+
+Regenerates the II-speedup bars (fraction of loops with speedup > 1 on the
+4/6/12-FU machines) and the Section 3 queue-growth claim (over 90 % of
+loops still fit 32 queues after unrolling).  Shape requirements: wider
+machines benefit more, and no loop regresses (the compiler keeps the
+rolled version when unrolling loses).
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import fig4_unroll_speedup
+from repro.workloads.corpus import bench_corpus
+
+
+def test_fig4_unroll_speedup(benchmark):
+    loops = bench_corpus()
+    result = benchmark.pedantic(
+        lambda: fig4_unroll_speedup(loops), rounds=1, iterations=1)
+    record("fig4_unroll", result.render())
+
+    names = list(result.speedup_gt1)
+    # monotone benefit with machine width (4 -> 6 -> 12 FUs)
+    assert result.speedup_gt1[names[0]] <= result.speedup_gt1[names[1]] \
+        <= result.speedup_gt1[names[2]] + 0.02
+    # the widest machine sees a substantial fraction of winners
+    assert result.speedup_gt1[names[2]] >= 0.30
+    # unrolling never hurts (fallback keeps the rolled loop)
+    for machine in names:
+        assert all(s >= 1.0 - 1e-9 for s in result.speedups[machine])
+    # Section 3: >= 90% of loops within 32 queues even after unrolling
+    for machine in names:
+        assert result.queues_le_32[machine] >= 0.9

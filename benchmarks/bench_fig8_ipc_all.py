@@ -1,0 +1,37 @@
+"""E7 -- Fig. 8: operations issued per cycle, all loops, 4-18 FUs.
+
+Regenerates the four series of the paper's Fig. 8: static and dynamic IPC
+for single-cluster machines over the full 4..18-FU sweep, with the
+clustered machines (4/5/6 clusters) overlaid at 12/15/18 FUs.  Shape
+requirements: IPC grows with width but saturates (recurrence-bound loops
+stop scaling); dynamic < static (prologue/epilogue drag); clustered at or
+below single-cluster.
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import fig8_ipc
+from repro.workloads.corpus import bench_corpus
+
+#: the sweep is the most expensive bench: 15 machine points x corpus
+SAMPLE = 96
+
+
+def test_fig8_ipc_all_loops(benchmark):
+    loops = bench_corpus(SAMPLE)
+    result = benchmark.pedantic(
+        lambda: fig8_ipc(loops), rounds=1, iterations=1)
+    record("fig8_ipc_all", result.render())
+
+    # growth with machine width, per series
+    assert result.static_single[18] > result.static_single[4]
+    assert result.dynamic_single[18] > result.dynamic_single[4]
+    # dynamic accounts for prologue/epilogue: never above static
+    for n in result.fus:
+        assert result.dynamic_single[n] <= result.static_single[n] + 1e-9
+    # clustered points exist exactly at 12/15/18 and do not beat the
+    # unconstrained machine
+    assert sorted(result.static_clustered) == [12, 15, 18]
+    for n in (12, 15, 18):
+        assert result.static_clustered[n] <= \
+            result.static_single[n] + 1e-9

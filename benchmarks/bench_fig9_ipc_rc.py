@@ -1,0 +1,32 @@
+"""E8 -- Fig. 9: IPC restricted to resource-constrained loops.
+
+Same sweep as Fig. 8 but, per machine point, only over loops whose MII is
+bound by the FUs rather than by recurrences (``ResMII >= RecMII``) -- "an
+insight on how well this architecture model deals with programs whose
+execution is constrained by the number of available FUs".  Shape
+requirements: these loops exploit the machine better than the full
+population and keep scaling further.
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import fig8_ipc, fig9_ipc_rc
+from repro.workloads.corpus import bench_corpus
+
+SAMPLE = 96
+
+
+def test_fig9_ipc_resource_constrained(benchmark):
+    loops = bench_corpus(SAMPLE)
+    result = benchmark.pedantic(
+        lambda: fig9_ipc_rc(loops), rounds=1, iterations=1)
+    record("fig9_ipc_rc", result.render())
+
+    assert result.static_single[18] > result.static_single[4]
+    for n in result.fus:
+        assert result.dynamic_single[n] <= result.static_single[n] + 1e-9
+
+    # the resource-constrained population uses the machine at least as
+    # well as the full corpus at the widest point
+    full = fig8_ipc(loops, fus=(18,), clustered_counts=())
+    assert result.static_single[18] >= full.static_single[18] - 1e-9

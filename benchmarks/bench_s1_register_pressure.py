@@ -1,0 +1,35 @@
+"""S1 -- supplementary: register pressure, QRF vs conventional RF.
+
+Quantifies the paper's introduction argument: modulo scheduling keeps
+several iterations in flight, so a conventional RF needs either modulo
+variable expansion (code growth + extra names) or rotating-register
+hardware, while the QRF's FIFO semantics absorb overlapping instances
+naturally.  Compares, on the same loops and machine widths: queues used
+(QRF side) vs MaxLive / rotating / MVE register counts (CRF side).
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import register_pressure
+from repro.workloads.corpus import bench_corpus
+
+SAMPLE = 96
+
+
+def test_s1_register_pressure(benchmark):
+    loops = bench_corpus(SAMPLE)
+    result = benchmark.pedantic(
+        lambda: register_pressure(loops), rounds=1, iterations=1)
+    record("s1_register_pressure", result.render())
+
+    for name in result.mean_queues:
+        # the ordering MaxLive <= rotating <= MVE must hold machine-wide
+        assert result.mean_max_live[name] <= \
+            result.mean_rotating[name] + 1e-9
+        assert result.mean_rotating[name] <= \
+            result.mean_mve_regs[name] + 2.0
+        # a static RF needs kernel replication; wider machines more so
+        assert result.mean_mve_unroll[name] >= 1.0
+    names = list(result.mean_queues)
+    assert result.mean_mve_unroll[names[-1]] >= \
+        result.mean_mve_unroll[names[0]]

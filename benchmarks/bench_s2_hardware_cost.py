@@ -1,0 +1,37 @@
+"""S2 -- supplementary: register-file hardware complexity.
+
+Quantifies the paper's Section 4 motivation ("a 12 FUs machine ... would
+demand a 36 port register file, an unrealistic design"): prices the
+monolithic multi-ported RF against the single-ported queue banks at equal
+machine width, with register demand measured on the corpus rather than
+assumed.
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import hardware_cost
+from repro.workloads.corpus import bench_corpus
+
+SAMPLE = 96
+
+
+def test_s2_hardware_cost(benchmark):
+    loops = bench_corpus(SAMPLE)
+    result = benchmark.pedantic(
+        lambda: hardware_cost(loops), rounds=1, iterations=1)
+    record("s2_hardware_cost", result.render())
+
+    for n_fus, (mono, flat, clustered) in result.rows.items():
+        # the paper's exact number at 12 FUs
+        if n_fus == 12:
+            assert mono.ports == 36
+        # the QRF access path never slows down with machine width; the
+        # monolithic RF does
+        assert clustered.relative_delay < mono.relative_delay
+        # area per storage cell: ports^2 kills the monolithic design
+        assert (clustered.area / clustered.storage_cells
+                < mono.area / mono.storage_cells)
+    # and the monolithic delay diverges with width
+    widths = sorted(result.rows)
+    assert result.rows[widths[-1]][0].relative_delay > \
+        result.rows[widths[0]][0].relative_delay

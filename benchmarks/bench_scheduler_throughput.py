@@ -1,0 +1,58 @@
+"""Compiler-throughput micro-benchmarks (classic pytest-benchmark usage).
+
+Not a paper figure: these time the pipeline's own stages so performance
+regressions in the scheduler/allocator show up in CI.  Rounds > 1, real
+statistics.
+"""
+
+import pytest
+
+from repro.ir.copyins import insert_copies
+from repro.ir.unroll import unroll
+from repro.machine.cluster import make_clustered
+from repro.machine.presets import qrf_machine
+from repro.regalloc.queues import allocate_for_schedule
+from repro.sched.ims import modulo_schedule
+from repro.sched.mii import mii_report
+from repro.sched.partition import partitioned_schedule
+from repro.workloads.corpus import paper_corpus
+from repro.workloads.kernels import daxpy
+
+
+@pytest.fixture(scope="module")
+def medium_loop():
+    """A realistic mid-size body: daxpy x8 + copies (~45 ops)."""
+    return insert_copies(unroll(daxpy(), 8)).ddg
+
+
+@pytest.fixture(scope="module")
+def corpus_slice():
+    return paper_corpus()[:24]
+
+
+def test_throughput_mii(benchmark, corpus_slice):
+    m = qrf_machine(12)
+    benchmark(lambda: [mii_report(l, m) for l in corpus_slice])
+
+
+def test_throughput_copy_insertion(benchmark, corpus_slice):
+    benchmark(lambda: [insert_copies(l) for l in corpus_slice])
+
+
+def test_throughput_ims(benchmark, medium_loop):
+    m = qrf_machine(12)
+    sched = benchmark(lambda: modulo_schedule(medium_loop, m))
+    assert sched.ii >= 1
+
+
+def test_throughput_partitioned(benchmark, medium_loop):
+    cm = make_clustered(4)
+    sched = benchmark(lambda: partitioned_schedule(medium_loop, cm))
+    assert sched.ii >= 1
+
+
+def test_throughput_queue_allocation(benchmark, medium_loop):
+    m = qrf_machine(12)
+    sched = modulo_schedule(medium_loop, m)
+    usage = benchmark(lambda: allocate_for_schedule(sched))
+    assert usage.total_queues >= 1

@@ -1,0 +1,26 @@
+"""E6 -- Section 4 text / Fig. 7: the per-cluster queue budget.
+
+The paper concludes that "a cluster configuration comprising 8 queues for
+the private QRF and another 16 queues to implement the communication ring
+(8 to be used in each direction) should suffice", with "a small fraction
+of loops [requiring] additional resources".
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import sec4_cluster_queues
+from repro.workloads.corpus import bench_corpus
+
+
+def test_sec4_cluster_queues(benchmark):
+    loops = bench_corpus()
+    result = benchmark.pedantic(
+        lambda: sec4_cluster_queues(loops), rounds=1, iterations=1)
+    record("sec4_cluster_queues", result.render())
+
+    for n in (4, 5, 6):
+        # the 8+8+8 budget covers the vast majority of loops
+        assert result.fits_budget[n] >= 0.8, n
+        # ring pressure stays low (communication is the minority of
+        # lifetimes under the affinity partitioner)
+        assert result.p95_ring[n] <= 8, n

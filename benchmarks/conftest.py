@@ -1,0 +1,21 @@
+"""Shared benchmark helpers.
+
+Every benchmark runs one paper experiment end to end on the bench corpus
+(a stratified subsample; set ``REPRO_FULL_CORPUS=1`` for all 1258 loops),
+asserts the figure's *shape* invariants, and records the rendered table
+under ``benchmarks/results/`` so EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(name: str, rendered: str) -> None:
+    """Persist a rendered experiment table next to the benchmarks."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+    # also echo into the benchmark log
+    print(f"\n{rendered}\n")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Section 3 in miniature: when does loop unrolling pay off?
+
+For a set of kernels on the 12-FU machine, compares the rolled schedule
+against the automatically-chosen unroll factor and reports the paper's
+``II_speedup`` metric (Eq. 1, per original iteration), plus the price in
+queues -- the trade-off Fig. 4 and the Section 3 text quantify.
+
+Run:  python examples/unrolling_study.py
+"""
+
+from repro import qrf_machine
+from repro.ir import insert_copies, select_unroll_factor, unroll, ii_speedup
+from repro.regalloc import allocate_for_schedule
+from repro.sched import modulo_schedule
+from repro.workloads.kernels import (daxpy, dot_product, fir4, stencil3,
+                                     tridiagonal, vector_scale)
+
+
+def study(ddg, machine):
+    fu_counts = {t: machine.capacity(t)
+                 for t in machine.fus.counts}
+    choice = select_unroll_factor(ddg, fu_counts)
+
+    rolled = modulo_schedule(insert_copies(ddg).ddg, machine)
+    rolled_q = allocate_for_schedule(rolled).total_queues
+
+    if choice.factor == 1:
+        return (ddg.name, rolled.ii, 1, rolled.ii, 1.0, rolled_q, rolled_q,
+                choice.rec_frac)
+
+    work = insert_copies(unroll(ddg, choice.factor)).ddg
+    unrolled = modulo_schedule(work, machine)
+    unrolled_q = allocate_for_schedule(unrolled).total_queues
+    spd = ii_speedup(rolled.ii, unrolled.ii, choice.factor)
+    return (ddg.name, rolled.ii, choice.factor, unrolled.ii, spd,
+            rolled_q, unrolled_q, choice.rec_frac)
+
+
+def main() -> None:
+    machine = qrf_machine(12)
+    print(f"machine: {machine.describe()}\n")
+    print(f"{'loop':<10} {'II':>4} {'U':>3} {'II_u':>5} {'speedup':>8} "
+          f"{'queues':>7} {'queues_u':>9}  note")
+    for factory in (daxpy, vector_scale, dot_product, fir4, stencil3,
+                    tridiagonal):
+        name, ii1, u, ii_u, spd, q1, qu, rec = study(factory(), machine)
+        note = ""
+        if rec > 0 and u == 1:
+            note = "recurrence-bound: unrolling cannot help"
+        elif spd > 1:
+            note = "resource rounding recovered"
+        print(f"{name:<10} {ii1:>4} {u:>3} {ii_u:>5} {spd:>8.2f} "
+              f"{q1:>7} {qu:>9}  {note}")
+
+    print("\nThe streaming loops trade a moderate queue increase for a "
+          "faster kernel;\nthe recurrence-bound ones (tridiag) are capped "
+          "by RecMII and stay rolled.")
+
+
+if __name__ == "__main__":
+    main()

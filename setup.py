@@ -1,0 +1,8 @@
+"""Shim for environments whose setuptools cannot do PEP-660 editable
+installs (no `wheel` package).  `pip install -e . --no-build-isolation`
+falls back to `setup.py develop` through this file; all real metadata lives
+in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

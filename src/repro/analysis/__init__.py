@@ -1,0 +1,33 @@
+"""Experiment drivers and metrics for every paper figure."""
+
+from .experiments import (CompiledLoop, CopyTreeAblation, Fig3Result,
+                          Fig4Result, Fig6Result, IpcSweepResult,
+                          MovesAblation, PartitionAblation, Sec2Result,
+                          Sec4Result, HardwareCostResult, hardware_cost,
+                          ablation_copy_tree, ablation_moves,
+                          ablation_partition, compile_loop, fig3_queue_requirements,
+                          fig4_unroll_speedup, fig6_ii_variation, fig8_ipc,
+                          fig9_ipc_rc, ipc_sweep, sec2_copy_impact,
+                          sec4_cluster_queues, register_pressure,
+                          RegisterPressureResult, spill_budget,
+                          SpillBudgetResult, ring_latency_sensitivity,
+                          RingLatencyResult)
+from .metrics import (LoopOutcome, cumulative_within, fraction, mean,
+                      mean_static_ipc, percentile, weighted_dynamic_ipc,
+                      weighted_static_ipc)
+from .report import bar_chart, full_report, percent_chart, series_table
+
+__all__ = [
+    "CompiledLoop", "CopyTreeAblation", "Fig3Result", "Fig4Result",
+    "Fig6Result", "IpcSweepResult", "MovesAblation", "PartitionAblation",
+    "Sec2Result", "Sec4Result", "ablation_copy_tree", "ablation_moves",
+    "ablation_partition", "compile_loop", "fig3_queue_requirements",
+    "fig4_unroll_speedup", "fig6_ii_variation", "fig8_ipc", "fig9_ipc_rc",
+    "ipc_sweep", "sec2_copy_impact", "sec4_cluster_queues",
+    "HardwareCostResult", "hardware_cost",
+    "register_pressure", "RegisterPressureResult", "spill_budget",
+    "SpillBudgetResult", "ring_latency_sensitivity", "RingLatencyResult",
+    "LoopOutcome", "cumulative_within", "fraction", "mean",
+    "mean_static_ipc", "percentile", "weighted_dynamic_ipc",
+    "bar_chart", "full_report", "percent_chart", "series_table",
+]

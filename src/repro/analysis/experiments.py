@@ -1,0 +1,876 @@
+"""Experiment drivers: one function per paper figure/table (+ ablations).
+
+Every driver consumes a list of loop DDGs (the corpus or a subset), runs
+the full compilation pipeline, and returns a result object whose fields are
+the numbers the paper plots and whose ``render()`` reproduces the figure as
+an ASCII table.  DESIGN.md §4 maps experiment ids (E1..E8, A1..A3) to these
+functions; EXPERIMENTS.md records measured-vs-paper values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.ir.copyins import insert_copies
+from repro.ir.ddg import Ddg
+from repro.ir.unroll import select_unroll_factor, unroll
+from repro.machine.cluster import ClusteredMachine
+from repro.machine.machine import Machine
+from repro.machine.presets import (IPC_SWEEP_FUS, PAPER_CLUSTER_COUNTS,
+                                   clustered_machine, paper_qrf_machines,
+                                   qrf_machine)
+from repro.regalloc.queues import allocate_for_schedule
+from repro.sched.ims import ImsConfig, modulo_schedule
+from repro.sched.mii import mii_report
+from repro.sched.partition import (PartitionConfig, partitioned_schedule,
+                                   schedule_with_moves)
+from repro.sched.schedule import SchedulingError
+
+from .metrics import (LoopOutcome, cumulative_within, fraction, mean,
+                      percentile, weighted_dynamic_ipc,
+                      weighted_static_ipc)
+
+#: caps for the automatic unroll policy (the paper's large loops "do not
+#: require unrolling to exploit efficiently the machine resources")
+UNROLL_MAX_FACTOR = 8
+UNROLL_MAX_OPS = 128
+
+
+# ---------------------------------------------------------------------------
+# shared pipeline runner
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CompiledLoop:
+    """Pipeline artefacts for one (loop, machine) pair."""
+
+    outcome: LoopOutcome
+    schedule: object = None
+    usage: object = None
+    work: Optional[Ddg] = None
+
+
+def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
+                 do_unroll: bool = False,
+                 unroll_factor: Optional[int] = None,
+                 copies: bool = True,
+                 copy_strategy: str = "slack",
+                 allocate: bool = True,
+                 partition_strategy: str = "affinity",
+                 use_moves: bool = False) -> CompiledLoop:
+    """Run (unroll ->) (copy-insert ->) schedule (-> allocate queues).
+
+    Scheduling failures produce a ``failed`` outcome instead of raising, so
+    corpus sweeps always complete.
+    """
+    factor = 1
+    if unroll_factor is not None:
+        factor = unroll_factor
+    elif do_unroll:
+        factor = select_unroll_factor(
+            ddg, _fu_counts(machine), max_factor=UNROLL_MAX_FACTOR,
+            max_ops=UNROLL_MAX_OPS).factor
+        if factor > 1:
+            # a production compiler keeps whichever version wins: compile
+            # both and fall back to the rolled loop when the unrolled
+            # schedule's per-iteration II is no better (the estimate is a
+            # bound, not a guarantee)
+            rolled = compile_loop(
+                ddg, machine, copies=copies, copy_strategy=copy_strategy,
+                allocate=False, partition_strategy=partition_strategy,
+                use_moves=use_moves)
+            unrolled = compile_loop(
+                ddg, machine, unroll_factor=factor, copies=copies,
+                copy_strategy=copy_strategy, allocate=allocate,
+                partition_strategy=partition_strategy,
+                use_moves=use_moves)
+            if (unrolled.outcome.failed
+                    or rolled.outcome.failed
+                    or unrolled.outcome.ii_per_iteration
+                    <= rolled.outcome.ii_per_iteration + 1e-9):
+                if not unrolled.outcome.failed:
+                    return unrolled
+            if allocate and not rolled.outcome.failed:
+                rolled = compile_loop(
+                    ddg, machine, unroll_factor=1, copies=copies,
+                    copy_strategy=copy_strategy, allocate=True,
+                    partition_strategy=partition_strategy,
+                    use_moves=use_moves)
+            return rolled
+        factor = 1
+    work = unroll(ddg, factor) if factor > 1 else ddg
+
+    n_copies = 0
+    if copies:
+        res = insert_copies(work, strategy=copy_strategy)  # type: ignore[arg-type]
+        work, n_copies = res.ddg, res.n_copies
+
+    clustered = isinstance(machine, ClusteredMachine)
+    report = mii_report(work, machine)
+    try:
+        if clustered and use_moves:
+            sched = schedule_with_moves(
+                work, machine,
+                config=PartitionConfig(strategy=partition_strategy)
+            ).schedule
+        elif clustered:
+            sched = partitioned_schedule(
+                work, machine,
+                config=PartitionConfig(strategy=partition_strategy))
+        else:
+            sched = modulo_schedule(work, machine, config=ImsConfig())
+    except SchedulingError:
+        return CompiledLoop(outcome=LoopOutcome(
+            loop=ddg.name, machine=machine.name,
+            n_source_ops=ddg.n_ops, n_body_ops=work.n_ops,
+            unroll_factor=factor, n_copies=n_copies,
+            ii=0, mii=report.mii, res_mii=report.res, rec_mii=report.rec,
+            stage_count=0, trip_count=ddg.trip_count, failed=True))
+
+    usage = None
+    total_queues = max_depth = None
+    if allocate:
+        usage = allocate_for_schedule(
+            sched, machine if clustered else None)
+        total_queues = usage.total_queues
+        max_depth = usage.max_depth
+
+    # MII of the *scheduled* ddg can exceed the pre-move report; recompute
+    # cheaply off the schedule's ddg only when moves were added
+    outcome = LoopOutcome(
+        loop=ddg.name, machine=machine.name,
+        n_source_ops=ddg.n_ops, n_body_ops=sched.n_ops,
+        unroll_factor=factor, n_copies=n_copies,
+        ii=sched.ii, mii=report.mii, res_mii=report.res,
+        rec_mii=report.rec, stage_count=sched.stage_count,
+        trip_count=ddg.trip_count,
+        total_queues=total_queues, max_queue_depth=max_depth)
+    return CompiledLoop(outcome=outcome, schedule=sched, usage=usage,
+                        work=work)
+
+
+def _fu_counts(machine: "Machine | ClusteredMachine"):
+    from repro.ir.operations import FuType
+    return {t: machine.capacity(t)
+            for t in (FuType.LS, FuType.ADD, FuType.MUL)}
+
+
+# ---------------------------------------------------------------------------
+# E1 -- Fig. 3: number of queues required (QRF + copy ops)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig3Result:
+    buckets: tuple[int, ...]
+    #: machine name -> {bucket: fraction of loops needing <= bucket queues}
+    by_machine: dict[str, dict[int, float]]
+    queue_counts: dict[str, list[int]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = ["Fig. 3 -- loops schedulable within N queues "
+                 "(QRF, copy ops inserted)", ""]
+        header = "machine".ljust(14) + "".join(
+            f"<={b:<5}" for b in self.buckets)
+        lines.append(header)
+        for name, row in self.by_machine.items():
+            lines.append(name.ljust(14) + "".join(
+                f"{row[b]*100:5.1f}% " for b in self.buckets))
+        return "\n".join(lines)
+
+
+def fig3_queue_requirements(
+        loops: Sequence[Ddg],
+        machines: Optional[Sequence[Machine]] = None,
+        buckets: tuple[int, ...] = (4, 8, 16, 32)) -> Fig3Result:
+    machines = list(machines) if machines else paper_qrf_machines()
+    by_machine: dict[str, dict[int, float]] = {}
+    counts: dict[str, list[int]] = {}
+    for m in machines:
+        totals = []
+        for ddg in loops:
+            c = compile_loop(ddg, m, copies=True, allocate=True)
+            if not c.outcome.failed:
+                totals.append(c.outcome.total_queues)
+        by_machine[m.name] = cumulative_within(totals, buckets)
+        counts[m.name] = totals
+    return Fig3Result(buckets=buckets, by_machine=by_machine,
+                      queue_counts=counts)
+
+
+# ---------------------------------------------------------------------------
+# E2 -- Section 2 text: impact of copy insertion on II / stage count
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Sec2Result:
+    #: machine -> metrics
+    same_ii: dict[str, float]
+    same_sc: dict[str, float]
+    ii_increase_by_1: dict[str, float]  # among changed loops
+    mean_copies: dict[str, float]
+
+    def render(self) -> str:
+        lines = ["Section 2 -- copy-operation impact", "",
+                 "machine".ljust(14) + "same-II  same-SC  "
+                 "+1-cycle-of-changed  copies/loop"]
+        for name in self.same_ii:
+            lines.append(
+                name.ljust(14)
+                + f"{self.same_ii[name]*100:6.1f}%  "
+                + f"{self.same_sc[name]*100:6.1f}%  "
+                + f"{self.ii_increase_by_1[name]*100:12.1f}%        "
+                + f"{self.mean_copies[name]:.1f}")
+        return "\n".join(lines)
+
+
+def sec2_copy_impact(loops: Sequence[Ddg],
+                     machines: Optional[Sequence[Machine]] = None
+                     ) -> Sec2Result:
+    machines = list(machines) if machines else paper_qrf_machines()
+    same_ii: dict[str, float] = {}
+    same_sc: dict[str, float] = {}
+    plus1: dict[str, float] = {}
+    mean_copies: dict[str, float] = {}
+    for m in machines:
+        flags_ii, flags_sc, increments, copies = [], [], [], []
+        for ddg in loops:
+            base = compile_loop(ddg, m, copies=False, allocate=False)
+            with_c = compile_loop(ddg, m, copies=True, allocate=False)
+            if base.outcome.failed or with_c.outcome.failed:
+                continue
+            flags_ii.append(with_c.outcome.ii == base.outcome.ii)
+            flags_sc.append(
+                with_c.outcome.stage_count == base.outcome.stage_count)
+            if with_c.outcome.ii != base.outcome.ii:
+                increments.append(
+                    with_c.outcome.ii - base.outcome.ii == 1)
+            copies.append(with_c.outcome.n_copies)
+        same_ii[m.name] = fraction(flags_ii)
+        same_sc[m.name] = fraction(flags_sc)
+        plus1[m.name] = fraction(increments)
+        mean_copies[m.name] = mean(copies)
+    return Sec2Result(same_ii=same_ii, same_sc=same_sc,
+                      ii_increase_by_1=plus1, mean_copies=mean_copies)
+
+
+# ---------------------------------------------------------------------------
+# E3/E4 -- Fig. 4: II speedup from unrolling (+ queue growth)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig4Result:
+    speedup_gt1: dict[str, float]
+    mean_speedup: dict[str, float]
+    queues_le_32: dict[str, float]      # with unrolling (Section 3 text)
+    same_sc: dict[str, float]
+    speedups: dict[str, list[float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = ["Fig. 4 -- II speedup from loop unrolling", "",
+                 "machine".ljust(14)
+                 + "spd>1    mean-spd  <=32-queues  same-SC"]
+        for name in self.speedup_gt1:
+            lines.append(
+                name.ljust(14)
+                + f"{self.speedup_gt1[name]*100:5.1f}%   "
+                + f"{self.mean_speedup[name]:7.2f}  "
+                + f"{self.queues_le_32[name]*100:9.1f}%  "
+                + f"{self.same_sc[name]*100:6.1f}%")
+        return "\n".join(lines)
+
+
+def fig4_unroll_speedup(loops: Sequence[Ddg],
+                        machines: Optional[Sequence[Machine]] = None
+                        ) -> Fig4Result:
+    machines = list(machines) if machines else paper_qrf_machines()
+    gt1: dict[str, float] = {}
+    mean_spd: dict[str, float] = {}
+    q32: dict[str, float] = {}
+    same_sc: dict[str, float] = {}
+    all_speedups: dict[str, list[float]] = {}
+    for m in machines:
+        speedups, fits, sc_flags = [], [], []
+        for ddg in loops:
+            base = compile_loop(ddg, m, copies=True, allocate=False)
+            unrolled = compile_loop(ddg, m, do_unroll=True, copies=True,
+                                    allocate=True)
+            if base.outcome.failed or unrolled.outcome.failed:
+                continue
+            speedups.append(base.outcome.ii
+                            / unrolled.outcome.ii_per_iteration)
+            fits.append((unrolled.outcome.total_queues or 0) <= 32)
+            sc_flags.append(unrolled.outcome.stage_count
+                            <= base.outcome.stage_count)
+        gt1[m.name] = fraction(s > 1.0 + 1e-9 for s in speedups)
+        mean_spd[m.name] = mean(speedups)
+        q32[m.name] = fraction(fits)
+        same_sc[m.name] = fraction(sc_flags)
+        all_speedups[m.name] = speedups
+    return Fig4Result(speedup_gt1=gt1, mean_speedup=mean_spd,
+                      queues_le_32=q32, same_sc=same_sc,
+                      speedups=all_speedups)
+
+
+# ---------------------------------------------------------------------------
+# E5 -- Fig. 6: II variation of clustered vs single-cluster machines
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig6Result:
+    same_ii: dict[int, float]           # n_clusters -> fraction
+    increase_by_1: dict[int, float]     # among changed loops
+    mean_increase: dict[int, float]
+    n_scheduled: dict[int, int]
+
+    def render(self) -> str:
+        lines = ["Fig. 6 -- loops keeping the single-cluster II", "",
+                 "clusters  FUs   same-II   +1-of-changed  mean-increase"]
+        for n, f in self.same_ii.items():
+            lines.append(
+                f"{n:8d}  {3*n:3d}   {f*100:6.1f}%   "
+                f"{self.increase_by_1[n]*100:10.1f}%   "
+                f"{self.mean_increase[n]:8.2f}")
+        return "\n".join(lines)
+
+
+def fig6_ii_variation(loops: Sequence[Ddg],
+                      cluster_counts: Sequence[int] = PAPER_CLUSTER_COUNTS,
+                      *, do_unroll: bool = True,
+                      partition_strategy: str = "affinity",
+                      use_moves: bool = False) -> Fig6Result:
+    same: dict[int, float] = {}
+    plus1: dict[int, float] = {}
+    mean_inc: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for n in cluster_counts:
+        cm = clustered_machine(n)
+        flat = cm.flattened()
+        flags, incs = [], []
+        n_ok = 0
+        for ddg in loops:
+            single = compile_loop(ddg, flat, do_unroll=do_unroll,
+                                  copies=True, allocate=False)
+            factor = single.outcome.unroll_factor
+            clust = compile_loop(ddg, cm, unroll_factor=factor,
+                                 copies=True, allocate=False,
+                                 partition_strategy=partition_strategy,
+                                 use_moves=use_moves)
+            if single.outcome.failed or clust.outcome.failed:
+                continue
+            n_ok += 1
+            flags.append(clust.outcome.ii == single.outcome.ii)
+            if clust.outcome.ii != single.outcome.ii:
+                incs.append(clust.outcome.ii - single.outcome.ii)
+        same[n] = fraction(flags)
+        plus1[n] = fraction(i == 1 for i in incs)
+        mean_inc[n] = mean(incs)
+        counts[n] = n_ok
+    return Fig6Result(same_ii=same, increase_by_1=plus1,
+                      mean_increase=mean_inc, n_scheduled=counts)
+
+
+# ---------------------------------------------------------------------------
+# E6 -- Section 4 text / Fig. 7: per-cluster queue budget
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Sec4Result:
+    fits_budget: dict[int, float]       # n_clusters -> fraction
+    p95_private: dict[int, int]
+    p95_ring: dict[int, int]
+    max_private: dict[int, int]
+    max_ring: dict[int, int]
+
+    def render(self) -> str:
+        lines = ["Section 4 / Fig. 7 -- per-cluster queue requirements "
+                 "(budget: 8 private + 8 per ring direction)", "",
+                 "clusters  fits-8/8/8   p95-priv  p95-ring  "
+                 "max-priv  max-ring"]
+        for n in self.fits_budget:
+            lines.append(
+                f"{n:8d}  {self.fits_budget[n]*100:9.1f}%   "
+                f"{self.p95_private[n]:8d}  {self.p95_ring[n]:8d}  "
+                f"{self.max_private[n]:8d}  {self.max_ring[n]:8d}")
+        return "\n".join(lines)
+
+
+def sec4_cluster_queues(loops: Sequence[Ddg],
+                        cluster_counts: Sequence[int] = PAPER_CLUSTER_COUNTS,
+                        *, do_unroll: bool = True) -> Sec4Result:
+    from repro.regalloc.lifetimes import LocationKind
+
+    fits: dict[int, float] = {}
+    p95_priv: dict[int, int] = {}
+    p95_ring: dict[int, int] = {}
+    max_priv: dict[int, int] = {}
+    max_ring: dict[int, int] = {}
+    for n in cluster_counts:
+        cm = clustered_machine(n)
+        budget = cm.queue_budget
+        flags, priv, ring = [], [], []
+        for ddg in loops:
+            c = compile_loop(ddg, cm, do_unroll=do_unroll, copies=True,
+                             allocate=True)
+            if c.outcome.failed or c.usage is None:
+                continue
+            flags.append(c.usage.fits_budget(budget.private,
+                                             budget.ring_out_cw))
+            for loc, alloc in c.usage.by_location.items():
+                if loc.kind is LocationKind.PRIVATE:
+                    priv.append(alloc.n_queues)
+                else:
+                    ring.append(alloc.n_queues)
+        fits[n] = fraction(flags)
+        p95_priv[n] = int(percentile(priv, 95))
+        p95_ring[n] = int(percentile(ring, 95))
+        max_priv[n] = max(priv, default=0)
+        max_ring[n] = max(ring, default=0)
+    return Sec4Result(fits_budget=fits, p95_private=p95_priv,
+                      p95_ring=p95_ring, max_private=max_priv,
+                      max_ring=max_ring)
+
+
+# ---------------------------------------------------------------------------
+# E7/E8 -- Figs. 8-9: IPC sweep
+# ---------------------------------------------------------------------------
+
+@dataclass
+class IpcSweepResult:
+    title: str
+    fus: tuple[int, ...]
+    static_single: dict[int, float]
+    dynamic_single: dict[int, float]
+    static_clustered: dict[int, float]     # only at 12/15/18
+    dynamic_clustered: dict[int, float]
+    n_loops: dict[int, int]
+
+    def render(self) -> str:
+        lines = [self.title, "",
+                 "FUs   static-S.Cluster  dynamic-S.Cluster  "
+                 "static-Clustered  dynamic-Clustered  loops"]
+        for n in self.fus:
+            sc = self.static_clustered.get(n)
+            dc = self.dynamic_clustered.get(n)
+            lines.append(
+                f"{n:3d}   {self.static_single[n]:15.2f}  "
+                f"{self.dynamic_single[n]:16.2f}  "
+                + (f"{sc:15.2f}  " if sc is not None else " " * 17)
+                + (f"{dc:16.2f}  " if dc is not None else " " * 18)
+                + f"{self.n_loops[n]:5d}")
+        return "\n".join(lines)
+
+
+def ipc_sweep(loops: Sequence[Ddg], *,
+              fus: Sequence[int] = IPC_SWEEP_FUS,
+              clustered_counts: Sequence[int] = PAPER_CLUSTER_COUNTS,
+              resource_constrained_only: bool = False,
+              do_unroll: bool = True,
+              title: str = "Fig. 8 -- IPC, all loops") -> IpcSweepResult:
+    """Shared driver of Figs. 8 and 9.
+
+    ``resource_constrained_only`` filters, per FU point, the loops whose
+    MII on that machine is resource-bound (Fig. 9's population).
+    """
+    static_s: dict[int, float] = {}
+    dynamic_s: dict[int, float] = {}
+    static_c: dict[int, float] = {}
+    dynamic_c: dict[int, float] = {}
+    n_used: dict[int, int] = {}
+    clustered_by_fus = {3 * n: clustered_machine(n)
+                        for n in clustered_counts}
+
+    for n_fus in fus:
+        m = qrf_machine(n_fus)
+        population = loops
+        if resource_constrained_only:
+            population = [l for l in loops
+                          if mii_report(l, m).resource_constrained]
+        outcomes = [compile_loop(l, m, do_unroll=do_unroll, copies=True,
+                                 allocate=False).outcome
+                    for l in population]
+        static_s[n_fus] = weighted_static_ipc(outcomes)
+        dynamic_s[n_fus] = weighted_dynamic_ipc(outcomes)
+        n_used[n_fus] = len([o for o in outcomes if not o.failed])
+
+        cm = clustered_by_fus.get(n_fus)
+        if cm is not None:
+            c_outcomes = [
+                compile_loop(l, cm, do_unroll=do_unroll, copies=True,
+                             allocate=False).outcome
+                for l in population]
+            static_c[n_fus] = weighted_static_ipc(c_outcomes)
+            dynamic_c[n_fus] = weighted_dynamic_ipc(c_outcomes)
+
+    return IpcSweepResult(
+        title=title, fus=tuple(fus),
+        static_single=static_s, dynamic_single=dynamic_s,
+        static_clustered=static_c, dynamic_clustered=dynamic_c,
+        n_loops=n_used)
+
+
+def fig8_ipc(loops: Sequence[Ddg], **kwargs) -> IpcSweepResult:
+    kwargs.setdefault("title", "Fig. 8 -- IPC, all loops")
+    return ipc_sweep(loops, resource_constrained_only=False, **kwargs)
+
+
+def fig9_ipc_rc(loops: Sequence[Ddg], **kwargs) -> IpcSweepResult:
+    kwargs.setdefault("title", "Fig. 9 -- IPC, resource-constrained loops")
+    return ipc_sweep(loops, resource_constrained_only=True, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# A1 -- ablation: copy fan-out tree strategy
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CopyTreeAblation:
+    #: strategy -> (same-II fraction vs no-copy baseline, mean max depth)
+    same_ii: dict[str, float]
+    mean_ii: dict[str, float]
+    mean_queues: dict[str, float]
+
+    def render(self) -> str:
+        lines = ["Ablation A1 -- copy fan-out tree strategy", "",
+                 "strategy   same-II    mean-II   mean-queues"]
+        for s in self.same_ii:
+            lines.append(f"{s:<9}  {self.same_ii[s]*100:6.1f}%  "
+                         f"{self.mean_ii[s]:8.2f}  "
+                         f"{self.mean_queues[s]:10.2f}")
+        return "\n".join(lines)
+
+
+def ablation_copy_tree(loops: Sequence[Ddg],
+                       machine: Optional[Machine] = None,
+                       strategies: Sequence[str] = ("chain", "balanced",
+                                                    "slack")
+                       ) -> CopyTreeAblation:
+    m = machine or qrf_machine(12)
+    same: dict[str, float] = {}
+    mean_ii: dict[str, float] = {}
+    mean_q: dict[str, float] = {}
+    baselines: dict[str, int] = {}
+    for ddg in loops:
+        b = compile_loop(ddg, m, copies=False, allocate=False)
+        if not b.outcome.failed:
+            baselines[ddg.name] = b.outcome.ii
+    for strat in strategies:
+        flags, iis, queues = [], [], []
+        for ddg in loops:
+            if ddg.name not in baselines:
+                continue
+            c = compile_loop(ddg, m, copies=True, copy_strategy=strat,
+                             allocate=True)
+            if c.outcome.failed:
+                continue
+            flags.append(c.outcome.ii == baselines[ddg.name])
+            iis.append(c.outcome.ii)
+            queues.append(c.outcome.total_queues or 0)
+        same[strat] = fraction(flags)
+        mean_ii[strat] = mean(iis)
+        mean_q[strat] = mean(queues)
+    return CopyTreeAblation(same_ii=same, mean_ii=mean_ii,
+                            mean_queues=mean_q)
+
+
+# ---------------------------------------------------------------------------
+# A2 -- ablation: cluster-choice strategy
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PartitionAblation:
+    same_ii: dict[str, float]   # strategy -> fraction keeping flat II
+
+    def render(self) -> str:
+        lines = ["Ablation A2 -- partition heuristic "
+                 "(fraction keeping single-cluster II)", "",
+                 "strategy    same-II"]
+        for s, f in self.same_ii.items():
+            lines.append(f"{s:<10}  {f*100:6.1f}%")
+        return "\n".join(lines)
+
+
+def ablation_partition(loops: Sequence[Ddg], n_clusters: int = 5,
+                       strategies: Sequence[str] = ("affinity", "balance",
+                                                    "first", "random")
+                       ) -> PartitionAblation:
+    same: dict[str, float] = {}
+    for strat in strategies:
+        res = fig6_ii_variation(loops, cluster_counts=(n_clusters,),
+                                partition_strategy=strat)
+        same[strat] = res.same_ii[n_clusters]
+    return PartitionAblation(same_ii=same)
+
+
+# ---------------------------------------------------------------------------
+# A3 -- ablation: MOVE ops between non-adjacent clusters (future work)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MovesAblation:
+    without_moves: dict[int, float]   # n_clusters -> same-II fraction
+    with_moves: dict[int, float]
+
+    def render(self) -> str:
+        lines = ["Ablation A3 -- explicit MOVE ops "
+                 "(fraction keeping single-cluster II)", "",
+                 "clusters   ring-only   with-moves"]
+        for n in self.without_moves:
+            lines.append(f"{n:8d}   {self.without_moves[n]*100:7.1f}%   "
+                         f"{self.with_moves[n]*100:8.1f}%")
+        return "\n".join(lines)
+
+
+def ablation_moves(loops: Sequence[Ddg],
+                   cluster_counts: Sequence[int] = (5, 6)) -> MovesAblation:
+    base = fig6_ii_variation(loops, cluster_counts=cluster_counts)
+    moved = fig6_ii_variation(loops, cluster_counts=cluster_counts,
+                              use_moves=True)
+    return MovesAblation(without_moves=base.same_ii,
+                         with_moves=moved.same_ii)
+
+
+# ---------------------------------------------------------------------------
+# S1 -- supplementary: register pressure, QRF vs conventional RF
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RegisterPressureResult:
+    """Per-machine storage requirements of the corpus under the two
+    register-file organisations the paper compares in its introduction.
+
+    For each loop scheduled on the same machine width: queues needed by
+    the QRF scheme (copy ops inserted) versus the conventional-RF MaxLive,
+    rotating-file and modulo-variable-expansion register counts (no copy
+    ops needed -- a CRF supports multi-read values natively).
+    """
+
+    mean_queues: dict[str, float]
+    mean_max_live: dict[str, float]
+    mean_rotating: dict[str, float]
+    mean_mve_regs: dict[str, float]
+    p95_queues: dict[str, int]
+    p95_mve_regs: dict[str, int]
+    mean_mve_unroll: dict[str, float]
+
+    def render(self) -> str:
+        lines = ["S1 -- register pressure: queue file vs conventional RF",
+                 "",
+                 "machine       queues(mean/p95)  MaxLive  rotating  "
+                 "MVE-regs(mean/p95)  MVE-kernel-copies"]
+        for name in self.mean_queues:
+            lines.append(
+                name.ljust(14)
+                + f"{self.mean_queues[name]:6.1f}/{self.p95_queues[name]:<4d}"
+                + f"     {self.mean_max_live[name]:7.1f}"
+                + f"  {self.mean_rotating[name]:8.1f}"
+                + f"  {self.mean_mve_regs[name]:8.1f}/"
+                  f"{self.p95_mve_regs[name]:<4d}"
+                + f"      {self.mean_mve_unroll[name]:6.2f}")
+        return "\n".join(lines)
+
+
+def register_pressure(loops: Sequence[Ddg],
+                      machines: Optional[Sequence[Machine]] = None
+                      ) -> RegisterPressureResult:
+    """Experiment S1: storage demand of QRF vs CRF on the same loops."""
+    from repro.machine.machine import RfKind, make_machine
+    from repro.regalloc.conventional import register_requirement
+    from repro.regalloc.rotating import (mve_register_requirement,
+                                         rotating_register_requirement)
+
+    machines = list(machines) if machines else paper_qrf_machines()
+    mean_q: dict[str, float] = {}
+    mean_ml: dict[str, float] = {}
+    mean_rot: dict[str, float] = {}
+    mean_mve: dict[str, float] = {}
+    p95_q: dict[str, int] = {}
+    p95_mve: dict[str, int] = {}
+    mean_unroll: dict[str, float] = {}
+    for m in machines:
+        crf = make_machine(m.n_fus, rf_kind=RfKind.CONVENTIONAL)
+        queues, maxlive, rot, mve_regs, mve_unr = [], [], [], [], []
+        for ddg in loops:
+            q_side = compile_loop(ddg, m, copies=True, allocate=True)
+            c_side = compile_loop(ddg, crf, copies=False, allocate=False)
+            if q_side.outcome.failed or c_side.outcome.failed:
+                continue
+            queues.append(q_side.outcome.total_queues)
+            rep = register_requirement(c_side.schedule)
+            maxlive.append(rep.max_live)
+            rot.append(rotating_register_requirement(c_side.schedule))
+            mrep = mve_register_requirement(c_side.schedule)
+            mve_regs.append(mrep.registers)
+            mve_unr.append(mrep.kernel_unroll)
+        mean_q[m.name] = mean(queues)
+        mean_ml[m.name] = mean(maxlive)
+        mean_rot[m.name] = mean(rot)
+        mean_mve[m.name] = mean(mve_regs)
+        p95_q[m.name] = int(percentile(queues, 95))
+        p95_mve[m.name] = int(percentile(mve_regs, 95))
+        mean_unroll[m.name] = mean(mve_unr)
+    return RegisterPressureResult(
+        mean_queues=mean_q, mean_max_live=mean_ml, mean_rotating=mean_rot,
+        mean_mve_regs=mean_mve, p95_queues=p95_q, p95_mve_regs=p95_mve,
+        mean_mve_unroll=mean_unroll)
+
+
+# ---------------------------------------------------------------------------
+# E6b -- spills under the Fig. 7 hardware budget
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SpillBudgetResult:
+    """How much spill code finite queue files actually cost."""
+
+    #: (private queues, positions) -> fraction of loops with zero spills
+    no_spill_fraction: dict[tuple[int, int], float]
+    #: (private queues, positions) -> mean spilled lifetimes per loop
+    mean_spills: dict[tuple[int, int], float]
+
+    def render(self) -> str:
+        lines = ["E6b -- spill code under finite queue files "
+                 "(single-cluster 12-FU machine)", "",
+                 "queues  positions   spill-free   mean-spills/loop"]
+        for (q, p), frac in self.no_spill_fraction.items():
+            lines.append(f"{q:6d}  {p:9d}   {frac*100:9.1f}%   "
+                         f"{self.mean_spills[(q, p)]:10.2f}")
+        return "\n".join(lines)
+
+
+def spill_budget(loops: Sequence[Ddg],
+                 budgets: Sequence[tuple[int, int]] = ((4, 8), (8, 8),
+                                                       (8, 16), (16, 16),
+                                                       (32, 16)),
+                 machine: Optional[Machine] = None) -> SpillBudgetResult:
+    """Experiment E6b: quantify the paper's "spill code will occasionally
+    be required" across hardware budgets (queues x positions)."""
+    from repro.regalloc.lifetimes import extract_lifetimes
+    from repro.regalloc.spill import allocate_with_budget
+
+    m = machine or qrf_machine(12)
+    frac: dict[tuple[int, int], float] = {}
+    spills: dict[tuple[int, int], float] = {}
+    compiled = []
+    for ddg in loops:
+        c = compile_loop(ddg, m, copies=True, allocate=False)
+        if not c.outcome.failed:
+            compiled.append(c)
+    for q, p in budgets:
+        flags, counts = [], []
+        for c in compiled:
+            lts = extract_lifetimes(c.schedule)
+            rep = allocate_with_budget(lts, c.schedule.ii,
+                                       max_queues=q, max_positions=p)
+            flags.append(rep.fits)
+            counts.append(rep.n_spilled)
+        frac[(q, p)] = fraction(flags)
+        spills[(q, p)] = mean(counts)
+    return SpillBudgetResult(no_spill_fraction=frac, mean_spills=spills)
+
+
+# ---------------------------------------------------------------------------
+# A4 -- sensitivity: inter-cluster communication latency
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RingLatencyResult:
+    """Fig. 6's same-II fraction as a function of the extra cycles a
+    value needs to cross to an adjacent cluster (the paper assumes 0)."""
+
+    #: latency -> {n_clusters: fraction same II}
+    same_ii: dict[int, dict[int, float]]
+
+    def render(self) -> str:
+        lines = ["A4 -- same-II fraction vs inter-cluster latency", "",
+                 "xlat   " + "  ".join(f"{n}-clusters"
+                                       for n in
+                                       sorted(next(iter(
+                                           self.same_ii.values()))))]
+        for xlat, row in self.same_ii.items():
+            lines.append(f"{xlat:4d}   " + "  ".join(
+                f"{row[n]*100:9.1f}%" for n in sorted(row)))
+        return "\n".join(lines)
+
+
+def ring_latency_sensitivity(loops: Sequence[Ddg],
+                             latencies: Sequence[int] = (0, 1, 2),
+                             cluster_counts: Sequence[int] = (4, 6)
+                             ) -> RingLatencyResult:
+    """Experiment A4: how sensitive is the partitioning result to the
+    ring-queue forwarding latency?"""
+    from repro.machine.cluster import make_clustered
+
+    out: dict[int, dict[int, float]] = {}
+    for xlat in latencies:
+        row: dict[int, float] = {}
+        for n in cluster_counts:
+            cm = make_clustered(n, inter_cluster_latency=xlat)
+            flat = cm.flattened()
+            flags = []
+            for ddg in loops:
+                single = compile_loop(ddg, flat, do_unroll=True,
+                                      copies=True, allocate=False)
+                clust = compile_loop(ddg, cm,
+                                     unroll_factor=single.outcome.unroll_factor,
+                                     copies=True, allocate=False)
+                if single.outcome.failed or clust.outcome.failed:
+                    continue
+                flags.append(clust.outcome.ii == single.outcome.ii)
+            row[n] = fraction(flags)
+        out[xlat] = row
+    return RingLatencyResult(same_ii=out)
+
+
+# ---------------------------------------------------------------------------
+# S2 -- supplementary: register-file hardware cost
+# ---------------------------------------------------------------------------
+
+@dataclass
+class HardwareCostResult:
+    """Area/delay comparison of RF organisations at equal machine width,
+    with register counts taken from measured corpus demand (p95 rotating
+    requirement) rather than guessed."""
+
+    registers_used: dict[int, int]        # n_fus -> register count
+    rows: dict[int, list]                 # n_fus -> [RfCost, ...]
+
+    def render(self) -> str:
+        lines = ["S2 -- register-file complexity "
+                 "(area model: cells x ports^2; delay: 1 + 0.1/port)", ""]
+        for n_fus, costs in self.rows.items():
+            lines.append(f"{n_fus} FUs (corpus p95 register demand: "
+                         f"{self.registers_used[n_fus]}):")
+            for cost in costs:
+                lines.append("  " + cost.render())
+        return "\n".join(lines)
+
+
+def hardware_cost(loops: Sequence[Ddg],
+                  fu_sizes: Sequence[int] = (6, 12, 18)
+                  ) -> HardwareCostResult:
+    """Experiment S2: the paper's 36-port argument, quantified.
+
+    For each width: measure the corpus's p95 rotating-register demand on
+    the conventional machine, then price a monolithic RF of that size
+    against the flat and clustered QRF banks of the Fig. 7 budget.
+    """
+    from repro.machine.cost import cost_comparison
+    from repro.machine.cluster import make_clustered
+    from repro.machine.machine import RfKind, make_machine
+    from repro.regalloc.rotating import rotating_register_requirement
+
+    registers_used: dict[int, int] = {}
+    rows: dict[int, list] = {}
+    for n_fus in fu_sizes:
+        crf = make_machine(n_fus, rf_kind=RfKind.CONVENTIONAL)
+        demand = []
+        for ddg in loops:
+            c = compile_loop(ddg, crf, copies=False, allocate=False)
+            if not c.outcome.failed:
+                demand.append(rotating_register_requirement(c.schedule))
+        registers = max(8, int(percentile(demand, 95)))
+        cm = make_clustered(max(1, n_fus // 3))
+        registers_used[n_fus] = registers
+        rows[n_fus] = cost_comparison(crf, cm, registers)
+    return HardwareCostResult(registers_used=registers_used, rows=rows)

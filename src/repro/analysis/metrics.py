@@ -1,0 +1,124 @@
+"""Per-loop outcome records and aggregate metrics.
+
+Definitions (DESIGN.md §5.5):
+
+* static IPC  = ops issued per kernel cycle for one kernel iteration
+  (``n_ops / II``; the paper's IPC_static);
+* dynamic IPC = all issued ops over the full execution divided by total
+  cycles including prologue/epilogue, *execution-weighted* over the loop
+  set (``sum ops / sum cycles``; the paper's IPC_dynamic -- this is where
+  "a few large loops account for a large share of the total execution
+  time");
+* II speedup  = per-original-iteration initiation rate gain of unrolling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class LoopOutcome:
+    """One (loop, machine, pipeline) compilation outcome."""
+
+    loop: str
+    machine: str
+    n_source_ops: int         # ops of the original body (one iteration)
+    n_body_ops: int           # ops actually scheduled (unrolled + copies)
+    unroll_factor: int
+    n_copies: int
+    ii: int
+    mii: int
+    res_mii: int
+    rec_mii: int
+    stage_count: int
+    trip_count: int
+    total_queues: Optional[int] = None
+    max_queue_depth: Optional[int] = None
+    failed: bool = False
+
+    @property
+    def static_ipc(self) -> float:
+        return self.n_body_ops / self.ii
+
+    @property
+    def kernel_iterations(self) -> int:
+        return -(-self.trip_count // self.unroll_factor)
+
+    @property
+    def total_ops(self) -> int:
+        return self.n_body_ops * self.kernel_iterations
+
+    @property
+    def total_cycles(self) -> int:
+        return (self.kernel_iterations + self.stage_count - 1) * self.ii
+
+    @property
+    def dynamic_ipc(self) -> float:
+        return self.total_ops / self.total_cycles
+
+    @property
+    def ii_per_iteration(self) -> float:
+        """Initiation interval normalised per original iteration."""
+        return self.ii / self.unroll_factor
+
+    @property
+    def achieved_mii(self) -> bool:
+        return self.ii == self.mii
+
+
+def fraction(flags: Iterable[bool]) -> float:
+    """Fraction of true entries; 0.0 on empty input."""
+    flags = list(flags)
+    return sum(flags) / len(flags) if flags else 0.0
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, q in [0, 100]."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def mean_static_ipc(outcomes: Sequence[LoopOutcome]) -> float:
+    """Unweighted mean of per-loop kernel IPC."""
+    ok = [o for o in outcomes if not o.failed]
+    return mean(o.static_ipc for o in ok)
+
+
+def weighted_static_ipc(outcomes: Sequence[LoopOutcome]) -> float:
+    """Execution-weighted kernel IPC (paper's static curve):
+    total ops over total *kernel* cycles.  Weighted identically to
+    :func:`weighted_dynamic_ipc` so that static >= dynamic holds for the
+    aggregate exactly as it does per loop (the dynamic number only adds
+    prologue/epilogue cycles to the denominator)."""
+    ok = [o for o in outcomes if not o.failed]
+    total_ops = sum(o.total_ops for o in ok)
+    kernel_cycles = sum(o.ii * o.kernel_iterations for o in ok)
+    return total_ops / kernel_cycles if kernel_cycles else 0.0
+
+
+def weighted_dynamic_ipc(outcomes: Sequence[LoopOutcome]) -> float:
+    """Execution-weighted dynamic IPC (paper's dynamic curve)."""
+    ok = [o for o in outcomes if not o.failed]
+    total_ops = sum(o.total_ops for o in ok)
+    total_cycles = sum(o.total_cycles for o in ok)
+    return total_ops / total_cycles if total_cycles else 0.0
+
+
+def cumulative_within(values: Sequence[int],
+                      buckets: Sequence[int]) -> dict[int, float]:
+    """Fraction of values <= each bucket (Fig. 3's x-axis groups)."""
+    out = {}
+    for b in buckets:
+        out[b] = fraction(v <= b for v in values)
+    return out

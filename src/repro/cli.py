@@ -1,0 +1,142 @@
+"""Command-line interface: ``repro-vliw``.
+
+Subcommands:
+
+* ``repro-vliw corpus``             -- corpus summary statistics
+* ``repro-vliw schedule <kernel>``  -- schedule one named kernel and dump
+  the kernel table, queue allocation and a simulation report
+* ``repro-vliw experiment <id>``    -- run one paper experiment
+  (fig3, sec2, fig4, fig6, sec4, fig8, fig9, a1, a2, a3)
+* ``repro-vliw report``             -- the headline experiment bundle
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.machine.presets import clustered_machine, qrf_machine
+from repro.sim.checker import run_pipeline
+from repro.workloads.corpus import bench_corpus, corpus_stats, paper_corpus
+from repro.workloads.kernels import KERNELS, kernel
+
+
+def _loops(args) -> list:
+    if args.full:
+        return paper_corpus()
+    return bench_corpus(args.sample)
+
+
+def cmd_corpus(args) -> int:
+    loops = _loops(args)
+    print(corpus_stats(loops).render())
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    if args.kernel not in KERNELS:
+        print(f"unknown kernel {args.kernel!r}; available: "
+              f"{', '.join(sorted(KERNELS))}", file=sys.stderr)
+        return 2
+    ddg = kernel(args.kernel)
+    machine = (clustered_machine(args.clusters) if args.clusters
+               else qrf_machine(args.fus))
+    res = run_pipeline(ddg, machine, unroll_factor=args.unroll,
+                       iterations=args.iterations)
+    print(res.schedule.render())
+    if args.asm:
+        from repro.codegen.encode import render_assembly
+        print()
+        print(render_assembly(res.schedule, res.usage))
+    print()
+    for loc, alloc in res.usage.by_location.items():
+        print(f"{loc.describe()}: {alloc.n_queues} queues, "
+              f"max depth {alloc.max_depth}")
+    print()
+    sim = res.sim
+    print(f"simulated {sim.iterations} iterations: {sim.cycles} cycles, "
+          f"{sim.ops_executed} ops, {sim.reads_checked} reads verified, "
+          f"dynamic IPC {sim.dynamic_ipc:.2f}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.analysis import experiments as ex
+
+    loops = _loops(args)
+    table = {
+        "fig3": lambda: ex.fig3_queue_requirements(loops),
+        "sec2": lambda: ex.sec2_copy_impact(loops),
+        "fig4": lambda: ex.fig4_unroll_speedup(loops),
+        "fig6": lambda: ex.fig6_ii_variation(loops),
+        "sec4": lambda: ex.sec4_cluster_queues(loops),
+        "fig8": lambda: ex.fig8_ipc(loops),
+        "fig9": lambda: ex.fig9_ipc_rc(loops),
+        "a1": lambda: ex.ablation_copy_tree(loops),
+        "a2": lambda: ex.ablation_partition(loops),
+        "a3": lambda: ex.ablation_moves(loops),
+        "a4": lambda: ex.ring_latency_sensitivity(loops),
+        "s1": lambda: ex.register_pressure(loops),
+        "e6b": lambda: ex.spill_budget(loops),
+    }
+    if args.id not in table:
+        print(f"unknown experiment {args.id!r}; available: "
+              f"{', '.join(table)}", file=sys.stderr)
+        return 2
+    print(table[args.id]().render())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import full_report
+
+    print(full_report(_loops(args), include_sweep=args.sweep))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-vliw",
+        description=__doc__.splitlines()[0])
+    p.add_argument("--sample", type=int, default=None,
+                   help="corpus subsample size (default: bench default)")
+    p.add_argument("--full", action="store_true",
+                   help="use the full 1258-loop corpus")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("corpus", help="corpus statistics")
+
+    ps = sub.add_parser("schedule", help="schedule one named kernel")
+    ps.add_argument("kernel", help=f"one of: {', '.join(sorted(KERNELS))}")
+    ps.add_argument("--fus", type=int, default=4,
+                    help="single-cluster machine width (default 4)")
+    ps.add_argument("--clusters", type=int, default=0,
+                    help="use a clustered machine with N clusters")
+    ps.add_argument("--unroll", type=int, default=1)
+    ps.add_argument("--iterations", type=int, default=16)
+    ps.add_argument("--asm", action="store_true",
+                    help="print the queue-addressed assembly listing")
+
+    pe = sub.add_parser("experiment", help="run one paper experiment")
+    pe.add_argument("id", help="fig3|sec2|fig4|fig6|sec4|fig8|fig9|a1|a2|a3|a4|s1|e6b")
+
+    pr = sub.add_parser("report", help="headline experiment bundle")
+    pr.add_argument("--sweep", action="store_true",
+                    help="include the (slow) IPC sweep")
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "corpus": cmd_corpus,
+        "schedule": cmd_schedule,
+        "experiment": cmd_experiment,
+        "report": cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""VLIW code expansion: instruction words and pipeline phases."""
+
+from .encode import (EncodedOp, QueueRef, check_instruction_format,
+                     encode_schedule, render_assembly)
+from .kernel import LoopCode, kernel_is_periodic, split_phases
+from .vliw import (OpInstance, Slot, SlotConflictError, VliwWord,
+                   expand_program, issue_counts, render_program)
+
+__all__ = [
+    "EncodedOp", "QueueRef", "check_instruction_format",
+    "encode_schedule", "render_assembly",
+    "LoopCode", "kernel_is_periodic", "split_phases",
+    "OpInstance", "Slot", "SlotConflictError", "VliwWord",
+    "expand_program", "issue_counts", "render_program",
+]

@@ -1,0 +1,131 @@
+"""Queue-operand instruction encoding ("assembly" level).
+
+The paper notes that one advantage of simultaneous-write avoidance is a
+simpler instruction format: with copy ops, every operation names at most
+one destination queue (copies: two) and one queue per source operand.
+This module produces that final form: each scheduled op becomes an
+:class:`EncodedOp` whose operands are *queue references* resolved from the
+allocation -- the artefact an assembler for this machine would consume.
+
+Live-in operands (no producing DATA edge, e.g. loop invariants) read from
+the constant/scalar file, encoded as ``imm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.regalloc.lifetimes import Location
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.regalloc.queues import ScheduleQueueUsage
+    from repro.sched.schedule import ModuloSchedule
+
+
+@dataclass(frozen=True)
+class QueueRef:
+    """One queue operand: the location (private/ring set) and index."""
+
+    location: Location
+    index: int
+
+    def render(self) -> str:
+        return f"{self.location.describe()}#{self.index}"
+
+
+@dataclass(frozen=True)
+class EncodedOp:
+    """One op of the kernel in its final, queue-addressed form."""
+
+    op_id: int
+    mnemonic: str
+    cluster: int
+    row: int                  # modulo row (cycle % II)
+    stage: int
+    sources: tuple[Optional[QueueRef], ...]   # None == live-in / imm
+    dests: tuple[QueueRef, ...]
+
+    def render(self) -> str:
+        srcs = ", ".join(s.render() if s else "imm" for s in self.sources)
+        dsts = ", ".join(d.render() for d in self.dests)
+        core = f"{self.mnemonic}"
+        if srcs:
+            core += f" {srcs}"
+        if dsts:
+            core += f" -> {dsts}"
+        return (f"c{self.cluster} row{self.row} s{self.stage}: {core}")
+
+
+def encode_schedule(sched: "ModuloSchedule",
+                    usage: "ScheduleQueueUsage") -> list[EncodedOp]:
+    """Resolve every op's operands to queue references.
+
+    Raises ``KeyError`` if the allocation does not cover some DATA edge
+    (callers should allocate with
+    :func:`repro.regalloc.queues.allocate_for_schedule` first).
+    """
+    edge_to_ref: dict[tuple[int, int, int], QueueRef] = {}
+    for loc, alloc in usage.by_location.items():
+        for key, qidx in alloc.assignment().items():
+            edge_to_ref[key] = QueueRef(loc, qidx)
+
+    encoded: list[EncodedOp] = []
+    ddg = sched.ddg
+    for op_id in ddg.op_ids:
+        op = ddg.op(op_id)
+        sources: list[Optional[QueueRef]] = []
+        for e in ddg.producers(op_id):
+            sources.append(edge_to_ref[(e.src, e.dst, e.key)])
+        if not sources:
+            # live-in operand: loop invariant or induction-variable
+            # address, served by the scalar/constant file, not a queue
+            sources.append(None)
+        dests = tuple(edge_to_ref[(e.src, e.dst, e.key)]
+                      for e in ddg.consumers(op_id))
+        encoded.append(EncodedOp(
+            op_id=op_id,
+            mnemonic=op.opcode.mnemonic,
+            cluster=sched.cluster_of.get(op_id, 0),
+            row=sched.row_of(op_id),
+            stage=sched.stage_of(op_id),
+            sources=tuple(sources),
+            dests=dests,
+        ))
+    return encoded
+
+
+def check_instruction_format(encoded: list[EncodedOp], *,
+                             max_dests_regular: int = 1,
+                             max_dests_copy: int = 2,
+                             max_sources: int = 2) -> None:
+    """Assert the hardware's instruction-format limits (paper Section 2):
+    regular FUs write one queue, the copy unit two; at most two source
+    queues per op (binary operations)."""
+    for e in encoded:
+        limit = max_dests_copy if e.mnemonic == "copy" else \
+            max_dests_regular
+        if len(e.dests) > limit:
+            raise AssertionError(
+                f"{e.mnemonic} op {e.op_id} writes {len(e.dests)} queues "
+                f"(format allows {limit})")
+        if len(e.sources) > max_sources:
+            raise AssertionError(
+                f"{e.mnemonic} op {e.op_id} reads {len(e.sources)} queues "
+                f"(format allows {max_sources})")
+
+
+def render_assembly(sched: "ModuloSchedule",
+                    usage: "ScheduleQueueUsage") -> str:
+    """Kernel 'assembly' listing: rows x encoded ops."""
+    encoded = encode_schedule(sched, usage)
+    by_row: dict[int, list[EncodedOp]] = {}
+    for e in encoded:
+        by_row.setdefault(e.row, []).append(e)
+    lines = [f"; kernel II={sched.ii} SC={sched.stage_count}"]
+    for row in range(sched.ii):
+        lines.append(f"row {row}:")
+        for e in sorted(by_row.get(row, []),
+                        key=lambda x: (x.cluster, x.op_id)):
+            lines.append(f"    {e.render()}")
+    return "\n".join(lines)

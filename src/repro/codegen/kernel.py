@@ -1,0 +1,102 @@
+"""Prologue / kernel / epilogue decomposition of a modulo-scheduled loop.
+
+A modulo schedule with stage count SC executes N iterations in
+``(N + SC - 1) * II`` cycles: the first ``(SC - 1) * II`` cycles ramp the
+pipeline up (prologue), the last ``(SC - 1) * II`` drain it (epilogue), and
+the middle is ``N - SC + 1`` repetitions of a steady-state *kernel* of II
+cycles in which every op of the loop body issues exactly once.  Section 2
+of the paper leans on this structure: "code execution at full performance
+occurs at the kernel stage, which accounts for the largest share of the
+total execution time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.ir.operations import FuType
+
+from .vliw import VliwWord, expand_program
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.schedule import ModuloSchedule
+
+
+@dataclass
+class LoopCode:
+    """The three phases of an expanded software-pipelined loop."""
+
+    ii: int
+    stage_count: int
+    iterations: int
+    prologue: list[VliwWord]
+    kernel: list[VliwWord]       # one steady-state II window
+    kernel_repeats: int
+    epilogue: list[VliwWord]
+
+    @property
+    def total_cycles(self) -> int:
+        return (len(self.prologue) + self.kernel_repeats * self.ii
+                + len(self.epilogue))
+
+    @property
+    def kernel_cycles(self) -> int:
+        return self.kernel_repeats * self.ii
+
+    def kernel_fraction(self) -> float:
+        """Share of execution spent at full performance."""
+        total = self.total_cycles
+        return self.kernel_cycles / total if total else 0.0
+
+    def phase_of_cycle(self, t: int) -> str:
+        if t < len(self.prologue):
+            return "prologue"
+        if t < len(self.prologue) + self.kernel_cycles:
+            return "kernel"
+        return "epilogue"
+
+
+def split_phases(sched: "ModuloSchedule",
+                 capacities: dict[FuType, int],
+                 iterations: int) -> LoopCode:
+    """Expand and split a schedule; *iterations* must cover the pipeline
+    (``>= stage_count``) so a steady state exists."""
+    sc = sched.stage_count
+    if iterations < sc:
+        raise ValueError(
+            f"need >= {sc} iterations for a steady state, got {iterations}")
+    words = expand_program(sched, capacities, iterations)
+    ramp = (sc - 1) * sched.ii
+    prologue = words[:ramp]
+    kernel = words[ramp:ramp + sched.ii]
+    kernel_repeats = iterations - sc + 1
+    epilogue = words[ramp + kernel_repeats * sched.ii:]
+    return LoopCode(
+        ii=sched.ii, stage_count=sc, iterations=iterations,
+        prologue=prologue, kernel=kernel, kernel_repeats=kernel_repeats,
+        epilogue=epilogue)
+
+
+def kernel_is_periodic(sched: "ModuloSchedule",
+                       capacities: dict[FuType, int],
+                       iterations: int) -> bool:
+    """Every kernel window issues the same (op, row) pattern -- a sanity
+    property tests assert on all schedules."""
+    code = split_phases(sched, capacities, iterations)
+    words = expand_program(sched, capacities, iterations)
+    ramp = len(code.prologue)
+
+    def pattern(start: int) -> list[set[tuple[int, int]]]:
+        out = []
+        for row in range(sched.ii):
+            w = words[start + row]
+            out.append({(s.cluster, inst.op_id)
+                        for s, inst in w.slots.items()})
+        return out
+
+    first = pattern(ramp)
+    for rep in range(1, code.kernel_repeats):
+        if pattern(ramp + rep * sched.ii) != first:
+            return False
+    return True

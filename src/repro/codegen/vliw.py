@@ -1,0 +1,115 @@
+"""Explicit VLIW code: instruction words with per-unit slots.
+
+A modulo schedule is an implicit program; this module expands it into the
+explicit very long instruction words a VLIW machine would fetch -- one word
+per cycle, one slot per functional unit (per cluster).  Used by the
+examples/CLI for display and by tests to assert that no two ops ever share
+a unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.ir.operations import FuType
+from repro.machine.resources import pool_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.schedule import ModuloSchedule
+
+
+@dataclass(frozen=True)
+class OpInstance:
+    """One dynamic execution of an op: (op, iteration)."""
+
+    op_id: int
+    iteration: int
+
+    def label(self, sched: "ModuloSchedule") -> str:
+        return f"{sched.ddg.op(self.op_id).name}[{self.iteration}]"
+
+
+@dataclass(frozen=True)
+class Slot:
+    """A unit of the machine: (cluster, pool, unit index within pool)."""
+
+    cluster: int
+    pool: FuType
+    unit: int
+
+
+@dataclass
+class VliwWord:
+    """All ops issued in one cycle."""
+
+    cycle: int
+    slots: dict[Slot, OpInstance] = field(default_factory=dict)
+
+    @property
+    def n_issued(self) -> int:
+        return len(self.slots)
+
+    def render(self, sched: "ModuloSchedule") -> str:
+        parts = [
+            f"c{s.cluster}.{s.pool.value}{s.unit}={inst.label(sched)}"
+            for s, inst in sorted(
+                self.slots.items(),
+                key=lambda kv: (kv[0].cluster, kv[0].pool.name, kv[0].unit))
+        ]
+        return f"{self.cycle:5d}: " + "  ".join(parts) if parts else \
+            f"{self.cycle:5d}: (nop)"
+
+
+class SlotConflictError(RuntimeError):
+    """More ops issued to a pool in one cycle than it has units."""
+
+
+def expand_program(sched: "ModuloSchedule",
+                   capacities: dict[FuType, int],
+                   iterations: int) -> list[VliwWord]:
+    """Expand *iterations* iterations of the schedule into VLIW words.
+
+    *capacities* are per-cluster pool sizes.  Units within a pool are
+    assigned in deterministic (op id) order each cycle; overflow raises
+    :class:`SlotConflictError` (a correct schedule never overflows).
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    total_cycles = sched.max_time + (iterations - 1) * sched.ii + 1
+    words = [VliwWord(cycle=t) for t in range(total_cycles)]
+
+    # group issues per (cycle, cluster, pool)
+    per_cp: dict[tuple[int, int, FuType], list[OpInstance]] = {}
+    for op_id, t0 in sorted(sched.sigma.items()):
+        pool = pool_for(sched.ddg.op(op_id).fu_type)
+        cl = sched.cluster_of.get(op_id, 0)
+        for k in range(iterations):
+            t = t0 + k * sched.ii
+            per_cp.setdefault((t, cl, pool), []).append(
+                OpInstance(op_id, k))
+
+    for (t, cl, pool), instances in per_cp.items():
+        cap = capacities.get(pool, 0)
+        if len(instances) > cap:
+            raise SlotConflictError(
+                f"cycle {t}, cluster {cl}: {len(instances)} ops on "
+                f"{pool.value} (capacity {cap})")
+        for unit, inst in enumerate(
+                sorted(instances, key=lambda i: i.op_id)):
+            words[t].slots[Slot(cl, pool, unit)] = inst
+    return words
+
+
+def issue_counts(words: list[VliwWord]) -> list[int]:
+    """Ops issued per cycle (the raw series behind IPC plots)."""
+    return [w.n_issued for w in words]
+
+
+def render_program(sched: "ModuloSchedule", words: list[VliwWord],
+                   *, limit: Optional[int] = None) -> str:
+    shown = words if limit is None else words[:limit]
+    lines = [w.render(sched) for w in shown]
+    if limit is not None and len(words) > limit:
+        lines.append(f"... ({len(words) - limit} more cycles)")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Loop intermediate representation: operations, DDGs, and transforms."""
+
+from .builder import LoopBuilder, chain
+from .copyins import (CopyInsertionResult, count_required_copies,
+                      insert_copies, logical_dataflow, strip_copies)
+from .ddg import Ddg, DepEdge, DepKind, merge_ddgs
+from .operations import (DEFAULT_LATENCIES, SOURCE_OPCODES, UNIT_LATENCIES,
+                         FuType, LatencyModel, Opcode, Operation)
+from .unroll import (UnrollChoice, ii_speedup, resource_fraction,
+                     select_unroll_factor, unroll)
+from .validate import DdgValidationError, is_valid, validate_ddg
+
+__all__ = [
+    "LoopBuilder", "chain",
+    "CopyInsertionResult", "count_required_copies", "insert_copies",
+    "logical_dataflow", "strip_copies",
+    "Ddg", "DepEdge", "DepKind", "merge_ddgs",
+    "DEFAULT_LATENCIES", "SOURCE_OPCODES", "UNIT_LATENCIES",
+    "FuType", "LatencyModel", "Opcode", "Operation",
+    "UnrollChoice", "ii_speedup", "resource_fraction",
+    "select_unroll_factor", "unroll",
+    "DdgValidationError", "is_valid", "validate_ddg",
+]

@@ -1,0 +1,157 @@
+"""A tiny DSL for building loop DDGs by hand.
+
+Used by the hand-written kernels in :mod:`repro.workloads.kernels`, the
+examples, and many tests.  Example -- a daxpy body ``y[i] = a*x[i] + y[i]``::
+
+    b = LoopBuilder("daxpy", trip_count=1000)
+    x = b.load("x")
+    y = b.load("y")
+    ax = b.mul("ax", x)              # a is a loop invariant (live-in)
+    s = b.add("s", ax, y)
+    b.store("st", s)
+    ddg = b.build()
+
+Loop-carried dependences use :meth:`LoopBuilder.carry`::
+
+    acc = b.add("acc", x)            # acc += x[i]
+    b.carry(acc, acc, distance=1)    # acc consumed by itself next iteration
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ddg import Ddg, DepKind
+from .operations import Opcode, Operation
+
+
+class LoopBuilder:
+    """Fluent construction of a :class:`~repro.ir.ddg.Ddg`."""
+
+    def __init__(self, name: str = "loop", trip_count: int = 100) -> None:
+        self._ddg = Ddg(name, trip_count)
+        self._by_name: dict[str, Operation] = {}
+
+    # ------------------------------------------------------------- opcodes
+
+    def _emit(self, opcode: Opcode, name: str,
+              *operands: "Operation | str",
+              latency: int = -1) -> Operation:
+        if name in self._by_name:
+            raise ValueError(f"duplicate op name {name!r}")
+        op = self._ddg.add_operation(opcode, name=name, latency=latency)
+        self._by_name[name] = op
+        for operand in operands:
+            src = self._resolve(operand)
+            self._ddg.add_dependence(src, op, distance=0, kind=DepKind.DATA)
+        return op
+
+    def _resolve(self, ref: "Operation | str") -> Operation:
+        if isinstance(ref, Operation):
+            return ref
+        try:
+            return self._by_name[ref]
+        except KeyError:
+            raise KeyError(f"unknown op name {ref!r}") from None
+
+    def load(self, name: str, *operands: "Operation | str",
+             latency: int = -1) -> Operation:
+        """A load; operands (if any) feed address computation."""
+        return self._emit(Opcode.LOAD, name, *operands, latency=latency)
+
+    def store(self, name: str, *operands: "Operation | str",
+              latency: int = -1) -> Operation:
+        return self._emit(Opcode.STORE, name, *operands, latency=latency)
+
+    def add(self, name: str, *operands: "Operation | str",
+            latency: int = -1) -> Operation:
+        return self._emit(Opcode.ADD, name, *operands, latency=latency)
+
+    def sub(self, name: str, *operands: "Operation | str",
+            latency: int = -1) -> Operation:
+        return self._emit(Opcode.SUB, name, *operands, latency=latency)
+
+    def cmp(self, name: str, *operands: "Operation | str",
+            latency: int = -1) -> Operation:
+        return self._emit(Opcode.CMP, name, *operands, latency=latency)
+
+    def shift(self, name: str, *operands: "Operation | str",
+              latency: int = -1) -> Operation:
+        return self._emit(Opcode.SHIFT, name, *operands, latency=latency)
+
+    def mul(self, name: str, *operands: "Operation | str",
+            latency: int = -1) -> Operation:
+        return self._emit(Opcode.MUL, name, *operands, latency=latency)
+
+    def fmul(self, name: str, *operands: "Operation | str",
+             latency: int = -1) -> Operation:
+        return self._emit(Opcode.FMUL, name, *operands, latency=latency)
+
+    def div(self, name: str, *operands: "Operation | str",
+            latency: int = -1) -> Operation:
+        return self._emit(Opcode.DIV, name, *operands, latency=latency)
+
+    def op(self, mnemonic: str, name: str, *operands: "Operation | str",
+           latency: int = -1) -> Operation:
+        """Generic emit by mnemonic string."""
+        return self._emit(Opcode.from_mnemonic(mnemonic), name, *operands,
+                          latency=latency)
+
+    # ------------------------------------------------------ dependences
+
+    def carry(self, src: "Operation | str", dst: "Operation | str", *,
+              distance: int = 1) -> None:
+        """Loop-carried DATA dependence: value of *src* in iteration *i* is
+        consumed by *dst* in iteration ``i + distance``."""
+        if distance < 1:
+            raise ValueError("carry distance must be >= 1")
+        self._ddg.add_dependence(self._resolve(src), self._resolve(dst),
+                                 distance=distance, kind=DepKind.DATA)
+
+    def mem_order(self, src: "Operation | str", dst: "Operation | str", *,
+                  distance: int = 0, latency: int = 1) -> None:
+        """Memory ordering edge (store->load etc.); carries no value."""
+        self._ddg.add_dependence(self._resolve(src), self._resolve(dst),
+                                 distance=distance, kind=DepKind.MEM,
+                                 latency=latency)
+
+    def seq(self, src: "Operation | str", dst: "Operation | str", *,
+            distance: int = 0, latency: int = 0) -> None:
+        """Pure ordering edge with configurable latency."""
+        self._ddg.add_dependence(self._resolve(src), self._resolve(dst),
+                                 distance=distance, kind=DepKind.SEQ,
+                                 latency=latency)
+
+    # ----------------------------------------------------------- finish
+
+    def get(self, name: str) -> Operation:
+        return self._by_name[name]
+
+    def build(self, validate: bool = True) -> Ddg:
+        """Finish and (by default) validate the DDG."""
+        if validate:
+            from .validate import validate_ddg
+            validate_ddg(self._ddg)
+        return self._ddg
+
+
+def chain(name: str, mnemonics: list[str], *, trip_count: int = 100,
+          carry_distance: Optional[int] = None) -> Ddg:
+    """Build a straight dependence chain, optionally closed into a
+    recurrence of the given distance (a common test fixture)."""
+    b = LoopBuilder(name, trip_count)
+    prev: Optional[Operation] = None
+    first: Optional[Operation] = None
+    last_producer: Optional[Operation] = None
+    for i, m in enumerate(mnemonics):
+        cur = b.op(m, f"{m}{i}", *( [prev] if prev is not None else [] ))
+        if first is None:
+            first = cur
+        if cur.produces_value:
+            last_producer = cur
+        prev = cur
+    if carry_distance is not None and first is not None:
+        if last_producer is None:
+            raise ValueError("cannot close a recurrence without a producer")
+        b.carry(last_producer, first, distance=carry_distance)
+    return b.build()

@@ -1,0 +1,263 @@
+"""Copy-operation insertion (Section 2 of the paper).
+
+A queue register file destroys a value on read, so a value consumed by
+``n > 1`` operations must be written into ``n`` distinct queues.  Rather
+than give every FU ``n`` write ports, the paper introduces a *copy
+operation*, executed by a dedicated FU, that reads one queue and writes two
+queues (Fig. 2).  A value with ``n`` consumers therefore needs a fan-out
+tree of exactly ``n - 1`` copies: the producer writes one queue, each copy
+consumes one tree edge and produces two.
+
+Tree shape matters: every copy on the path producer -> consumer adds its
+latency to that path, and a longer path through a recurrence circuit raises
+RecMII.  Three strategies are provided (ablation A1):
+
+* ``"chain"``    -- linear chain; consumer *i* sits behind *i* copies.
+* ``"balanced"`` -- recursively split consumers in halves; all consumers at
+  depth ~ ``ceil(log2 n)``.
+* ``"slack"``    -- (default) Huffman tree weighted by consumer criticality:
+  consumers on long downstream paths (low slack) get shallow positions.
+  With equal weights this degenerates to ``balanced``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Literal, Optional
+
+import networkx as nx
+
+from .ddg import Ddg, DepEdge, DepKind
+from .operations import Opcode
+
+CopyStrategy = Literal["chain", "balanced", "slack"]
+
+
+@dataclass
+class CopyInsertionResult:
+    """Outcome of :func:`insert_copies`."""
+
+    ddg: Ddg
+    n_copies: int
+    #: copy depth (number of copies traversed) per rewritten (src, dst, key)
+    #: original data edge.
+    depth_by_edge: dict[tuple[int, int, int], int] = field(
+        default_factory=dict)
+
+    @property
+    def max_depth(self) -> int:
+        return max(self.depth_by_edge.values(), default=0)
+
+
+# --------------------------------------------------------------------------
+# criticality = height of the consumer in the distance-0 DAG (long paths
+# below a consumer mean schedule pressure -> keep its copy path short).
+# --------------------------------------------------------------------------
+
+def _heights(ddg: Ddg) -> dict[int, int]:
+    dag = ddg.acyclic_condensation()
+    heights: dict[int, int] = {}
+    for node in reversed(list(nx.topological_sort(dag))):
+        h = 0
+        for _, succ, attrs in dag.out_edges(node, data=True):
+            h = max(h, attrs["latency"] + heights[succ])
+        heights[node] = h
+    return heights
+
+
+def _scc_index(ddg: Ddg) -> dict[int, int]:
+    """Strongly-connected-component id per op over the *full* edge set
+    (loop-carried edges included): an edge inside an SCC lies on a
+    recurrence circuit, and every copy on its path raises RecMII."""
+    g = nx.DiGraph()
+    g.add_nodes_from(ddg.op_ids)
+    g.add_edges_from((e.src, e.dst) for e in ddg.edges())
+    out: dict[int, int] = {}
+    for i, comp in enumerate(nx.strongly_connected_components(g)):
+        for node in comp:
+            out[node] = i
+    return out
+
+
+# ----------------------------------------------------------- tree shaping
+
+class _Leaf:
+    """A consumer edge to be served by the fan-out tree."""
+
+    __slots__ = ("edge", "weight")
+
+    def __init__(self, edge: DepEdge, weight: float) -> None:
+        self.edge = edge
+        self.weight = weight
+
+
+class _Node:
+    """Internal tree node == one copy op; leaves == consumer edges."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right) -> None:
+        self.left = left
+        self.right = right
+
+
+def _tree_chain(leaves: list[_Leaf]) -> "_Node | _Leaf":
+    # most critical consumer exits first (depth 1), the rest chain deeper
+    ordered = sorted(leaves, key=lambda l: -l.weight)
+    node: "_Node | _Leaf" = ordered[-1]
+    for leaf in reversed(ordered[:-1]):
+        node = _Node(leaf, node)
+    return node
+
+
+def _tree_balanced(leaves: list[_Leaf]) -> "_Node | _Leaf":
+    if len(leaves) == 1:
+        return leaves[0]
+    mid = (len(leaves) + 1) // 2
+    return _Node(_tree_balanced(leaves[:mid]), _tree_balanced(leaves[mid:]))
+
+
+def _tree_huffman(leaves: list[_Leaf]) -> "_Node | _Leaf":
+    # classic Huffman: repeatedly merge the two lightest subtrees, so heavy
+    # (critical) leaves end up shallow.
+    counter = itertools.count()
+    heap: list[tuple[float, int, object]] = [
+        (leaf.weight, next(counter), leaf) for leaf in leaves]
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        w1, _, t1 = heapq.heappop(heap)
+        w2, _, t2 = heapq.heappop(heap)
+        heapq.heappush(heap, (w1 + w2, next(counter), _Node(t2, t1)))
+    return heap[0][2]
+
+
+_BUILDERS = {
+    "chain": _tree_chain,
+    "balanced": _tree_balanced,
+    "slack": _tree_huffman,
+}
+
+
+# ------------------------------------------------------------- transform
+
+def insert_copies(ddg: Ddg, *, strategy: CopyStrategy = "slack",
+                  copy_latency: int = 1) -> CopyInsertionResult:
+    """Rewrite *ddg* so that every value has at most one consumer.
+
+    Returns a new graph (the input is not modified) in which every original
+    DATA edge from a producer with fan-out > 1 is re-routed through a tree
+    of COPY ops.  Loop-carried distances stay on the final copy->consumer
+    edge; producer->copy and copy->copy edges have distance 0, so the
+    rewrite never changes which iteration consumes a value.
+
+    MEM/SEQ edges and single-consumer values are untouched.
+    """
+    if strategy not in _BUILDERS:
+        raise ValueError(f"unknown copy strategy {strategy!r}")
+    out = ddg.copy()
+    heights = _heights(ddg)
+    scc = _scc_index(ddg)
+    scc_sizes: dict[int, int] = {}
+    for comp in scc.values():
+        scc_sizes[comp] = scc_sizes.get(comp, 0) + 1
+    has_self_cycle = {o for o in ddg.op_ids
+                      if any(e.dst == o for e in ddg.out_edges(o))}
+    n_copies = 0
+    depth_by_edge: dict[tuple[int, int, int], int] = {}
+
+    # iterate over a snapshot: we mutate `out` while walking producers
+    for oid in ddg.op_ids:
+        consumers = out.consumers(oid)
+        if len(consumers) <= 1:
+            for e in consumers:
+                depth_by_edge[(e.src, e.dst, e.key)] = 0
+            continue
+
+        # weight: edges on a recurrence circuit dominate (every copy on
+        # their path raises RecMII directly); otherwise the consumer's
+        # downstream height (+1 so weights > 0).
+        leaves = []
+        for e in consumers:
+            on_cycle = (scc[e.src] == scc[e.dst]
+                        and (scc_sizes[scc[e.src]] > 1
+                             or e.src in has_self_cycle))
+            if on_cycle:
+                # scale by 1/distance: tighter recurrences are more
+                # sensitive to added latency
+                weight = 1e6 / max(1, e.distance)
+            else:
+                weight = float(heights.get(e.dst, 0) + 1)
+            leaves.append(_Leaf(e, weight))
+        tree = _BUILDERS[strategy](leaves)
+
+        for e in consumers:
+            out.remove_edge(e)
+
+        producer = out.op(oid)
+        cp_index = itertools.count()
+
+        def materialise(node, parent_id: int, depth: int) -> None:
+            nonlocal n_copies
+            if isinstance(node, _Leaf):
+                e = node.edge
+                out.add_dependence(parent_id, e.dst, distance=e.distance,
+                                   kind=DepKind.DATA)
+                depth_by_edge[(e.src, e.dst, e.key)] = depth
+                return
+            cp = out.add_operation(
+                Opcode.COPY,
+                name=f"{producer.name}.cp{next(cp_index)}",
+                latency=copy_latency, origin=oid,
+                unroll_index=producer.unroll_index)
+            n_copies += 1
+            out.add_dependence(parent_id, cp.op_id, distance=0,
+                               kind=DepKind.DATA)
+            materialise(node.left, cp.op_id, depth + 1)
+            materialise(node.right, cp.op_id, depth + 1)
+
+        materialise(tree, oid, 0)
+
+    return CopyInsertionResult(out, n_copies, depth_by_edge)
+
+
+def count_required_copies(ddg: Ddg) -> int:
+    """Copies :func:`insert_copies` will create: ``sum(max(0, fanout-1))``."""
+    return sum(max(0, ddg.fanout(o) - 1) for o in ddg.op_ids)
+
+
+def strip_copies(ddg: Ddg) -> Ddg:
+    """Inverse transform (short-circuit every copy op); used in tests.
+
+    Every COPY node is removed and its incoming value edge is re-attached
+    directly to its consumers, accumulating nothing (copies carry latency
+    but the *logical* dataflow is identity).
+    """
+    out = ddg.copy()
+    while True:
+        copies = out.copy_ops()
+        if not copies:
+            return out
+        cid = copies[0]
+        (in_edge,) = out.producers(cid)
+        consumers = out.consumers(cid)
+        for e in consumers:
+            out.remove_edge(e)
+            # distance through a copy chain accumulates additively
+            out.add_dependence(in_edge.src, e.dst,
+                               distance=in_edge.distance + e.distance,
+                               kind=DepKind.DATA)
+        out.remove_edge(in_edge)
+        out.remove_operation(cid)
+
+
+def logical_dataflow(ddg: Ddg) -> set[tuple[int, int, int]]:
+    """The copy-free dataflow relation ``{(producer, consumer, distance)}``.
+
+    Two graphs with the same logical dataflow compute the same function;
+    :func:`insert_copies` must preserve it (tested property).
+    Multiplicity is ignored by the set; tests also compare sorted lists.
+    """
+    stripped = strip_copies(ddg)
+    return {(e.src, e.dst, e.distance) for e in stripped.data_edges()}

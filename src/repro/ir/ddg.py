@@ -1,0 +1,408 @@
+"""Data-dependence graphs (DDGs) for innermost loops.
+
+A :class:`Ddg` is the unit of work of the whole library: one innermost loop
+body, with operations as nodes and dependences as edges.  Edges carry
+
+* ``latency``  -- cycles the consumer must wait after the producer issues,
+* ``distance`` -- iteration distance (0 = intra-iteration, k > 0 = the value
+  produced in iteration *i* is consumed in iteration *i + k*),
+* ``kind``     -- :class:`DepKind`; only DATA edges move a value through a
+  register/queue, MEM and SEQ edges merely order operations.
+
+The class wraps a :class:`networkx.MultiDiGraph` (multiple parallel edges are
+legal: an op may consume the same value twice, e.g. ``x * x``) but exposes a
+typed API so that the rest of the library never touches raw networkx
+attributes.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+import networkx as nx
+
+from .operations import FuType, LatencyModel, Opcode, Operation
+
+
+class DepKind(enum.Enum):
+    """Dependence classes.
+
+    DATA edges are true flow dependences: the producer's value travels
+    through a register (conventional RF) or queue (QRF) to the consumer.
+    MEM edges order memory operations that may alias (store->load,
+    store->store, load->store).  SEQ edges are scheduler-only ordering
+    constraints.  Only DATA edges create lifetimes and queue traffic.
+    """
+
+    DATA = "data"
+    MEM = "mem"
+    SEQ = "seq"
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """One dependence ``src -> dst``.
+
+    ``latency`` defaults to the producer's latency for DATA edges and to 1
+    for MEM/SEQ edges (a store must complete before an aliasing load of the
+    next cycle).  ``key`` disambiguates parallel edges.
+    """
+
+    src: int
+    dst: int
+    latency: int
+    distance: int
+    kind: DepKind
+    key: int = 0
+
+    def __post_init__(self) -> None:
+        if self.distance < 0:
+            raise ValueError("dependence distance must be >= 0")
+        if self.latency < 0:
+            raise ValueError("dependence latency must be >= 0")
+
+    @property
+    def is_loop_carried(self) -> bool:
+        return self.distance > 0
+
+    @property
+    def moves_value(self) -> bool:
+        return self.kind is DepKind.DATA
+
+
+class Ddg:
+    """A data-dependence graph for one innermost loop.
+
+    Parameters
+    ----------
+    name:
+        Loop identifier (e.g. ``"daxpy"`` or ``"synth-0421"``).
+    trip_count:
+        Nominal iteration count used by the dynamic-IPC analysis; the paper
+        weighs loops by execution time (Section 4), so the corpus assigns a
+        heavy-tailed trip count to each loop.
+    """
+
+    def __init__(self, name: str = "loop", trip_count: int = 100) -> None:
+        if trip_count < 1:
+            raise ValueError("trip_count must be >= 1")
+        self.name = name
+        self.trip_count = trip_count
+        self._g: nx.MultiDiGraph = nx.MultiDiGraph()
+        self._next_id = 0
+        # adjacency caches -- schedulers call in_edges/out_edges millions
+        # of times on an immutable graph; invalidated on any mutation
+        self._version = 0
+        self._edge_cache: dict = {}
+
+    def _bump(self) -> None:
+        self._version += 1
+        if self._edge_cache:
+            self._edge_cache.clear()
+
+    # ------------------------------------------------------------------ ops
+
+    def add_operation(self, opcode: Opcode, *, name: str = "",
+                      latency: int = -1, unroll_index: int = 0,
+                      origin: Optional[int] = None) -> Operation:
+        """Create and insert a fresh operation; returns it."""
+        op = Operation(
+            op_id=self._next_id, opcode=opcode, name=name, latency=latency,
+            unroll_index=unroll_index, origin=origin,
+        )
+        self._g.add_node(op.op_id, op=op)
+        self._next_id += 1
+        self._bump()
+        return op
+
+    def insert_operation(self, op: Operation) -> Operation:
+        """Insert a pre-built operation (id must be unused)."""
+        if op.op_id in self._g:
+            raise ValueError(f"op id {op.op_id} already present")
+        self._g.add_node(op.op_id, op=op)
+        self._next_id = max(self._next_id, op.op_id + 1)
+        self._bump()
+        return op
+
+    def remove_operation(self, op_id: int) -> None:
+        """Remove an op and all incident edges."""
+        self._g.remove_node(op_id)
+        self._bump()
+
+    def op(self, op_id: int) -> Operation:
+        """Look up an operation by id."""
+        return self._g.nodes[op_id]["op"]
+
+    def has_op(self, op_id: int) -> bool:
+        return op_id in self._g
+
+    def replace_operation(self, op: Operation) -> None:
+        """Swap the node payload for an op with the same id."""
+        if op.op_id not in self._g:
+            raise KeyError(op.op_id)
+        self._g.nodes[op.op_id]["op"] = op
+        self._bump()
+
+    @property
+    def operations(self) -> list[Operation]:
+        """All operations, ordered by id (deterministic)."""
+        return [self._g.nodes[n]["op"] for n in sorted(self._g.nodes)]
+
+    @property
+    def op_ids(self) -> list[int]:
+        return sorted(self._g.nodes)
+
+    @property
+    def n_ops(self) -> int:
+        return self._g.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        return self._g.number_of_edges()
+
+    def fu_demand(self) -> dict[FuType, int]:
+        """Number of ops per FU class (input of ResMII)."""
+        demand: dict[FuType, int] = {}
+        for op in self.operations:
+            demand[op.fu_type] = demand.get(op.fu_type, 0) + 1
+        return demand
+
+    # ---------------------------------------------------------------- edges
+
+    def add_dependence(self, src: int | Operation, dst: int | Operation, *,
+                       distance: int = 0, kind: DepKind = DepKind.DATA,
+                       latency: Optional[int] = None) -> DepEdge:
+        """Add a dependence edge.
+
+        DATA edges default their latency to the producer op's latency; MEM
+        and SEQ edges default to 1.  A DATA edge requires the producer to be
+        a value producer.
+        """
+        sid = src.op_id if isinstance(src, Operation) else src
+        did = dst.op_id if isinstance(dst, Operation) else dst
+        if sid not in self._g or did not in self._g:
+            raise KeyError(f"edge endpoints {sid}->{did} not in graph")
+        src_op = self.op(sid)
+        if kind is DepKind.DATA and not src_op.produces_value:
+            raise ValueError(
+                f"DATA edge from non-producer {src_op.name}"
+            )
+        if latency is None:
+            latency = src_op.latency if kind is DepKind.DATA else 1
+        key = self._g.add_edge(sid, did, latency=latency,
+                               distance=distance, kind=kind)
+        self._bump()
+        return DepEdge(sid, did, latency, distance, kind, key)
+
+    def edges(self, kind: Optional[DepKind] = None) -> Iterator[DepEdge]:
+        """Iterate all edges (optionally of a single kind), deterministic."""
+        for sid, did, key, attrs in sorted(self._g.edges(keys=True, data=True)):
+            edge = DepEdge(sid, did, attrs["latency"], attrs["distance"],
+                           attrs["kind"], key)
+            if kind is None or edge.kind is kind:
+                yield edge
+
+    def data_edges(self) -> Iterator[DepEdge]:
+        return self.edges(DepKind.DATA)
+
+    def in_edges(self, op_id: int,
+                 kind: Optional[DepKind] = None) -> list[DepEdge]:
+        cache_key = ("in", op_id, kind)
+        cached = self._edge_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        out = []
+        for sid, did, key, attrs in sorted(
+                self._g.in_edges(op_id, keys=True, data=True)):
+            edge = DepEdge(sid, did, attrs["latency"], attrs["distance"],
+                           attrs["kind"], key)
+            if kind is None or edge.kind is kind:
+                out.append(edge)
+        self._edge_cache[cache_key] = out
+        return out
+
+    def out_edges(self, op_id: int,
+                  kind: Optional[DepKind] = None) -> list[DepEdge]:
+        cache_key = ("out", op_id, kind)
+        cached = self._edge_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        out = []
+        for sid, did, key, attrs in sorted(
+                self._g.out_edges(op_id, keys=True, data=True)):
+            edge = DepEdge(sid, did, attrs["latency"], attrs["distance"],
+                           attrs["kind"], key)
+            if kind is None or edge.kind is kind:
+                out.append(edge)
+        self._edge_cache[cache_key] = out
+        return out
+
+    def consumers(self, op_id: int) -> list[DepEdge]:
+        """DATA out-edges of *op_id* (each is one queue lifetime)."""
+        return self.out_edges(op_id, DepKind.DATA)
+
+    def producers(self, op_id: int) -> list[DepEdge]:
+        """DATA in-edges of *op_id*."""
+        return self.in_edges(op_id, DepKind.DATA)
+
+    def remove_edge(self, edge: DepEdge) -> None:
+        self._g.remove_edge(edge.src, edge.dst, key=edge.key)
+        self._bump()
+
+    def fanout(self, op_id: int) -> int:
+        """Number of DATA consumers of an op's value (drives copy trees)."""
+        return len(self.consumers(op_id))
+
+    def max_fanout(self) -> int:
+        return max((self.fanout(o) for o in self.op_ids), default=0)
+
+    # ----------------------------------------------------------- structure
+
+    def neighbors_data(self, op_id: int) -> set[int]:
+        """Ops connected to *op_id* by a DATA edge in either direction."""
+        cache_key = ("nbr", op_id)
+        cached = self._edge_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        out = {e.src for e in self.producers(op_id)}
+        out |= {e.dst for e in self.consumers(op_id)}
+        out.discard(op_id)
+        self._edge_cache[cache_key] = out
+        return out
+
+    def acyclic_condensation(self) -> nx.DiGraph:
+        """DAG over ops using only distance-0 edges (for height priority)."""
+        dag = nx.DiGraph()
+        dag.add_nodes_from(self._g.nodes)
+        for e in self.edges():
+            if e.distance == 0:
+                # parallel edges collapse to max latency
+                if dag.has_edge(e.src, e.dst):
+                    dag[e.src][e.dst]["latency"] = max(
+                        dag[e.src][e.dst]["latency"], e.latency)
+                else:
+                    dag.add_edge(e.src, e.dst, latency=e.latency)
+        return dag
+
+    def has_zero_distance_cycle(self) -> bool:
+        """A cycle of distance-0 edges makes the loop unschedulable."""
+        dag = self.acyclic_condensation()
+        return not nx.is_directed_acyclic_graph(dag)
+
+    def recurrence_ops(self) -> set[int]:
+        """Ops participating in some dependence cycle (recurrence circuit).
+
+        Used to report which loops are recurrence-bound (Figs. 8 vs 9).
+        """
+        plain = nx.DiGraph()
+        plain.add_nodes_from(self._g.nodes)
+        plain.add_edges_from((e.src, e.dst) for e in self.edges())
+        out: set[int] = set()
+        for scc in nx.strongly_connected_components(plain):
+            if len(scc) > 1:
+                out |= scc
+            else:
+                (node,) = scc
+                if plain.has_edge(node, node):
+                    out.add(node)
+        return out
+
+    def sum_latency(self) -> int:
+        return sum(op.latency for op in self.operations)
+
+    # -------------------------------------------------------------- copies
+
+    def live_in_ops(self) -> list[int]:
+        """Ops with no DATA producers (they read loop invariants/live-ins).
+
+        The paper defers loop-invariant handling to future work; we model
+        live-in operands as coming from a non-queue constant store, so such
+        ops simply have fewer queue reads.
+        """
+        return [o for o in self.op_ids if not self.producers(o)]
+
+    def copy_ops(self) -> list[int]:
+        return [o for o in self.op_ids if self.op(o).is_copy]
+
+    def source_ops(self) -> list[int]:
+        """Ops that existed before compiler-inserted COPY/MOVE ops."""
+        return [o for o in self.op_ids
+                if not self.op(o).is_copy and not self.op(o).is_move]
+
+    # ------------------------------------------------------------- utility
+
+    def retimed(self, model: LatencyModel) -> "Ddg":
+        """Return a copy of the graph with a different latency model.
+
+        DATA edge latencies are recomputed from the (re-timed) producer
+        latencies; MEM/SEQ latencies are preserved.
+        """
+        out = Ddg(self.name, self.trip_count)
+        for op in self.operations:
+            out.insert_operation(model.retime(op))
+        for e in self.edges():
+            lat = out.op(e.src).latency if e.kind is DepKind.DATA else e.latency
+            out.add_dependence(e.src, e.dst, distance=e.distance,
+                               kind=e.kind, latency=lat)
+        return out
+
+    def copy(self, name: Optional[str] = None) -> "Ddg":
+        """Deep copy (ops are frozen dataclasses; edges are rebuilt)."""
+        out = Ddg(name or self.name, self.trip_count)
+        for op in self.operations:
+            out.insert_operation(op)
+        for e in self.edges():
+            out.add_dependence(e.src, e.dst, distance=e.distance,
+                               kind=e.kind, latency=e.latency)
+        return out
+
+    def fresh_id(self) -> int:
+        """Peek the id the next inserted op will get."""
+        return self._next_id
+
+    def __len__(self) -> int:
+        return self.n_ops
+
+    def __contains__(self, op_id: int) -> bool:
+        return op_id in self._g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Ddg({self.name!r}, ops={self.n_ops}, "
+                f"edges={self.n_edges}, trip={self.trip_count})")
+
+    def summary(self) -> str:
+        """Multi-line human-readable dump used by examples and the CLI."""
+        lines = [f"loop {self.name}: {self.n_ops} ops, {self.n_edges} deps, "
+                 f"trip_count={self.trip_count}"]
+        for op in self.operations:
+            cons = ", ".join(
+                f"->{self.op(e.dst).name}"
+                + (f"[d={e.distance}]" if e.distance else "")
+                for e in self.out_edges(op.op_id))
+            lines.append(f"  {op.name:>12} {op.opcode.mnemonic:<6}"
+                         f" lat={op.latency} {cons}")
+        return "\n".join(lines)
+
+
+def merge_ddgs(name: str, parts: Iterable[Ddg],
+               trip_count: Optional[int] = None) -> Ddg:
+    """Disjoint union of several DDGs (used by tests and the generator)."""
+    parts = list(parts)
+    out = Ddg(name, trip_count or max((p.trip_count for p in parts),
+                                      default=100))
+    counter = itertools.count()
+    for part in parts:
+        remap: dict[int, int] = {}
+        for op in part.operations:
+            nid = next(counter)
+            remap[op.op_id] = nid
+            out.insert_operation(op.with_id(nid, origin=op.origin,
+                                            unroll_index=op.unroll_index))
+        for e in part.edges():
+            out.add_dependence(remap[e.src], remap[e.dst],
+                               distance=e.distance, kind=e.kind,
+                               latency=e.latency)
+    return out

@@ -1,0 +1,86 @@
+"""Structural validation of loop DDGs.
+
+Run before scheduling: catches malformed graphs early with readable errors
+instead of deep scheduler failures.  Every workload generator and transform
+output is validated in tests.
+"""
+
+from __future__ import annotations
+
+from .ddg import Ddg, DepKind
+
+
+class DdgValidationError(ValueError):
+    """Raised when a DDG violates a structural invariant."""
+
+
+def validate_ddg(ddg: Ddg, *, require_schedulable: bool = True,
+                 max_copy_reads: int = 1,
+                 max_copy_writes: int = 2) -> None:
+    """Check structural invariants; raise :class:`DdgValidationError`.
+
+    Invariants checked:
+
+    1. every edge endpoint exists and self-DATA edges have distance >= 1;
+    2. DATA edges start at value producers, with latency == producer latency;
+    3. no zero-distance dependence cycle (otherwise no schedule exists);
+    4. COPY ops read exactly ``max_copy_reads`` values and have at most
+       ``max_copy_writes`` consumers (the hardware reads 1 queue, writes 2);
+    5. MOVE ops have exactly one producer and one consumer;
+    6. non-negative distances/latencies (enforced by dataclasses, re-checked).
+    """
+    problems: list[str] = []
+
+    for e in ddg.edges():
+        if not ddg.has_op(e.src) or not ddg.has_op(e.dst):
+            problems.append(f"dangling edge {e.src}->{e.dst}")
+            continue
+        if e.src == e.dst and e.distance == 0:
+            problems.append(
+                f"zero-distance self edge on {ddg.op(e.src).name}")
+        if e.kind is DepKind.DATA:
+            src = ddg.op(e.src)
+            if not src.produces_value:
+                problems.append(
+                    f"DATA edge from non-producer {src.name}")
+            elif e.latency != src.latency:
+                problems.append(
+                    f"DATA edge {src.name}->{ddg.op(e.dst).name} latency "
+                    f"{e.latency} != producer latency {src.latency}")
+
+    if require_schedulable and ddg.has_zero_distance_cycle():
+        problems.append("zero-distance dependence cycle (unschedulable)")
+
+    for oid in ddg.op_ids:
+        op = ddg.op(oid)
+        if op.is_copy:
+            n_reads = len(ddg.producers(oid))
+            n_writes = ddg.fanout(oid)
+            if n_reads != max_copy_reads:
+                problems.append(
+                    f"copy {op.name} reads {n_reads} values "
+                    f"(hardware reads {max_copy_reads})")
+            if n_writes > max_copy_writes:
+                problems.append(
+                    f"copy {op.name} feeds {n_writes} consumers "
+                    f"(hardware writes {max_copy_writes})")
+            if n_writes == 0:
+                problems.append(f"copy {op.name} is dead")
+        if op.is_move:
+            if len(ddg.producers(oid)) != 1 or ddg.fanout(oid) != 1:
+                problems.append(
+                    f"move {op.name} must have exactly 1 producer and "
+                    f"1 consumer")
+
+    if problems:
+        raise DdgValidationError(
+            f"DDG {ddg.name!r} invalid:\n  " + "\n  ".join(problems))
+
+
+def is_valid(ddg: Ddg, **kwargs) -> bool:
+    """Boolean convenience wrapper around :func:`validate_ddg`."""
+    try:
+        validate_ddg(ddg, **kwargs)
+        return True
+    except DdgValidationError:
+        return False

@@ -1,0 +1,29 @@
+"""Machine models: single-cluster VLIWs and ring-clustered machines."""
+
+from .cluster import ClusteredMachine, make_clustered
+from .cost import (RfCost, clustered_qrf_cost, cost_comparison,
+                   monolithic_rf_cost, qrf_cost)
+from .machine import (Machine, QueueBudget, RfKind, balanced_fu_mix,
+                      copy_units_for, make_machine)
+from .presets import (IPC_SWEEP_FUS, PAPER_CLUSTER_COUNTS, PAPER_FU_SIZES,
+                      clustered_machine, crf_machine, ipc_clustered_points,
+                      ipc_sweep_machines, narrow_test_machine,
+                      paper_clustered_machines, paper_qrf_machines,
+                      qrf_machine, single_cluster_equivalent)
+from .resources import (COMPUTE_POOLS, HARDWARE_POOLS, PAPER_CLUSTER_FUS,
+                        SERVICE_MAP, FuSet, pool_for)
+
+__all__ = [
+    "ClusteredMachine", "make_clustered",
+    "RfCost", "clustered_qrf_cost", "cost_comparison",
+    "monolithic_rf_cost", "qrf_cost",
+    "Machine", "QueueBudget", "RfKind", "balanced_fu_mix",
+    "copy_units_for", "make_machine",
+    "IPC_SWEEP_FUS", "PAPER_CLUSTER_COUNTS", "PAPER_FU_SIZES",
+    "clustered_machine", "crf_machine", "ipc_clustered_points",
+    "ipc_sweep_machines", "narrow_test_machine",
+    "paper_clustered_machines", "paper_qrf_machines", "qrf_machine",
+    "single_cluster_equivalent",
+    "COMPUTE_POOLS", "HARDWARE_POOLS", "PAPER_CLUSTER_FUS", "SERVICE_MAP",
+    "FuSet", "pool_for",
+]

@@ -1,0 +1,165 @@
+"""Clustered VLIW machines with a bidirectional ring of queues (Section 4).
+
+A :class:`ClusteredMachine` is ``n_clusters`` identical clusters (Fig. 5a)
+whose inter-cluster communication happens through queue sets arranged as a
+bidirectional ring (Fig. 5b): cluster *i* owns one private queue set and one
+outgoing queue set in each ring direction.  A value produced in cluster *i*
+may be consumed in cluster *i* (private queues) or in an adjacent cluster
+``i ± 1 (mod n)`` (ring queues); the paper's partitioner supports nothing
+further ("we do not as yet consider the introduction of operations to
+transfer a value between indirectly connected clusters"), which is exactly
+what limits its 6-cluster results.  Setting ``allow_moves=True`` enables the
+future-work MOVE extension evaluated in ablation A3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+from repro.ir.operations import FuType, LatencyModel
+
+from .machine import Machine, QueueBudget, RfKind
+from .resources import PAPER_CLUSTER_FUS, FuSet
+
+
+@dataclass(frozen=True)
+class ClusteredMachine:
+    """A ring of identical VLIW clusters."""
+
+    name: str
+    cluster: Machine
+    n_clusters: int
+    allow_moves: bool = False
+    #: extra cycles for a value crossing to an adjacent cluster.  The paper
+    #: treats ring queues exactly like private queues (a producer writes
+    #: directly into the ring queue), i.e. zero extra latency; kept
+    #: configurable for sensitivity studies.
+    inter_cluster_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError("need at least one cluster")
+        if self.inter_cluster_latency < 0:
+            raise ValueError("inter_cluster_latency must be >= 0")
+        if not self.cluster.has_queues:
+            raise ValueError("clustered machines are QRF machines")
+
+    # ------------------------------------------------------------ topology
+
+    def ring_distance(self, a: int, b: int) -> int:
+        """Hop count between clusters *a* and *b* on the ring."""
+        self._check(a), self._check(b)
+        d = (a - b) % self.n_clusters
+        return min(d, self.n_clusters - d)
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """Whether a value can flow directly from *a* to *b* (<= 1 hop)."""
+        return self.ring_distance(a, b) <= 1
+
+    def neighbours(self, c: int) -> list[int]:
+        """Clusters reachable in one hop (excluding *c* itself)."""
+        self._check(c)
+        if self.n_clusters == 1:
+            return []
+        if self.n_clusters == 2:
+            return [1 - c]
+        return sorted({(c - 1) % self.n_clusters, (c + 1) % self.n_clusters})
+
+    def reachable(self, c: int) -> list[int]:
+        """Clusters a value produced in *c* may be consumed in."""
+        return sorted(set(self.neighbours(c)) | {c})
+
+    def hop_path(self, a: int, b: int) -> list[int]:
+        """Shortest ring path ``a .. b`` (inclusive); ties go clockwise."""
+        self._check(a), self._check(b)
+        n = self.n_clusters
+        cw = (b - a) % n
+        ccw = (a - b) % n
+        step = 1 if cw <= ccw else -1
+        path = [a]
+        cur = a
+        while cur != b:
+            cur = (cur + step) % n
+            path.append(cur)
+        return path
+
+    def clusters(self) -> Iterator[int]:
+        return iter(range(self.n_clusters))
+
+    def _check(self, c: int) -> None:
+        if not 0 <= c < self.n_clusters:
+            raise IndexError(f"cluster {c} out of range "
+                             f"[0, {self.n_clusters})")
+
+    # ------------------------------------------------------------ capacity
+
+    def capacity(self, fu_type: FuType) -> int:
+        """Machine-wide units of a class (used by ResMII)."""
+        return self.cluster.capacity(fu_type) * self.n_clusters
+
+    def cluster_capacity(self, fu_type: FuType) -> int:
+        return self.cluster.capacity(fu_type)
+
+    @property
+    def n_fus(self) -> int:
+        """Compute FUs machine-wide, as the paper counts (12/15/18)."""
+        return self.cluster.n_fus * self.n_clusters
+
+    @property
+    def has_queues(self) -> bool:
+        return True
+
+    @property
+    def needs_copies(self) -> bool:
+        return True
+
+    @property
+    def queue_budget(self) -> QueueBudget:
+        return self.cluster.queue_budget
+
+    @property
+    def latencies(self) -> LatencyModel:
+        return self.cluster.latencies
+
+    def flattened(self) -> Machine:
+        """The equivalent single-cluster machine (the paper's baseline for
+        Fig. 6: same total FUs, no partitioning constraints)."""
+        return Machine(
+            name=f"{self.name}-flat",
+            fus=self.cluster.fus.scaled(self.n_clusters),
+            rf_kind=RfKind.QUEUE,
+            latencies=self.cluster.latencies,
+            queue_budget=self.cluster.queue_budget,
+        )
+
+    def with_moves(self, allow: bool = True) -> "ClusteredMachine":
+        return replace(self, allow_moves=allow)
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.n_clusters} clusters x "
+                f"[{self.cluster.fus.describe()}], ring, "
+                f"moves={'on' if self.allow_moves else 'off'}")
+
+
+def make_clustered(n_clusters: int, *,
+                   cluster_fus: Optional[FuSet] = None,
+                   name: Optional[str] = None,
+                   allow_moves: bool = False,
+                   latencies: Optional[LatencyModel] = None,
+                   queue_budget: Optional[QueueBudget] = None,
+                   inter_cluster_latency: int = 0) -> ClusteredMachine:
+    """Build the paper's clustered machine: *n_clusters* x (L/S+ADD+MUL+copy)."""
+    cluster = Machine(
+        name="cluster",
+        fus=cluster_fus or PAPER_CLUSTER_FUS,
+        rf_kind=RfKind.QUEUE,
+        latencies=latencies or LatencyModel(),
+        queue_budget=queue_budget or QueueBudget(),
+    )
+    label = name or f"ring-{n_clusters}x{cluster.n_fus}fu"
+    return ClusteredMachine(
+        name=label, cluster=cluster, n_clusters=n_clusters,
+        allow_moves=allow_moves,
+        inter_cluster_latency=inter_cluster_latency,
+    )

@@ -1,0 +1,115 @@
+"""Register-file complexity model (the paper's ongoing-work item).
+
+Section 4 motivates clustering with a port-count argument: "a 12 FUs
+machine requiring 2 read and 1 write ports for each FU would demand a 36
+port register file, an unrealistic design".  This module turns that
+argument into numbers using the standard VLSI scaling rules the
+early-RF-complexity literature used (Rixner et al. later formalised the
+same model):
+
+* a multi-ported RF cell grows quadratically with ports (each port adds a
+  word line and a bit line): ``area ~ registers * (p_r + p_w)^2``;
+* access time grows roughly linearly with ports (longer lines):
+  ``delay ~ 1 + k * (p_r + p_w)``;
+* a FIFO queue needs one read and one write port *regardless of how many
+  FUs the cluster has* -- queues are single-ported by construction, so a
+  QRF of Q queues x D positions costs ``Q * D * (1+1)^2`` cell units plus
+  head/tail pointer logic.
+
+Absolute units are arbitrary; the *ratios* between organisations at equal
+storage capacity are the model's output (experiment S2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import ClusteredMachine
+    from .machine import Machine
+
+#: delay growth per port (normalised; only ratios matter)
+DELAY_PER_PORT = 0.1
+
+
+@dataclass(frozen=True)
+class RfCost:
+    """Area/delay estimate of one register-file organisation."""
+
+    organisation: str
+    storage_cells: int       # registers (or queue positions) provided
+    ports: int               # total access ports of the structure
+    area: float              # cell-area units
+    relative_delay: float    # 1.0 == single-ported cell
+
+    def render(self) -> str:
+        return (f"{self.organisation:<28} {self.storage_cells:>6} cells  "
+                f"{self.ports:>3} ports  area {self.area:>10.0f}  "
+                f"delay x{self.relative_delay:.2f}")
+
+
+def _cell_area(n_cells: int, ports: int) -> float:
+    return n_cells * ports ** 2
+
+
+def _delay(ports: int) -> float:
+    return 1.0 + DELAY_PER_PORT * ports
+
+
+def monolithic_rf_cost(machine: "Machine", registers: int, *,
+                       reads_per_fu: int = 2,
+                       writes_per_fu: int = 1) -> RfCost:
+    """A single RF feeding every FU (the paper's 'unrealistic design')."""
+    ports = machine.fus.n_total * (reads_per_fu + writes_per_fu)
+    return RfCost(
+        organisation=f"monolithic RF ({machine.name})",
+        storage_cells=registers,
+        ports=ports,
+        area=_cell_area(registers, ports),
+        relative_delay=_delay(ports),
+    )
+
+
+def qrf_cost(n_queues: int, positions: int, *,
+             label: str = "queue RF") -> RfCost:
+    """A bank of single-ported FIFO queues.
+
+    Each queue is an independent 2-port structure (1R + 1W); total area is
+    the sum over queues, total ports reported for comparison.  Delay is
+    the per-queue delay -- queues do not share lines, so it does not grow
+    with the bank size (the crux of the scalability argument).
+    """
+    ports_per_queue = 2
+    return RfCost(
+        organisation=label,
+        storage_cells=n_queues * positions,
+        ports=n_queues * ports_per_queue,
+        area=n_queues * _cell_area(positions, ports_per_queue),
+        relative_delay=_delay(ports_per_queue),
+    )
+
+
+def clustered_qrf_cost(cm: "ClusteredMachine") -> RfCost:
+    """The paper's Fig. 7 cluster: 8 private + 8+8 ring queues per
+    cluster, each with ``positions`` slots."""
+    qb = cm.queue_budget
+    queues_per_cluster = qb.private + qb.ring_out_cw + qb.ring_out_ccw
+    total_queues = queues_per_cluster * cm.n_clusters
+    cost = qrf_cost(total_queues, qb.positions,
+                    label=f"clustered QRF ({cm.name})")
+    return cost
+
+
+def cost_comparison(machine: "Machine", cm: "ClusteredMachine",
+                    registers: int) -> list[RfCost]:
+    """The S2 table: monolithic CRF vs flat QRF vs clustered QRF at the
+    same machine width."""
+    flat_queues = (cm.queue_budget.private + cm.queue_budget.ring_out_cw
+                   + cm.queue_budget.ring_out_ccw) * cm.n_clusters
+    return [
+        monolithic_rf_cost(machine, registers),
+        qrf_cost(flat_queues, cm.queue_budget.positions,
+                 label=f"flat QRF ({flat_queues} queues)"),
+        clustered_qrf_cost(cm),
+    ]

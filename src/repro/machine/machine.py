@@ -1,0 +1,152 @@
+"""Single-cluster machine descriptions.
+
+A :class:`Machine` is one issue-coupled VLIW cluster: a set of functional
+units sharing one register file.  ``rf_kind`` selects the paper's queue
+register file (QRF) or a conventional multi-ported register file (the
+baseline of Section 2, Fig. 1b): conventional machines need no copy ops and
+no copy units; queue machines destroy values on read and therefore need
+both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.ddg import Ddg
+from repro.ir.operations import FuType, LatencyModel
+
+from .resources import COMPUTE_POOLS, FuSet
+
+
+class RfKind(enum.Enum):
+    """Register-file organisation."""
+
+    CONVENTIONAL = "conventional"
+    QUEUE = "queue"
+
+
+@dataclass(frozen=True)
+class QueueBudget:
+    """Hardware queue budget of one cluster (Fig. 7).
+
+    ``private`` queues hold intra-cluster lifetimes; ``ring_out_cw`` /
+    ``ring_out_ccw`` are the queue sets a cluster writes towards its
+    clockwise / counter-clockwise neighbour.  ``positions`` is the depth of
+    every queue (slots per queue); the paper leaves it unspecified and
+    reports required positions empirically, so the default is generous and
+    the allocator *measures* requirements instead of failing.
+    """
+
+    private: int = 8
+    ring_out_cw: int = 8
+    ring_out_ccw: int = 8
+    positions: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.private, self.ring_out_cw, self.ring_out_ccw,
+               self.positions) < 0:
+            raise ValueError("queue budget entries must be >= 0")
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One VLIW cluster (or a whole single-cluster machine)."""
+
+    name: str
+    fus: FuSet
+    rf_kind: RfKind = RfKind.QUEUE
+    latencies: LatencyModel = field(default_factory=LatencyModel)
+    queue_budget: QueueBudget = field(default_factory=QueueBudget)
+
+    def __post_init__(self) -> None:
+        if self.fus.n_compute < 1:
+            raise ValueError("a machine needs at least one compute FU")
+        if self.rf_kind is RfKind.QUEUE and self.fus.capacity(FuType.COPY) < 1:
+            raise ValueError(
+                "a QRF machine needs at least one copy unit "
+                "(values with fan-out > 1 cannot be stored otherwise)")
+
+    # ----------------------------------------------------------- capacity
+
+    def capacity(self, fu_type: FuType) -> int:
+        return self.fus.capacity(fu_type)
+
+    @property
+    def n_fus(self) -> int:
+        """FU count the way the paper counts (compute units only)."""
+        return self.fus.n_compute
+
+    @property
+    def has_queues(self) -> bool:
+        return self.rf_kind is RfKind.QUEUE
+
+    @property
+    def needs_copies(self) -> bool:
+        """Whether fan-out > 1 values require copy insertion."""
+        return self.has_queues
+
+    def can_execute(self, ddg: Ddg) -> bool:
+        """True if every FU class the loop needs exists on this machine."""
+        return all(self.capacity(t) >= 1 for t, n in ddg.fu_demand().items()
+                   if n > 0)
+
+    def compute_mix(self) -> dict[FuType, int]:
+        return {t: self.fus.counts.get(t, 0) for t in COMPUTE_POOLS}
+
+    def retime(self, ddg: Ddg) -> Ddg:
+        """Apply this machine's latency model to a loop."""
+        if not self.latencies.overrides:
+            return ddg
+        return ddg.retimed(self.latencies)
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.fus.describe()}, "
+                f"rf={self.rf_kind.value}")
+
+    def renamed(self, name: str) -> "Machine":
+        from dataclasses import replace
+        return replace(self, name=name)
+
+
+def balanced_fu_mix(n_fus: int) -> dict[FuType, int]:
+    """Distribute *n_fus* compute units over L/S, ADD, MUL.
+
+    The paper only ever names multiples of 3 (its cluster is 1+1+1); for
+    the 4..18-FU sweep of Figs. 8-9 we distribute round-robin in the order
+    L/S, ADD, MUL so that e.g. 4 FUs = 2/1/1 and 5 FUs = 2/2/1 (memory
+    pressure first, matching scientific-loop op mixes).  Deviation #3 in
+    DESIGN.md.
+    """
+    if n_fus < 1:
+        raise ValueError("n_fus must be >= 1")
+    order = (FuType.LS, FuType.ADD, FuType.MUL)
+    counts = {t: n_fus // 3 for t in order}
+    for i in range(n_fus % 3):
+        counts[order[i]] += 1
+    return counts
+
+
+def copy_units_for(n_fus: int) -> int:
+    """Copy units paired with *n_fus* compute units: one per 3-FU group
+    (mirrors the cluster organisation; deviation #5 in DESIGN.md)."""
+    return max(1, -(-n_fus // 3))
+
+
+def make_machine(n_fus: int, *, rf_kind: RfKind = RfKind.QUEUE,
+                 name: Optional[str] = None,
+                 latencies: Optional[LatencyModel] = None,
+                 queue_budget: Optional[QueueBudget] = None) -> Machine:
+    """Build a single-cluster machine with a balanced FU mix."""
+    counts: dict[FuType, int] = dict(balanced_fu_mix(n_fus))
+    if rf_kind is RfKind.QUEUE:
+        counts[FuType.COPY] = copy_units_for(n_fus)
+    label = name or f"{rf_kind.value[:4]}-{n_fus}fu"
+    return Machine(
+        name=label,
+        fus=FuSet(counts),
+        rf_kind=rf_kind,
+        latencies=latencies or LatencyModel(),
+        queue_budget=queue_budget or QueueBudget(),
+    )

@@ -1,0 +1,74 @@
+"""The paper's machine configurations, ready-made.
+
+Section 2 evaluates QRF machines of 4, 6 and 12 FUs; Section 4 evaluates
+clustered machines of 4, 5 and 6 clusters (12, 15, 18 FUs) against their
+single-cluster equivalents; Figs. 8-9 sweep 4..18 FUs.
+"""
+
+from __future__ import annotations
+
+from repro.ir.operations import FuType
+
+from .cluster import ClusteredMachine, make_clustered
+from .machine import Machine, RfKind, make_machine
+from .resources import FuSet
+
+#: FU widths used in Section 2 / Section 3 experiments.
+PAPER_FU_SIZES = (4, 6, 12)
+
+#: Cluster counts used in Section 4 (Fig. 6).
+PAPER_CLUSTER_COUNTS = (4, 5, 6)
+
+#: The x-axis of Figs. 8-9.
+IPC_SWEEP_FUS = tuple(range(4, 19))
+
+
+def qrf_machine(n_fus: int) -> Machine:
+    """Single-cluster QRF machine (copy units included)."""
+    return make_machine(n_fus, rf_kind=RfKind.QUEUE)
+
+
+def crf_machine(n_fus: int) -> Machine:
+    """Single-cluster conventional-RF machine (Section 2 baseline)."""
+    return make_machine(n_fus, rf_kind=RfKind.CONVENTIONAL)
+
+
+def paper_qrf_machines() -> list[Machine]:
+    """The 4/6/12-FU QRF machines of Sections 2-3."""
+    return [qrf_machine(n) for n in PAPER_FU_SIZES]
+
+
+def clustered_machine(n_clusters: int, *,
+                      allow_moves: bool = False) -> ClusteredMachine:
+    """The paper's ring machine: n x (1 L/S + 1 ADD + 1 MUL + 1 copy)."""
+    return make_clustered(n_clusters, allow_moves=allow_moves)
+
+
+def paper_clustered_machines() -> list[ClusteredMachine]:
+    """The 4/5/6-cluster machines of Section 4."""
+    return [clustered_machine(n) for n in PAPER_CLUSTER_COUNTS]
+
+
+def single_cluster_equivalent(cm: ClusteredMachine) -> Machine:
+    """Single-cluster machine with the same total FUs (Fig. 6 baseline)."""
+    return cm.flattened()
+
+
+def ipc_sweep_machines() -> list[Machine]:
+    """Single-cluster QRF machines for the 4..18-FU sweep of Figs. 8-9."""
+    return [qrf_machine(n) for n in IPC_SWEEP_FUS]
+
+
+def ipc_clustered_points() -> dict[int, ClusteredMachine]:
+    """The clustered points (12/15/18 FUs) overlaid in Figs. 8-9."""
+    return {cm.n_fus: cm for cm in paper_clustered_machines()}
+
+
+def narrow_test_machine() -> Machine:
+    """A deliberately tiny machine (1 of each FU) for unit tests."""
+    return Machine(
+        name="tiny",
+        fus=FuSet({FuType.LS: 1, FuType.ADD: 1, FuType.MUL: 1,
+                   FuType.COPY: 1}),
+        rf_kind=RfKind.QUEUE,
+    )

@@ -1,0 +1,98 @@
+"""Functional-unit resources.
+
+The scheduler models FUs as fully pipelined (one issue per cycle per unit,
+the standard assumption of Rau's IMS evaluations): an operation reserves its
+unit for exactly the issue cycle.  Each FU belongs to a *pool* identified by
+:class:`~repro.ir.operations.FuType`; some opcodes are *served by* a pool of
+a different type (MOVE ops execute on the copy unit, which can trivially
+read one queue and write one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.ir.operations import FuType
+
+#: Which FU pool executes ops of a given type.  MOVE has no dedicated
+#: hardware: the copy unit performs it (1 read, 1 write is a subset of the
+#: copy unit's 1 read, 2 writes).
+SERVICE_MAP: dict[FuType, FuType] = {
+    FuType.LS: FuType.LS,
+    FuType.ADD: FuType.ADD,
+    FuType.MUL: FuType.MUL,
+    FuType.COPY: FuType.COPY,
+    FuType.MOVE: FuType.COPY,
+}
+
+#: FU pools that hold actual hardware (MOVE is virtual).
+HARDWARE_POOLS = (FuType.LS, FuType.ADD, FuType.MUL, FuType.COPY)
+
+#: Pools counted as "FUs" when the paper says "a 12 FUs machine" -- copy
+#: units are always reported separately ("plus the required FUs to support
+#: copy operations", Section 4).
+COMPUTE_POOLS = (FuType.LS, FuType.ADD, FuType.MUL)
+
+
+def pool_for(fu_type: FuType) -> FuType:
+    """Resolve the hardware pool serving ops of *fu_type*."""
+    return SERVICE_MAP[fu_type]
+
+
+@dataclass(frozen=True)
+class FuSet:
+    """An immutable multiset of functional units.
+
+    ``counts`` maps each hardware pool to the number of units.  Missing
+    pools count zero.
+    """
+
+    counts: Mapping[FuType, int]
+
+    def __post_init__(self) -> None:
+        for fu_type, n in self.counts.items():
+            if fu_type not in HARDWARE_POOLS:
+                raise ValueError(f"{fu_type} is not a hardware pool")
+            if n < 0:
+                raise ValueError("negative FU count")
+
+    def capacity(self, fu_type: FuType) -> int:
+        """Units available to ops of *fu_type* (after pool mapping)."""
+        return self.counts.get(pool_for(fu_type), 0)
+
+    @property
+    def n_compute(self) -> int:
+        """FU count as the paper reports it (L/S + ADD + MUL)."""
+        return sum(self.counts.get(t, 0) for t in COMPUTE_POOLS)
+
+    @property
+    def n_total(self) -> int:
+        return sum(self.counts.values())
+
+    def merged(self, other: "FuSet") -> "FuSet":
+        out = dict(self.counts)
+        for fu_type, n in other.counts.items():
+            out[fu_type] = out.get(fu_type, 0) + n
+        return FuSet(out)
+
+    def scaled(self, k: int) -> "FuSet":
+        if k < 0:
+            raise ValueError("scale must be >= 0")
+        return FuSet({t: n * k for t, n in self.counts.items()})
+
+    def describe(self) -> str:
+        parts = [f"{n}x{t.value}"
+                 for t, n in sorted(self.counts.items(), key=lambda kv: kv[0].name)
+                 if n]
+        return "+".join(parts) or "empty"
+
+    def as_dict(self) -> dict[FuType, int]:
+        return dict(self.counts)
+
+
+#: The paper's basic cluster datapath (Fig. 5a / Fig. 7): one L/S, one
+#: adder, one multiplier, one copy unit.
+PAPER_CLUSTER_FUS = FuSet({
+    FuType.LS: 1, FuType.ADD: 1, FuType.MUL: 1, FuType.COPY: 1,
+})

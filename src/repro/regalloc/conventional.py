@@ -1,0 +1,61 @@
+"""Conventional register-file requirements (the Section 2 baseline).
+
+With a conventional multi-ported RF (Fig. 1b) a value is written once and
+stays in its register until the last of its reads.  In a modulo schedule
+several iterations are in flight, so instances of the same value need
+distinct registers; the classic measure (Llosa et al. [14], Rau) is
+**MaxLive** -- the peak number of simultaneously live values in steady
+state -- which a rotating register file achieves exactly and ordinary
+allocation approaches within a small factor.
+
+Also exposed: the wide-RF *port* requirement (2 reads + 1 write per FU),
+the quantity that motivates clustering in Section 4 ("a 12 FUs machine ...
+would demand a 36 port register file, an unrealistic design").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .lifetimes import merged_value_lifetimes, max_live, \
+    steady_state_occupancy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+    from repro.sched.schedule import ModuloSchedule
+
+
+@dataclass(frozen=True)
+class RegisterFileReport:
+    """Register and port demand of a schedule on a conventional RF."""
+
+    max_live: int
+    occupancy: tuple[int, ...]  # per modulo phase
+    n_values: int               # values written per iteration
+
+    @property
+    def mean_live(self) -> float:
+        if not self.occupancy:
+            return 0.0
+        return sum(self.occupancy) / len(self.occupancy)
+
+
+def register_requirement(sched: "ModuloSchedule") -> RegisterFileReport:
+    """MaxLive and per-phase occupancy for a schedule."""
+    lifetimes = merged_value_lifetimes(sched)
+    occ = steady_state_occupancy(lifetimes, sched.ii)
+    return RegisterFileReport(
+        max_live=max(occ, default=0),
+        occupancy=tuple(occ),
+        n_values=len(lifetimes),
+    )
+
+
+def port_requirement(machine: "Machine", *, reads_per_fu: int = 2,
+                     writes_per_fu: int = 1) -> int:
+    """Ports a monolithic RF would need for this machine's FUs.
+
+    The paper's headline example: 12 FUs x (2R + 1W) = 36 ports.
+    """
+    return machine.fus.n_total * (reads_per_fu + writes_per_fu)

@@ -1,0 +1,252 @@
+"""Lifetime extraction from modulo schedules.
+
+A *queue lifetime* is one DATA edge of a scheduled loop: the producer
+writes the value into a queue at ``sigma(p) + lat(p)`` and the consumer
+destructively reads it at ``sigma(c) + d * II`` (iteration-0 times; both
+recur every II).  After copy insertion every value has one consumer per
+queue, so edges and queue lifetimes coincide.
+
+For clustered schedules each lifetime also has a *location*: the private
+queue set of its cluster, or one of the two ring queue sets between
+adjacent clusters (Fig. 5b); queues are allocated per location.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.ir.ddg import DepEdge
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.cluster import ClusteredMachine
+    from repro.sched.schedule import ModuloSchedule
+
+
+class LocationKind(enum.Enum):
+    """Which physical queue set holds a lifetime."""
+
+    PRIVATE = "private"    # producer and consumer in the same cluster
+    RING_CW = "ring_cw"    # producer cluster c -> cluster (c+1) % n
+    RING_CCW = "ring_ccw"  # producer cluster c -> cluster (c-1) % n
+
+
+@dataclass(frozen=True)
+class Location:
+    """A queue set: (kind, owning cluster)."""
+
+    kind: LocationKind
+    cluster: int
+
+    def describe(self) -> str:
+        return f"{self.kind.value}[{self.cluster}]"
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """One scheduled DATA edge as a queue lifetime.
+
+    ``start``: write cycle (iteration 0); ``length``: cycles until the
+    destructive read; ``end = start + length`` is the read cycle.  A
+    zero-length lifetime is a same-cycle write+read (bypass).
+    """
+
+    producer: int
+    consumer: int
+    edge_key: int
+    start: int
+    length: int
+    #: loop-carried distance of the underlying edge: the queue is preloaded
+    #: with this many initial values before the loop starts, which occupy
+    #: positions during the prologue.
+    distance: int = 0
+    location: Location = Location(LocationKind.PRIVATE, 0)
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(
+                f"negative lifetime {self.producer}->{self.consumer}: "
+                f"dependence violated")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def describe(self) -> str:
+        return (f"{self.producer}->{self.consumer} "
+                f"[{self.start}, {self.end}) @ {self.location.describe()}")
+
+
+def _edge_lifetime(sched: "ModuloSchedule", e: DepEdge,
+                   location: Location) -> Lifetime:
+    start = sched.sigma[e.src] + e.latency
+    end = sched.sigma[e.dst] + e.distance * sched.ii
+    return Lifetime(e.src, e.dst, e.key, start, end - start, e.distance,
+                    location)
+
+
+def location_of_edge(sched: "ModuloSchedule", e: DepEdge,
+                     machine: Optional["ClusteredMachine"] = None
+                     ) -> Location:
+    """Classify the queue set a DATA edge uses."""
+    ca = sched.cluster_of.get(e.src, 0)
+    cb = sched.cluster_of.get(e.dst, 0)
+    if ca == cb:
+        return Location(LocationKind.PRIVATE, ca)
+    if machine is None:
+        raise ValueError("clustered edge without a machine topology")
+    n = machine.n_clusters
+    if (ca + 1) % n == cb:
+        return Location(LocationKind.RING_CW, ca)
+    if (ca - 1) % n == cb:
+        return Location(LocationKind.RING_CCW, ca)
+    raise ValueError(
+        f"edge {e.src}->{e.dst} spans non-adjacent clusters {ca},{cb}")
+
+
+def extract_lifetimes(sched: "ModuloSchedule",
+                      machine: Optional["ClusteredMachine"] = None
+                      ) -> list[Lifetime]:
+    """All queue lifetimes of a schedule, deterministic order.
+
+    For single-cluster schedules every lifetime lands in
+    ``private[0]``; clustered schedules need *machine* for the ring
+    topology.  Raises if any dependence is violated (negative length) --
+    the schedule should have been validated first.
+    """
+    out: list[Lifetime] = []
+    for e in sched.ddg.data_edges():
+        loc = location_of_edge(sched, e, machine)
+        out.append(_edge_lifetime(sched, e, loc))
+    return out
+
+
+def merged_value_lifetimes(sched: "ModuloSchedule") -> list[Lifetime]:
+    """Per-*value* lifetimes for a conventional register file.
+
+    A conventional RF writes once and reads many times (Fig. 1b): the
+    value's register is busy from the write until the *last* read.  Used by
+    the MaxLive computation in :mod:`repro.regalloc.conventional`.
+    """
+    out: list[Lifetime] = []
+    for op_id in sched.ddg.op_ids:
+        consumers = sched.ddg.consumers(op_id)
+        if not consumers:
+            continue
+        start = sched.sigma[op_id] + sched.ddg.op(op_id).latency
+        end = max(sched.sigma[e.dst] + e.distance * sched.ii
+                  for e in consumers)
+        out.append(Lifetime(op_id, -1, 0, start, end - start))
+    return out
+
+
+def steady_state_occupancy(lifetimes: list[Lifetime], ii: int) -> list[int]:
+    """Number of live values at each phase ``0..ii-1`` in steady state.
+
+    A lifetime ``[S, S+L)`` has instances ``[S+k*II, S+L+k*II)`` for every
+    iteration k; in steady state the occupancy at absolute time *t* is::
+
+        sum over lifetimes of |{k : S+k*II <= t < S+L+k*II}|
+
+    which is periodic in t with period II.
+    """
+    if ii < 1:
+        raise ValueError("II must be >= 1")
+    if not lifetimes:
+        return [0] * ii
+    # deep in steady state, aligned so index i is phase (t mod ii) == i
+    base = (max(lt.end for lt in lifetimes) // ii + 1) * ii
+    occ = []
+    for phase in range(ii):
+        t = base + phase
+        total = 0
+        for lt in lifetimes:
+            if lt.length == 0:
+                continue  # same-cycle bypass never occupies a slot
+            k_max = (t - lt.start) // ii
+            k_min = -(-(t - lt.start - lt.length + 1) // ii)  # ceil
+            if k_max >= k_min:
+                total += k_max - k_min + 1
+        occ.append(total)
+    return occ
+
+
+def max_live(lifetimes: list[Lifetime], ii: int) -> int:
+    """Peak steady-state occupancy (MaxLive)."""
+    return max(steady_state_occupancy(lifetimes, ii), default=0)
+
+
+def required_positions(lifetimes: list[Lifetime], ii: int) -> int:
+    """Queue positions needed over a whole execution, prologue included.
+
+    Differs from steady-state MaxLive when loop-carried lifetimes are
+    preloaded: the initial values of a distance-d lifetime sit in the queue
+    from cycle 0 until their reads, so the prologue can hold more values
+    than the steady state (even for zero-length / bypass lifetimes).
+    Occupancy is end-of-cycle: an instance written at *s* and read at *e*
+    occupies [s, e).
+    """
+    if ii < 1:
+        raise ValueError("II must be >= 1")
+    if not lifetimes:
+        return 0
+    horizon = max(lt.end for lt in lifetimes) + 2 * ii
+    events: list[tuple[int, int]] = []
+    for lt in lifetimes:
+        k = -lt.distance
+        while True:
+            s, e = lt.start + k * ii, lt.end + k * ii
+            if s > horizon:
+                break
+            # pre-loop instances (k < 0) whose virtual write slot is
+            # negative exist from before the loop's first cycle (they
+            # hold a position at "cycle -1" even when read in cycle 0);
+            # those whose slot falls inside the loop are injected by the
+            # prologue at exactly that cycle (see repro.sim.vliwsim)
+            s_clamped = max(s, -1) if k < 0 else s
+            if e > s_clamped:
+                events.append((s_clamped, +1))
+                events.append((e, -1))
+            k += 1
+    events.sort()
+    peak = cur = 0
+    for _t, delta in events:
+        cur += delta
+        peak = max(peak, cur)
+    return peak
+
+
+def finite_required_positions(lifetimes: list[Lifetime], ii: int,
+                              iterations: int) -> int:
+    """Queue positions for a *finite* N-iteration execution.
+
+    Adds what :func:`required_positions` cannot see: at the end of the
+    loop, the last ``distance`` values of every carried lifetime have been
+    written but never read (they are the loop's live-out state) and sit in
+    the queue until the epilogue drains them.
+    """
+    if ii < 1 or iterations < 1:
+        raise ValueError("ii and iterations must be >= 1")
+    if not lifetimes:
+        return 0
+    drain = max(lt.end + iterations * ii for lt in lifetimes) + 1
+    events: list[tuple[int, int]] = []
+    for lt in lifetimes:
+        for k in range(-lt.distance, iterations):
+            s = lt.start + k * ii
+            if k < 0:
+                s = max(s, -1)
+            if k + lt.distance <= iterations - 1:
+                e = lt.end + k * ii
+            else:
+                e = drain  # never read: carried-out value
+            if e > s:
+                events.append((s, +1))
+                events.append((e, -1))
+    events.sort()
+    peak = cur = 0
+    for _t, delta in events:
+        cur += delta
+        peak = max(peak, cur)
+    return peak

@@ -1,0 +1,94 @@
+"""Modulo variable expansion (MVE) and rotating register files.
+
+The conventional-RF baseline of Section 2 needs more than MaxLive when the
+hardware has no rotating register file: a value whose lifetime exceeds II
+would be overwritten by the next iteration's instance, so the kernel must
+be *unrolled* (modulo variable expansion, Lam 1988) until every lifetime
+fits, or the register file must rotate (Cydra 5 [17], Rau's MII work
+[16]).  This module quantifies both designs:
+
+* :func:`mve_unroll_factor` -- kernel replication a static RF needs:
+  ``kmax = max_v ceil(lifetime(v) / II)``;
+* :func:`mve_register_requirement` -- registers after MVE: each value
+  needs ``ceil(lifetime/II)`` names, summed;
+* :func:`rotating_register_requirement` -- a rotating file achieves
+  MaxLive + 1 (the classic bound: one extra register because allocation is
+  done on a circular timeline).
+
+Together with :func:`repro.regalloc.conventional.register_requirement`
+and the queue allocator these feed the supplementary register-pressure
+study (experiment S1): the Section 1 argument that QRFs sidestep both the
+port problem *and* the register-name problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .lifetimes import Lifetime, max_live, merged_value_lifetimes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.schedule import ModuloSchedule
+
+
+@dataclass(frozen=True)
+class MveReport:
+    """Static-RF cost of a modulo schedule without rotating registers."""
+
+    kernel_unroll: int          # kmax: kernel copies needed
+    registers: int              # register names after MVE
+    max_live: int               # the rotating-RF reference point
+
+    @property
+    def code_growth(self) -> int:
+        """Kernel copies beyond the software pipeline itself."""
+        return self.kernel_unroll
+
+
+def _value_lifetimes(sched: "ModuloSchedule") -> list[Lifetime]:
+    return merged_value_lifetimes(sched)
+
+
+def mve_unroll_factor(sched: "ModuloSchedule") -> int:
+    """Kernel replication needed by a non-rotating RF (``kmax``).
+
+    A value live for L cycles has ``ceil(L / II)`` instances in flight;
+    distinct instances need distinct names, so the kernel is replicated
+    ``kmax = max_v ceil(L_v / II)`` times (Lam's modulo variable
+    expansion).  1 means no replication (every lifetime fits in II).
+    """
+    kmax = 1
+    for lt in _value_lifetimes(sched):
+        if lt.length > 0:
+            kmax = max(kmax, -(-lt.length // sched.ii))
+    return kmax
+
+
+def mve_register_requirement(sched: "ModuloSchedule") -> MveReport:
+    """Registers a static RF needs after modulo variable expansion.
+
+    Every value gets ``ceil(L/II)`` names (its concurrent instances);
+    zero-length values are pure bypasses and get none.  This is the
+    textbook upper bound; smarter post-MVE colouring can share names
+    across values, so the truth lies between MaxLive and this number.
+    """
+    lifetimes = _value_lifetimes(sched)
+    registers = 0
+    for lt in lifetimes:
+        if lt.length > 0:
+            registers += -(-lt.length // sched.ii)
+    return MveReport(
+        kernel_unroll=mve_unroll_factor(sched),
+        registers=registers,
+        max_live=max_live(lifetimes, sched.ii),
+    )
+
+
+def rotating_register_requirement(sched: "ModuloSchedule") -> int:
+    """Registers with rotating-file hardware: ``MaxLive + 1`` (the wand
+    bound -- rotation renames instances for free, one spare slot breaks
+    the circular-allocation tie)."""
+    lifetimes = _value_lifetimes(sched)
+    live = max_live(lifetimes, sched.ii)
+    return live + 1 if live else 0

@@ -1,0 +1,28 @@
+"""Modulo scheduling: MII bounds, IMS, and the clustered partitioner."""
+
+from .ims import (DEFAULT_BUDGET_RATIO, ImsConfig, modulo_schedule,
+                  try_schedule_at_ii)
+from .mii import (MiiReport, max_cycle_ratio, mii, mii_report, rec_mii,
+                  res_mii, theoretical_ipc_bound)
+from .mrt import ModuloReservationTable, Placement
+from .partition import (MoveScheduleResult, PartitionConfig,
+                        PartitionStrategy, insert_moves,
+                        partitioned_schedule, schedule_with_moves,
+                        try_partition_at_ii)
+from .priority import heights, priority_order
+from .schedule import (ModuloSchedule, ScheduleStats,
+                       ScheduleValidationError, SchedulingError)
+
+__all__ = [
+    "DEFAULT_BUDGET_RATIO", "ImsConfig", "modulo_schedule",
+    "try_schedule_at_ii",
+    "MiiReport", "max_cycle_ratio", "mii", "mii_report", "rec_mii",
+    "res_mii", "theoretical_ipc_bound",
+    "ModuloReservationTable", "Placement",
+    "MoveScheduleResult", "PartitionConfig", "PartitionStrategy",
+    "insert_moves", "partitioned_schedule", "schedule_with_moves",
+    "try_partition_at_ii",
+    "heights", "priority_order",
+    "ModuloSchedule", "ScheduleStats", "ScheduleValidationError",
+    "SchedulingError",
+]

@@ -1,0 +1,190 @@
+"""Iterative Modulo Scheduling (Rau, 1996) for single-cluster machines.
+
+The algorithm, as used by the paper's experimental framework:
+
+1. ``II = MII``; compute height-based priorities.
+2. Repeatedly pick the highest-priority unscheduled op.  Its *earliest
+   start* is forced by already-scheduled predecessors::
+
+       Estart = max(0, max_p sigma(p) + lat(p->op) - d(p->op) * II)
+
+3. Search the II-wide window ``[Estart, Estart + II - 1]`` for a row with a
+   free FU; place the op in the first one (placing later than
+   ``Estart + II - 1`` is pointless -- rows repeat modulo II).
+4. If no row is free, *force* the op at ``max(Estart, last_time + 1)``
+   (guaranteeing forward progress on re-schedules), evicting whoever holds
+   the FU row, and unschedule any op whose dependence the forced placement
+   violates.
+5. Each placement costs one unit of budget (``budget_ratio * n_ops``); when
+   the budget is exhausted, give up on this II and retry at ``II + 1``.
+
+The implementation validates its own output before returning it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.ddg import Ddg
+from repro.ir.validate import validate_ddg
+from repro.machine.machine import Machine
+
+from .mii import mii_report
+from .mrt import ModuloReservationTable
+from .priority import priority_order
+from .schedule import ModuloSchedule, ScheduleStats, SchedulingError
+
+#: Default Rau budget multiplier (the 1996 paper finds 3-6 sufficient).
+DEFAULT_BUDGET_RATIO = 6
+
+
+@dataclass
+class ImsConfig:
+    """Tunables of the IMS search."""
+
+    budget_ratio: int = DEFAULT_BUDGET_RATIO
+    max_ii: Optional[int] = None      # default: mii + n_ops + sum latency
+    validate_input: bool = True
+    validate_output: bool = True
+
+    def budget_for(self, n_ops: int) -> int:
+        return max(1, self.budget_ratio * n_ops)
+
+    def ii_limit(self, ddg: Ddg, start_ii: int) -> int:
+        if self.max_ii is not None:
+            return self.max_ii
+        # n_ops * max-latency cycles is enough for a fully serial schedule
+        return start_ii + ddg.n_ops + ddg.sum_latency() + 1
+
+
+def _estart(ddg: Ddg, sigma: dict[int, int], op_id: int, ii: int) -> int:
+    est = 0
+    for e in ddg.in_edges(op_id):
+        t = sigma.get(e.src)
+        if t is None:
+            continue
+        est = max(est, t + e.latency - e.distance * ii)
+    return est
+
+
+def _unschedule_violations(ddg: Ddg, sigma: dict[int, int],
+                           mrt: ModuloReservationTable,
+                           op_id: int, ii: int) -> int:
+    """After (force-)placing *op_id*, drop scheduled ops whose dependence
+    with it is now violated.  Returns how many were dropped."""
+    t = sigma[op_id]
+    dropped = 0
+    for e in ddg.out_edges(op_id):
+        ts = sigma.get(e.dst)
+        if ts is not None and e.dst != op_id:
+            if ts + e.distance * ii < t + e.latency:
+                del sigma[e.dst]
+                mrt.remove(e.dst)
+                dropped += 1
+    for e in ddg.in_edges(op_id):
+        tp = sigma.get(e.src)
+        if tp is not None and e.src != op_id and e.src in sigma:
+            if t + e.distance * ii < tp + e.latency:
+                del sigma[e.src]
+                mrt.remove(e.src)
+                dropped += 1
+    return dropped
+
+
+def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
+                       budget: int,
+                       stats: Optional[ScheduleStats] = None,
+                       ) -> Optional[dict[int, int]]:
+    """One IMS attempt at a fixed II; returns ``sigma`` or ``None``."""
+    order = priority_order(ddg, ii)
+    mrt = ModuloReservationTable(ii, machine.fus.as_dict())
+    sigma: dict[int, int] = {}
+    last_time: dict[int, int] = {}
+    unscheduled = set(order)
+
+    while unscheduled:
+        if budget <= 0:
+            return None
+        budget -= 1
+        op_id = next(o for o in order if o in unscheduled)
+        unscheduled.discard(op_id)
+        op = ddg.op(op_id)
+        est = _estart(ddg, sigma, op_id, ii)
+
+        placed_at: Optional[int] = None
+        for t in range(est, est + ii):
+            if mrt.can_place(op.fu_type, t):
+                placed_at = t
+                break
+
+        if placed_at is None:
+            # forced placement with eviction
+            placed_at = est
+            prev = last_time.get(op_id)
+            if prev is not None and placed_at <= prev:
+                placed_at = prev + 1
+            evicted = mrt.evict_for(op.fu_type, placed_at)
+            for victim in evicted:
+                del sigma[victim]
+            if stats is not None:
+                stats.evictions += len(evicted)
+            unscheduled.update(evicted)
+
+        mrt.place(op_id, op.fu_type, placed_at)
+        sigma[op_id] = placed_at
+        last_time[op_id] = placed_at
+        if stats is not None:
+            stats.attempts += 1
+
+        before = set(sigma)
+        _unschedule_violations(ddg, sigma, mrt, op_id, ii)
+        unscheduled.update(before - set(sigma))
+
+    return sigma
+
+
+def modulo_schedule(ddg: Ddg, machine: Machine, *,
+                    config: Optional[ImsConfig] = None,
+                    start_ii: Optional[int] = None) -> ModuloSchedule:
+    """Schedule *ddg* on a single-cluster *machine* with IMS.
+
+    Raises :class:`SchedulingError` if no II up to the limit admits a
+    schedule (in practice only malformed inputs do).  The machine's latency
+    model, if any, is applied first.
+    """
+    cfg = config or ImsConfig()
+    ddg = machine.retime(ddg)
+    if cfg.validate_input:
+        validate_ddg(ddg)
+    if not machine.can_execute(ddg):
+        raise SchedulingError(
+            f"machine {machine.name} lacks FU classes for {ddg.name!r}")
+
+    report = mii_report(ddg, machine)
+    first_ii = max(report.mii, start_ii or 1)
+    stats = ScheduleStats(mii=report.mii, res_mii=report.res,
+                          rec_mii=report.rec)
+    limit = cfg.ii_limit(ddg, first_ii)
+
+    for ii in range(first_ii, limit + 1):
+        stats.iis_tried += 1
+        stats.budget = cfg.budget_for(ddg.n_ops)
+        sigma = try_schedule_at_ii(ddg, machine, ii,
+                                   budget=stats.budget, stats=stats)
+        if sigma is None:
+            continue
+        # normalise: shift so the earliest issue is cycle >= 0 (IMS never
+        # goes negative, but keep the invariant explicit)
+        shift = min(sigma.values())
+        if shift:
+            sigma = {o: t - shift for o, t in sigma.items()}
+        sched = ModuloSchedule(
+            ddg=ddg, ii=ii, sigma=sigma, machine_name=machine.name,
+            stats=stats)
+        if cfg.validate_output:
+            sched.validate(machine.fus.as_dict())
+        return sched
+
+    raise SchedulingError(
+        f"no schedule for {ddg.name!r} on {machine.name} with II <= {limit}")

@@ -1,0 +1,146 @@
+"""Lower bounds on the initiation interval (MII).
+
+``MII = max(ResMII, RecMII)`` (Rau, *Iterative Modulo Scheduling*, 1996):
+
+* **ResMII** -- resource bound: some FU class must issue ``n_t`` ops every
+  II cycles on ``f_t`` units, so ``II >= ceil(n_t / f_t)``.
+* **RecMII** -- recurrence bound: every dependence cycle *c* must satisfy
+  ``II * distance(c) >= latency(c)``, so ``II >= max_c lat(c)/dist(c)``.
+
+RecMII is computed exactly by binary search over integer II with a
+Bellman-Ford positive-cycle test on edge weights ``lat - II * dist`` (a
+positive cycle means some recurrence cannot fit in II cycles).  The
+fractional bound :func:`max_cycle_ratio` (used by the unroll heuristic,
+since unrolling cannot beat it) uses the same test over rational II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.ir.ddg import Ddg
+from repro.ir.operations import FuType
+
+
+class _HasCapacity(Protocol):  # Machine or ClusteredMachine
+    def capacity(self, fu_type: FuType) -> int: ...
+
+
+def res_mii(ddg: Ddg, machine: _HasCapacity) -> int:
+    """Resource-constrained lower bound on II."""
+    bound = 1
+    for fu_type, demand in ddg.fu_demand().items():
+        cap = machine.capacity(fu_type)
+        if cap <= 0:
+            if demand > 0:
+                raise ValueError(
+                    f"loop {ddg.name!r} needs {fu_type.value} units the "
+                    f"machine does not have")
+            continue
+        bound = max(bound, -(-demand // cap))
+    return bound
+
+
+def _edge_list(ddg: Ddg) -> list[tuple[int, int, int, int]]:
+    """(src, dst, latency, distance) for every edge (all kinds order)."""
+    return [(e.src, e.dst, e.latency, e.distance) for e in ddg.edges()]
+
+
+def _has_positive_cycle(nodes: list[int],
+                        edges: list[tuple[int, int, int, int]],
+                        ii: float) -> bool:
+    """Bellman-Ford longest-path: does any cycle have
+    ``sum(lat) - ii * sum(dist) > eps``?"""
+    eps = 1e-9
+    dist = {n: 0.0 for n in nodes}
+    for it in range(len(nodes)):
+        changed = False
+        for src, dst, lat, d in edges:
+            w = lat - ii * d
+            if dist[src] + w > dist[dst] + eps:
+                dist[dst] = dist[src] + w
+                changed = True
+        if not changed:
+            return False
+    return True  # still relaxing after |V| passes -> positive cycle
+
+
+def rec_mii(ddg: Ddg) -> int:
+    """Recurrence-constrained lower bound on II (exact, integer)."""
+    edges = _edge_list(ddg)
+    if not edges:
+        return 1
+    nodes = ddg.op_ids
+    # at II > sum of latencies only a zero-distance cycle can stay positive,
+    # and such a loop is unschedulable at any II
+    if _has_positive_cycle(nodes, edges, ddg.sum_latency() + 1.0):
+        raise ValueError(
+            f"loop {ddg.name!r} has a zero-distance dependence cycle")
+    lo, hi = 1, max(1, ddg.sum_latency())
+    if not _has_positive_cycle(nodes, edges, lo):
+        return lo
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _has_positive_cycle(nodes, edges, mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def max_cycle_ratio(ddg: Ddg, *, tol: float = 1e-6) -> float:
+    """Exact recurrence bound ``max_c lat(c)/dist(c)`` as a float.
+
+    Returns 0.0 for acyclic loops.  Binary search with the positive-cycle
+    test; the result is within *tol* of the true maximum ratio.
+    """
+    edges = _edge_list(ddg)
+    if not edges:
+        return 0.0
+    nodes = ddg.op_ids
+    hi = float(max(1, ddg.sum_latency()))
+    if not _has_positive_cycle(nodes, edges, 0.0 + 1e-9):
+        # even at ii ~ 0 nothing is positive -> no cycles with latency
+        return 0.0
+    lo = 0.0
+    while hi - lo > tol:
+        mid = (lo + hi) / 2
+        if _has_positive_cycle(nodes, edges, mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class MiiReport:
+    """Both bounds plus the binding one."""
+
+    res: int
+    rec: int
+
+    @property
+    def mii(self) -> int:
+        return max(self.res, self.rec)
+
+    @property
+    def resource_constrained(self) -> bool:
+        """Paper Fig. 9 filter: the machine, not the recurrences, limits
+        the loop (``ResMII >= RecMII``)."""
+        return self.res >= self.rec
+
+
+def mii_report(ddg: Ddg, machine: _HasCapacity) -> MiiReport:
+    return MiiReport(res=res_mii(ddg, machine), rec=rec_mii(ddg))
+
+
+def mii(ddg: Ddg, machine: _HasCapacity) -> int:
+    """``max(ResMII, RecMII)``."""
+    return mii_report(ddg, machine).mii
+
+
+def theoretical_ipc_bound(ddg: Ddg, machine: _HasCapacity) -> float:
+    """Best achievable kernel IPC: ``n_ops / MII``."""
+    return ddg.n_ops / mii(ddg, machine)

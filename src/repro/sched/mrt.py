@@ -1,0 +1,142 @@
+"""Modulo reservation tables (MRTs).
+
+An MRT tracks FU usage per ``cycle mod II`` row: in a modulo schedule, an
+op issued at time *t* occupies one unit of its FU pool at row ``t % II`` in
+*every* iteration, so two ops of the same pool may share a row only while
+the pool has spare units.  FUs are fully pipelined (one reservation per
+issue), the standard assumption of the paper's framework.
+
+One MRT serves one cluster; a single-cluster machine uses exactly one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.ir.operations import FuType
+
+from repro.machine.resources import pool_for
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where an op currently sits in the table."""
+
+    op_id: int
+    pool: FuType
+    time: int
+    row: int
+
+
+class ModuloReservationTable:
+    """FU occupancy for one cluster at a fixed II."""
+
+    def __init__(self, ii: int, capacities: dict[FuType, int]) -> None:
+        if ii < 1:
+            raise ValueError("II must be >= 1")
+        self.ii = ii
+        # hardware pools only (capacities keyed by pool)
+        self._cap = {pool: n for pool, n in capacities.items() if n > 0}
+        # occupancy[pool][row] -> list of op_ids (order = placement order)
+        self._rows: dict[FuType, list[list[int]]] = {
+            pool: [[] for _ in range(ii)] for pool in self._cap}
+        self._where: dict[int, Placement] = {}
+
+    # ------------------------------------------------------------ queries
+
+    def capacity(self, fu_type: FuType) -> int:
+        return self._cap.get(pool_for(fu_type), 0)
+
+    def can_place(self, fu_type: FuType, time: int) -> bool:
+        """Is there a free unit of the pool serving *fu_type* at ``time``?"""
+        pool = pool_for(fu_type)
+        cap = self._cap.get(pool, 0)
+        if cap == 0:
+            return False
+        return len(self._rows[pool][time % self.ii]) < cap
+
+    def occupants(self, fu_type: FuType, time: int) -> list[int]:
+        """Ops currently holding the row serving *fu_type* at ``time``."""
+        pool = pool_for(fu_type)
+        if pool not in self._rows:
+            return []
+        return list(self._rows[pool][time % self.ii])
+
+    def placement_of(self, op_id: int) -> Optional[Placement]:
+        return self._where.get(op_id)
+
+    def is_placed(self, op_id: int) -> bool:
+        return op_id in self._where
+
+    def usage(self, pool: FuType) -> int:
+        """Total reservations currently held in a pool."""
+        if pool not in self._rows:
+            return 0
+        return sum(len(r) for r in self._rows[pool])
+
+    def load(self) -> int:
+        """Total reservations across all pools (cluster load heuristic)."""
+        return len(self._where)
+
+    def __iter__(self) -> Iterator[Placement]:
+        return iter(sorted(self._where.values(), key=lambda p: p.op_id))
+
+    # ----------------------------------------------------------- mutation
+
+    def place(self, op_id: int, fu_type: FuType, time: int) -> Placement:
+        """Reserve a unit; raises if the op is already placed or no unit is
+        free (callers must evict first -- see :meth:`evict_for`)."""
+        if op_id in self._where:
+            raise ValueError(f"op {op_id} already placed")
+        if not self.can_place(fu_type, time):
+            raise ValueError(
+                f"no free {pool_for(fu_type).value} unit at row "
+                f"{time % self.ii}")
+        pool = pool_for(fu_type)
+        row = time % self.ii
+        self._rows[pool][row].append(op_id)
+        placement = Placement(op_id, pool, time, row)
+        self._where[op_id] = placement
+        return placement
+
+    def remove(self, op_id: int) -> None:
+        placement = self._where.pop(op_id)
+        self._rows[placement.pool][placement.row].remove(op_id)
+
+    def evict_for(self, fu_type: FuType, time: int) -> list[int]:
+        """Make room for one op of *fu_type* at ``time`` by evicting the
+        most recently placed occupant (Rau's forced placement displaces
+        conflicting ops; evicting the newest favours stability of older,
+        higher-priority placements).  Returns evicted op ids."""
+        pool = pool_for(fu_type)
+        if self._cap.get(pool, 0) == 0:
+            raise ValueError(f"machine has no {pool.value} units at all")
+        evicted: list[int] = []
+        row = time % self.ii
+        while len(self._rows[pool][row]) >= self._cap[pool]:
+            victim = self._rows[pool][row][-1]
+            self.remove(victim)
+            evicted.append(victim)
+        return evicted
+
+    def clear(self) -> None:
+        for pool in self._rows:
+            self._rows[pool] = [[] for _ in range(self.ii)]
+        self._where.clear()
+
+    # ------------------------------------------------------------ display
+
+    def render(self) -> str:
+        """ASCII dump (rows x pools) used by examples/CLI."""
+        pools = sorted(self._rows, key=lambda p: p.name)
+        header = "row | " + " | ".join(
+            f"{p.value}({self._cap[p]})" for p in pools)
+        lines = [header, "-" * len(header)]
+        for row in range(self.ii):
+            cells = []
+            for p in pools:
+                cells.append(",".join(str(o) for o in self._rows[p][row])
+                             or ".")
+            lines.append(f"{row:3d} | " + " | ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Scheduling priority: height-based ordering (Rau's IMS).
+
+The height of an op at a given II is the longest-path slack it imposes on
+the rest of the loop::
+
+    H(op) = max(0, max over out-edges e: H(dst(e)) + lat(e) - d(e) * II)
+
+Loop-carried edges participate with their ``-d * II`` credit; at any
+``II >= RecMII`` no positive cycle exists, so the fixed point is finite and
+a Bellman-Ford style relaxation converges in at most ``|V|`` passes.
+
+Ops are scheduled highest-height first (critical ops early), ties broken by
+op id for determinism.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ddg import Ddg
+
+
+def heights(ddg: Ddg, ii: int) -> dict[int, int]:
+    """Height of every op at initiation interval *ii*.
+
+    Raises ``ValueError`` if *ii* is below RecMII (a positive cycle makes
+    heights diverge).
+    """
+    if ii < 1:
+        raise ValueError("II must be >= 1")
+    h = {op_id: 0 for op_id in ddg.op_ids}
+    edges = [(e.src, e.dst, e.latency - e.distance * ii)
+             for e in ddg.edges()]
+    n = ddg.n_ops
+    for iteration in range(n + 1):
+        changed = False
+        for src, dst, w in edges:
+            cand = h[dst] + w
+            if cand > h[src]:
+                h[src] = cand
+                changed = True
+        if not changed:
+            return h
+    raise ValueError(
+        f"heights diverge at II={ii}: positive dependence cycle "
+        f"(II below RecMII?)")
+
+
+def priority_order(ddg: Ddg, ii: int) -> list[int]:
+    """Op ids in scheduling order: decreasing height, then increasing id."""
+    h = heights(ddg, ii)
+    return sorted(ddg.op_ids, key=lambda o: (-h[o], o))
+
+
+def highest_priority(unscheduled: set[int], order: list[int]) -> int:
+    """First op of *order* present in *unscheduled*."""
+    for op_id in order:
+        if op_id in unscheduled:
+            return op_id
+    raise ValueError("no unscheduled op left")

@@ -1,0 +1,225 @@
+"""Modulo schedule result objects.
+
+A :class:`ModuloSchedule` binds a loop DDG to issue times (``sigma``) and --
+for clustered machines -- cluster assignments.  It knows how to re-derive
+everything downstream analyses need: stage count, kernel occupancy, static
+IPC, per-edge lifetimes, and it can *audit itself* against the dependence
+and resource constraints (:meth:`validate`), which every scheduler test
+exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.ddg import Ddg, DepEdge, DepKind
+from repro.ir.operations import FuType
+
+from repro.machine.resources import pool_for
+
+
+class SchedulingError(RuntimeError):
+    """Raised when no schedule is found within the II / budget limits."""
+
+
+class ScheduleValidationError(AssertionError):
+    """Raised by :meth:`ModuloSchedule.validate` on a broken schedule."""
+
+
+@dataclass
+class ScheduleStats:
+    """Bookkeeping of the search that produced a schedule."""
+
+    mii: int = 0
+    res_mii: int = 0
+    rec_mii: int = 0
+    attempts: int = 0          # placements performed (incl. re-placements)
+    evictions: int = 0
+    iis_tried: int = 0
+    budget: int = 0
+
+
+@dataclass
+class ModuloSchedule:
+    """An accepted modulo schedule.
+
+    ``sigma[op_id]`` is the issue cycle of iteration 0; iteration *k*
+    issues at ``sigma[op_id] + k * ii``.  ``cluster_of[op_id]`` is 0 for
+    single-cluster machines.
+    """
+
+    ddg: Ddg
+    ii: int
+    sigma: dict[int, int]
+    cluster_of: dict[int, int] = field(default_factory=dict)
+    n_clusters: int = 1
+    machine_name: str = ""
+    stats: ScheduleStats = field(default_factory=ScheduleStats)
+
+    def __post_init__(self) -> None:
+        if self.ii < 1:
+            raise ValueError("II must be >= 1")
+        if not self.cluster_of:
+            self.cluster_of = {o: 0 for o in self.sigma}
+
+    # ----------------------------------------------------------- queries
+
+    def time_of(self, op_id: int) -> int:
+        return self.sigma[op_id]
+
+    def row_of(self, op_id: int) -> int:
+        return self.sigma[op_id] % self.ii
+
+    def stage_of(self, op_id: int) -> int:
+        return self.sigma[op_id] // self.ii
+
+    @property
+    def max_time(self) -> int:
+        return max(self.sigma.values(), default=0)
+
+    @property
+    def stage_count(self) -> int:
+        """Number of pipeline stages (iterations concurrently in flight).
+
+        ``SC = floor(max issue time / II) + 1`` -- determines prologue and
+        epilogue length: total cycles for N iterations are
+        ``(N + SC - 1) * II``.
+        """
+        return self.max_time // self.ii + 1
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.sigma)
+
+    def static_ipc(self) -> float:
+        """Kernel operations issued per cycle (paper's IPC_static)."""
+        return self.n_ops / self.ii
+
+    def cycles_for(self, iterations: int, *,
+                   unroll_factor: int = 1) -> int:
+        """Execution cycles for *iterations* original iterations, including
+        prologue and epilogue (paper's dynamic model).
+
+        If the scheduled body is an unrolled loop covering ``unroll_factor``
+        original iterations per kernel iteration, the kernel runs
+        ``ceil(iterations / unroll_factor)`` times.
+        """
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if unroll_factor < 1:
+            raise ValueError("unroll_factor must be >= 1")
+        kernel_iters = -(-iterations // unroll_factor)
+        return (kernel_iters + self.stage_count - 1) * self.ii
+
+    def dynamic_ipc(self, iterations: Optional[int] = None, *,
+                    unroll_factor: int = 1,
+                    useful_ops_per_iteration: Optional[int] = None) -> float:
+        """Operations per cycle over a whole loop execution
+        (paper's IPC_dynamic; prologue/epilogue drag included).
+
+        ``useful_ops_per_iteration`` lets callers count only source ops
+        (excluding compiler-inserted copies) or count unrolled bodies per
+        original iteration; defaults to this DDG's op count per kernel
+        iteration.
+        """
+        iterations = iterations or self.ddg.trip_count
+        kernel_iters = -(-iterations // unroll_factor)
+        ops = (useful_ops_per_iteration * iterations
+               if useful_ops_per_iteration is not None
+               else self.n_ops * kernel_iters)
+        return ops / self.cycles_for(iterations, unroll_factor=unroll_factor)
+
+    # ------------------------------------------------------ lifetimes
+
+    def value_write_time(self, op_id: int) -> int:
+        """Cycle the op's result enters its register/queue (iteration 0)."""
+        return self.sigma[op_id] + self.ddg.op(op_id).latency
+
+    def value_read_time(self, edge: DepEdge) -> int:
+        """Cycle the consumer of *edge* reads the iteration-0 value."""
+        return self.sigma[edge.dst] + edge.distance * self.ii
+
+    def edge_slack(self, edge: DepEdge) -> int:
+        """Cycles between value availability and consumption (>= 0 iff the
+        dependence is honoured)."""
+        return (self.sigma[edge.dst] + edge.distance * self.ii
+                - self.sigma[edge.src] - edge.latency)
+
+    # ----------------------------------------------------- validation
+
+    def validate(self, capacities: Optional[dict[FuType, int]] = None,
+                 *, adjacency: Optional[object] = None) -> None:
+        """Audit the schedule; raise :class:`ScheduleValidationError`.
+
+        Checks: every op scheduled exactly once at time >= 0; every
+        dependence satisfied; (optionally) per-cluster modulo resource
+        limits given per-cluster pool *capacities*; (optionally, clustered)
+        every DATA edge connects ring-adjacent clusters, given the
+        :class:`~repro.machine.cluster.ClusteredMachine` as *adjacency*.
+        """
+        problems: list[str] = []
+        for op_id in self.ddg.op_ids:
+            if op_id not in self.sigma:
+                problems.append(f"op {op_id} unscheduled")
+            elif self.sigma[op_id] < 0:
+                problems.append(f"op {op_id} at negative time")
+        for extra in set(self.sigma) - set(self.ddg.op_ids):
+            problems.append(f"sigma has unknown op {extra}")
+
+        for e in self.ddg.edges():
+            if e.src not in self.sigma or e.dst not in self.sigma:
+                continue
+            if self.edge_slack(e) < 0:
+                problems.append(
+                    f"dependence violated: {self.ddg.op(e.src).name}"
+                    f"@{self.sigma[e.src]} -> {self.ddg.op(e.dst).name}"
+                    f"@{self.sigma[e.dst]} (lat={e.latency}, "
+                    f"d={e.distance}, II={self.ii})")
+
+        if capacities is not None:
+            usage: dict[tuple[int, FuType, int], int] = {}
+            for op_id, t in self.sigma.items():
+                pool = pool_for(self.ddg.op(op_id).fu_type)
+                key = (self.cluster_of.get(op_id, 0), pool, t % self.ii)
+                usage[key] = usage.get(key, 0) + 1
+            for (cl, pool, row), n in sorted(
+                    usage.items(), key=lambda kv: (kv[0][0], kv[0][1].name,
+                                                   kv[0][2])):
+                cap = capacities.get(pool, 0)
+                if n > cap:
+                    problems.append(
+                        f"cluster {cl}: {n} ops on {pool.value} at row "
+                        f"{row} (capacity {cap})")
+
+        if adjacency is not None:
+            for e in self.ddg.data_edges():
+                ca = self.cluster_of.get(e.src, 0)
+                cb = self.cluster_of.get(e.dst, 0)
+                if not adjacency.are_adjacent(ca, cb):
+                    problems.append(
+                        f"DATA edge {self.ddg.op(e.src).name}(cl{ca}) -> "
+                        f"{self.ddg.op(e.dst).name}(cl{cb}) spans "
+                        f"non-adjacent clusters")
+
+        if problems:
+            raise ScheduleValidationError(
+                f"schedule of {self.ddg.name!r} invalid:\n  "
+                + "\n  ".join(problems))
+
+    # -------------------------------------------------------- rendering
+
+    def render(self) -> str:
+        """Kernel table: one line per modulo row."""
+        by_row: dict[int, list[str]] = {r: [] for r in range(self.ii)}
+        for op_id in sorted(self.sigma, key=lambda o: (self.row_of(o), o)):
+            op = self.ddg.op(op_id)
+            tag = (f"{op.name}@s{self.stage_of(op_id)}"
+                   + (f"/c{self.cluster_of[op_id]}"
+                      if self.n_clusters > 1 else ""))
+            by_row[self.row_of(op_id)].append(tag)
+        lines = [f"II={self.ii} SC={self.stage_count} "
+                 f"ops={self.n_ops} machine={self.machine_name}"]
+        for row in range(self.ii):
+            lines.append(f"  [{row:3d}] " + "  ".join(by_row[row]))
+        return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Cycle-level simulation and end-to-end verification."""
+
+from .checker import PipelineResult, run_pipeline
+from .qrf import FifoQueue, QueuePortError, QueueUnderflowError
+from .reference import (OperandCheck, Token, carried_in_tokens,
+                        carried_out_count, enumerate_expected,
+                        expected_operand, value_token)
+from .vliwsim import SimReport, SimulationError, VliwSimulator, simulate
+
+__all__ = [
+    "PipelineResult", "run_pipeline",
+    "FifoQueue", "QueuePortError", "QueueUnderflowError",
+    "OperandCheck", "Token", "carried_in_tokens", "carried_out_count",
+    "enumerate_expected", "expected_operand", "value_token",
+    "SimReport", "SimulationError", "VliwSimulator", "simulate",
+]

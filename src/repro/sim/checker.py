@@ -1,0 +1,101 @@
+"""End-to-end pipeline checker: compile, allocate, simulate, verify.
+
+This is the one-call integration surface the test-suite (and users who just
+want confidence) lean on: it runs the full paper pipeline on a loop --
+optional unrolling, copy insertion, (partitioned) modulo scheduling, queue
+allocation, and token simulation -- and raises on the first inconsistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.ir.copyins import insert_copies
+from repro.ir.ddg import Ddg
+from repro.ir.unroll import unroll
+from repro.machine.cluster import ClusteredMachine
+from repro.machine.machine import Machine
+from repro.regalloc.queues import ScheduleQueueUsage, allocate_for_schedule
+from repro.sched.ims import ImsConfig, modulo_schedule
+from repro.sched.partition import PartitionConfig, partitioned_schedule
+from repro.sched.schedule import ModuloSchedule
+
+from .vliwsim import SimReport, simulate
+
+AnyMachine = Union[Machine, ClusteredMachine]
+
+
+@dataclass
+class PipelineResult:
+    """Everything the full pipeline produced for one loop.
+
+    For conventional-RF machines there is no queue allocation to make and
+    the token simulator (a queue-machine model) does not apply: ``usage``
+    and ``sim`` are ``None`` and ``registers`` carries the MaxLive report
+    instead.
+    """
+
+    ddg: Ddg                    # the DDG actually scheduled (post-transform)
+    schedule: ModuloSchedule
+    usage: Optional[ScheduleQueueUsage]
+    sim: Optional[SimReport]
+    unroll_factor: int
+    n_copies: int
+    registers: Optional[object] = None   # RegisterFileReport for CRF runs
+
+    @property
+    def ii(self) -> int:
+        return self.schedule.ii
+
+    @property
+    def total_queues(self) -> int:
+        if self.usage is None:
+            raise ValueError("conventional-RF pipeline has no queues")
+        return self.usage.total_queues
+
+
+def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
+                 unroll_factor: int = 1,
+                 copy_strategy: str = "slack",
+                 iterations: Optional[int] = None,
+                 sched_config: Optional[object] = None) -> PipelineResult:
+    """Full paper pipeline with end-to-end verification.
+
+    Raises :class:`repro.sim.vliwsim.SimulationError`,
+    :class:`repro.sched.schedule.SchedulingError` or a validation error if
+    anything is inconsistent; returns the artefacts otherwise.
+    """
+    work = unroll(ddg, unroll_factor) if unroll_factor > 1 else ddg
+    n_copies = 0
+    if machine.needs_copies:
+        res = insert_copies(work, strategy=copy_strategy)  # type: ignore[arg-type]
+        work, n_copies = res.ddg, res.n_copies
+
+    if isinstance(machine, ClusteredMachine):
+        cfg = sched_config if isinstance(sched_config, PartitionConfig) \
+            else PartitionConfig()
+        sched = partitioned_schedule(work, machine, config=cfg)
+        usage = allocate_for_schedule(sched, machine)
+        capacities = machine.cluster.fus.as_dict()
+    else:
+        cfg = sched_config if isinstance(sched_config, ImsConfig) \
+            else ImsConfig()
+        sched = modulo_schedule(work, machine, config=cfg)
+        capacities = machine.fus.as_dict()
+        if not machine.needs_copies:
+            # conventional RF: no queues to allocate, the queue simulator
+            # does not apply -- report register demand instead
+            from repro.regalloc.conventional import register_requirement
+            return PipelineResult(
+                ddg=sched.ddg, schedule=sched, usage=None, sim=None,
+                unroll_factor=unroll_factor, n_copies=0,
+                registers=register_requirement(sched))
+        usage = allocate_for_schedule(sched)
+
+    usage.verify()
+    sim = simulate(sched, usage, iterations=iterations,
+                   capacities=capacities)
+    return PipelineResult(
+        ddg=sched.ddg, schedule=sched, usage=usage, sim=sim,
+        unroll_factor=unroll_factor, n_copies=n_copies)

@@ -1,0 +1,79 @@
+"""Queue register file model: FIFO queues with single-ported access.
+
+Each queue supports at most one write and one read per cycle (the
+simplification that makes QRFs cheaper than multi-ported register files);
+a write and a read in the same cycle are legal and bypass combinationally
+(a zero-length lifetime).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+
+class QueuePortError(RuntimeError):
+    """Two writes or two reads hit one queue in the same cycle."""
+
+
+class QueueUnderflowError(RuntimeError):
+    """A read found the queue empty."""
+
+
+@dataclass(eq=False)  # identity semantics: queues are hardware instances
+class FifoQueue:
+    """One hardware queue.
+
+    Tracks peak occupancy and enforces the one-write/one-read-per-cycle
+    port discipline; ``capacity`` (positions) is checked when given.
+    """
+
+    name: str = "q"
+    capacity: Optional[int] = None
+    _items: deque = field(default_factory=deque)
+    _last_write_cycle: Optional[int] = None
+    _last_read_cycle: Optional[int] = None
+    max_occupancy: int = 0
+    n_writes: int = 0
+    n_reads: int = 0
+
+    def push(self, token: Hashable, cycle: int) -> None:
+        if self._last_write_cycle == cycle:
+            raise QueuePortError(
+                f"{self.name}: second write in cycle {cycle}")
+        self._last_write_cycle = cycle
+        self._items.append(token)
+        self.n_writes += 1
+        if len(self._items) > self.max_occupancy:
+            self.max_occupancy = len(self._items)
+        if self.capacity is not None and len(self._items) > self.capacity:
+            raise QueuePortError(
+                f"{self.name}: occupancy {len(self._items)} exceeds "
+                f"capacity {self.capacity} in cycle {cycle}")
+
+    def pop(self, cycle: int) -> Hashable:
+        if self._last_read_cycle == cycle:
+            raise QueuePortError(
+                f"{self.name}: second read in cycle {cycle}")
+        self._last_read_cycle = cycle
+        if not self._items:
+            raise QueueUnderflowError(
+                f"{self.name}: read from empty queue in cycle {cycle}")
+        self.n_reads += 1
+        return self._items.popleft()
+
+    def preload(self, token: Hashable) -> None:
+        """Fill an initial (pre-loop) value; no port accounting."""
+        self._items.append(token)
+        if len(self._items) > self.max_occupancy:
+            self.max_occupancy = len(self._items)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    def drain(self) -> list[Hashable]:
+        out = list(self._items)
+        self._items.clear()
+        return out

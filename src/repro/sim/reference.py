@@ -1,0 +1,67 @@
+"""Sequential reference semantics for token dataflow.
+
+Every dynamic value is identified by the token ``("v", producer_op,
+iteration)``; iteration indices below zero denote pre-loop initial values
+of loop-carried dependences (live-ins of the software pipeline).  The
+reference semantics -- what a sequential execution of the loop would
+deliver to every operand -- is directly derivable from the DDG; the VLIW
+simulator must reproduce it exactly, which is what makes the token check an
+end-to-end proof that scheduling + partitioning + queue allocation are
+jointly correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.ir.ddg import Ddg, DepEdge
+
+Token = Hashable
+
+
+def value_token(op_id: int, iteration: int) -> Token:
+    """The token op *op_id* produces in *iteration* (may be negative for
+    pre-loop initial values)."""
+    return ("v", op_id, iteration)
+
+
+def expected_operand(edge: DepEdge, iteration: int) -> Token:
+    """Token the consumer of *edge* must receive in *iteration*."""
+    return value_token(edge.src, iteration - edge.distance)
+
+
+@dataclass(frozen=True)
+class OperandCheck:
+    """One operand delivery: consumer instance and the token it must see."""
+
+    consumer: int
+    iteration: int
+    edge: DepEdge
+    token: Token
+
+
+def enumerate_expected(ddg: Ddg, iterations: int) -> list[OperandCheck]:
+    """All operand deliveries of *iterations* iterations, in
+    (iteration, consumer, edge) order -- the full reference trace."""
+    out: list[OperandCheck] = []
+    for k in range(iterations):
+        for e in ddg.data_edges():
+            out.append(OperandCheck(e.dst, k, e, expected_operand(e, k)))
+    return out
+
+
+def carried_in_tokens(ddg: Ddg) -> list[tuple[DepEdge, Token]]:
+    """Initial values that must pre-exist in queues: edge with distance d
+    contributes d tokens (iterations -d .. -1), in write order."""
+    out: list[tuple[DepEdge, Token]] = []
+    for e in ddg.data_edges():
+        for neg in range(-e.distance, 0):
+            out.append((e, value_token(e.src, neg)))
+    return out
+
+
+def carried_out_count(ddg: Ddg) -> int:
+    """Values still in queues after the loop drains: same count as the
+    carried-in tokens (each distance-d edge keeps its last d values)."""
+    return sum(e.distance for e in ddg.data_edges())

@@ -1,0 +1,15 @@
+"""Workloads: classic kernels and the synthetic Perfect-Club-like corpus."""
+
+from .corpus import (DEFAULT_BENCH_SAMPLE, FULL_CORPUS_ENV, CorpusStats,
+                     bench_corpus, corpus, corpus_stats, paper_corpus,
+                     resource_constrained)
+from .kernels import KERNELS, all_kernels, kernel
+from .synth import SynthConfig, generate_corpus, generate_loop
+
+__all__ = [
+    "DEFAULT_BENCH_SAMPLE", "FULL_CORPUS_ENV", "CorpusStats",
+    "bench_corpus", "corpus", "corpus_stats", "paper_corpus",
+    "resource_constrained",
+    "KERNELS", "all_kernels", "kernel",
+    "SynthConfig", "generate_corpus", "generate_loop",
+]

@@ -1,0 +1,106 @@
+"""Corpus management: caching, summaries, and experiment filters."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.ir.ddg import Ddg
+from repro.sched.mii import mii_report
+
+from .kernels import all_kernels
+from .synth import SynthConfig, generate_corpus
+
+_CACHE: dict[SynthConfig, list[Ddg]] = {}
+
+#: Environment variable: set to 1 to run experiments on the full corpus.
+FULL_CORPUS_ENV = "REPRO_FULL_CORPUS"
+
+#: Default subsample size for benchmarks (keeps bench wall-time sane in
+#: pure Python; the experiment drivers accept any subset).
+DEFAULT_BENCH_SAMPLE = 160
+
+
+def corpus(cfg: Optional[SynthConfig] = None) -> list[Ddg]:
+    """The (cached) deterministic corpus for *cfg*."""
+    cfg = cfg or SynthConfig()
+    if cfg not in _CACHE:
+        _CACHE[cfg] = generate_corpus(cfg)
+    return list(_CACHE[cfg])
+
+
+def paper_corpus() -> list[Ddg]:
+    """The 1258-loop corpus used by all paper-reproduction experiments."""
+    return corpus(SynthConfig())
+
+
+def bench_corpus(sample: Optional[int] = None) -> list[Ddg]:
+    """Corpus subset for benchmarks.
+
+    Uses the full 1258 loops when ``REPRO_FULL_CORPUS=1``; otherwise an
+    evenly strided subsample of ``sample`` (default 160) loops plus all
+    hand-written kernels, preserving the size/recurrence distributions.
+    """
+    loops = paper_corpus()
+    if os.environ.get(FULL_CORPUS_ENV, "") == "1":
+        return loops
+    n = sample or DEFAULT_BENCH_SAMPLE
+    if n >= len(loops):
+        return loops
+    stride = len(loops) / n
+    picked = [loops[int(i * stride)] for i in range(n)]
+    return picked + all_kernels()
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Structural summary of a loop set (sanity-checked in tests against
+    the calibration targets of :mod:`repro.workloads.synth`)."""
+
+    n_loops: int
+    mean_ops: float
+    median_ops: int
+    max_ops: int
+    mem_fraction: float
+    recurrent_fraction: float
+    mean_fanout_gt1: float
+    median_trip: int
+    max_trip: int
+
+    def render(self) -> str:
+        return (
+            f"{self.n_loops} loops | ops mean {self.mean_ops:.1f} "
+            f"median {self.median_ops} max {self.max_ops} | "
+            f"mem {self.mem_fraction:.0%} | recurrent "
+            f"{self.recurrent_fraction:.0%} | fanout>1 per loop "
+            f"{self.mean_fanout_gt1:.1f} | trips median {self.median_trip} "
+            f"max {self.max_trip}")
+
+
+def corpus_stats(loops: Sequence[Ddg]) -> CorpusStats:
+    sizes = sorted(l.n_ops for l in loops)
+    mem = sum(1 for l in loops for op in l.operations if op.is_memory)
+    total_ops = sum(sizes)
+    recurrent = sum(1 for l in loops if l.recurrence_ops())
+    fanout_gt1 = [sum(1 for o in l.op_ids if l.fanout(o) > 1)
+                  for l in loops]
+    trips = sorted(l.trip_count for l in loops)
+    return CorpusStats(
+        n_loops=len(loops),
+        mean_ops=total_ops / len(loops),
+        median_ops=sizes[len(sizes) // 2],
+        max_ops=sizes[-1],
+        mem_fraction=mem / total_ops,
+        recurrent_fraction=recurrent / len(loops),
+        mean_fanout_gt1=sum(fanout_gt1) / len(loops),
+        median_trip=trips[len(trips) // 2],
+        max_trip=trips[-1],
+    )
+
+
+def resource_constrained(loops: Sequence[Ddg], machine) -> list[Ddg]:
+    """Loops whose MII is bound by FUs rather than recurrences
+    (``ResMII >= RecMII`` -- the Fig. 9 population)."""
+    return [l for l in loops
+            if mii_report(l, machine).resource_constrained]

@@ -1,0 +1,447 @@
+"""Hand-written classic innermost loops.
+
+The paper's corpus is 1258 innermost loops from the Perfect Club benchmark;
+these hand-built kernels cover the archetypes that dominate such scientific
+code -- streaming (daxpy, scale), reductions (dot, norm), short recurrences
+(tridiagonal, IIR, prefix sums), stencils, FIR filters, and mixed bodies --
+and serve as readable fixtures for examples and tests.  Each returns a
+fresh :class:`~repro.ir.ddg.Ddg`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.ddg import Ddg
+
+
+def daxpy(trip_count: int = 1000) -> Ddg:
+    """``y[i] = a * x[i] + y[i]`` -- the canonical streaming loop."""
+    b = LoopBuilder("daxpy", trip_count)
+    x = b.load("x")
+    y = b.load("y")
+    ax = b.mul("ax", x)          # a is a live-in invariant
+    s = b.add("s", ax, y)
+    b.store("st", s)
+    return b.build()
+
+
+def dot_product(trip_count: int = 1000) -> Ddg:
+    """``acc += x[i] * y[i]`` -- reduction with a 1-cycle recurrence."""
+    b = LoopBuilder("dot", trip_count)
+    x = b.load("x")
+    y = b.load("y")
+    p = b.mul("p", x, y)
+    acc = b.add("acc", p)
+    b.carry(acc, acc, distance=1)
+    return b.build()
+
+
+def vector_scale(trip_count: int = 2000) -> Ddg:
+    """``y[i] = a * x[i]`` -- minimal streaming body."""
+    b = LoopBuilder("scale", trip_count)
+    x = b.load("x")
+    ax = b.mul("ax", x)
+    b.store("st", ax)
+    return b.build()
+
+
+def vector_add(trip_count: int = 2000) -> Ddg:
+    """``z[i] = x[i] + y[i]``."""
+    b = LoopBuilder("vadd", trip_count)
+    x = b.load("x")
+    y = b.load("y")
+    s = b.add("s", x, y)
+    b.store("st", s)
+    return b.build()
+
+
+def fir4(trip_count: int = 800) -> Ddg:
+    """4-tap FIR: ``y[i] = sum_j c_j * x[i - j]`` with reloaded taps."""
+    b = LoopBuilder("fir4", trip_count)
+    terms = []
+    for j in range(4):
+        x = b.load(f"x{j}")
+        terms.append(b.mul(f"m{j}", x))
+    s01 = b.add("s01", terms[0], terms[1])
+    s23 = b.add("s23", terms[2], terms[3])
+    s = b.add("s", s01, s23)
+    b.store("st", s)
+    return b.build()
+
+
+def stencil3(trip_count: int = 500) -> Ddg:
+    """3-point stencil ``y[i] = (x[i-1] + x[i] + x[i+1]) * w``."""
+    b = LoopBuilder("stencil3", trip_count)
+    xm = b.load("xm")
+    xc = b.load("xc")
+    xp = b.load("xp")
+    s1 = b.add("s1", xm, xc)
+    s2 = b.add("s2", s1, xp)
+    w = b.mul("w", s2)
+    b.store("st", w)
+    return b.build()
+
+
+def tridiagonal(trip_count: int = 400) -> Ddg:
+    """Livermore kernel 5 shape: ``x[i] = z[i] * (y[i] - x[i-1])`` --
+    the classic tight first-order recurrence."""
+    b = LoopBuilder("tridiag", trip_count)
+    y = b.load("y")
+    z = b.load("z")
+    d = b.sub("d", y)           # y[i] - x[i-1]; x[i-1] arrives via carry
+    x = b.mul("x", z, d)
+    b.store("st", x)
+    b.carry(x, d, distance=1)
+    return b.build()
+
+
+def iir1(trip_count: int = 600) -> Ddg:
+    """First-order IIR filter ``y[i] = a*x[i] + b*y[i-1]``."""
+    b = LoopBuilder("iir1", trip_count)
+    x = b.load("x")
+    ax = b.mul("ax", x)
+    by = b.mul("by")            # b * y[i-1], operand via carry
+    y = b.add("y", ax, by)
+    b.store("st", y)
+    b.carry(y, by, distance=1)
+    return b.build()
+
+
+def prefix_sum(trip_count: int = 1000) -> Ddg:
+    """``s[i] = s[i-1] + x[i]`` -- store-every-iteration scan."""
+    b = LoopBuilder("scan", trip_count)
+    x = b.load("x")
+    s = b.add("s", x)
+    b.store("st", s)
+    b.carry(s, s, distance=1)
+    return b.build()
+
+
+def complex_multiply(trip_count: int = 700) -> Ddg:
+    """``(cr, ci) = (ar*br - ai*bi, ar*bi + ai*br)`` per element."""
+    b = LoopBuilder("cmul", trip_count)
+    ar = b.load("ar")
+    ai = b.load("ai")
+    br = b.load("br")
+    bi = b.load("bi")
+    t1 = b.mul("t1", ar, br)
+    t2 = b.mul("t2", ai, bi)
+    t3 = b.mul("t3", ar, bi)
+    t4 = b.mul("t4", ai, br)
+    cr = b.sub("cr", t1, t2)
+    ci = b.add("ci", t3, t4)
+    b.store("str", cr)
+    b.store("sti", ci)
+    return b.build()
+
+
+def horner4(trip_count: int = 900) -> Ddg:
+    """Degree-4 Horner evaluation per element (serial mul/add chain)."""
+    b = LoopBuilder("horner4", trip_count)
+    x = b.load("x")
+    acc = b.mul("h0", x)
+    for j in range(1, 4):
+        acc = b.add(f"a{j}", acc)
+        acc = b.mul(f"h{j}", acc, x)
+    b.store("st", acc)
+    return b.build()
+
+
+def norm2(trip_count: int = 1200) -> Ddg:
+    """``acc += x[i] * x[i]`` -- reduction with a fan-out-2 operand."""
+    b = LoopBuilder("norm2", trip_count)
+    x = b.load("x")
+    sq = b.mul("sq", x, x)
+    acc = b.add("acc", sq)
+    b.carry(acc, acc, distance=1)
+    return b.build()
+
+
+def saxpy_interleaved(trip_count: int = 1000) -> Ddg:
+    """Two independent daxpy bodies (manually 2-way parallel source)."""
+    b = LoopBuilder("saxpy2", trip_count)
+    for lane in range(2):
+        x = b.load(f"x{lane}")
+        y = b.load(f"y{lane}")
+        ax = b.mul(f"ax{lane}", x)
+        s = b.add(f"s{lane}", ax, y)
+        b.store(f"st{lane}", s)
+    return b.build()
+
+
+def matvec_row(trip_count: int = 300) -> Ddg:
+    """Inner loop of a dense mat-vec: dot with pointer update."""
+    b = LoopBuilder("matvec", trip_count)
+    a = b.load("a")
+    x = b.load("x")
+    p = b.mul("p", a, x)
+    acc = b.add("acc", p)
+    b.carry(acc, acc, distance=1)
+    idx = b.add("idx")           # address update chain
+    b.carry(idx, idx, distance=1)
+    return b.build()
+
+
+def hydro1(trip_count: int = 400) -> Ddg:
+    """Livermore kernel 1 (hydro fragment):
+    ``x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])``."""
+    b = LoopBuilder("hydro1", trip_count)
+    y = b.load("y")
+    z10 = b.load("z10")
+    z11 = b.load("z11")
+    rz = b.mul("rz", z10)
+    tz = b.mul("tz", z11)
+    inner = b.add("inner", rz, tz)
+    prod = b.mul("prod", y, inner)
+    x = b.add("x", prod)         # + q (live-in)
+    b.store("st", x)
+    return b.build()
+
+
+def state_update(trip_count: int = 500) -> Ddg:
+    """Two mutually-recurrent state variables (distance-1 cross terms)."""
+    b = LoopBuilder("state2", trip_count)
+    u = b.load("u")
+    a = b.add("a", u)            # a[i] = u[i] + f(b[i-1])
+    bb = b.mul("b", u)           # b[i] = u[i] * g(a[i-1])
+    b.carry(a, bb, distance=1)
+    b.carry(bb, a, distance=1)
+    b.store("sta", a)
+    b.store("stb", bb)
+    return b.build()
+
+
+def long_recurrence(trip_count: int = 350) -> Ddg:
+    """Distance-3 recurrence: ``x[i] = x[i-3] * c + y[i]`` (software
+    pipelining can overlap 3 chains)."""
+    b = LoopBuilder("rec3", trip_count)
+    y = b.load("y")
+    xm = b.mul("xm")             # x[i-3] * c, operand via carry
+    x = b.add("x", xm, y)
+    b.store("st", x)
+    b.carry(x, xm, distance=3)
+    return b.build()
+
+
+def memory_recurrence(trip_count: int = 450) -> Ddg:
+    """Array recurrence through memory: store feeds next iteration's load
+    via a MEM ordering edge (no register value crosses)."""
+    b = LoopBuilder("memrec", trip_count)
+    ld = b.load("ld")
+    v = b.add("v", ld)
+    st = b.store("st", v)
+    b.mem_order(st, ld, distance=1)
+    return b.build()
+
+
+def wide_independent(trip_count: int = 600) -> Ddg:
+    """Eight independent multiply-add lanes -- embarrassingly parallel,
+    the kind of body that saturates wide machines."""
+    b = LoopBuilder("wide8", trip_count)
+    for lane in range(8):
+        x = b.load(f"x{lane}")
+        m = b.mul(f"m{lane}", x)
+        s = b.add(f"s{lane}", m)
+        b.store(f"st{lane}", s)
+    return b.build()
+
+
+def reduction_tree(trip_count: int = 800) -> Ddg:
+    """Sum of 8 loaded values via a balanced add tree + accumulator."""
+    b = LoopBuilder("redtree", trip_count)
+    vals = [b.load(f"x{j}") for j in range(8)]
+    level = 0
+    while len(vals) > 1:
+        nxt = []
+        for j in range(0, len(vals), 2):
+            nxt.append(b.add(f"t{level}_{j}", vals[j], vals[j + 1]))
+        vals = nxt
+        level += 1
+    acc = b.add("acc", vals[0])
+    b.carry(acc, acc, distance=1)
+    return b.build()
+
+
+#: name -> factory, the full catalogue.
+KERNELS: dict[str, Callable[[], Ddg]] = {
+    "daxpy": daxpy,
+    "dot": dot_product,
+    "scale": vector_scale,
+    "vadd": vector_add,
+    "fir4": fir4,
+    "stencil3": stencil3,
+    "tridiag": tridiagonal,
+    "iir1": iir1,
+    "scan": prefix_sum,
+    "cmul": complex_multiply,
+    "horner4": horner4,
+    "norm2": norm2,
+    "saxpy2": saxpy_interleaved,
+    "matvec": matvec_row,
+    "hydro1": hydro1,
+    "state2": state_update,
+    "rec3": long_recurrence,
+    "memrec": memory_recurrence,
+    "wide8": wide_independent,
+    "redtree": reduction_tree,
+}
+
+
+def all_kernels() -> list[Ddg]:
+    """Fresh instances of every kernel, catalogue order."""
+    return [factory() for factory in KERNELS.values()]
+
+
+def kernel(name: str) -> Ddg:
+    try:
+        return KERNELS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None
+
+
+def hydro2d_fragment(trip_count: int = 350) -> Ddg:
+    """Livermore kernel 7 shape (equation of state fragment): a wide
+    expression tree over many loads, no recurrence."""
+    b = LoopBuilder("hydro2d", trip_count)
+    u = b.load("u")
+    z = b.load("z")
+    r = b.load("r")
+    t1 = b.mul("t1", u, z)
+    t2 = b.mul("t2", r)
+    t3 = b.add("t3", t1, t2)
+    t4 = b.mul("t4", t3)
+    t5 = b.add("t5", t4, u)
+    b.store("st", t5)
+    return b.build()
+
+
+def inner_product_pair(trip_count: int = 900) -> Ddg:
+    """Two interleaved reductions sharing loads (banded matvec style)."""
+    b = LoopBuilder("ip2", trip_count)
+    x = b.load("x")
+    a1 = b.load("a1")
+    a2 = b.load("a2")
+    p1 = b.mul("p1", a1, x)
+    p2 = b.mul("p2", a2, x)
+    s1 = b.add("s1", p1)
+    s2 = b.add("s2", p2)
+    b.carry(s1, s1, distance=1)
+    b.carry(s2, s2, distance=1)
+    return b.build()
+
+
+def first_difference(trip_count: int = 1500) -> Ddg:
+    """Livermore kernel 12: ``x[i] = y[i+1] - y[i]`` (pure streaming)."""
+    b = LoopBuilder("firstdiff", trip_count)
+    yp = b.load("yp")
+    yc = b.load("yc")
+    d = b.sub("d", yp, yc)
+    b.store("st", d)
+    return b.build()
+
+
+def banded_linear(trip_count: int = 250) -> Ddg:
+    """Livermore kernel 2 shape (incomplete Cholesky fragment): mul/sub
+    chain with a distance-1 recurrence through the eliminated term."""
+    b = LoopBuilder("band", trip_count)
+    x = b.load("x")
+    v = b.load("v")
+    m = b.mul("m", x, v)
+    r = b.sub("r", m)             # r[i] = m[i] - f(r[i-1])
+    b.store("st", r)
+    b.carry(r, r, distance=1)
+    return b.build()
+
+
+def general_linear_recurrence(trip_count: int = 300) -> Ddg:
+    """Livermore kernel 6 shape: w[i] += b[i]*w[i-2] (distance 2)."""
+    b = LoopBuilder("glr", trip_count)
+    bb = b.load("b")
+    prod = b.mul("prod", bb)       # b[i] * w[i-2]
+    w = b.add("w", prod)
+    b.store("st", w)
+    b.carry(w, prod, distance=2)
+    return b.build()
+
+
+def tri_diag_elimination(trip_count: int = 280) -> Ddg:
+    """Forward elimination with two coupled recurrences of distance 1."""
+    b = LoopBuilder("trielim", trip_count)
+    a = b.load("a")
+    c = b.load("c")
+    num = b.mul("num", a)          # a[i] * d[i-1]
+    den = b.add("den", c)          # c[i] + e[i-1]
+    d = b.div("d", num, den)
+    e = b.mul("e", d, c)
+    b.store("st", d)
+    b.carry(d, num, distance=1)
+    b.carry(e, den, distance=1)
+    return b.build()
+
+
+def planckian(trip_count: int = 450) -> Ddg:
+    """Livermore kernel 15 shape: division-heavy streaming body."""
+    b = LoopBuilder("planck", trip_count)
+    u = b.load("u")
+    v = b.load("v")
+    expo = b.div("expo", u, v)
+    t = b.add("t", expo)
+    w = b.div("w", t)
+    b.store("st", w)
+    return b.build()
+
+
+def average_filter(trip_count: int = 700) -> Ddg:
+    """5-point moving average: shifted loads, add tree, scale."""
+    b = LoopBuilder("avg5", trip_count)
+    taps = [b.load(f"x{j}") for j in range(5)]
+    s01 = b.add("s01", taps[0], taps[1])
+    s23 = b.add("s23", taps[2], taps[3])
+    s = b.add("s", s01, s23)
+    s4 = b.add("s4", s, taps[4])
+    out = b.mul("out", s4)          # * 1/5
+    b.store("st", out)
+    return b.build()
+
+
+def interpolation(trip_count: int = 600) -> Ddg:
+    """Linear interpolation ``y = y0 + t*(y1 - y0)``: fan-out on y0."""
+    b = LoopBuilder("lerp", trip_count)
+    y0 = b.load("y0")
+    y1 = b.load("y1")
+    t = b.load("t")
+    d = b.sub("d", y1, y0)
+    td = b.mul("td", t, d)
+    y = b.add("y", y0, td)
+    b.store("st", y)
+    return b.build()
+
+
+def pointer_chase_like(trip_count: int = 200) -> Ddg:
+    """Serial load->load recurrence through memory ordering: the
+    archetypal software-pipelining-hostile loop."""
+    b = LoopBuilder("chase", trip_count)
+    ld = b.load("ld")
+    nxt = b.add("nxt", ld)
+    st = b.store("st", nxt)
+    b.mem_order(st, ld, distance=1)
+    b.carry(nxt, ld, distance=1)   # address feeds the next load
+    return b.build()
+
+
+KERNELS.update({
+    "hydro2d": hydro2d_fragment,
+    "ip2": inner_product_pair,
+    "firstdiff": first_difference,
+    "band": banded_linear,
+    "glr": general_linear_recurrence,
+    "trielim": tri_diag_elimination,
+    "planck": planckian,
+    "avg5": average_filter,
+    "lerp": interpolation,
+    "chase": pointer_chase_like,
+})

@@ -1,0 +1,237 @@
+"""Synthetic Perfect-Club-like corpus generator.
+
+The paper evaluates on 1258 innermost loops extracted from the Perfect Club
+benchmark [2].  That suite is not redistributable and its loop extraction
+pipeline (ICTINEO) is long gone, so -- per the substitution policy in
+DESIGN.md §2 -- we generate a *synthetic corpus* whose structural
+distributions mimic what published studies of scientific FP loops report
+(Rau'96, Llosa et al.'94/'96 use the same corpus family):
+
+* body sizes: heavy-tailed, most loops 5-20 ops, a tail to ~64;
+* op mix: roughly 25-40 % memory ops, the rest split between add-class and
+  mul-class arithmetic;
+* 30-40 % of loops carry at least one recurrence (accumulators dominate,
+  a few longer/deeper recurrences);
+* moderate fan-out: most values have one consumer, a minority 2-4;
+* heavy-tailed trip counts (a few loops dominate execution time -- the
+  effect the paper calls out in its dynamic-IPC discussion).
+
+Generation is seeded and fully deterministic: ``generate_corpus()`` always
+returns the same 1258 loops.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.ddg import Ddg, DepKind
+from repro.ir.operations import Opcode
+from repro.ir.validate import validate_ddg
+
+#: weights of arithmetic opcodes (memory handled separately)
+DEFAULT_ARITH_MIX: dict[Opcode, float] = {
+    Opcode.ADD: 0.38,
+    Opcode.SUB: 0.12,
+    Opcode.MUL: 0.26,
+    Opcode.FMUL: 0.12,
+    Opcode.CMP: 0.05,
+    Opcode.SHIFT: 0.04,
+    Opcode.DIV: 0.03,
+}
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Knobs of the generator (defaults calibrated per module docstring)."""
+
+    n_loops: int = 1258
+    seed: int = 19980330          # IPPS/SPDP 1998, Orlando
+
+    # body size: lognormal, clipped
+    min_ops: int = 4
+    max_ops: int = 64
+    size_mu: float = 2.45         # exp(mu) ~ 11.6 ops median
+    size_sigma: float = 0.55
+
+    # structure
+    load_fraction: float = 0.24   # of the body, before stores
+    store_fraction: float = 0.08
+    p_binary: float = 0.6         # arith op takes 2 operands (else 1)
+    recent_bias: float = 2.0      # operand choice biased to recent values
+    p_reuse_operand: float = 0.18 # chance to reuse an already-consumed value
+
+    # recurrences
+    p_recurrence: float = 0.38    # >= 1 recurrence in the loop
+    p_extra_recurrence: float = 0.30
+    p_long_distance: float = 0.25 # recurrence distance > 1
+    max_distance: int = 4
+    p_mem_recurrence: float = 0.10
+
+    p_pure_accumulator: float = 0.80  # recurrence value is live-out only
+    p_self_recurrence: float = 0.75   # accumulator vs deeper circuit
+
+    # dangling values
+    p_store_dangling: float = 0.35
+
+    # trip counts: lognormal, clipped
+    trip_mu: float = 4.2          # exp(4.2) ~ 67 median iterations
+    trip_sigma: float = 1.4
+    min_trip: int = 4
+    max_trip: int = 50_000
+
+    arith_mix: tuple[tuple[Opcode, float], ...] = field(
+        default_factory=lambda: tuple(DEFAULT_ARITH_MIX.items()))
+
+
+def _sample_clipped_lognormal(rng: random.Random, mu: float, sigma: float,
+                              lo: int, hi: int) -> int:
+    val = int(round(math.exp(rng.gauss(mu, sigma))))
+    return max(lo, min(hi, val))
+
+
+def _pick_operand(rng: random.Random, producers: list[int],
+                  cfg: SynthConfig) -> int:
+    """Choose a producer, biased towards recently created values (models
+    expression locality); occasionally an older one (models reuse and
+    creates fan-out)."""
+    n = len(producers)
+    if n == 1:
+        return producers[0]
+    if rng.random() < cfg.p_reuse_operand:
+        return producers[rng.randrange(n)]
+    # weight ~ (position+1)^bias
+    weights = [(i + 1) ** cfg.recent_bias for i in range(n)]
+    total = sum(weights)
+    r = rng.random() * total
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w
+        if r <= acc:
+            return producers[i]
+    return producers[-1]
+
+
+def _weighted_opcode(rng: random.Random,
+                     mix: tuple[tuple[Opcode, float], ...]) -> Opcode:
+    total = sum(w for _op, w in mix)
+    r = rng.random() * total
+    acc = 0.0
+    for op, w in mix:
+        acc += w
+        if r <= acc:
+            return op
+    return mix[-1][0]
+
+
+def generate_loop(rng: random.Random, cfg: SynthConfig,
+                  index: int) -> Ddg:
+    """One synthetic innermost loop (deterministic given rng state)."""
+    n_target = _sample_clipped_lognormal(
+        rng, cfg.size_mu, cfg.size_sigma, cfg.min_ops, cfg.max_ops)
+    trip = _sample_clipped_lognormal(
+        rng, cfg.trip_mu, cfg.trip_sigma, cfg.min_trip, cfg.max_trip)
+    ddg = Ddg(f"synth-{index:04d}", trip_count=trip)
+
+    n_loads = max(1, round(n_target * cfg.load_fraction))
+    n_stores = max(1, round(n_target * cfg.store_fraction))
+    n_arith = max(1, n_target - n_loads - n_stores)
+
+    producers: list[int] = []
+    for i in range(n_loads):
+        op = ddg.add_operation(Opcode.LOAD, name=f"ld{i}")
+        producers.append(op.op_id)
+
+    arith_ids: list[int] = []
+    for i in range(n_arith):
+        opcode = _weighted_opcode(rng, cfg.arith_mix)
+        op = ddg.add_operation(opcode, name=f"{opcode.mnemonic}{i}")
+        n_operands = 2 if rng.random() < cfg.p_binary else 1
+        chosen = {_pick_operand(rng, producers, cfg)
+                  for _ in range(n_operands)}
+        for src in sorted(chosen):
+            ddg.add_dependence(src, op, distance=0, kind=DepKind.DATA)
+        producers.append(op.op_id)
+        arith_ids.append(op.op_id)
+
+    # recurrences come *before* store placement: real reductions are
+    # usually live-out only (the accumulator is not written back every
+    # iteration), so recurrence tails prefer values nothing consumes yet --
+    # their only consumer becomes the carried edge, and copy insertion
+    # never has to lengthen the recurrence circuit.
+    if arith_ids and rng.random() < cfg.p_recurrence:
+        n_rec = 1
+        while (rng.random() < cfg.p_extra_recurrence
+               and n_rec < 1 + len(arith_ids) // 6):
+            n_rec += 1
+        consumed_now = {e.src for e in ddg.data_edges()}
+        for _ in range(n_rec):
+            free_tails = [a for a in arith_ids if a not in consumed_now]
+            if free_tails and rng.random() < cfg.p_pure_accumulator:
+                tail = free_tails[rng.randrange(len(free_tails))]
+            else:
+                tail = arith_ids[rng.randrange(len(arith_ids))]
+            # close onto the op itself (accumulator) or onto one of its
+            # ancestors (deeper recurrence circuit); simple accumulators
+            # dominate real scientific loops
+            if rng.random() < cfg.p_self_recurrence:
+                head = tail
+            else:
+                ancestors = [e.src for e in ddg.producers(tail)
+                             if ddg.op(e.src).produces_value]
+                head = (ancestors[rng.randrange(len(ancestors))]
+                        if ancestors else tail)
+            dist = 1
+            if rng.random() < cfg.p_long_distance:
+                dist = rng.randint(2, cfg.max_distance)
+            ddg.add_dependence(tail, head, distance=dist,
+                               kind=DepKind.DATA)
+            consumed_now.add(tail)
+
+    # stores: prefer values not yet consumed (computation results get
+    # written back)
+    consumed = {e.src for e in ddg.data_edges()}
+    dangling = [p for p in producers if p not in consumed]
+    store_ids: list[int] = []
+    for i in range(n_stores):
+        pool = dangling if dangling else producers
+        src = pool.pop(rng.randrange(len(pool))) if pool is dangling \
+            else _pick_operand(rng, producers, cfg)
+        st = ddg.add_operation(Opcode.STORE, name=f"st{i}")
+        ddg.add_dependence(src, st, distance=0, kind=DepKind.DATA)
+        store_ids.append(st.op_id)
+
+    # leftover dangling values: write them back or feed a later consumer
+    consumed = {e.src for e in ddg.data_edges()}
+    extra = 0
+    for p in producers:
+        if p in consumed:
+            continue
+        if rng.random() < cfg.p_store_dangling or not store_ids:
+            st = ddg.add_operation(Opcode.STORE, name=f"stx{extra}")
+            ddg.add_dependence(p, st, distance=0, kind=DepKind.DATA)
+            store_ids.append(st.op_id)
+            extra += 1
+        else:
+            # feed an existing store as an extra operand (address value)
+            ddg.add_dependence(p, store_ids[rng.randrange(len(store_ids))],
+                               distance=0, kind=DepKind.DATA)
+
+    # occasional memory recurrence (store -> load ordering)
+    if store_ids and rng.random() < cfg.p_mem_recurrence:
+        st = store_ids[rng.randrange(len(store_ids))]
+        loads = [o for o in ddg.op_ids if ddg.op(o).opcode is Opcode.LOAD]
+        ld = loads[rng.randrange(len(loads))]
+        ddg.add_dependence(st, ld, distance=rng.randint(1, 2),
+                           kind=DepKind.MEM)
+
+    validate_ddg(ddg)
+    return ddg
+
+
+def generate_corpus(cfg: SynthConfig | None = None) -> list[Ddg]:
+    """The deterministic corpus: ``cfg.n_loops`` loops from ``cfg.seed``."""
+    cfg = cfg or SynthConfig()
+    rng = random.Random(cfg.seed)
+    return [generate_loop(rng, cfg, i) for i in range(cfg.n_loops)]

@@ -1,0 +1,142 @@
+"""Integration tests for the experiment drivers (tiny corpus subsets).
+
+These assert the *shape* invariants the paper's figures rest on, on a
+subset small enough for CI; the benchmarks run the full-size versions.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (ablation_copy_tree, ablation_moves,
+                                        ablation_partition, compile_loop,
+                                        fig3_queue_requirements,
+                                        fig4_unroll_speedup,
+                                        fig6_ii_variation, fig8_ipc,
+                                        fig9_ipc_rc, sec2_copy_impact,
+                                        sec4_cluster_queues)
+from repro.machine.presets import clustered_machine, qrf_machine
+from repro.workloads.corpus import paper_corpus
+from repro.workloads.kernels import all_kernels
+
+
+@pytest.fixture(scope="module")
+def loops():
+    return paper_corpus()[:30] + all_kernels()
+
+
+class TestCompileLoop:
+    def test_single_cluster(self, loops):
+        c = compile_loop(loops[0], qrf_machine(4))
+        assert not c.outcome.failed
+        assert c.outcome.ii >= c.outcome.mii
+
+    def test_clustered(self, loops):
+        c = compile_loop(loops[0], clustered_machine(4))
+        assert not c.outcome.failed
+
+    def test_auto_unroll(self, loops):
+        c = compile_loop(loops[0], qrf_machine(12), do_unroll=True)
+        assert c.outcome.unroll_factor >= 1
+
+    def test_explicit_factor_wins(self, loops):
+        c = compile_loop(loops[0], qrf_machine(12), unroll_factor=3)
+        assert c.outcome.unroll_factor == 3
+
+
+class TestFig3(object):
+    def test_monotone_buckets(self, loops):
+        res = fig3_queue_requirements(loops, [qrf_machine(4)])
+        row = res.by_machine["queu-4fu"]
+        assert row[4] <= row[8] <= row[16] <= row[32]
+
+    def test_32_queues_covers_most(self, loops):
+        res = fig3_queue_requirements(loops)
+        for row in res.by_machine.values():
+            assert row[32] >= 0.9   # paper: ~all loops within 32 queues
+
+    def test_render(self, loops):
+        text = fig3_queue_requirements(loops, [qrf_machine(4)]).render()
+        assert "Fig. 3" in text and "%" in text
+
+
+class TestSec2:
+    def test_majority_keep_ii(self, loops):
+        res = sec2_copy_impact(loops, [qrf_machine(4)])
+        assert res.same_ii["queu-4fu"] >= 0.7
+
+    def test_render(self, loops):
+        assert "copy" in sec2_copy_impact(
+            loops, [qrf_machine(4)]).render()
+
+
+class TestFig4:
+    def test_speedups_at_least_one(self, loops):
+        res = fig4_unroll_speedup(loops, [qrf_machine(12)])
+        for spd in res.speedups["queu-12fu"]:
+            assert spd >= 1.0 - 1e-9
+
+    def test_wider_machines_gain_more(self, loops):
+        res = fig4_unroll_speedup(loops, [qrf_machine(4),
+                                          qrf_machine(12)])
+        assert res.speedup_gt1["queu-12fu"] >= \
+            res.speedup_gt1["queu-4fu"]
+
+
+class TestFig6:
+    def test_same_ii_fraction_decreases_with_clusters(self, loops):
+        res = fig6_ii_variation(loops, cluster_counts=(4, 6))
+        assert res.same_ii[4] >= res.same_ii[6]
+
+    def test_fractions_in_range(self, loops):
+        res = fig6_ii_variation(loops, cluster_counts=(4,))
+        assert 0.5 <= res.same_ii[4] <= 1.0
+
+
+class TestSec4:
+    def test_budget_fits_most(self, loops):
+        res = sec4_cluster_queues(loops, cluster_counts=(4,))
+        # paper: the 8+8+8 budget suffices for all but "a small fraction
+        # of loops"
+        assert res.fits_budget[4] >= 0.8
+        assert res.p95_private[4] <= 10
+        assert res.p95_ring[4] <= 8
+
+
+class TestIpcSweep:
+    def test_ipc_grows_with_fus(self, loops):
+        res = fig8_ipc(loops, fus=(4, 12), clustered_counts=())
+        assert res.static_single[12] > res.static_single[4]
+
+    def test_dynamic_below_static(self, loops):
+        res = fig8_ipc(loops, fus=(6,), clustered_counts=())
+        assert res.dynamic_single[6] <= res.static_single[6]
+
+    def test_clustered_at_most_single(self, loops):
+        res = fig8_ipc(loops, fus=(12,), clustered_counts=(4,))
+        assert res.static_clustered[12] <= res.static_single[12] + 1e-9
+
+    def test_rc_filter_higher_ipc(self, loops):
+        all_res = fig8_ipc(loops, fus=(12,), clustered_counts=())
+        rc_res = fig9_ipc_rc(loops, fus=(12,), clustered_counts=())
+        # resource-constrained loops use the machine at least as well
+        assert rc_res.static_single[12] >= all_res.static_single[12] - 1e-9
+
+    def test_render(self, loops):
+        text = fig8_ipc(loops, fus=(4,), clustered_counts=()).render()
+        assert "static" in text
+
+
+class TestAblations:
+    def test_copy_tree(self, loops):
+        res = ablation_copy_tree(loops[:15], qrf_machine(6),
+                                 strategies=("chain", "slack"))
+        assert set(res.same_ii) == {"chain", "slack"}
+        assert res.same_ii["slack"] >= res.same_ii["chain"] - 0.15
+
+    def test_partition(self, loops):
+        res = ablation_partition(loops[:12], n_clusters=4,
+                                 strategies=("affinity", "first"))
+        assert 0.0 <= res.same_ii["first"] <= 1.0
+
+    def test_moves_recover(self, loops):
+        res = ablation_moves(loops[:12], cluster_counts=(6,))
+        assert res.with_moves[6] >= res.without_moves[6] - 1e-9

@@ -1,0 +1,22 @@
+"""Integration test for the bundled report (what the CLI's `report`
+command and EXPERIMENTS.md lean on)."""
+
+from repro.analysis.report import full_report
+from repro.workloads.corpus import paper_corpus
+from repro.workloads.kernels import all_kernels
+
+
+def test_full_report_bundles_all_sections():
+    loops = paper_corpus()[:10] + all_kernels()[:6]
+    text = full_report(loops)
+    for marker in ("Fig. 3", "copy-operation impact", "Fig. 4",
+                   "Fig. 6", "queue requirements"):
+        assert marker in text, marker
+    # sections separated for readability
+    assert text.count("=" * 72) >= 4
+
+
+def test_full_report_sweep_optional():
+    loops = paper_corpus()[:6]
+    with_sweep = full_report(loops, include_sweep=True)
+    assert "IPC" in with_sweep

@@ -1,0 +1,76 @@
+"""Unit tests for metrics and aggregates."""
+
+import pytest
+
+from repro.analysis.metrics import (LoopOutcome, cumulative_within,
+                                    fraction, mean, mean_static_ipc,
+                                    percentile, weighted_dynamic_ipc)
+
+
+def outcome(ii=2, n_body=10, sc=3, trip=100, unroll=1, failed=False):
+    return LoopOutcome(
+        loop="l", machine="m", n_source_ops=n_body // unroll,
+        n_body_ops=n_body, unroll_factor=unroll, n_copies=0,
+        ii=ii, mii=ii, res_mii=ii, rec_mii=1, stage_count=sc,
+        trip_count=trip, failed=failed)
+
+
+class TestLoopOutcome:
+    def test_static_ipc(self):
+        assert outcome(ii=2, n_body=10).static_ipc == 5.0
+
+    def test_kernel_iterations_ceil(self):
+        assert outcome(trip=10, unroll=4).kernel_iterations == 3
+
+    def test_total_cycles(self):
+        o = outcome(ii=2, sc=3, trip=10)
+        assert o.total_cycles == (10 + 2) * 2
+
+    def test_dynamic_below_static(self):
+        o = outcome()
+        assert o.dynamic_ipc < o.static_ipc
+
+    def test_ii_per_iteration(self):
+        assert outcome(ii=3, unroll=2).ii_per_iteration == 1.5
+
+    def test_achieved_mii(self):
+        assert outcome().achieved_mii
+
+
+class TestAggregates:
+    def test_fraction(self):
+        assert fraction([True, False, True, True]) == 0.75
+        assert fraction([]) == 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_percentile(self):
+        vals = list(range(1, 101))
+        assert percentile(vals, 0) == 1
+        assert percentile(vals, 100) == 100
+        assert 49 <= percentile(vals, 50) <= 51
+        assert percentile([], 50) == 0.0
+
+    def test_cumulative_within(self):
+        out = cumulative_within([1, 5, 9, 33], (4, 8, 16, 32))
+        assert out[4] == 0.25
+        assert out[8] == 0.5
+        assert out[16] == 0.75
+        assert out[32] == 0.75
+
+    def test_mean_static_ipc_skips_failed(self):
+        outs = [outcome(ii=2, n_body=10),
+                outcome(ii=1, n_body=10, failed=True)]
+        assert mean_static_ipc(outs) == 5.0
+
+    def test_weighted_dynamic_ipc_weighting(self):
+        # one tiny loop and one huge loop: the huge one dominates
+        small = outcome(ii=10, n_body=10, trip=10)     # poor ipc 1.0
+        huge = outcome(ii=1, n_body=10, trip=100_000)  # great ipc ~10
+        ipc = weighted_dynamic_ipc([small, huge])
+        assert ipc > 8.0
+
+    def test_weighted_dynamic_ipc_empty(self):
+        assert weighted_dynamic_ipc([]) == 0.0

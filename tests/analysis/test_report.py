@@ -1,0 +1,38 @@
+"""Unit tests for report rendering."""
+
+from repro.analysis.report import (bar, bar_chart, percent_chart,
+                                   series_table)
+
+
+def test_bar_scaling():
+    assert bar(5, scale=10, width=10) == "#####"
+    assert bar(20, scale=10, width=10) == "#" * 10   # clamped
+    assert bar(0, scale=10) == ""
+    assert bar(1, scale=0) == ""
+
+
+def test_bar_chart():
+    text = bar_chart({"a": 1.0, "bb": 2.0})
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("a  |")
+    assert "#" in lines[1]
+
+
+def test_bar_chart_empty():
+    assert bar_chart({}) == "(no data)"
+
+
+def test_percent_chart():
+    text = percent_chart({"x": 0.5})
+    assert "50.0%" in text
+
+
+def test_series_table():
+    text = series_table("FUs", [4, 6],
+                        {"static": {4: 1.5, 6: 2.5},
+                         "dynamic": {4: 1.2}})
+    assert "FUs" in text
+    assert "1.50" in text
+    lines = text.splitlines()
+    assert len(lines) == 3  # header + 2 rows

@@ -1,0 +1,53 @@
+"""Tests for the supplementary experiments (S1, E6b, A4)."""
+
+import pytest
+
+from repro.analysis.experiments import (register_pressure,
+                                        ring_latency_sensitivity,
+                                        spill_budget)
+from repro.machine.presets import qrf_machine
+from repro.workloads.corpus import paper_corpus
+
+
+@pytest.fixture(scope="module")
+def loops():
+    return paper_corpus()[:16]
+
+
+class TestRegisterPressure:
+    def test_bounds_ordering(self, loops):
+        res = register_pressure(loops, [qrf_machine(6)])
+        name = "queu-6fu"
+        assert res.mean_max_live[name] <= res.mean_rotating[name]
+        assert res.mean_mve_unroll[name] >= 1.0
+        assert res.p95_queues[name] >= 1
+
+    def test_render(self, loops):
+        text = register_pressure(loops, [qrf_machine(6)]).render()
+        assert "MaxLive" in text and "MVE" in text
+
+
+class TestSpillBudget:
+    def test_monotone_in_budget(self, loops):
+        res = spill_budget(loops, budgets=((2, 4), (8, 8), (64, 32)))
+        assert res.no_spill_fraction[(2, 4)] <= \
+            res.no_spill_fraction[(8, 8)] <= \
+            res.no_spill_fraction[(64, 32)]
+        assert res.no_spill_fraction[(64, 32)] == 1.0
+        assert res.mean_spills[(64, 32)] == 0.0
+
+    def test_render(self, loops):
+        assert "spill" in spill_budget(
+            loops, budgets=((8, 8),)).render()
+
+
+class TestRingLatency:
+    def test_latency_never_helps(self, loops):
+        res = ring_latency_sensitivity(loops, latencies=(0, 2),
+                                       cluster_counts=(4,))
+        assert res.same_ii[0][4] >= res.same_ii[2][4] - 1e-9
+
+    def test_render(self, loops):
+        text = ring_latency_sensitivity(loops, latencies=(0,),
+                                        cluster_counts=(4,)).render()
+        assert "xlat" in text

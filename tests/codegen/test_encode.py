@@ -1,0 +1,81 @@
+"""Tests for queue-operand instruction encoding."""
+
+import pytest
+
+from repro.codegen.encode import (check_instruction_format, encode_schedule,
+                                  render_assembly)
+from repro.ir.copyins import insert_copies
+from repro.machine.cluster import make_clustered
+from repro.machine.presets import qrf_machine
+from repro.regalloc.queues import allocate_for_schedule
+from repro.sched.ims import modulo_schedule
+from repro.sched.partition import partitioned_schedule
+from repro.workloads.kernels import all_kernels, daxpy, norm2
+
+
+def compiled(ddg, n_fus=4):
+    m = qrf_machine(n_fus)
+    s = modulo_schedule(insert_copies(ddg).ddg, m)
+    return s, allocate_for_schedule(s)
+
+
+class TestEncode:
+    def test_every_op_encoded(self):
+        s, usage = compiled(daxpy())
+        encoded = encode_schedule(s, usage)
+        assert len(encoded) == s.n_ops
+
+    def test_sources_match_producers(self):
+        s, usage = compiled(daxpy())
+        by_id = {e.op_id: e for e in encode_schedule(s, usage)}
+        for op_id in s.ddg.op_ids:
+            n_prod = len(s.ddg.producers(op_id))
+            enc = by_id[op_id]
+            real_srcs = [x for x in enc.sources if x is not None]
+            assert len(real_srcs) == n_prod
+
+    def test_live_in_marked_imm(self):
+        # daxpy's mul has one DATA producer (x) and the invariant a
+        s, usage = compiled(daxpy())
+        by_name = {s.ddg.op(e.op_id).name: e
+                   for e in encode_schedule(s, usage)}
+        loads = [e for name, e in by_name.items() if name in ("x", "y")]
+        for e in loads:
+            assert e.sources == (None,)   # address from induction var
+
+    def test_format_limits_hold_for_all_kernels(self):
+        for ddg in all_kernels():
+            s, usage = compiled(ddg, 6)
+            encoded = encode_schedule(s, usage)
+            check_instruction_format(encoded)
+
+    def test_copy_writes_two_queues(self):
+        s, usage = compiled(norm2())   # x*x -> one copy
+        copies = [e for e in encode_schedule(s, usage)
+                  if e.mnemonic == "copy"]
+        assert copies
+        assert all(1 <= len(c.dests) <= 2 for c in copies)
+
+    def test_format_violation_detected(self):
+        s, usage = compiled(daxpy())
+        encoded = encode_schedule(s, usage)
+        with pytest.raises(AssertionError, match="reads"):
+            check_instruction_format(encoded, max_sources=0)
+
+    def test_clustered_encoding_uses_ring_refs(self):
+        cm = make_clustered(4)
+        from repro.ir.unroll import unroll
+        work = insert_copies(unroll(daxpy(), 4)).ddg
+        s = partitioned_schedule(work, cm)
+        usage = allocate_for_schedule(s, cm)
+        encoded = encode_schedule(s, usage)
+        locs = {ref.location.kind.value
+                for e in encoded for ref in e.dests}
+        assert "private" in locs
+
+    def test_render_assembly(self):
+        s, usage = compiled(daxpy())
+        text = render_assembly(s, usage)
+        assert "; kernel II=" in text
+        assert "row 0:" in text
+        assert "->" in text

@@ -1,0 +1,57 @@
+"""Unit tests for prologue/kernel/epilogue decomposition."""
+
+import pytest
+
+from repro.ir.copyins import insert_copies
+from repro.machine.presets import qrf_machine
+from repro.codegen.kernel import kernel_is_periodic, split_phases
+from repro.sched.ims import modulo_schedule
+from repro.workloads.kernels import all_kernels, daxpy, tridiagonal
+
+
+def sched_for(ddg, n_fus=4):
+    m = qrf_machine(n_fus)
+    return modulo_schedule(insert_copies(ddg).ddg, m), m
+
+
+class TestSplitPhases:
+    def test_phase_lengths(self):
+        s, m = sched_for(daxpy())
+        code = split_phases(s, m.fus.as_dict(), iterations=10)
+        assert len(code.prologue) == (s.stage_count - 1) * s.ii
+        assert len(code.kernel) == s.ii
+        assert code.kernel_repeats == 10 - s.stage_count + 1
+        assert code.total_cycles == s.cycles_for(10)
+
+    def test_kernel_issues_whole_body(self):
+        s, m = sched_for(daxpy())
+        code = split_phases(s, m.fus.as_dict(), iterations=10)
+        issued = sum(w.n_issued for w in code.kernel)
+        assert issued == s.n_ops
+
+    def test_kernel_fraction_grows_with_iterations(self):
+        s, m = sched_for(tridiagonal())
+        f_small = split_phases(s, m.fus.as_dict(), 8).kernel_fraction()
+        f_large = split_phases(s, m.fus.as_dict(), 80).kernel_fraction()
+        assert f_large > f_small
+
+    def test_too_few_iterations(self):
+        s, m = sched_for(daxpy())
+        with pytest.raises(ValueError, match="steady state"):
+            split_phases(s, m.fus.as_dict(), iterations=1)
+
+    def test_phase_of_cycle(self):
+        s, m = sched_for(daxpy())
+        code = split_phases(s, m.fus.as_dict(), iterations=10)
+        assert code.phase_of_cycle(0) in ("prologue", "kernel")
+        assert code.phase_of_cycle(code.total_cycles - 1) == "epilogue" \
+            or s.stage_count == 1
+
+
+class TestPeriodicity:
+    def test_every_kernel_is_periodic(self):
+        m = qrf_machine(6)
+        for ddg in all_kernels():
+            s = modulo_schedule(insert_copies(ddg).ddg, m)
+            iters = s.stage_count + 4
+            assert kernel_is_periodic(s, m.fus.as_dict(), iters), ddg.name

@@ -1,0 +1,78 @@
+"""Unit tests for VLIW code expansion."""
+
+import pytest
+
+from repro.ir.copyins import insert_copies
+from repro.machine.cluster import make_clustered
+from repro.machine.presets import qrf_machine
+from repro.codegen.vliw import (SlotConflictError, expand_program,
+                                issue_counts, render_program)
+from repro.sched.ims import modulo_schedule
+from repro.sched.partition import partitioned_schedule
+from repro.sched.schedule import ModuloSchedule
+from repro.workloads.kernels import daxpy, fir4
+
+
+def daxpy_schedule():
+    m = qrf_machine(4)
+    return modulo_schedule(insert_copies(daxpy()).ddg, m), m
+
+
+class TestExpand:
+    def test_total_issues(self):
+        s, m = daxpy_schedule()
+        words = expand_program(s, m.fus.as_dict(), iterations=6)
+        assert sum(issue_counts(words)) == 6 * s.n_ops
+
+    def test_length(self):
+        s, m = daxpy_schedule()
+        words = expand_program(s, m.fus.as_dict(), iterations=6)
+        assert len(words) == s.max_time + 5 * s.ii + 1
+
+    def test_no_slot_reuse_within_cycle(self):
+        s, m = daxpy_schedule()
+        for w in expand_program(s, m.fus.as_dict(), iterations=5):
+            assert len(w.slots) == len(set(w.slots))
+
+    def test_unit_indices_below_capacity(self):
+        s, m = daxpy_schedule()
+        caps = m.fus.as_dict()
+        for w in expand_program(s, caps, iterations=5):
+            for slot in w.slots:
+                assert slot.unit < caps[slot.pool]
+
+    def test_conflict_detected(self):
+        from repro.ir.builder import chain
+        ddg = chain("c", ["add", "add"])
+        # hand-build an over-subscribed schedule: 2 adds same cycle, 1 unit
+        bad = ModuloSchedule(ddg=ddg, ii=1, sigma={0: 0, 1: 0})
+        from repro.ir.operations import FuType
+        with pytest.raises(SlotConflictError):
+            expand_program(bad, {FuType.ADD: 1}, iterations=1)
+
+    def test_bad_iterations(self):
+        s, m = daxpy_schedule()
+        with pytest.raises(ValueError):
+            expand_program(s, m.fus.as_dict(), iterations=0)
+
+    def test_clustered_slots_tagged(self):
+        cm = make_clustered(4)
+        work = insert_copies(fir4()).ddg
+        s = partitioned_schedule(work, cm)
+        words = expand_program(s, cm.cluster.fus.as_dict(), iterations=4)
+        clusters = {slot.cluster for w in words for slot in w.slots}
+        assert clusters <= set(range(4))
+        assert len(clusters) >= 2
+
+
+class TestRender:
+    def test_render_program_limit(self):
+        s, m = daxpy_schedule()
+        words = expand_program(s, m.fus.as_dict(), iterations=4)
+        text = render_program(s, words, limit=3)
+        assert "more cycles" in text
+
+    def test_word_render_contains_label(self):
+        s, m = daxpy_schedule()
+        words = expand_program(s, m.fus.as_dict(), iterations=2)
+        assert any("[0]" in w.render(s) for w in words)

@@ -1,0 +1,80 @@
+"""Shared fixtures: machines, kernels, and corpus samples."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.machine.cluster import make_clustered
+from repro.machine.presets import (clustered_machine, crf_machine,
+                                   narrow_test_machine, qrf_machine)
+from repro.workloads.kernels import all_kernels, daxpy, dot_product
+from repro.workloads.synth import SynthConfig, generate_loop
+
+
+@pytest.fixture
+def tiny_machine():
+    return narrow_test_machine()
+
+
+@pytest.fixture
+def qrf4():
+    return qrf_machine(4)
+
+
+@pytest.fixture
+def qrf6():
+    return qrf_machine(6)
+
+
+@pytest.fixture
+def qrf12():
+    return qrf_machine(12)
+
+
+@pytest.fixture
+def crf4():
+    return crf_machine(4)
+
+
+@pytest.fixture
+def ring4():
+    return clustered_machine(4)
+
+
+@pytest.fixture
+def ring6():
+    return clustered_machine(6)
+
+
+@pytest.fixture
+def daxpy_ddg():
+    return daxpy()
+
+
+@pytest.fixture
+def dot_ddg():
+    return dot_product()
+
+
+@pytest.fixture(scope="session")
+def kernel_suite():
+    return all_kernels()
+
+
+@pytest.fixture(scope="session")
+def synth_sample():
+    """40 deterministic synthetic loops (fast enough for most suites)."""
+    cfg = SynthConfig(n_loops=40)
+    rng = random.Random(cfg.seed)
+    return [generate_loop(rng, cfg, i) for i in range(cfg.n_loops)]
+
+
+@pytest.fixture(scope="session")
+def synth_small():
+    """A dozen small loops for the slowest (simulation-heavy) tests."""
+    cfg = SynthConfig(n_loops=60, max_ops=20)
+    rng = random.Random(7)
+    loops = [generate_loop(rng, cfg, i) for i in range(cfg.n_loops)]
+    return loops[:12]

@@ -1,0 +1,109 @@
+"""Unit tests for the LoopBuilder DSL."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder, chain
+from repro.ir.ddg import DepKind
+from repro.ir.operations import Opcode
+
+
+class TestBuilder:
+    def test_daxpy_shape(self):
+        b = LoopBuilder("daxpy")
+        x = b.load("x")
+        y = b.load("y")
+        ax = b.mul("ax", x)
+        s = b.add("s", ax, y)
+        b.store("st", s)
+        ddg = b.build()
+        assert ddg.n_ops == 5
+        assert ddg.n_edges == 4
+        assert ddg.fanout(x.op_id) == 1
+
+    def test_operands_by_name(self):
+        b = LoopBuilder("n")
+        b.load("x")
+        b.add("a", "x")
+        ddg = b.build()
+        assert len(ddg.producers(1)) == 1
+
+    def test_unknown_operand_name(self):
+        b = LoopBuilder("n")
+        with pytest.raises(KeyError):
+            b.add("a", "nope")
+
+    def test_duplicate_name_rejected(self):
+        b = LoopBuilder("n")
+        b.load("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.load("x")
+
+    def test_carry_needs_positive_distance(self):
+        b = LoopBuilder("n")
+        a = b.add("a")
+        with pytest.raises(ValueError):
+            b.carry(a, a, distance=0)
+
+    def test_carry_creates_loop_carried_edge(self):
+        b = LoopBuilder("n")
+        a = b.add("a")
+        b.carry(a, a, distance=2)
+        ddg = b.build()
+        (e,) = ddg.data_edges()
+        assert e.distance == 2
+
+    def test_mem_order_edge(self):
+        b = LoopBuilder("n")
+        v = b.load("v")
+        st = b.store("st", v)
+        b.mem_order(st, v, distance=1)
+        ddg = b.build()
+        mems = list(ddg.edges(DepKind.MEM))
+        assert len(mems) == 1
+        assert mems[0].distance == 1
+
+    def test_seq_edge_custom_latency(self):
+        b = LoopBuilder("n")
+        a = b.add("a")
+        c = b.add("c")
+        b.seq(a, c, latency=4)
+        ddg = b.build()
+        (e,) = ddg.edges(DepKind.SEQ)
+        assert e.latency == 4
+
+    def test_custom_latency_op(self):
+        b = LoopBuilder("n")
+        ld = b.load("ld", latency=9)
+        st = b.store("st", ld)
+        ddg = b.build()
+        (e,) = ddg.producers(st.op_id)
+        assert e.latency == 9
+
+    def test_generic_op_by_mnemonic(self):
+        b = LoopBuilder("n")
+        op = b.op("fmul", "f")
+        assert op.opcode is Opcode.FMUL
+
+    def test_get(self):
+        b = LoopBuilder("n")
+        a = b.add("a")
+        assert b.get("a") is a
+
+
+class TestChain:
+    def test_straight_chain(self):
+        ddg = chain("c", ["load", "mul", "add", "store"])
+        assert ddg.n_ops == 4
+        assert ddg.n_edges == 3
+        assert ddg.recurrence_ops() == set()
+
+    def test_chain_with_recurrence(self):
+        ddg = chain("c", ["load", "mul", "add", "store"], carry_distance=1)
+        # the carried edge closes on the last *producer* (add), back to load
+        assert ddg.recurrence_ops() != set()
+        carried = [e for e in ddg.data_edges() if e.distance == 1]
+        assert len(carried) == 1
+        assert ddg.op(carried[0].src).opcode is Opcode.ADD
+
+    def test_chain_trip_count(self):
+        assert chain("c", ["add"], trip_count=77).trip_count == 77

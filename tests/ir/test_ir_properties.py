@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the IR transforms.
+
+Random loop DDGs are generated structurally (not via the corpus generator,
+so the two generators cross-check each other); unrolling and copy insertion
+must preserve the logical dataflow and their structural contracts on every
+input.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir.copyins import (count_required_copies, insert_copies,
+                              logical_dataflow)
+from repro.ir.ddg import Ddg, DepKind
+from repro.ir.operations import SOURCE_OPCODES, Opcode
+from repro.ir.unroll import unroll
+from repro.ir.validate import validate_ddg
+from repro.sched.mii import max_cycle_ratio, rec_mii
+
+# --------------------------------------------------------------------------
+# strategy: random schedulable loop DDGs
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def loop_ddgs(draw, max_ops: int = 14, max_extra_edges: int = 8):
+    n = draw(st.integers(min_value=2, max_value=max_ops))
+    ddg = Ddg("hyp", trip_count=8)
+    opcodes = draw(st.lists(st.sampled_from(SOURCE_OPCODES), min_size=n,
+                            max_size=n))
+    for i, opc in enumerate(opcodes):
+        ddg.add_operation(opc, name=f"o{i}")
+    producers = [o for o in ddg.op_ids if ddg.op(o).produces_value]
+    if not producers:
+        ddg.add_operation(Opcode.ADD, name="p")
+        producers = [ddg.n_ops - 1]
+    # forward (acyclic) data edges
+    n_edges = draw(st.integers(min_value=1, max_value=max_extra_edges))
+    for _ in range(n_edges):
+        src = draw(st.sampled_from(producers))
+        later = [o for o in ddg.op_ids if o > src]
+        if not later:
+            continue
+        dst = draw(st.sampled_from(later))
+        ddg.add_dependence(src, dst, distance=0, kind=DepKind.DATA)
+    # a few loop-carried edges (any direction, distance >= 1)
+    n_carried = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(n_carried):
+        src = draw(st.sampled_from(producers))
+        dst = draw(st.sampled_from(ddg.op_ids))
+        dist = draw(st.integers(min_value=1, max_value=3))
+        ddg.add_dependence(src, dst, distance=dist, kind=DepKind.DATA)
+    validate_ddg(ddg)
+    return ddg
+
+
+# --------------------------------------------------------------------------
+# copy insertion properties
+# --------------------------------------------------------------------------
+
+
+@given(loop_ddgs(), st.sampled_from(["chain", "balanced", "slack"]))
+@settings(max_examples=60, deadline=None)
+def test_copyins_structural_contract(ddg, strategy):
+    res = insert_copies(ddg, strategy=strategy)
+    out = res.ddg
+    validate_ddg(out)
+    # exact copy count
+    assert res.n_copies == count_required_copies(ddg)
+    # every non-copy producer has fan-out <= 1, copies <= 2
+    for oid in out.op_ids:
+        limit = 2 if out.op(oid).is_copy else 1
+        assert out.fanout(oid) <= limit
+
+
+@given(loop_ddgs(), st.sampled_from(["chain", "balanced", "slack"]))
+@settings(max_examples=60, deadline=None)
+def test_copyins_preserves_logical_dataflow(ddg, strategy):
+    before = logical_dataflow(ddg)
+    after = logical_dataflow(insert_copies(ddg, strategy=strategy).ddg)
+    assert before == after
+
+
+@given(loop_ddgs())
+@settings(max_examples=40, deadline=None)
+def test_copyins_recmii_never_better_than_original(ddg):
+    # copies can only lengthen recurrence circuits
+    assert rec_mii(insert_copies(ddg).ddg) >= rec_mii(ddg)
+
+
+# --------------------------------------------------------------------------
+# unrolling properties
+# --------------------------------------------------------------------------
+
+
+@given(loop_ddgs(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_unroll_counts(ddg, factor):
+    u = unroll(ddg, factor)
+    validate_ddg(u)
+    assert u.n_ops == factor * ddg.n_ops
+    assert u.n_edges == factor * ddg.n_edges
+
+
+@given(loop_ddgs(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_unroll_preserves_per_iteration_dataflow(ddg, factor):
+    """Every original dependence (p -> c, d) must appear in the unrolled
+    graph as (p_u -> c_{(u+d)%U}, (u+d)//U) for each copy u."""
+    u = unroll(ddg, factor)
+    origin = {op.op_id: (op.origin if op.origin is not None else op.op_id)
+              for op in u.operations}
+    uidx = {op.op_id: op.unroll_index for op in u.operations}
+    got = {(origin[e.src], uidx[e.src], origin[e.dst], uidx[e.dst],
+            e.distance)
+           for e in u.edges()}
+    want = set()
+    for e in ddg.edges():
+        for k in range(factor):
+            want.add((e.src, k, e.dst, (k + e.distance) % factor,
+                      (k + e.distance) // factor))
+    assert got == want
+
+
+@given(loop_ddgs(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_unroll_scales_recurrence_ratio(ddg, factor):
+    """The per-original-iteration recurrence bound is invariant: the
+    unrolled graph's max cycle ratio is (close to) factor * original."""
+    r1 = max_cycle_ratio(ddg)
+    ru = max_cycle_ratio(unroll(ddg, factor))
+    assert ru >= factor * r1 - 1e-3

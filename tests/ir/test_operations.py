@@ -1,0 +1,109 @@
+"""Unit tests for the operation model."""
+
+import pytest
+
+from repro.ir.operations import (DEFAULT_LATENCIES, SOURCE_OPCODES,
+                                 UNIT_LATENCIES, FuType, LatencyModel,
+                                 Opcode, Operation)
+
+
+class TestOpcode:
+    def test_every_opcode_has_fu_and_latency(self):
+        for op in Opcode:
+            assert isinstance(op.fu_type, FuType)
+            assert op.default_latency >= 1 or not op.produces_value
+
+    def test_from_mnemonic_roundtrip(self):
+        for op in Opcode:
+            assert Opcode.from_mnemonic(op.mnemonic) is op
+
+    def test_from_mnemonic_unknown(self):
+        with pytest.raises(KeyError):
+            Opcode.from_mnemonic("frobnicate")
+
+    def test_store_is_sink(self):
+        assert not Opcode.STORE.produces_value
+        assert Opcode.LOAD.produces_value
+
+    def test_source_opcodes_exclude_compiler_ops(self):
+        assert Opcode.COPY not in SOURCE_OPCODES
+        assert Opcode.MOVE not in SOURCE_OPCODES
+        assert Opcode.ADD in SOURCE_OPCODES
+
+    def test_fu_classes(self):
+        assert Opcode.LOAD.fu_type is FuType.LS
+        assert Opcode.STORE.fu_type is FuType.LS
+        assert Opcode.ADD.fu_type is FuType.ADD
+        assert Opcode.MUL.fu_type is FuType.MUL
+        assert Opcode.DIV.fu_type is FuType.MUL
+        assert Opcode.COPY.fu_type is FuType.COPY
+
+
+class TestOperation:
+    def test_defaults(self):
+        op = Operation(op_id=3, opcode=Opcode.MUL)
+        assert op.latency == Opcode.MUL.default_latency
+        assert op.name == "mul3"
+        assert op.fu_type is FuType.MUL
+        assert op.produces_value
+
+    def test_explicit_latency(self):
+        op = Operation(op_id=0, opcode=Opcode.ADD, latency=5)
+        assert op.latency == 5
+
+    def test_zero_latency_producer_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            Operation(op_id=0, opcode=Opcode.ADD, latency=0)
+
+    def test_store_may_have_low_latency(self):
+        op = Operation(op_id=0, opcode=Opcode.STORE, latency=1)
+        assert op.latency == 1
+
+    def test_with_id_records_origin(self):
+        op = Operation(op_id=5, opcode=Opcode.ADD, name="a")
+        clone = op.with_id(9)
+        assert clone.op_id == 9
+        assert clone.origin == 5
+        assert clone.name == "a"
+
+    def test_with_id_unroll_index(self):
+        op = Operation(op_id=1, opcode=Opcode.LOAD)
+        clone = op.with_id(7, unroll_index=3)
+        assert clone.unroll_index == 3
+
+    def test_renamed(self):
+        op = Operation(op_id=1, opcode=Opcode.LOAD)
+        assert op.renamed("zz").name == "zz"
+
+    def test_predicates(self):
+        assert Operation(op_id=0, opcode=Opcode.COPY).is_copy
+        assert Operation(op_id=0, opcode=Opcode.MOVE).is_move
+        assert Operation(op_id=0, opcode=Opcode.LOAD).is_memory
+        assert not Operation(op_id=0, opcode=Opcode.ADD).is_memory
+
+    def test_frozen(self):
+        op = Operation(op_id=0, opcode=Opcode.ADD)
+        with pytest.raises(AttributeError):
+            op.latency = 3  # type: ignore[misc]
+
+
+class TestLatencyModel:
+    def test_default_passthrough(self):
+        assert DEFAULT_LATENCIES.latency_of(Opcode.MUL) == \
+            Opcode.MUL.default_latency
+
+    def test_override(self):
+        model = LatencyModel({Opcode.MUL: 7})
+        assert model.latency_of(Opcode.MUL) == 7
+        assert model.latency_of(Opcode.ADD) == Opcode.ADD.default_latency
+
+    def test_retime_changes_only_overridden(self):
+        model = LatencyModel({Opcode.MUL: 7})
+        mul = Operation(op_id=0, opcode=Opcode.MUL)
+        add = Operation(op_id=1, opcode=Opcode.ADD)
+        assert model.retime(mul).latency == 7
+        assert model.retime(add) is add
+
+    def test_unit_latencies(self):
+        for op in Opcode:
+            assert UNIT_LATENCIES.latency_of(op) == 1

@@ -1,0 +1,127 @@
+"""Unit tests for loop unrolling."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder, chain
+from repro.ir.operations import FuType
+from repro.ir.unroll import (ii_speedup, resource_fraction,
+                             select_unroll_factor, unroll)
+from repro.ir.validate import validate_ddg
+from repro.workloads.kernels import daxpy, dot_product
+
+FUS_4 = {FuType.LS: 2, FuType.ADD: 1, FuType.MUL: 1}
+
+
+class TestUnrollTransform:
+    def test_factor_one_is_copy(self):
+        ddg = daxpy()
+        u = unroll(ddg, 1)
+        assert u.n_ops == ddg.n_ops
+        assert u is not ddg
+
+    def test_ops_replicate(self):
+        ddg = daxpy()
+        u = unroll(ddg, 3)
+        assert u.n_ops == 3 * ddg.n_ops
+        assert u.n_edges == 3 * ddg.n_edges
+        validate_ddg(u)
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            unroll(daxpy(), 0)
+
+    def test_names_get_suffix(self):
+        u = unroll(daxpy(), 2)
+        names = {op.name for op in u.operations}
+        assert "x" in names and "x.u1" in names
+
+    def test_unroll_index_and_origin(self):
+        ddg = daxpy()
+        u = unroll(ddg, 2)
+        by_origin = {}
+        for op in u.operations:
+            by_origin.setdefault(op.origin, []).append(op.unroll_index)
+        assert all(sorted(v) == [0, 1] for v in by_origin.values())
+
+    def test_intra_iteration_edges_stay_in_copy(self):
+        u = unroll(daxpy(), 4)
+        for e in u.data_edges():
+            assert u.op(e.src).unroll_index == u.op(e.dst).unroll_index
+            assert e.distance == 0
+
+    def test_distance_1_becomes_rotation(self):
+        # acc -> acc with d=1, unrolled x3: copy0->copy1 d0, copy1->copy2
+        # d0, copy2->copy0 d1
+        ddg = dot_product()
+        u = unroll(ddg, 3)
+        carried = [e for e in u.data_edges()
+                   if u.op(e.src).origin == u.op(e.dst).origin
+                   and u.op(e.src).opcode.mnemonic == "add"]
+        dists = sorted((u.op(e.src).unroll_index,
+                        u.op(e.dst).unroll_index, e.distance)
+                       for e in carried)
+        assert dists == [(0, 1, 0), (1, 2, 0), (2, 0, 1)]
+
+    def test_distance_larger_than_factor(self):
+        b = LoopBuilder("far")
+        a = b.add("a")
+        b.carry(a, a, distance=5)
+        u = unroll(b.build(), 2)
+        # d=5, U=2: copy0 -> copy1 dist 2, copy1 -> copy0 dist 3
+        pairs = sorted((u.op(e.src).unroll_index,
+                        u.op(e.dst).unroll_index, e.distance)
+                       for e in u.data_edges())
+        assert pairs == [(0, 1, 2), (1, 0, 3)]
+
+    def test_trip_count_preserved(self):
+        assert unroll(daxpy(trip_count=123), 4).trip_count == 123
+
+
+class TestResourceFraction:
+    def test_daxpy_on_4fu(self):
+        # daxpy: 3 L/S ops on 2 units -> 1.5 binding
+        assert resource_fraction(daxpy(), FUS_4) == pytest.approx(1.5)
+
+    def test_missing_fu_class(self):
+        with pytest.raises(ValueError, match="no"):
+            resource_fraction(daxpy(), {FuType.ADD: 1, FuType.MUL: 1})
+
+
+class TestSelectUnrollFactor:
+    def test_daxpy_benefits(self):
+        choice = select_unroll_factor(daxpy(), FUS_4)
+        # res_frac 1.5 -> U=2 achieves exactly 3/2 per iteration
+        assert choice.factor == 2
+        assert choice.estimated_ii_per_iteration == pytest.approx(1.5)
+
+    def test_recurrence_bound_loop_stays(self):
+        ddg = chain("r", ["load", "mul", "add"], carry_distance=1)
+        choice = select_unroll_factor(ddg, {FuType.LS: 4, FuType.ADD: 4,
+                                            FuType.MUL: 4})
+        assert choice.factor == 1  # RecMII dominates; unrolling useless
+
+    def test_max_ops_cap(self):
+        big = daxpy()
+        choice = select_unroll_factor(big, FUS_4, max_ops=5)
+        assert choice.factor == 1
+
+    def test_bad_max_factor(self):
+        with pytest.raises(ValueError):
+            select_unroll_factor(daxpy(), FUS_4, max_factor=0)
+
+    def test_gain_estimate(self):
+        choice = select_unroll_factor(daxpy(), FUS_4)
+        assert choice.expected_gain == pytest.approx(2 / 1.5)
+
+
+class TestIiSpeedup:
+    def test_paper_equation(self):
+        # II 2 original; unrolled x2 achieves II 3 -> 2 / (3/2) = 1.33
+        assert ii_speedup(2, 3, 2) == pytest.approx(4 / 3)
+
+    def test_no_gain(self):
+        assert ii_speedup(2, 4, 2) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ii_speedup(0, 1, 1)

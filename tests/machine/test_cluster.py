@@ -1,0 +1,113 @@
+"""Unit tests for clustered machines and the ring topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.operations import FuType
+from repro.machine.cluster import ClusteredMachine, make_clustered
+from repro.machine.machine import RfKind, make_machine
+
+
+class TestRingTopology:
+    def test_distance_symmetry(self):
+        cm = make_clustered(6)
+        for a in range(6):
+            for b in range(6):
+                assert cm.ring_distance(a, b) == cm.ring_distance(b, a)
+
+    def test_distance_examples(self):
+        cm = make_clustered(6)
+        assert cm.ring_distance(0, 0) == 0
+        assert cm.ring_distance(0, 1) == 1
+        assert cm.ring_distance(0, 5) == 1  # wraps
+        assert cm.ring_distance(0, 3) == 3
+        assert cm.ring_distance(1, 4) == 3
+
+    def test_adjacency(self):
+        cm = make_clustered(4)
+        assert cm.are_adjacent(0, 0)
+        assert cm.are_adjacent(0, 1)
+        assert cm.are_adjacent(0, 3)
+        assert not cm.are_adjacent(0, 2)
+
+    def test_neighbours(self):
+        cm = make_clustered(5)
+        assert cm.neighbours(0) == [1, 4]
+        assert cm.neighbours(2) == [1, 3]
+
+    def test_neighbours_small_rings(self):
+        assert make_clustered(1).neighbours(0) == []
+        assert make_clustered(2).neighbours(0) == [1]
+        assert make_clustered(3).neighbours(0) == [1, 2]
+
+    def test_reachable_includes_self(self):
+        cm = make_clustered(4)
+        assert cm.reachable(1) == [0, 1, 2]
+
+    def test_out_of_range(self):
+        cm = make_clustered(3)
+        with pytest.raises(IndexError):
+            cm.ring_distance(0, 3)
+
+    def test_hop_path_endpoints(self):
+        cm = make_clustered(6)
+        assert cm.hop_path(1, 1) == [1]
+        assert cm.hop_path(0, 2) == [0, 1, 2]
+        assert cm.hop_path(0, 4) == [0, 5, 4]   # shorter ccw
+
+    @given(st.integers(min_value=2, max_value=9),
+           st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_hop_path_length_matches_distance(self, n, data):
+        cm = make_clustered(n)
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1))
+        path = cm.hop_path(a, b)
+        assert len(path) == cm.ring_distance(a, b) + 1
+        assert path[0] == a and path[-1] == b
+        # consecutive hops are adjacent
+        for x, y in zip(path, path[1:]):
+            assert cm.ring_distance(x, y) == 1
+
+
+class TestCapacity:
+    def test_machine_wide_capacity(self):
+        cm = make_clustered(5)
+        assert cm.n_fus == 15
+        assert cm.capacity(FuType.LS) == 5
+        assert cm.cluster_capacity(FuType.LS) == 1
+        assert cm.capacity(FuType.MOVE) == 5  # copy units serve moves
+
+    def test_flattened_equivalent(self):
+        cm = make_clustered(4)
+        flat = cm.flattened()
+        assert flat.n_fus == cm.n_fus
+        assert flat.capacity(FuType.COPY) == 4
+        assert flat.has_queues
+
+    def test_needs_copies(self):
+        assert make_clustered(2).needs_copies
+
+
+class TestConstruction:
+    def test_at_least_one_cluster(self):
+        with pytest.raises(ValueError):
+            make_clustered(0)
+
+    def test_requires_queue_clusters(self):
+        crf = make_machine(3, rf_kind=RfKind.CONVENTIONAL)
+        with pytest.raises(ValueError, match="QRF"):
+            ClusteredMachine(name="x", cluster=crf, n_clusters=2)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            make_clustered(3, inter_cluster_latency=-1)
+
+    def test_with_moves(self):
+        cm = make_clustered(3)
+        assert not cm.allow_moves
+        assert cm.with_moves().allow_moves
+
+    def test_describe(self):
+        assert "4 clusters" in make_clustered(4).describe()

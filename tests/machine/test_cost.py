@@ -1,0 +1,65 @@
+"""Tests for the register-file complexity model."""
+
+import pytest
+
+from repro.machine.cost import (RfCost, clustered_qrf_cost, cost_comparison,
+                                monolithic_rf_cost, qrf_cost)
+from repro.machine.presets import clustered_machine, crf_machine
+
+
+class TestMonolithic:
+    def test_paper_36_ports(self):
+        cost = monolithic_rf_cost(crf_machine(12), registers=64)
+        assert cost.ports == 36
+        assert cost.area == 64 * 36 ** 2
+
+    def test_area_quadratic_in_ports(self):
+        small = monolithic_rf_cost(crf_machine(6), registers=64)
+        big = monolithic_rf_cost(crf_machine(12), registers=64)
+        assert big.area / small.area == pytest.approx(
+            (big.ports / small.ports) ** 2)
+
+    def test_delay_grows_with_ports(self):
+        small = monolithic_rf_cost(crf_machine(6), registers=64)
+        big = monolithic_rf_cost(crf_machine(12), registers=64)
+        assert big.relative_delay > small.relative_delay
+
+
+class TestQrf:
+    def test_two_ports_per_queue(self):
+        cost = qrf_cost(8, 16)
+        assert cost.ports == 16
+        assert cost.storage_cells == 128
+
+    def test_delay_independent_of_bank_size(self):
+        assert qrf_cost(8, 16).relative_delay == \
+            qrf_cost(64, 16).relative_delay
+
+    def test_area_linear_in_queues(self):
+        a8 = qrf_cost(8, 16).area
+        a16 = qrf_cost(16, 16).area
+        assert a16 == pytest.approx(2 * a8)
+
+    def test_clustered_fig7_budget(self):
+        cm = clustered_machine(4)
+        cost = clustered_qrf_cost(cm)
+        assert cost.storage_cells == 4 * 24 * 16  # 4 clusters x 24q x 16p
+
+
+class TestComparison:
+    def test_qrf_cheaper_and_faster_at_scale(self):
+        """The paper's scalability argument: at 12 FUs the monolithic RF
+        loses on both delay and (port-dominated) area per cell."""
+        cm = clustered_machine(4)
+        mono, flat, clustered = cost_comparison(
+            crf_machine(12), cm, registers=96)
+        assert clustered.relative_delay < mono.relative_delay
+        assert flat.relative_delay < mono.relative_delay
+        # area per storage cell: queues win by the port-squared factor
+        assert clustered.area / clustered.storage_cells < \
+            mono.area / mono.storage_cells
+
+    def test_render(self):
+        cost = qrf_cost(8, 16)
+        assert "ports" in cost.render()
+        assert isinstance(cost, RfCost)

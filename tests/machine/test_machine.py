@@ -1,0 +1,101 @@
+"""Unit tests for single-cluster machine descriptions."""
+
+import pytest
+
+from repro.ir.operations import FuType, LatencyModel, Opcode
+from repro.machine.machine import (Machine, QueueBudget, RfKind,
+                                   balanced_fu_mix, copy_units_for,
+                                   make_machine)
+from repro.machine.resources import FuSet
+from repro.workloads.kernels import daxpy
+
+
+class TestBalancedMix:
+    def test_multiples_of_three_are_even(self):
+        for n in (3, 6, 12, 18):
+            mix = balanced_fu_mix(n)
+            assert set(mix.values()) == {n // 3}
+
+    def test_remainder_order_ls_first(self):
+        assert balanced_fu_mix(4) == {FuType.LS: 2, FuType.ADD: 1,
+                                      FuType.MUL: 1}
+        assert balanced_fu_mix(5) == {FuType.LS: 2, FuType.ADD: 2,
+                                      FuType.MUL: 1}
+
+    def test_tiny(self):
+        assert balanced_fu_mix(1)[FuType.LS] == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_fu_mix(0)
+
+
+class TestCopyUnits:
+    def test_one_per_three(self):
+        assert copy_units_for(3) == 1
+        assert copy_units_for(4) == 2
+        assert copy_units_for(12) == 4
+        assert copy_units_for(1) == 1
+
+
+class TestMachine:
+    def test_make_machine_qrf(self):
+        m = make_machine(12)
+        assert m.n_fus == 12
+        assert m.has_queues
+        assert m.needs_copies
+        assert m.capacity(FuType.COPY) == 4
+
+    def test_make_machine_crf(self):
+        m = make_machine(6, rf_kind=RfKind.CONVENTIONAL)
+        assert not m.has_queues
+        assert not m.needs_copies
+        assert m.capacity(FuType.COPY) == 0
+
+    def test_qrf_requires_copy_unit(self):
+        with pytest.raises(ValueError, match="copy unit"):
+            Machine(name="bad", fus=FuSet({FuType.LS: 1, FuType.ADD: 1,
+                                           FuType.MUL: 1}),
+                    rf_kind=RfKind.QUEUE)
+
+    def test_needs_compute_fu(self):
+        with pytest.raises(ValueError, match="compute"):
+            Machine(name="bad", fus=FuSet({FuType.COPY: 1}),
+                    rf_kind=RfKind.CONVENTIONAL)
+
+    def test_can_execute(self):
+        m = make_machine(4)
+        assert m.can_execute(daxpy())
+
+    def test_retime(self):
+        m = make_machine(4, latencies=LatencyModel({Opcode.LOAD: 9}))
+        fast = m.retime(daxpy())
+        loads = [op for op in fast.operations
+                 if op.opcode is Opcode.LOAD]
+        assert all(op.latency == 9 for op in loads)
+
+    def test_retime_noop_without_overrides(self):
+        m = make_machine(4)
+        ddg = daxpy()
+        assert m.retime(ddg) is ddg
+
+    def test_describe_and_rename(self):
+        m = make_machine(4)
+        assert "queue" in m.describe()
+        assert m.renamed("zz").name == "zz"
+
+    def test_compute_mix(self):
+        mix = make_machine(5).compute_mix()
+        assert sum(mix.values()) == 5
+
+
+class TestQueueBudget:
+    def test_defaults_match_paper_fig7(self):
+        qb = QueueBudget()
+        assert qb.private == 8
+        assert qb.ring_out_cw == 8
+        assert qb.ring_out_ccw == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QueueBudget(private=-1)

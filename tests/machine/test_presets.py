@@ -1,0 +1,63 @@
+"""Unit tests for the paper's machine presets."""
+
+from repro.ir.operations import FuType
+from repro.machine.presets import (IPC_SWEEP_FUS, PAPER_CLUSTER_COUNTS,
+                                   PAPER_FU_SIZES, clustered_machine,
+                                   crf_machine, ipc_clustered_points,
+                                   ipc_sweep_machines, narrow_test_machine,
+                                   paper_clustered_machines,
+                                   paper_qrf_machines, qrf_machine,
+                                   single_cluster_equivalent)
+
+
+def test_paper_fu_sizes():
+    assert PAPER_FU_SIZES == (4, 6, 12)
+    machines = paper_qrf_machines()
+    assert [m.n_fus for m in machines] == [4, 6, 12]
+    assert all(m.has_queues for m in machines)
+
+
+def test_paper_cluster_counts():
+    assert PAPER_CLUSTER_COUNTS == (4, 5, 6)
+    machines = paper_clustered_machines()
+    assert [cm.n_clusters for cm in machines] == [4, 5, 6]
+    assert [cm.n_fus for cm in machines] == [12, 15, 18]
+
+
+def test_cluster_composition_matches_fig5a():
+    cm = clustered_machine(4)
+    for t in (FuType.LS, FuType.ADD, FuType.MUL, FuType.COPY):
+        assert cm.cluster_capacity(t) == 1
+
+
+def test_ipc_sweep_is_4_to_18():
+    assert IPC_SWEEP_FUS == tuple(range(4, 19))
+    assert [m.n_fus for m in ipc_sweep_machines()] == list(range(4, 19))
+
+
+def test_ipc_clustered_points():
+    points = ipc_clustered_points()
+    assert sorted(points) == [12, 15, 18]
+    assert points[15].n_clusters == 5
+
+
+def test_single_cluster_equivalent_same_resources():
+    cm = clustered_machine(5)
+    flat = single_cluster_equivalent(cm)
+    for t in (FuType.LS, FuType.ADD, FuType.MUL, FuType.COPY):
+        assert flat.capacity(t) == cm.capacity(t)
+
+
+def test_crf_machine_has_no_copy_units():
+    assert crf_machine(6).capacity(FuType.COPY) == 0
+
+
+def test_narrow_test_machine():
+    m = narrow_test_machine()
+    assert m.n_fus == 3
+    assert m.capacity(FuType.COPY) == 1
+
+
+def test_qrf_machine_names_distinct():
+    names = {qrf_machine(n).name for n in (4, 6, 12)}
+    assert len(names) == 3

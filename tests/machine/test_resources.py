@@ -1,0 +1,68 @@
+"""Unit tests for FU resources."""
+
+import pytest
+
+from repro.ir.operations import FuType
+from repro.machine.resources import (COMPUTE_POOLS, PAPER_CLUSTER_FUS,
+                                     FuSet, pool_for)
+
+
+class TestPoolFor:
+    def test_identity_for_hardware(self):
+        for t in (FuType.LS, FuType.ADD, FuType.MUL, FuType.COPY):
+            assert pool_for(t) is t
+
+    def test_move_served_by_copy(self):
+        assert pool_for(FuType.MOVE) is FuType.COPY
+
+
+class TestFuSet:
+    def test_capacity_and_totals(self):
+        fus = FuSet({FuType.LS: 2, FuType.ADD: 3, FuType.MUL: 1,
+                     FuType.COPY: 2})
+        assert fus.capacity(FuType.LS) == 2
+        assert fus.capacity(FuType.MOVE) == 2   # via COPY pool
+        assert fus.n_compute == 6
+        assert fus.n_total == 8
+
+    def test_missing_pool_is_zero(self):
+        fus = FuSet({FuType.ADD: 1})
+        assert fus.capacity(FuType.MUL) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FuSet({FuType.ADD: -1})
+
+    def test_move_not_a_hardware_pool(self):
+        with pytest.raises(ValueError):
+            FuSet({FuType.MOVE: 1})
+
+    def test_merged(self):
+        a = FuSet({FuType.LS: 1})
+        b = FuSet({FuType.LS: 2, FuType.MUL: 1})
+        m = a.merged(b)
+        assert m.capacity(FuType.LS) == 3
+        assert m.capacity(FuType.MUL) == 1
+
+    def test_scaled(self):
+        s = PAPER_CLUSTER_FUS.scaled(4)
+        assert s.n_compute == 12
+        assert s.capacity(FuType.COPY) == 4
+
+    def test_scaled_negative(self):
+        with pytest.raises(ValueError):
+            PAPER_CLUSTER_FUS.scaled(-1)
+
+    def test_describe_deterministic(self):
+        assert PAPER_CLUSTER_FUS.describe() == \
+            "1xADD+1xCOPY+1xL/S+1xMUL"
+
+    def test_paper_cluster_shape(self):
+        assert PAPER_CLUSTER_FUS.n_compute == 3
+        for t in COMPUTE_POOLS:
+            assert PAPER_CLUSTER_FUS.capacity(t) == 1
+
+    def test_as_dict_copy(self):
+        d = PAPER_CLUSTER_FUS.as_dict()
+        d[FuType.LS] = 99
+        assert PAPER_CLUSTER_FUS.capacity(FuType.LS) == 1

@@ -1,0 +1,71 @@
+"""Hand-computed Q-Compatibility cases (paper Theorem 1.1)."""
+
+from repro.regalloc.lifetimes import Lifetime
+from repro.regalloc.queues import fifo_order_consistent, q_compatible
+
+
+def lt(start, length, producer=0, consumer=1):
+    return Lifetime(producer, consumer, 0, start, length)
+
+
+class TestClosedForm:
+    def test_identical_lifetime_object(self):
+        a = lt(0, 2)
+        assert q_compatible(a, a, ii=4)
+
+    def test_same_phase_writes_collide(self):
+        # delta == 0: two writes in the same cycle, one write port
+        assert not q_compatible(lt(0, 2), lt(4, 3, producer=2), ii=4)
+
+    def test_equal_lengths_different_phase(self):
+        # production order == consumption order trivially
+        assert q_compatible(lt(0, 2), lt(1, 2, producer=2), ii=4)
+
+    def test_growing_length_within_bound(self):
+        # delta = 1, L_b - L_a = 2 < II - delta = 3
+        assert q_compatible(lt(0, 1), lt(1, 3, producer=2), ii=4)
+
+    def test_boundary_reads_collide(self):
+        # delta = 1, L_b - L_a = 3 == II - delta -> reads same cycle
+        assert not q_compatible(lt(0, 1), lt(1, 4, producer=2), ii=4)
+
+    def test_order_inversion_rejected(self):
+        # a written first but read long after b's read of the next period
+        assert not q_compatible(lt(0, 7), lt(1, 1, producer=2), ii=4)
+
+    def test_argument_order_irrelevant(self):
+        a, b = lt(0, 1), lt(1, 3, producer=2)
+        assert q_compatible(a, b, 4) == q_compatible(b, a, 4)
+
+    def test_long_lifetimes_multiple_periods(self):
+        # both longer than II, same length: always order-preserving
+        assert q_compatible(lt(0, 9), lt(2, 9, producer=2), ii=4)
+
+    def test_paper_formula_strict_form(self):
+        # L_b - L_a < (S_a - S_b) mod II, with L_a <= L_b
+        a, b = lt(3, 2), lt(5, 3, producer=2)
+        ii = 5
+        delta = (b.start - a.start) % ii          # 2
+        bound = ii - delta                        # 3
+        assert (b.length - a.length < bound) == q_compatible(a, b, ii)
+
+
+class TestReferenceSimulation:
+    def test_agrees_on_hand_cases(self):
+        cases = [
+            (lt(0, 2), lt(4, 3, producer=2), 4),
+            (lt(0, 2), lt(1, 2, producer=2), 4),
+            (lt(0, 1), lt(1, 3, producer=2), 4),
+            (lt(0, 1), lt(1, 4, producer=2), 4),
+            (lt(0, 7), lt(1, 1, producer=2), 4),
+            (lt(0, 9), lt(2, 9, producer=2), 4),
+        ]
+        for a, b, ii in cases:
+            assert fifo_order_consistent(a, b, ii) == \
+                q_compatible(a, b, ii), (a, b, ii)
+
+    def test_zero_length_bypass(self):
+        # a zero-length lifetime writes and reads in the same cycle
+        a, b = lt(0, 0), lt(1, 1, producer=2)
+        assert q_compatible(a, b, ii=3) == \
+            fifo_order_consistent(a, b, ii=3)

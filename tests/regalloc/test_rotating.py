@@ -1,0 +1,73 @@
+"""Tests for modulo variable expansion and rotating-RF bounds."""
+
+import pytest
+
+from repro.machine.presets import crf_machine
+from repro.regalloc.conventional import register_requirement
+from repro.regalloc.rotating import (MveReport, mve_register_requirement,
+                                     mve_unroll_factor,
+                                     rotating_register_requirement)
+from repro.sched.ims import modulo_schedule
+from repro.workloads.kernels import (daxpy, dot_product, long_recurrence,
+                                     wide_independent)
+
+
+class TestMveUnroll:
+    def test_short_lifetimes_no_replication(self):
+        # daxpy at II=2 on 4 FUs: all lifetimes <= II
+        s = modulo_schedule(daxpy(), crf_machine(4))
+        assert mve_unroll_factor(s) >= 1
+
+    def test_long_lifetime_forces_replication(self):
+        # hand-crafted: a value written at cycle 2 and read at cycle 8
+        # with II=2 has ceil(6/2)=3 instances in flight
+        from repro.ir.builder import LoopBuilder
+        from repro.sched.schedule import ModuloSchedule
+        b = LoopBuilder("gap")
+        v = b.load("v")           # latency 2
+        st = b.store("st", v)
+        ddg = b.build()
+        s = ModuloSchedule(ddg=ddg, ii=2,
+                           sigma={v.op_id: 0, st.op_id: 8})
+        assert mve_unroll_factor(s) == 3
+        rep = mve_register_requirement(s)
+        assert rep.registers == 3
+        assert rep.max_live == 3
+
+    def test_kmax_matches_max_lifetime(self):
+        s = modulo_schedule(daxpy(), crf_machine(4))
+        from repro.regalloc.lifetimes import merged_value_lifetimes
+        expected = max(
+            (-(-lt.length // s.ii) for lt in merged_value_lifetimes(s)
+             if lt.length > 0), default=1)
+        assert mve_unroll_factor(s) == expected
+
+
+class TestRegisterBounds:
+    def test_ordering_maxlive_lte_mve(self):
+        """MaxLive <= MVE registers (MVE can't beat the live-value
+        bound)."""
+        for factory in (daxpy, dot_product, wide_independent,
+                        long_recurrence):
+            s = modulo_schedule(factory(), crf_machine(6))
+            rep = mve_register_requirement(s)
+            assert rep.max_live <= rep.registers or rep.registers == 0
+
+    def test_rotating_is_maxlive_plus_one(self):
+        s = modulo_schedule(wide_independent(), crf_machine(6))
+        live = register_requirement(s).max_live
+        assert rotating_register_requirement(s) == live + 1
+
+    def test_rotating_zero_when_nothing_live(self):
+        # force every lifetime to zero length: II=1 chains
+        s = modulo_schedule(daxpy(), crf_machine(12))
+        rot = rotating_register_requirement(s)
+        live = register_requirement(s).max_live
+        assert rot == (live + 1 if live else 0)
+
+    def test_report_fields(self):
+        s = modulo_schedule(daxpy(), crf_machine(4))
+        rep = mve_register_requirement(s)
+        assert isinstance(rep, MveReport)
+        assert rep.code_growth == rep.kernel_unroll
+        assert rep.kernel_unroll >= 1

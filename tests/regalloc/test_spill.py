@@ -1,0 +1,95 @@
+"""Tests for budget-constrained allocation (spill analysis)."""
+
+import pytest
+
+from repro.ir.copyins import insert_copies
+from repro.machine.presets import qrf_machine
+from repro.regalloc.lifetimes import Lifetime, extract_lifetimes
+from repro.regalloc.queues import allocate_queues
+from repro.regalloc.spill import (allocate_with_budget, spill_cost_cycles,
+                                  spill_summary)
+from repro.sched.ims import modulo_schedule
+from repro.workloads.kernels import daxpy, fir4, wide_independent
+
+
+def lt(start, length, i=0):
+    return Lifetime(2 * i, 2 * i + 1, 0, start, length)
+
+
+class TestBudget:
+    def test_generous_budget_spills_nothing(self):
+        lts = [lt(i, 2, i) for i in range(5)]
+        rep = allocate_with_budget(lts, 8, max_queues=8, max_positions=8)
+        assert rep.fits
+        assert sum(len(q) for q in rep.queues) == 5
+
+    def test_zero_queues_spills_everything(self):
+        lts = [lt(i, 2, i) for i in range(3)]
+        rep = allocate_with_budget(lts, 8, max_queues=0, max_positions=8)
+        assert rep.n_spilled == 3
+
+    def test_queue_limit_forces_spills(self):
+        # same-phase writes are mutually incompatible: need one queue each
+        lts = [lt(8 * i, 2, i) for i in range(4)]   # all phase 0 at II=8
+        unlimited = allocate_queues(lts, 8)
+        assert unlimited.n_queues == 4
+        rep = allocate_with_budget(lts, 8, max_queues=2, max_positions=8)
+        assert rep.n_spilled == 2
+
+    def test_position_limit_forces_spills(self):
+        # one long lifetime occupies many positions
+        long_lt = lt(0, 40, 0)
+        rep = allocate_with_budget([long_lt], 4, max_queues=4,
+                                   max_positions=2)
+        assert rep.n_spilled == 1
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            allocate_with_budget([], 4, max_queues=-1, max_positions=4)
+
+    def test_pairwise_validity_under_budget(self):
+        m = qrf_machine(4)
+        s = modulo_schedule(insert_copies(fir4()).ddg, m)
+        lts = extract_lifetimes(s)
+        rep = allocate_with_budget(lts, s.ii, max_queues=4,
+                                   max_positions=4)
+        from repro.regalloc.queues import q_compatible
+        for q in rep.queues:
+            for i, a in enumerate(q):
+                for b in q[i + 1:]:
+                    assert q_compatible(a, b, s.ii)
+
+
+class TestRealSchedules:
+    def test_paper_budget_fits_daxpy(self):
+        m = qrf_machine(4)
+        s = modulo_schedule(insert_copies(daxpy()).ddg, m)
+        rep = allocate_with_budget(extract_lifetimes(s), s.ii,
+                                   max_queues=8, max_positions=16)
+        assert rep.fits
+
+    def test_tight_budget_on_wide_loop(self):
+        m = qrf_machine(12)
+        s = modulo_schedule(insert_copies(wide_independent()).ddg, m)
+        lts = extract_lifetimes(s)
+        roomy = allocate_with_budget(lts, s.ii, max_queues=32,
+                                     max_positions=16)
+        tight = allocate_with_budget(lts, s.ii, max_queues=4,
+                                     max_positions=16)
+        assert roomy.n_spilled <= tight.n_spilled
+        assert tight.n_queues <= 4
+
+
+class TestCosts:
+    def test_cost_proportional_to_spills(self):
+        lts = [lt(8 * i, 2, i) for i in range(4)]
+        rep = allocate_with_budget(lts, 8, max_queues=1, max_positions=8)
+        assert spill_cost_cycles(rep) == rep.n_spilled * 3  # store1+load2
+
+    def test_summary(self):
+        lts = [lt(8 * i, 2, i) for i in range(4)]
+        r1 = allocate_with_budget(lts, 8, max_queues=2, max_positions=8)
+        r2 = allocate_with_budget(lts, 8, max_queues=4, max_positions=8)
+        spilled, queues = spill_summary([r1, r2])
+        assert spilled == r1.n_spilled + r2.n_spilled
+        assert queues == r1.n_queues + r2.n_queues

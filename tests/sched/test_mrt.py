@@ -1,0 +1,116 @@
+"""Unit tests for the modulo reservation table."""
+
+import pytest
+
+from repro.ir.operations import FuType
+from repro.sched.mrt import ModuloReservationTable
+
+
+def mrt(ii=4, ls=1, add=2, mul=1, copy=1):
+    return ModuloReservationTable(ii, {FuType.LS: ls, FuType.ADD: add,
+                                       FuType.MUL: mul, FuType.COPY: copy})
+
+
+class TestPlacement:
+    def test_place_and_query(self):
+        t = mrt()
+        p = t.place(7, FuType.ADD, 5)
+        assert p.row == 1
+        assert t.is_placed(7)
+        assert t.occupants(FuType.ADD, 9) == [7]   # 9 % 4 == 1
+        assert t.placement_of(7).time == 5
+
+    def test_modulo_conflict(self):
+        t = mrt(ii=4, ls=1)
+        t.place(1, FuType.LS, 2)
+        assert not t.can_place(FuType.LS, 6)   # same row
+        assert t.can_place(FuType.LS, 3)
+
+    def test_capacity_two(self):
+        t = mrt(add=2)
+        t.place(1, FuType.ADD, 0)
+        assert t.can_place(FuType.ADD, 0)
+        t.place(2, FuType.ADD, 0)
+        assert not t.can_place(FuType.ADD, 4)
+
+    def test_double_place_rejected(self):
+        t = mrt()
+        t.place(1, FuType.ADD, 0)
+        with pytest.raises(ValueError, match="already"):
+            t.place(1, FuType.ADD, 1)
+
+    def test_place_full_rejected(self):
+        t = mrt(ls=1)
+        t.place(1, FuType.LS, 0)
+        with pytest.raises(ValueError, match="free"):
+            t.place(2, FuType.LS, 4)
+
+    def test_no_units_of_class(self):
+        t = ModuloReservationTable(4, {FuType.ADD: 1})
+        assert not t.can_place(FuType.MUL, 0)
+
+    def test_move_uses_copy_pool(self):
+        t = mrt(copy=1)
+        t.place(1, FuType.COPY, 0)
+        assert not t.can_place(FuType.MOVE, 0)
+        assert t.can_place(FuType.MOVE, 1)
+
+
+class TestEviction:
+    def test_evict_newest(self):
+        t = mrt(add=2)
+        t.place(1, FuType.ADD, 0)
+        t.place(2, FuType.ADD, 4)   # same row, placed later
+        evicted = t.evict_for(FuType.ADD, 8)
+        assert evicted == [2]
+        assert t.is_placed(1)
+
+    def test_evict_when_free_is_noop(self):
+        t = mrt(add=2)
+        t.place(1, FuType.ADD, 0)
+        assert t.evict_for(FuType.ADD, 0) == []
+
+    def test_evict_no_units_raises(self):
+        t = ModuloReservationTable(4, {FuType.ADD: 1})
+        with pytest.raises(ValueError):
+            t.evict_for(FuType.MUL, 0)
+
+    def test_remove(self):
+        t = mrt()
+        t.place(1, FuType.MUL, 3)
+        t.remove(1)
+        assert not t.is_placed(1)
+        assert t.can_place(FuType.MUL, 3)
+
+
+class TestBookkeeping:
+    def test_usage_and_load(self):
+        t = mrt(add=2)
+        t.place(1, FuType.ADD, 0)
+        t.place(2, FuType.ADD, 1)
+        t.place(3, FuType.LS, 0)
+        assert t.usage(FuType.ADD) == 2
+        assert t.load() == 3
+
+    def test_iteration_sorted(self):
+        t = mrt(add=2)
+        t.place(5, FuType.ADD, 0)
+        t.place(2, FuType.ADD, 1)
+        assert [p.op_id for p in t] == [2, 5]
+
+    def test_clear(self):
+        t = mrt()
+        t.place(1, FuType.ADD, 0)
+        t.clear()
+        assert t.load() == 0
+        assert t.can_place(FuType.ADD, 0)
+
+    def test_render_contains_rows(self):
+        t = mrt(ii=3)
+        t.place(1, FuType.ADD, 1)
+        text = t.render()
+        assert "  1 |" in text
+
+    def test_bad_ii(self):
+        with pytest.raises(ValueError):
+            ModuloReservationTable(0, {FuType.ADD: 1})

@@ -1,0 +1,69 @@
+"""Property-based tests: every synthetic loop must schedule correctly.
+
+Uses the corpus generator as the input distribution (cross-checking it
+against the structural hypothesis generator in tests/ir) and validates the
+full dependence + resource contract of each schedule.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.copyins import insert_copies
+from repro.machine.cluster import make_clustered
+from repro.machine.presets import qrf_machine
+from repro.sched.ims import modulo_schedule
+from repro.sched.mii import mii
+from repro.sched.partition import partitioned_schedule
+from repro.workloads.synth import SynthConfig, generate_loop
+
+
+@st.composite
+def synth_loops(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    cfg = SynthConfig(n_loops=1, max_ops=24)
+    return generate_loop(random.Random(seed), cfg, seed)
+
+
+@given(synth_loops(), st.sampled_from([4, 6, 12]))
+@settings(max_examples=50, deadline=None)
+def test_ims_schedules_and_validates(ddg, n_fus):
+    m = qrf_machine(n_fus)
+    work = insert_copies(ddg).ddg
+    s = modulo_schedule(work, m)
+    s.validate(m.fus.as_dict())
+    assert s.ii >= mii(work, m)
+    assert min(s.sigma.values()) >= 0
+
+
+@given(synth_loops(), st.sampled_from([2, 4, 6]))
+@settings(max_examples=35, deadline=None)
+def test_partition_schedules_and_validates(ddg, n_clusters):
+    cm = make_clustered(n_clusters)
+    work = insert_copies(ddg).ddg
+    s = partitioned_schedule(work, cm)
+    s.validate(cm.cluster.fus.as_dict(), adjacency=cm)
+    assert s.ii >= mii(work, cm)
+
+
+@given(synth_loops())
+@settings(max_examples=25, deadline=None)
+def test_clustered_ii_never_beats_flat(ddg):
+    """Partitioning constraints can only hurt: II(clustered) >= II(flat)
+    whenever the flat schedule achieved its MII."""
+    cm = make_clustered(4)
+    work = insert_copies(ddg).ddg
+    flat = modulo_schedule(work, cm.flattened())
+    clustered = partitioned_schedule(work, cm)
+    if flat.ii == mii(work, cm.flattened()):
+        assert clustered.ii >= flat.ii
+
+
+@given(synth_loops())
+@settings(max_examples=25, deadline=None)
+def test_wider_machine_never_hurts_mii(ddg):
+    assert mii(ddg, qrf_machine(12)) <= mii(ddg, qrf_machine(4))

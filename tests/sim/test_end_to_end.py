@@ -1,0 +1,74 @@
+"""End-to-end integration: the full pipeline on every workload family.
+
+Each case runs unroll -> copy insertion -> (partitioned) scheduling ->
+queue allocation -> token simulation and checks every operand delivery
+against the DDG's reference semantics.
+"""
+
+import pytest
+
+from repro.machine.cluster import make_clustered
+from repro.machine.presets import (clustered_machine, qrf_machine)
+from repro.sim.checker import run_pipeline
+from repro.workloads.kernels import KERNELS, kernel
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_every_kernel_single_cluster(name):
+    res = run_pipeline(kernel(name), qrf_machine(4), iterations=10)
+    assert res.sim.reads_checked > 0
+    assert res.schedule.ii >= 1
+
+
+@pytest.mark.parametrize("name", ["daxpy", "dot", "cmul", "wide8",
+                                  "tridiag", "redtree"])
+@pytest.mark.parametrize("n_clusters", [2, 4, 6])
+def test_kernels_clustered(name, n_clusters):
+    res = run_pipeline(kernel(name), clustered_machine(n_clusters),
+                       iterations=8)
+    res.schedule.validate(
+        clustered_machine(n_clusters).cluster.fus.as_dict(),
+        adjacency=clustered_machine(n_clusters))
+
+
+@pytest.mark.parametrize("factor", [2, 3, 4])
+def test_unrolled_pipeline(factor):
+    res = run_pipeline(kernel("daxpy"), qrf_machine(6),
+                       unroll_factor=factor, iterations=12)
+    assert res.unroll_factor == factor
+    assert res.ddg.n_ops >= factor * 5
+
+
+@pytest.mark.parametrize("strategy", ["chain", "balanced", "slack"])
+def test_copy_strategies_end_to_end(strategy):
+    # norm2: x * x gives the load a fan-out of 2 -> one copy op
+    res = run_pipeline(kernel("norm2"), qrf_machine(6),
+                       copy_strategy=strategy, iterations=8)
+    assert res.n_copies > 0
+
+
+def test_synth_sample_single_cluster(synth_small):
+    for ddg in synth_small:
+        res = run_pipeline(ddg, qrf_machine(6), iterations=6)
+        assert res.sim.ops_executed == 6 * res.schedule.n_ops
+
+
+def test_synth_sample_clustered(synth_small):
+    cm = make_clustered(4)
+    for ddg in synth_small[:8]:
+        res = run_pipeline(ddg, cm, iterations=6)
+        res.schedule.validate(cm.cluster.fus.as_dict(), adjacency=cm)
+
+
+def test_unrolled_clustered_synth(synth_small):
+    cm = make_clustered(5)
+    for ddg in synth_small[:4]:
+        res = run_pipeline(ddg, cm, unroll_factor=2, iterations=8)
+        assert res.sim.reads_checked > 0
+
+
+def test_pipeline_result_fields(daxpy_ddg):
+    res = run_pipeline(daxpy_ddg, qrf_machine(4), iterations=8)
+    assert res.ii == res.schedule.ii
+    assert res.total_queues == res.usage.total_queues
+    assert res.n_copies == 0   # daxpy has no fan-out

@@ -1,0 +1,79 @@
+"""Unit tests for the FIFO queue hardware model."""
+
+import pytest
+
+from repro.sim.qrf import FifoQueue, QueuePortError, QueueUnderflowError
+
+
+class TestFifoOrder:
+    def test_fifo(self):
+        q = FifoQueue()
+        q.push("a", 0)
+        q.push("b", 1)
+        assert q.pop(2) == "a"
+        assert q.pop(3) == "b"
+
+    def test_occupancy_tracking(self):
+        q = FifoQueue()
+        q.push("a", 0)
+        q.push("b", 1)
+        assert q.occupancy == 2
+        assert q.max_occupancy == 2
+        q.pop(2)
+        assert q.occupancy == 1
+        assert q.max_occupancy == 2
+
+
+class TestPorts:
+    def test_double_write_same_cycle(self):
+        q = FifoQueue()
+        q.push("a", 5)
+        with pytest.raises(QueuePortError):
+            q.push("b", 5)
+
+    def test_double_read_same_cycle(self):
+        q = FifoQueue()
+        q.push("a", 0)
+        q.push("b", 1)
+        q.pop(2)
+        with pytest.raises(QueuePortError):
+            q.pop(2)
+
+    def test_write_then_read_same_cycle_ok(self):
+        q = FifoQueue()
+        q.push("a", 3)
+        assert q.pop(3) == "a"   # bypass
+
+    def test_underflow(self):
+        q = FifoQueue()
+        with pytest.raises(QueueUnderflowError):
+            q.pop(0)
+
+    def test_capacity_enforced(self):
+        q = FifoQueue(capacity=1)
+        q.push("a", 0)
+        with pytest.raises(QueuePortError, match="capacity"):
+            q.push("b", 1)
+
+
+class TestPreloadAndDrain:
+    def test_preload_no_port_accounting(self):
+        q = FifoQueue()
+        q.preload("init")
+        q.preload("init2")       # two preloads allowed (before time)
+        assert q.occupancy == 2
+        assert q.pop(0) == "init"
+
+    def test_drain(self):
+        q = FifoQueue()
+        q.push("a", 0)
+        q.push("b", 1)
+        assert q.drain() == ["a", "b"]
+        assert q.occupancy == 0
+
+    def test_counters(self):
+        q = FifoQueue()
+        q.push("a", 0)
+        q.pop(1)
+        assert q.n_writes == 1
+        assert q.n_reads == 1

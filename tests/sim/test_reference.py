@@ -1,0 +1,51 @@
+"""Unit tests for the token reference semantics."""
+
+from repro.sim.reference import (carried_in_tokens, carried_out_count,
+                                 enumerate_expected, expected_operand,
+                                 value_token)
+from repro.workloads.kernels import daxpy, dot_product, long_recurrence
+
+
+class TestTokens:
+    def test_value_token_identity(self):
+        assert value_token(3, 5) == ("v", 3, 5)
+        assert value_token(3, 5) == value_token(3, 5)
+        assert value_token(3, 5) != value_token(3, 6)
+
+    def test_expected_operand_intra_iteration(self):
+        ddg = daxpy()
+        e = next(ddg.data_edges())
+        assert expected_operand(e, 7) == value_token(e.src, 7)
+
+    def test_expected_operand_carried(self):
+        ddg = dot_product()
+        carried = next(e for e in ddg.data_edges() if e.distance == 1)
+        assert expected_operand(carried, 3) == value_token(carried.src, 2)
+        assert expected_operand(carried, 0) == value_token(carried.src, -1)
+
+
+class TestEnumeration:
+    def test_counts(self):
+        ddg = daxpy()
+        n_edges = sum(1 for _ in ddg.data_edges())
+        checks = enumerate_expected(ddg, 5)
+        assert len(checks) == 5 * n_edges
+
+    def test_order_by_iteration(self):
+        checks = enumerate_expected(daxpy(), 3)
+        iters = [c.iteration for c in checks]
+        assert iters == sorted(iters)
+
+
+class TestCarried:
+    def test_carried_in_matches_distance_sum(self):
+        ddg = long_recurrence()   # distance-3 recurrence
+        tokens = carried_in_tokens(ddg)
+        assert len(tokens) == 3
+        assert carried_out_count(ddg) == 3
+        negs = sorted(t[2] for _e, t in tokens)
+        assert negs == [-3, -2, -1]
+
+    def test_acyclic_has_none(self):
+        assert carried_in_tokens(daxpy()) == []
+        assert carried_out_count(daxpy()) == 0

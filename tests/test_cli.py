@@ -1,0 +1,72 @@
+"""Tests for the repro-vliw command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+def test_corpus_command(capsys):
+    code, out, _ = run_cli(capsys, "--sample", "20", "corpus")
+    assert code == 0
+    assert "loops" in out
+
+
+def test_schedule_command(capsys):
+    code, out, _ = run_cli(capsys, "schedule", "daxpy")
+    assert code == 0
+    assert "II=" in out
+    assert "simulated" in out
+
+
+def test_schedule_clustered(capsys):
+    code, out, _ = run_cli(capsys, "schedule", "dot", "--clusters", "4",
+                           "--unroll", "2")
+    assert code == 0
+    assert "private" in out
+
+
+def test_schedule_unknown_kernel(capsys):
+    code, _, err = run_cli(capsys, "schedule", "nope")
+    assert code == 2
+    assert "unknown kernel" in err
+
+
+def test_experiment_fig3(capsys):
+    code, out, _ = run_cli(capsys, "--sample", "8", "experiment", "fig3")
+    assert code == 0
+    assert "Fig. 3" in out
+
+
+def test_experiment_unknown(capsys):
+    code, _, err = run_cli(capsys, "--sample", "8", "experiment", "nope")
+    assert code == 2
+    assert "unknown experiment" in err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_experiment_s1(capsys):
+    code, out, _ = run_cli(capsys, "--sample", "6", "experiment", "s1")
+    assert code == 0
+    assert "register pressure" in out
+
+
+def test_experiment_e6b(capsys):
+    code, out, _ = run_cli(capsys, "--sample", "6", "experiment", "e6b")
+    assert code == 0
+    assert "spill" in out
+
+
+def test_schedule_asm_listing(capsys):
+    code, out, _ = run_cli(capsys, "schedule", "daxpy", "--asm")
+    assert code == 0
+    assert "; kernel II=" in out

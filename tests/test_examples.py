@@ -1,0 +1,31 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are user-facing documentation; a broken one is a broken README.
+Each is executed in-process (runpy) with argv pinned.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    argv = [str(script)]
+    if script.stem == "reproduce_paper":
+        argv += ["--sample", "6"]
+    monkeypatch.setattr(sys, "argv", argv)
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), script.name
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "copy_operations", "unrolling_study",
+            "clustered_partitioning", "reproduce_paper"} <= names

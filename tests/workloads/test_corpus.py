@@ -1,0 +1,58 @@
+"""Tests for corpus management utilities."""
+
+import os
+
+from repro.machine.presets import qrf_machine
+from repro.sched.mii import mii_report
+from repro.workloads.corpus import (FULL_CORPUS_ENV, bench_corpus, corpus,
+                                    corpus_stats, paper_corpus,
+                                    resource_constrained)
+from repro.workloads.synth import SynthConfig
+
+
+def test_paper_corpus_size_and_cache():
+    a = paper_corpus()
+    b = paper_corpus()
+    assert len(a) == 1258
+    # cached: same underlying objects, fresh list
+    assert a[0] is b[0]
+    assert a is not b
+
+
+def test_corpus_custom_config():
+    loops = corpus(SynthConfig(n_loops=7))
+    assert len(loops) == 7
+
+
+def test_bench_corpus_subsample():
+    loops = bench_corpus(sample=50)
+    # 50 synthetic + the hand-written kernels
+    assert 50 < len(loops) < 100
+    names = [l.name for l in loops]
+    assert "daxpy" in names
+
+
+def test_bench_corpus_full_env(monkeypatch):
+    monkeypatch.setenv(FULL_CORPUS_ENV, "1")
+    assert len(bench_corpus(sample=10)) == 1258
+
+
+def test_bench_corpus_large_sample_returns_all():
+    assert len(bench_corpus(sample=5000)) == 1258
+
+
+def test_resource_constrained_filter():
+    loops = paper_corpus()[:60]
+    m = qrf_machine(4)
+    rc = resource_constrained(loops, m)
+    assert 0 < len(rc) <= len(loops)
+    for ddg in rc:
+        assert mii_report(ddg, m).resource_constrained
+    # narrower machines are resource-bound more often
+    rc12 = resource_constrained(loops, qrf_machine(12))
+    assert len(rc) >= len(rc12)
+
+
+def test_stats_render():
+    text = corpus_stats(paper_corpus()[:50]).render()
+    assert "loops" in text and "recurrent" in text

@@ -1,0 +1,59 @@
+"""Unit tests for the hand-written kernel catalogue."""
+
+import pytest
+
+from repro.ir.validate import validate_ddg
+from repro.sched.mii import rec_mii
+from repro.workloads.kernels import KERNELS, all_kernels, kernel
+
+
+def test_catalogue_size():
+    assert len(KERNELS) >= 18
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_validates(name):
+    ddg = kernel(name)
+    validate_ddg(ddg)
+    assert ddg.n_ops >= 2
+    assert ddg.trip_count > 1
+
+
+def test_unknown_kernel():
+    with pytest.raises(KeyError, match="available"):
+        kernel("nope")
+
+
+def test_all_kernels_fresh_instances():
+    a, b = all_kernels(), all_kernels()
+    assert a[0] is not b[0]
+
+
+def test_recurrent_kernels_have_cycles():
+    for name in ("dot", "tridiag", "iir1", "scan", "rec3", "state2",
+                 "norm2", "redtree", "matvec"):
+        assert kernel(name).recurrence_ops(), name
+
+
+def test_streaming_kernels_are_acyclic():
+    for name in ("daxpy", "scale", "vadd", "fir4", "stencil3", "cmul",
+                 "horner4", "hydro1", "wide8"):
+        assert not kernel(name).recurrence_ops(), name
+
+
+def test_memrec_recurrence_through_memory():
+    ddg = kernel("memrec")
+    assert rec_mii(ddg) > 1
+
+
+def test_known_recmii_values():
+    assert rec_mii(kernel("dot")) == 1
+    assert rec_mii(kernel("tridiag")) == 3
+    assert rec_mii(kernel("scan")) == 1
+
+
+def test_fanout_kernels():
+    # norm2 squares a value (x used twice); scan stores + carries
+    assert kernel("norm2").max_fanout() == 2
+    assert kernel("scan").max_fanout() == 2
+    assert kernel("daxpy").max_fanout() == 1
