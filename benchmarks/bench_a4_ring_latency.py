@@ -8,7 +8,7 @@ zero, the architecture would be fragile; a graceful decline validates the
 design margin.
 """
 
-from conftest import record
+from conftest import record, runner_from_env
 
 from repro.analysis.experiments import ring_latency_sensitivity
 from repro.workloads.corpus import bench_corpus
@@ -19,7 +19,8 @@ SAMPLE = 48
 def test_a4_ring_latency(benchmark):
     loops = bench_corpus(SAMPLE)
     result = benchmark.pedantic(
-        lambda: ring_latency_sensitivity(loops), rounds=1, iterations=1)
+        lambda: ring_latency_sensitivity(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
     record("a4_ring_latency", result.render())
 
     same = result.same_ii

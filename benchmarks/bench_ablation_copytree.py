@@ -7,7 +7,7 @@ The slack strategy should preserve the no-copy II at least as often as the
 alternatives.
 """
 
-from conftest import record
+from conftest import record, runner_from_env
 
 from repro.analysis.experiments import ablation_copy_tree
 from repro.workloads.corpus import bench_corpus
@@ -18,7 +18,8 @@ SAMPLE = 80
 def test_ablation_copy_tree(benchmark):
     loops = bench_corpus(SAMPLE)
     result = benchmark.pedantic(
-        lambda: ablation_copy_tree(loops), rounds=1, iterations=1)
+        lambda: ablation_copy_tree(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
     record("ablation_copytree", result.render())
 
     assert set(result.same_ii) == {"chain", "balanced", "slack"}

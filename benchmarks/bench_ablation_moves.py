@@ -8,7 +8,7 @@ assignment -> MOVE chains on every multi-hop edge -> pinned re-schedule)
 and measures how much of the loss it recovers on 5 and 6 clusters.
 """
 
-from conftest import record
+from conftest import record, runner_from_env
 
 from repro.analysis.experiments import ablation_moves
 from repro.workloads.corpus import bench_corpus
@@ -19,7 +19,8 @@ SAMPLE = 64
 def test_ablation_moves(benchmark):
     loops = bench_corpus(SAMPLE)
     result = benchmark.pedantic(
-        lambda: ablation_moves(loops), rounds=1, iterations=1)
+        lambda: ablation_moves(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
     record("ablation_moves", result.render())
 
     for n in (5, 6):

@@ -8,7 +8,7 @@ random baseline.  Affinity must beat random; the gap is the value of the
 heuristic.
 """
 
-from conftest import record
+from conftest import record, runner_from_env
 
 from repro.analysis.experiments import ablation_partition
 from repro.workloads.corpus import bench_corpus
@@ -19,7 +19,8 @@ SAMPLE = 64
 def test_ablation_partition_strategy(benchmark):
     loops = bench_corpus(SAMPLE)
     result = benchmark.pedantic(
-        lambda: ablation_partition(loops), rounds=1, iterations=1)
+        lambda: ablation_partition(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
     record("ablation_partition", result.render())
 
     same = result.same_ii

@@ -7,7 +7,7 @@ reports the spill-free fraction and mean spilled lifetimes -- the
 quantified version of the paper's "occasionally".
 """
 
-from conftest import record
+from conftest import record, runner_from_env
 
 from repro.analysis.experiments import spill_budget
 from repro.workloads.corpus import bench_corpus
@@ -18,7 +18,8 @@ SAMPLE = 96
 def test_e6b_spill_budget(benchmark):
     loops = bench_corpus(SAMPLE)
     result = benchmark.pedantic(
-        lambda: spill_budget(loops), rounds=1, iterations=1)
+        lambda: spill_budget(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
     record("e6b_spills", result.render())
 
     frac = result.no_spill_fraction

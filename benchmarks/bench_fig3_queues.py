@@ -7,7 +7,7 @@ queues (the paper's "machine configuration required to schedule most of
 the loops ... consist of 32 queues").
 """
 
-from conftest import record
+from conftest import record, runner_from_env
 
 from repro.analysis.experiments import fig3_queue_requirements
 from repro.workloads.corpus import bench_corpus
@@ -16,7 +16,8 @@ from repro.workloads.corpus import bench_corpus
 def test_fig3_queue_requirements(benchmark):
     loops = bench_corpus()
     result = benchmark.pedantic(
-        lambda: fig3_queue_requirements(loops), rounds=1, iterations=1)
+        lambda: fig3_queue_requirements(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
     record("fig3_queues", result.render())
 
     for machine, row in result.by_machine.items():

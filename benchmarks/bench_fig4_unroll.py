@@ -7,7 +7,7 @@ machines benefit more, and no loop regresses (the compiler keeps the
 rolled version when unrolling loses).
 """
 
-from conftest import record
+from conftest import record, runner_from_env
 
 from repro.analysis.experiments import fig4_unroll_speedup
 from repro.workloads.corpus import bench_corpus
@@ -16,7 +16,8 @@ from repro.workloads.corpus import bench_corpus
 def test_fig4_unroll_speedup(benchmark):
     loops = bench_corpus()
     result = benchmark.pedantic(
-        lambda: fig4_unroll_speedup(loops), rounds=1, iterations=1)
+        lambda: fig4_unroll_speedup(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
     record("fig4_unroll", result.render())
 
     names = list(result.speedup_gt1)

@@ -7,7 +7,7 @@ cannot move between non-adjacent clusters; increases are "typically of one
 cycle only".
 """
 
-from conftest import record
+from conftest import record, runner_from_env
 
 from repro.analysis.experiments import fig6_ii_variation
 from repro.workloads.corpus import bench_corpus
@@ -16,7 +16,8 @@ from repro.workloads.corpus import bench_corpus
 def test_fig6_ii_variation(benchmark):
     loops = bench_corpus()
     result = benchmark.pedantic(
-        lambda: fig6_ii_variation(loops), rounds=1, iterations=1)
+        lambda: fig6_ii_variation(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
     record("fig6_partition", result.render())
 
     # paper shape: degradation as the ring grows

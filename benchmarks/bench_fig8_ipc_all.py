@@ -8,7 +8,7 @@ stop scaling); dynamic < static (prologue/epilogue drag); clustered at or
 below single-cluster.
 """
 
-from conftest import record
+from conftest import record, runner_from_env
 
 from repro.analysis.experiments import fig8_ipc
 from repro.workloads.corpus import bench_corpus
@@ -20,7 +20,8 @@ SAMPLE = 96
 def test_fig8_ipc_all_loops(benchmark):
     loops = bench_corpus(SAMPLE)
     result = benchmark.pedantic(
-        lambda: fig8_ipc(loops), rounds=1, iterations=1)
+        lambda: fig8_ipc(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
     record("fig8_ipc_all", result.render())
 
     # growth with machine width, per series

@@ -8,7 +8,7 @@ requirements: these loops exploit the machine better than the full
 population and keep scaling further.
 """
 
-from conftest import record
+from conftest import record, runner_from_env
 
 from repro.analysis.experiments import fig8_ipc, fig9_ipc_rc
 from repro.workloads.corpus import bench_corpus
@@ -19,7 +19,8 @@ SAMPLE = 96
 def test_fig9_ipc_resource_constrained(benchmark):
     loops = bench_corpus(SAMPLE)
     result = benchmark.pedantic(
-        lambda: fig9_ipc_rc(loops), rounds=1, iterations=1)
+        lambda: fig9_ipc_rc(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
     record("fig9_ipc_rc", result.render())
 
     assert result.static_single[18] > result.static_single[4]

@@ -8,7 +8,7 @@ the absolute fraction depends on how often recurrence producers feed extra
 consumers (EXPERIMENTS.md discusses the gap).
 """
 
-from conftest import record
+from conftest import record, runner_from_env
 
 from repro.analysis.experiments import sec2_copy_impact
 from repro.workloads.corpus import bench_corpus
@@ -17,7 +17,8 @@ from repro.workloads.corpus import bench_corpus
 def test_sec2_copy_impact(benchmark):
     loops = bench_corpus()
     result = benchmark.pedantic(
-        lambda: sec2_copy_impact(loops), rounds=1, iterations=1)
+        lambda: sec2_copy_impact(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
     record("sec2_copyops", result.render())
 
     for machine in result.same_ii:

@@ -4,13 +4,45 @@ Every benchmark runs one paper experiment end to end on the bench corpus
 (a stratified subsample; set ``REPRO_FULL_CORPUS=1`` for all 1258 loops),
 asserts the figure's *shape* invariants, and records the rendered table
 under ``benchmarks/results/`` so EXPERIMENTS.md can quote it.
+
+Benchmarks execute through the sweep runner; the same knobs the CLI
+exposes as ``--jobs``/``--no-cache``/``--cache-dir`` arrive here through
+the environment:
+
+* ``REPRO_JOBS=N``      -- worker processes (default 1 = serial),
+* ``REPRO_NO_CACHE=1``  -- disable the content-addressed result cache
+  (the default here, unlike the CLI: a benchmark that replays cached
+  results measures nothing),
+* ``REPRO_CACHE_DIR``   -- cache location when caching is enabled.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Environment knobs mirrored from the CLI's runner flags.
+JOBS_ENV = "REPRO_JOBS"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+
+def runner_from_env():
+    """Build the benchmarks' :class:`repro.runner.RunnerConfig` from env.
+
+    Returns None (the drivers' serial, uncached default) unless the
+    environment asks for workers or caching, so timing runs measure the
+    real pipeline by default.
+    """
+    from repro.runner import ResultCache, RunnerConfig
+
+    n_workers = int(os.environ.get(JOBS_ENV, "1") or "1")
+    use_cache = os.environ.get(NO_CACHE_ENV, "1") != "1"
+    if n_workers <= 1 and not use_cache:
+        return None
+    return RunnerConfig(n_workers=n_workers,
+                        cache=ResultCache() if use_cache else None)
 
 
 def record(name: str, rendered: str) -> None:

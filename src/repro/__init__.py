@@ -11,7 +11,9 @@ queue register files:
 * :mod:`repro.codegen`  -- VLIW words, prologue/kernel/epilogue;
 * :mod:`repro.sim`      -- token-level simulator and end-to-end checker;
 * :mod:`repro.workloads`-- classic kernels + the synthetic corpus;
-* :mod:`repro.analysis` -- drivers for every figure of the paper.
+* :mod:`repro.analysis` -- drivers for every figure of the paper;
+* :mod:`repro.runner`   -- parallel sweep runner + content-addressed
+  result cache behind every experiment driver (``--jobs N``).
 
 Quickstart::
 

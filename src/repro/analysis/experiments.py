@@ -1,10 +1,19 @@
 """Experiment drivers: one function per paper figure/table (+ ablations).
 
-Every driver consumes a list of loop DDGs (the corpus or a subset), runs
-the full compilation pipeline, and returns a result object whose fields are
-the numbers the paper plots and whose ``render()`` reproduces the figure as
-an ASCII table.  DESIGN.md §4 maps experiment ids (E1..E8, A1..A3) to these
-functions; EXPERIMENTS.md records measured-vs-paper values.
+Every driver consumes a list of loop DDGs (the corpus or a subset), builds
+one :class:`~repro.runner.job.CompileJob` per (loop, machine, pipeline
+variant) point and executes the whole grid through
+:func:`repro.runner.run_jobs`, then aggregates the ordered results into a
+result object whose fields are the numbers the paper plots and whose
+``render()`` reproduces the figure as an ASCII table.  DESIGN.md §4 maps
+experiment ids (E1..E8, A1..A3) to these functions; EXPERIMENTS.md records
+measured-vs-paper values.
+
+All drivers accept ``runner=RunnerConfig(...)`` to fan the grid out over
+worker processes and/or replay results from the content-addressed cache;
+the default (``None``) is the historical serial, uncached behaviour, and
+parallel runs are guaranteed to aggregate to identical tables because the
+runner returns results in job order.
 """
 
 from __future__ import annotations
@@ -12,148 +21,49 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.ir.copyins import insert_copies
 from repro.ir.ddg import Ddg
-from repro.ir.unroll import select_unroll_factor, unroll
 from repro.machine.cluster import ClusteredMachine
 from repro.machine.machine import Machine
 from repro.machine.presets import (IPC_SWEEP_FUS, PAPER_CLUSTER_COUNTS,
                                    clustered_machine, paper_qrf_machines,
                                    qrf_machine)
-from repro.regalloc.queues import allocate_for_schedule
-from repro.sched.ims import ImsConfig, modulo_schedule
+from repro.runner import (CompileJob, PipelineOptions, RunnerConfig,
+                          run_jobs, spill_spec, sweep)
+# Re-exported for backwards compatibility: the pipeline moved into the
+# runner subsystem so worker processes do not depend on this module.
+from repro.runner.pipeline import (UNROLL_MAX_FACTOR, UNROLL_MAX_OPS,  # noqa: F401
+                                   CompiledLoop, compile_loop)
 from repro.sched.mii import mii_report
-from repro.sched.partition import (PartitionConfig, partitioned_schedule,
-                                   schedule_with_moves)
-from repro.sched.schedule import SchedulingError
 
 from .metrics import (LoopOutcome, cumulative_within, fraction, mean,
                       percentile, weighted_dynamic_ipc,
                       weighted_static_ipc)
 
-#: caps for the automatic unroll policy (the paper's large loops "do not
-#: require unrolling to exploit efficiently the machine resources")
-UNROLL_MAX_FACTOR = 8
-UNROLL_MAX_OPS = 128
+__all__ = [
+    "CompiledLoop", "compile_loop",
+    "Fig3Result", "fig3_queue_requirements",
+    "Sec2Result", "sec2_copy_impact",
+    "Fig4Result", "fig4_unroll_speedup",
+    "Fig6Result", "fig6_ii_variation",
+    "Sec4Result", "sec4_cluster_queues",
+    "IpcSweepResult", "ipc_sweep", "fig8_ipc", "fig9_ipc_rc",
+    "CopyTreeAblation", "ablation_copy_tree",
+    "PartitionAblation", "ablation_partition",
+    "MovesAblation", "ablation_moves",
+    "RegisterPressureResult", "register_pressure",
+    "SpillBudgetResult", "spill_budget",
+    "RingLatencyResult", "ring_latency_sensitivity",
+    "HardwareCostResult", "hardware_cost",
+]
 
 
-# ---------------------------------------------------------------------------
-# shared pipeline runner
-# ---------------------------------------------------------------------------
-
-@dataclass
-class CompiledLoop:
-    """Pipeline artefacts for one (loop, machine) pair."""
-
-    outcome: LoopOutcome
-    schedule: object = None
-    usage: object = None
-    work: Optional[Ddg] = None
-
-
-def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
-                 do_unroll: bool = False,
-                 unroll_factor: Optional[int] = None,
-                 copies: bool = True,
-                 copy_strategy: str = "slack",
-                 allocate: bool = True,
-                 partition_strategy: str = "affinity",
-                 use_moves: bool = False) -> CompiledLoop:
-    """Run (unroll ->) (copy-insert ->) schedule (-> allocate queues).
-
-    Scheduling failures produce a ``failed`` outcome instead of raising, so
-    corpus sweeps always complete.
-    """
-    factor = 1
-    if unroll_factor is not None:
-        factor = unroll_factor
-    elif do_unroll:
-        factor = select_unroll_factor(
-            ddg, _fu_counts(machine), max_factor=UNROLL_MAX_FACTOR,
-            max_ops=UNROLL_MAX_OPS).factor
-        if factor > 1:
-            # a production compiler keeps whichever version wins: compile
-            # both and fall back to the rolled loop when the unrolled
-            # schedule's per-iteration II is no better (the estimate is a
-            # bound, not a guarantee)
-            rolled = compile_loop(
-                ddg, machine, copies=copies, copy_strategy=copy_strategy,
-                allocate=False, partition_strategy=partition_strategy,
-                use_moves=use_moves)
-            unrolled = compile_loop(
-                ddg, machine, unroll_factor=factor, copies=copies,
-                copy_strategy=copy_strategy, allocate=allocate,
-                partition_strategy=partition_strategy,
-                use_moves=use_moves)
-            if (unrolled.outcome.failed
-                    or rolled.outcome.failed
-                    or unrolled.outcome.ii_per_iteration
-                    <= rolled.outcome.ii_per_iteration + 1e-9):
-                if not unrolled.outcome.failed:
-                    return unrolled
-            if allocate and not rolled.outcome.failed:
-                rolled = compile_loop(
-                    ddg, machine, unroll_factor=1, copies=copies,
-                    copy_strategy=copy_strategy, allocate=True,
-                    partition_strategy=partition_strategy,
-                    use_moves=use_moves)
-            return rolled
-        factor = 1
-    work = unroll(ddg, factor) if factor > 1 else ddg
-
-    n_copies = 0
-    if copies:
-        res = insert_copies(work, strategy=copy_strategy)  # type: ignore[arg-type]
-        work, n_copies = res.ddg, res.n_copies
-
-    clustered = isinstance(machine, ClusteredMachine)
-    report = mii_report(work, machine)
-    try:
-        if clustered and use_moves:
-            sched = schedule_with_moves(
-                work, machine,
-                config=PartitionConfig(strategy=partition_strategy)
-            ).schedule
-        elif clustered:
-            sched = partitioned_schedule(
-                work, machine,
-                config=PartitionConfig(strategy=partition_strategy))
-        else:
-            sched = modulo_schedule(work, machine, config=ImsConfig())
-    except SchedulingError:
-        return CompiledLoop(outcome=LoopOutcome(
-            loop=ddg.name, machine=machine.name,
-            n_source_ops=ddg.n_ops, n_body_ops=work.n_ops,
-            unroll_factor=factor, n_copies=n_copies,
-            ii=0, mii=report.mii, res_mii=report.res, rec_mii=report.rec,
-            stage_count=0, trip_count=ddg.trip_count, failed=True))
-
-    usage = None
-    total_queues = max_depth = None
-    if allocate:
-        usage = allocate_for_schedule(
-            sched, machine if clustered else None)
-        total_queues = usage.total_queues
-        max_depth = usage.max_depth
-
-    # MII of the *scheduled* ddg can exceed the pre-move report; recompute
-    # cheaply off the schedule's ddg only when moves were added
-    outcome = LoopOutcome(
-        loop=ddg.name, machine=machine.name,
-        n_source_ops=ddg.n_ops, n_body_ops=sched.n_ops,
-        unroll_factor=factor, n_copies=n_copies,
-        ii=sched.ii, mii=report.mii, res_mii=report.res,
-        rec_mii=report.rec, stage_count=sched.stage_count,
-        trip_count=ddg.trip_count,
-        total_queues=total_queues, max_queue_depth=max_depth)
-    return CompiledLoop(outcome=outcome, schedule=sched, usage=usage,
-                        work=work)
-
-
-def _fu_counts(machine: "Machine | ClusteredMachine"):
-    from repro.ir.operations import FuType
-    return {t: machine.capacity(t)
-            for t in (FuType.LS, FuType.ADD, FuType.MUL)}
+def _blocks(results, size: int, n_blocks: int):
+    """Split an ordered result list into *n_blocks* consecutive blocks of
+    *size*.  Passing the block count explicitly keeps empty loop lists
+    graceful: ``size == 0`` yields one empty block per machine/variant, so
+    aggregation degrades to the pre-runner drivers' empty-row behaviour
+    instead of crashing."""
+    return [results[k * size:(k + 1) * size] for k in range(n_blocks)]
 
 
 # ---------------------------------------------------------------------------
@@ -182,16 +92,17 @@ class Fig3Result:
 def fig3_queue_requirements(
         loops: Sequence[Ddg],
         machines: Optional[Sequence[Machine]] = None,
-        buckets: tuple[int, ...] = (4, 8, 16, 32)) -> Fig3Result:
+        buckets: tuple[int, ...] = (4, 8, 16, 32),
+        *, runner: Optional[RunnerConfig] = None) -> Fig3Result:
     machines = list(machines) if machines else paper_qrf_machines()
+    results = run_jobs(
+        sweep(loops, machines, [dict(copies=True, allocate=True)]), runner)
     by_machine: dict[str, dict[int, float]] = {}
     counts: dict[str, list[int]] = {}
-    for m in machines:
-        totals = []
-        for ddg in loops:
-            c = compile_loop(ddg, m, copies=True, allocate=True)
-            if not c.outcome.failed:
-                totals.append(c.outcome.total_queues)
+    for m, block in zip(machines, _blocks(results, len(loops),
+                                          len(machines))):
+        totals = [r.outcome.total_queues for r in block
+                  if not r.outcome.failed]
         by_machine[m.name] = cumulative_within(totals, buckets)
         counts[m.name] = totals
     return Fig3Result(buckets=buckets, by_machine=by_machine,
@@ -225,18 +136,22 @@ class Sec2Result:
 
 
 def sec2_copy_impact(loops: Sequence[Ddg],
-                     machines: Optional[Sequence[Machine]] = None
-                     ) -> Sec2Result:
+                     machines: Optional[Sequence[Machine]] = None,
+                     *, runner: Optional[RunnerConfig] = None) -> Sec2Result:
     machines = list(machines) if machines else paper_qrf_machines()
+    results = run_jobs(
+        sweep(loops, machines, [dict(copies=False, allocate=False),
+                                dict(copies=True, allocate=False)]),
+        runner)
     same_ii: dict[str, float] = {}
     same_sc: dict[str, float] = {}
     plus1: dict[str, float] = {}
     mean_copies: dict[str, float] = {}
-    for m in machines:
+    variant_blocks = _blocks(results, len(loops), 2 * len(machines))
+    for k, m in enumerate(machines):
+        base_block, with_block = variant_blocks[2 * k], variant_blocks[2 * k + 1]
         flags_ii, flags_sc, increments, copies = [], [], [], []
-        for ddg in loops:
-            base = compile_loop(ddg, m, copies=False, allocate=False)
-            with_c = compile_loop(ddg, m, copies=True, allocate=False)
+        for base, with_c in zip(base_block, with_block):
             if base.outcome.failed or with_c.outcome.failed:
                 continue
             flags_ii.append(with_c.outcome.ii == base.outcome.ii)
@@ -281,20 +196,26 @@ class Fig4Result:
 
 
 def fig4_unroll_speedup(loops: Sequence[Ddg],
-                        machines: Optional[Sequence[Machine]] = None
+                        machines: Optional[Sequence[Machine]] = None,
+                        *, runner: Optional[RunnerConfig] = None
                         ) -> Fig4Result:
     machines = list(machines) if machines else paper_qrf_machines()
+    results = run_jobs(
+        sweep(loops, machines,
+              [dict(copies=True, allocate=False),
+               dict(do_unroll=True, copies=True, allocate=True)]),
+        runner)
     gt1: dict[str, float] = {}
     mean_spd: dict[str, float] = {}
     q32: dict[str, float] = {}
     same_sc: dict[str, float] = {}
     all_speedups: dict[str, list[float]] = {}
-    for m in machines:
+    variant_blocks = _blocks(results, len(loops), 2 * len(machines))
+    for k, m in enumerate(machines):
+        base_block, unrolled_block = (variant_blocks[2 * k],
+                                      variant_blocks[2 * k + 1])
         speedups, fits, sc_flags = [], [], []
-        for ddg in loops:
-            base = compile_loop(ddg, m, copies=True, allocate=False)
-            unrolled = compile_loop(ddg, m, do_unroll=True, copies=True,
-                                    allocate=True)
+        for base, unrolled in zip(base_block, unrolled_block):
             if base.outcome.failed or unrolled.outcome.failed:
                 continue
             speedups.append(base.outcome.ii
@@ -338,24 +259,36 @@ def fig6_ii_variation(loops: Sequence[Ddg],
                       cluster_counts: Sequence[int] = PAPER_CLUSTER_COUNTS,
                       *, do_unroll: bool = True,
                       partition_strategy: str = "affinity",
-                      use_moves: bool = False) -> Fig6Result:
+                      use_moves: bool = False,
+                      runner: Optional[RunnerConfig] = None) -> Fig6Result:
+    cluster_counts = list(cluster_counts)
+    cms = [clustered_machine(n) for n in cluster_counts]
+    # wave 1: single-cluster baselines pick the unroll factor...
+    single_results = run_jobs(
+        sweep(loops, [cm.flattened() for cm in cms],
+              [dict(do_unroll=do_unroll, copies=True, allocate=False)]),
+        runner)
+    single_blocks = _blocks(single_results, len(loops), len(cms))
+    # ...wave 2 compiles the clustered machine at that same factor
+    clustered_jobs = [
+        CompileJob(ddg, cm, PipelineOptions(
+            unroll_factor=single.outcome.unroll_factor,
+            copies=True, allocate=False,
+            partition_strategy=partition_strategy, use_moves=use_moves))
+        for cm, block in zip(cms, single_blocks)
+        for ddg, single in zip(loops, block)]
+    clustered_blocks = _blocks(run_jobs(clustered_jobs, runner),
+                               len(loops), len(cms))
+
     same: dict[int, float] = {}
     plus1: dict[int, float] = {}
     mean_inc: dict[int, float] = {}
     counts: dict[int, int] = {}
-    for n in cluster_counts:
-        cm = clustered_machine(n)
-        flat = cm.flattened()
+    for n, singles, clusts in zip(cluster_counts, single_blocks,
+                                  clustered_blocks):
         flags, incs = [], []
         n_ok = 0
-        for ddg in loops:
-            single = compile_loop(ddg, flat, do_unroll=do_unroll,
-                                  copies=True, allocate=False)
-            factor = single.outcome.unroll_factor
-            clust = compile_loop(ddg, cm, unroll_factor=factor,
-                                 copies=True, allocate=False,
-                                 partition_strategy=partition_strategy,
-                                 use_moves=use_moves)
+        for single, clust in zip(singles, clusts):
             if single.outcome.failed or clust.outcome.failed:
                 continue
             n_ok += 1
@@ -397,30 +330,37 @@ class Sec4Result:
 
 def sec4_cluster_queues(loops: Sequence[Ddg],
                         cluster_counts: Sequence[int] = PAPER_CLUSTER_COUNTS,
-                        *, do_unroll: bool = True) -> Sec4Result:
-    from repro.regalloc.lifetimes import LocationKind
-
+                        *, do_unroll: bool = True,
+                        runner: Optional[RunnerConfig] = None) -> Sec4Result:
+    cluster_counts = list(cluster_counts)
+    cms = [clustered_machine(n) for n in cluster_counts]
+    results = run_jobs(
+        sweep(loops, cms,
+              [dict(do_unroll=do_unroll, copies=True, allocate=True)],
+              extras=("queue_locations",)),
+        runner)
     fits: dict[int, float] = {}
     p95_priv: dict[int, int] = {}
     p95_ring: dict[int, int] = {}
     max_priv: dict[int, int] = {}
     max_ring: dict[int, int] = {}
-    for n in cluster_counts:
-        cm = clustered_machine(n)
+    for n, cm, block in zip(cluster_counts, cms,
+                            _blocks(results, len(loops),
+                                    len(cms))):
         budget = cm.queue_budget
         flags, priv, ring = [], [], []
-        for ddg in loops:
-            c = compile_loop(ddg, cm, do_unroll=do_unroll, copies=True,
-                             allocate=True)
-            if c.outcome.failed or c.usage is None:
+        for r in block:
+            locations = r.extras.get("queue_locations")
+            if r.outcome.failed or locations is None:
                 continue
-            flags.append(c.usage.fits_budget(budget.private,
-                                             budget.ring_out_cw))
-            for loc, alloc in c.usage.by_location.items():
-                if loc.kind is LocationKind.PRIVATE:
-                    priv.append(alloc.n_queues)
-                else:
-                    ring.append(alloc.n_queues)
+            flags.append(all(
+                loc["n_queues"] <= (budget.private
+                                    if loc["kind"] == "private"
+                                    else budget.ring_out_cw)
+                for loc in locations))
+            for loc in locations:
+                (priv if loc["kind"] == "private"
+                 else ring).append(loc["n_queues"])
         fits[n] = fraction(flags)
         p95_priv[n] = int(percentile(priv, 95))
         p95_ring[n] = int(percentile(ring, 95))
@@ -466,39 +406,49 @@ def ipc_sweep(loops: Sequence[Ddg], *,
               clustered_counts: Sequence[int] = PAPER_CLUSTER_COUNTS,
               resource_constrained_only: bool = False,
               do_unroll: bool = True,
+              runner: Optional[RunnerConfig] = None,
               title: str = "Fig. 8 -- IPC, all loops") -> IpcSweepResult:
     """Shared driver of Figs. 8 and 9.
 
     ``resource_constrained_only`` filters, per FU point, the loops whose
     MII on that machine is resource-bound (Fig. 9's population).
     """
+    clustered_by_fus = {3 * n: clustered_machine(n)
+                        for n in clustered_counts}
+    options = PipelineOptions(do_unroll=do_unroll, copies=True,
+                              allocate=False)
+    jobs: list[CompileJob] = []
+    spans: dict[int, tuple[int, int]] = {}       # n_fus -> (start, count)
+    clustered_spans: dict[int, int] = {}          # n_fus -> start
+    for n_fus in fus:
+        m = qrf_machine(n_fus)
+        population = list(loops)
+        if resource_constrained_only:
+            population = [l for l in loops
+                          if mii_report(l, m).resource_constrained]
+        spans[n_fus] = (len(jobs), len(population))
+        jobs.extend(CompileJob(l, m, options) for l in population)
+        cm = clustered_by_fus.get(n_fus)
+        if cm is not None:
+            clustered_spans[n_fus] = len(jobs)
+            jobs.extend(CompileJob(l, cm, options) for l in population)
+    results = run_jobs(jobs, runner)
+
     static_s: dict[int, float] = {}
     dynamic_s: dict[int, float] = {}
     static_c: dict[int, float] = {}
     dynamic_c: dict[int, float] = {}
     n_used: dict[int, int] = {}
-    clustered_by_fus = {3 * n: clustered_machine(n)
-                        for n in clustered_counts}
-
     for n_fus in fus:
-        m = qrf_machine(n_fus)
-        population = loops
-        if resource_constrained_only:
-            population = [l for l in loops
-                          if mii_report(l, m).resource_constrained]
-        outcomes = [compile_loop(l, m, do_unroll=do_unroll, copies=True,
-                                 allocate=False).outcome
-                    for l in population]
+        start, count = spans[n_fus]
+        outcomes = [r.outcome for r in results[start:start + count]]
         static_s[n_fus] = weighted_static_ipc(outcomes)
         dynamic_s[n_fus] = weighted_dynamic_ipc(outcomes)
         n_used[n_fus] = len([o for o in outcomes if not o.failed])
-
-        cm = clustered_by_fus.get(n_fus)
-        if cm is not None:
-            c_outcomes = [
-                compile_loop(l, cm, do_unroll=do_unroll, copies=True,
-                             allocate=False).outcome
-                for l in population]
+        if n_fus in clustered_spans:
+            cstart = clustered_spans[n_fus]
+            c_outcomes = [r.outcome
+                          for r in results[cstart:cstart + count]]
             static_c[n_fus] = weighted_static_ipc(c_outcomes)
             dynamic_c[n_fus] = weighted_dynamic_ipc(c_outcomes)
 
@@ -543,29 +493,34 @@ class CopyTreeAblation:
 def ablation_copy_tree(loops: Sequence[Ddg],
                        machine: Optional[Machine] = None,
                        strategies: Sequence[str] = ("chain", "balanced",
-                                                    "slack")
+                                                    "slack"),
+                       *, runner: Optional[RunnerConfig] = None
                        ) -> CopyTreeAblation:
     m = machine or qrf_machine(12)
+    base_results = run_jobs(
+        sweep(loops, [m], [dict(copies=False, allocate=False)]), runner)
+    baselines: dict[str, int] = {
+        ddg.name: r.outcome.ii
+        for ddg, r in zip(loops, base_results) if not r.outcome.failed}
+    ok_loops = [ddg for ddg in loops if ddg.name in baselines]
+    strategy_results = run_jobs(
+        sweep(ok_loops, [m],
+              [dict(copies=True, copy_strategy=s, allocate=True)
+               for s in strategies]),
+        runner)
     same: dict[str, float] = {}
     mean_ii: dict[str, float] = {}
     mean_q: dict[str, float] = {}
-    baselines: dict[str, int] = {}
-    for ddg in loops:
-        b = compile_loop(ddg, m, copies=False, allocate=False)
-        if not b.outcome.failed:
-            baselines[ddg.name] = b.outcome.ii
-    for strat in strategies:
+    for strat, block in zip(strategies,
+                            _blocks(strategy_results, len(ok_loops),
+                                    len(strategies))):
         flags, iis, queues = [], [], []
-        for ddg in loops:
-            if ddg.name not in baselines:
+        for ddg, r in zip(ok_loops, block):
+            if r.outcome.failed:
                 continue
-            c = compile_loop(ddg, m, copies=True, copy_strategy=strat,
-                             allocate=True)
-            if c.outcome.failed:
-                continue
-            flags.append(c.outcome.ii == baselines[ddg.name])
-            iis.append(c.outcome.ii)
-            queues.append(c.outcome.total_queues or 0)
+            flags.append(r.outcome.ii == baselines[ddg.name])
+            iis.append(r.outcome.ii)
+            queues.append(r.outcome.total_queues or 0)
         same[strat] = fraction(flags)
         mean_ii[strat] = mean(iis)
         mean_q[strat] = mean(queues)
@@ -592,12 +547,13 @@ class PartitionAblation:
 
 def ablation_partition(loops: Sequence[Ddg], n_clusters: int = 5,
                        strategies: Sequence[str] = ("affinity", "balance",
-                                                    "first", "random")
+                                                    "first", "random"),
+                       *, runner: Optional[RunnerConfig] = None
                        ) -> PartitionAblation:
     same: dict[str, float] = {}
     for strat in strategies:
         res = fig6_ii_variation(loops, cluster_counts=(n_clusters,),
-                                partition_strategy=strat)
+                                partition_strategy=strat, runner=runner)
         same[strat] = res.same_ii[n_clusters]
     return PartitionAblation(same_ii=same)
 
@@ -622,10 +578,13 @@ class MovesAblation:
 
 
 def ablation_moves(loops: Sequence[Ddg],
-                   cluster_counts: Sequence[int] = (5, 6)) -> MovesAblation:
-    base = fig6_ii_variation(loops, cluster_counts=cluster_counts)
+                   cluster_counts: Sequence[int] = (5, 6),
+                   *, runner: Optional[RunnerConfig] = None
+                   ) -> MovesAblation:
+    base = fig6_ii_variation(loops, cluster_counts=cluster_counts,
+                             runner=runner)
     moved = fig6_ii_variation(loops, cluster_counts=cluster_counts,
-                              use_moves=True)
+                              use_moves=True, runner=runner)
     return MovesAblation(without_moves=base.same_ii,
                          with_moves=moved.same_ii)
 
@@ -671,15 +630,23 @@ class RegisterPressureResult:
 
 
 def register_pressure(loops: Sequence[Ddg],
-                      machines: Optional[Sequence[Machine]] = None
+                      machines: Optional[Sequence[Machine]] = None,
+                      *, runner: Optional[RunnerConfig] = None
                       ) -> RegisterPressureResult:
     """Experiment S1: storage demand of QRF vs CRF on the same loops."""
     from repro.machine.machine import RfKind, make_machine
-    from repro.regalloc.conventional import register_requirement
-    from repro.regalloc.rotating import (mve_register_requirement,
-                                         rotating_register_requirement)
 
     machines = list(machines) if machines else paper_qrf_machines()
+    jobs: list[CompileJob] = []
+    for m in machines:
+        crf = make_machine(m.n_fus, rf_kind=RfKind.CONVENTIONAL)
+        jobs.extend(CompileJob(ddg, m, PipelineOptions(
+            copies=True, allocate=True)) for ddg in loops)
+        jobs.extend(CompileJob(ddg, crf, PipelineOptions(
+            copies=False, allocate=False,
+            extras=("crf_registers",))) for ddg in loops)
+    results = run_jobs(jobs, runner)
+
     mean_q: dict[str, float] = {}
     mean_ml: dict[str, float] = {}
     mean_rot: dict[str, float] = {}
@@ -687,21 +654,19 @@ def register_pressure(loops: Sequence[Ddg],
     p95_q: dict[str, int] = {}
     p95_mve: dict[str, int] = {}
     mean_unroll: dict[str, float] = {}
-    for m in machines:
-        crf = make_machine(m.n_fus, rf_kind=RfKind.CONVENTIONAL)
+    blocks = _blocks(results, len(loops), 2 * len(machines))
+    for k, m in enumerate(machines):
+        q_block, c_block = blocks[2 * k], blocks[2 * k + 1]
         queues, maxlive, rot, mve_regs, mve_unr = [], [], [], [], []
-        for ddg in loops:
-            q_side = compile_loop(ddg, m, copies=True, allocate=True)
-            c_side = compile_loop(ddg, crf, copies=False, allocate=False)
-            if q_side.outcome.failed or c_side.outcome.failed:
+        for q_side, c_side in zip(q_block, c_block):
+            regs = c_side.extras.get("crf_registers")
+            if q_side.outcome.failed or c_side.outcome.failed or not regs:
                 continue
             queues.append(q_side.outcome.total_queues)
-            rep = register_requirement(c_side.schedule)
-            maxlive.append(rep.max_live)
-            rot.append(rotating_register_requirement(c_side.schedule))
-            mrep = mve_register_requirement(c_side.schedule)
-            mve_regs.append(mrep.registers)
-            mve_unr.append(mrep.kernel_unroll)
+            maxlive.append(regs["max_live"])
+            rot.append(regs["rotating"])
+            mve_regs.append(regs["mve_regs"])
+            mve_unr.append(regs["mve_unroll"])
         mean_q[m.name] = mean(queues)
         mean_ml[m.name] = mean(maxlive)
         mean_rot[m.name] = mean(rot)
@@ -742,30 +707,25 @@ def spill_budget(loops: Sequence[Ddg],
                  budgets: Sequence[tuple[int, int]] = ((4, 8), (8, 8),
                                                        (8, 16), (16, 16),
                                                        (32, 16)),
-                 machine: Optional[Machine] = None) -> SpillBudgetResult:
+                 machine: Optional[Machine] = None,
+                 *, runner: Optional[RunnerConfig] = None
+                 ) -> SpillBudgetResult:
     """Experiment E6b: quantify the paper's "spill code will occasionally
     be required" across hardware budgets (queues x positions)."""
-    from repro.regalloc.lifetimes import extract_lifetimes
-    from repro.regalloc.spill import allocate_with_budget
-
     m = machine or qrf_machine(12)
+    spec = spill_spec(budgets)
+    results = run_jobs(
+        sweep(loops, [m], [dict(copies=True, allocate=False)],
+              extras=(spec,)),
+        runner)
+    reports = [r.extras.get(spec) for r in results
+               if not r.outcome.failed and r.extras.get(spec)]
     frac: dict[tuple[int, int], float] = {}
     spills: dict[tuple[int, int], float] = {}
-    compiled = []
-    for ddg in loops:
-        c = compile_loop(ddg, m, copies=True, allocate=False)
-        if not c.outcome.failed:
-            compiled.append(c)
     for q, p in budgets:
-        flags, counts = [], []
-        for c in compiled:
-            lts = extract_lifetimes(c.schedule)
-            rep = allocate_with_budget(lts, c.schedule.ii,
-                                       max_queues=q, max_positions=p)
-            flags.append(rep.fits)
-            counts.append(rep.n_spilled)
-        frac[(q, p)] = fraction(flags)
-        spills[(q, p)] = mean(counts)
+        cell = f"{q}x{p}"
+        frac[(q, p)] = fraction(rep[cell]["fits"] for rep in reports)
+        spills[(q, p)] = mean(rep[cell]["n_spilled"] for rep in reports)
     return SpillBudgetResult(no_spill_fraction=frac, mean_spills=spills)
 
 
@@ -795,30 +755,38 @@ class RingLatencyResult:
 
 def ring_latency_sensitivity(loops: Sequence[Ddg],
                              latencies: Sequence[int] = (0, 1, 2),
-                             cluster_counts: Sequence[int] = (4, 6)
+                             cluster_counts: Sequence[int] = (4, 6),
+                             *, runner: Optional[RunnerConfig] = None
                              ) -> RingLatencyResult:
     """Experiment A4: how sensitive is the partitioning result to the
     ring-queue forwarding latency?"""
     from repro.machine.cluster import make_clustered
 
+    grid = [(xlat, make_clustered(n, inter_cluster_latency=xlat))
+            for xlat in latencies for n in cluster_counts]
+    single_results = run_jobs(
+        sweep(loops, [cm.flattened() for _, cm in grid],
+              [dict(do_unroll=True, copies=True, allocate=False)]),
+        runner)
+    single_blocks = _blocks(single_results, len(loops), len(grid))
+    clustered_jobs = [
+        CompileJob(ddg, cm, PipelineOptions(
+            unroll_factor=single.outcome.unroll_factor,
+            copies=True, allocate=False))
+        for (_, cm), block in zip(grid, single_blocks)
+        for ddg, single in zip(loops, block)]
+    clustered_blocks = _blocks(run_jobs(clustered_jobs, runner),
+                               len(loops), len(grid))
+
     out: dict[int, dict[int, float]] = {}
-    for xlat in latencies:
-        row: dict[int, float] = {}
-        for n in cluster_counts:
-            cm = make_clustered(n, inter_cluster_latency=xlat)
-            flat = cm.flattened()
-            flags = []
-            for ddg in loops:
-                single = compile_loop(ddg, flat, do_unroll=True,
-                                      copies=True, allocate=False)
-                clust = compile_loop(ddg, cm,
-                                     unroll_factor=single.outcome.unroll_factor,
-                                     copies=True, allocate=False)
-                if single.outcome.failed or clust.outcome.failed:
-                    continue
-                flags.append(clust.outcome.ii == single.outcome.ii)
-            row[n] = fraction(flags)
-        out[xlat] = row
+    for (xlat, cm), singles, clusts in zip(grid, single_blocks,
+                                           clustered_blocks):
+        flags = []
+        for single, clust in zip(singles, clusts):
+            if single.outcome.failed or clust.outcome.failed:
+                continue
+            flags.append(clust.outcome.ii == single.outcome.ii)
+        out.setdefault(xlat, {})[cm.n_clusters] = fraction(flags)
     return RingLatencyResult(same_ii=out)
 
 
@@ -847,7 +815,8 @@ class HardwareCostResult:
 
 
 def hardware_cost(loops: Sequence[Ddg],
-                  fu_sizes: Sequence[int] = (6, 12, 18)
+                  fu_sizes: Sequence[int] = (6, 12, 18),
+                  *, runner: Optional[RunnerConfig] = None
                   ) -> HardwareCostResult:
     """Experiment S2: the paper's 36-port argument, quantified.
 
@@ -858,17 +827,20 @@ def hardware_cost(loops: Sequence[Ddg],
     from repro.machine.cost import cost_comparison
     from repro.machine.cluster import make_clustered
     from repro.machine.machine import RfKind, make_machine
-    from repro.regalloc.rotating import rotating_register_requirement
 
+    crfs = [make_machine(n_fus, rf_kind=RfKind.CONVENTIONAL)
+            for n_fus in fu_sizes]
+    results = run_jobs(
+        sweep(loops, crfs, [dict(copies=False, allocate=False)],
+              extras=("crf_registers",)),
+        runner)
     registers_used: dict[int, int] = {}
     rows: dict[int, list] = {}
-    for n_fus in fu_sizes:
-        crf = make_machine(n_fus, rf_kind=RfKind.CONVENTIONAL)
-        demand = []
-        for ddg in loops:
-            c = compile_loop(ddg, crf, copies=False, allocate=False)
-            if not c.outcome.failed:
-                demand.append(rotating_register_requirement(c.schedule))
+    for n_fus, crf, block in zip(fu_sizes, crfs,
+                                 _blocks(results, len(loops),
+                                         len(crfs))):
+        demand = [r.extras["crf_registers"]["rotating"] for r in block
+                  if not r.outcome.failed and r.extras.get("crf_registers")]
         registers = max(8, int(percentile(demand, 95)))
         cm = make_clustered(max(1, n_fus // 3))
         registers_used[n_fus] = registers

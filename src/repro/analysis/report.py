@@ -57,22 +57,27 @@ def series_table(x_label: str, xs: Sequence[int],
     return "\n".join(lines)
 
 
-def full_report(loops, *, include_sweep: bool = False) -> str:
+def full_report(loops, *, include_sweep: bool = False,
+                runner=None) -> str:
     """Run the paper's headline experiments on *loops* and bundle the
     rendered outputs (the IPC sweep is optional -- it dominates runtime).
+
+    *runner* is an optional :class:`repro.runner.RunnerConfig`; it is
+    threaded through every driver, so ``--jobs N`` parallelises and the
+    result cache accelerates the whole bundle.
     """
     from .experiments import (fig3_queue_requirements, fig4_unroll_speedup,
                               fig6_ii_variation, fig8_ipc, sec2_copy_impact,
                               sec4_cluster_queues)
 
     parts = [
-        fig3_queue_requirements(loops).render(),
-        sec2_copy_impact(loops).render(),
-        fig4_unroll_speedup(loops).render(),
-        fig6_ii_variation(loops).render(),
-        sec4_cluster_queues(loops).render(),
+        fig3_queue_requirements(loops, runner=runner).render(),
+        sec2_copy_impact(loops, runner=runner).render(),
+        fig4_unroll_speedup(loops, runner=runner).render(),
+        fig6_ii_variation(loops, runner=runner).render(),
+        sec4_cluster_queues(loops, runner=runner).render(),
     ]
     if include_sweep:
-        parts.append(fig8_ipc(loops).render())
+        parts.append(fig8_ipc(loops, runner=runner).render())
     sep = "\n\n" + "=" * 72 + "\n\n"
     return sep.join(parts)

@@ -8,6 +8,10 @@ Subcommands:
 * ``repro-vliw experiment <id>``    -- run one paper experiment
   (fig3, sec2, fig4, fig6, sec4, fig8, fig9, a1, a2, a3)
 * ``repro-vliw report``             -- the headline experiment bundle
+* ``repro-vliw cache``              -- inspect/clear the result cache
+
+Experiment sweeps honour ``--jobs N`` (parallel workers; output is
+byte-identical to the serial run), ``--no-cache`` and ``--cache-dir``.
 """
 
 from __future__ import annotations
@@ -26,6 +30,25 @@ def _loops(args) -> list:
     if args.full:
         return paper_corpus()
     return bench_corpus(args.sample)
+
+
+def _runner(args):
+    """Build the sweep-runner config from the CLI flags.
+
+    Caching defaults on (keys are content hashes, so stale entries are
+    unreachable); ``--no-cache`` disables it and ``--cache-dir`` (or
+    ``$REPRO_CACHE_DIR``) relocates the store.
+    """
+    from repro.runner import ResultCache, RunnerConfig
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = None
+    if args.jobs > 1 and sys.stderr.isatty():  # pragma: no cover
+        def progress(done, total):
+            print(f"\r{done}/{total} jobs", end="", file=sys.stderr,
+                  flush=True)
+    return RunnerConfig(n_workers=args.jobs, cache=cache,
+                        progress=progress)
 
 
 def cmd_corpus(args) -> int:
@@ -65,20 +88,21 @@ def cmd_experiment(args) -> int:
     from repro.analysis import experiments as ex
 
     loops = _loops(args)
+    runner = _runner(args)
     table = {
-        "fig3": lambda: ex.fig3_queue_requirements(loops),
-        "sec2": lambda: ex.sec2_copy_impact(loops),
-        "fig4": lambda: ex.fig4_unroll_speedup(loops),
-        "fig6": lambda: ex.fig6_ii_variation(loops),
-        "sec4": lambda: ex.sec4_cluster_queues(loops),
-        "fig8": lambda: ex.fig8_ipc(loops),
-        "fig9": lambda: ex.fig9_ipc_rc(loops),
-        "a1": lambda: ex.ablation_copy_tree(loops),
-        "a2": lambda: ex.ablation_partition(loops),
-        "a3": lambda: ex.ablation_moves(loops),
-        "a4": lambda: ex.ring_latency_sensitivity(loops),
-        "s1": lambda: ex.register_pressure(loops),
-        "e6b": lambda: ex.spill_budget(loops),
+        "fig3": lambda: ex.fig3_queue_requirements(loops, runner=runner),
+        "sec2": lambda: ex.sec2_copy_impact(loops, runner=runner),
+        "fig4": lambda: ex.fig4_unroll_speedup(loops, runner=runner),
+        "fig6": lambda: ex.fig6_ii_variation(loops, runner=runner),
+        "sec4": lambda: ex.sec4_cluster_queues(loops, runner=runner),
+        "fig8": lambda: ex.fig8_ipc(loops, runner=runner),
+        "fig9": lambda: ex.fig9_ipc_rc(loops, runner=runner),
+        "a1": lambda: ex.ablation_copy_tree(loops, runner=runner),
+        "a2": lambda: ex.ablation_partition(loops, runner=runner),
+        "a3": lambda: ex.ablation_moves(loops, runner=runner),
+        "a4": lambda: ex.ring_latency_sensitivity(loops, runner=runner),
+        "s1": lambda: ex.register_pressure(loops, runner=runner),
+        "e6b": lambda: ex.spill_budget(loops, runner=runner),
     }
     if args.id not in table:
         print(f"unknown experiment {args.id!r}; available: "
@@ -91,7 +115,25 @@ def cmd_experiment(args) -> int:
 def cmd_report(args) -> int:
     from repro.analysis.report import full_report
 
-    print(full_report(_loops(args), include_sweep=args.sweep))
+    print(full_report(_loops(args), include_sweep=args.sweep,
+                      runner=_runner(args)))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.runner import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        n = len(cache)
+        cache.clear()
+        print(f"cleared {n} cached results from {cache.path}")
+        return 0
+    print(f"cache: {cache.path}")
+    stats = cache.stats()
+    print(f"{stats['entries']} results"
+          + (f", {stats['corrupt']} corrupt lines skipped"
+             if stats["corrupt"] else ""))
     return 0
 
 
@@ -103,6 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="corpus subsample size (default: bench default)")
     p.add_argument("--full", action="store_true",
                    help="use the full 1258-loop corpus")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for experiment sweeps "
+                        "(default 1 = serial; results are identical)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the content-addressed result cache")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result cache location (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro-vliw)")
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("corpus", help="corpus statistics")
@@ -124,6 +174,10 @@ def build_parser() -> argparse.ArgumentParser:
     pr = sub.add_parser("report", help="headline experiment bundle")
     pr.add_argument("--sweep", action="store_true",
                     help="include the (slow) IPC sweep")
+
+    pc = sub.add_parser("cache", help="inspect or clear the result cache")
+    pc.add_argument("--clear", action="store_true",
+                    help="delete all cached results")
     return p
 
 
@@ -134,6 +188,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "schedule": cmd_schedule,
         "experiment": cmd_experiment,
         "report": cmd_report,
+        "cache": cmd_cache,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,149 @@
+"""Content-addressed on-disk result cache.
+
+Results are stored as one JSON line per job under the cache directory
+(``$REPRO_CACHE_DIR``, or ``~/.cache/repro-vliw`` by default), keyed by
+the job's content hash.  The format is append-only: a repeated sweep
+appends only the jobs it actually recomputed, and concurrent runs at
+worst duplicate a line (last one wins on load).
+
+The loader is deliberately forgiving: corrupt lines (truncated writes,
+hand edits, schema drift) are counted and skipped, never fatal -- a bad
+cache entry costs one recompile, not a crashed sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+from typing import Iterable, Optional
+
+from .fingerprint import SCHEMA_VERSION
+from .job import JobResult
+
+#: Environment override for the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: File name of the JSONL store inside the cache directory.
+CACHE_FILE = "results.jsonl"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-vliw``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro-vliw"
+
+
+class ResultCache:
+    """JSONL-backed content-addressed store of :class:`JobResult` records."""
+
+    def __init__(self, directory: "pathlib.Path | str | None" = None) -> None:
+        self.directory = pathlib.Path(directory) if directory \
+            else default_cache_dir()
+        self.path = self.directory / CACHE_FILE
+        self._entries: Optional[dict[str, dict]] = None
+        self._unwritable = False
+        self.n_corrupt = 0
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------- loading
+
+    def _load(self) -> dict[str, dict]:
+        if self._entries is not None:
+            return self._entries
+        entries: dict[str, dict] = {}
+        self.n_corrupt = 0
+        try:
+            raw = self.path.read_text()
+        except (FileNotFoundError, OSError):
+            raw = ""
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("v") != SCHEMA_VERSION:
+                    raise ValueError("schema version mismatch")
+                key = record["key"]
+                # validate eagerly so a malformed outcome is counted as
+                # corrupt now rather than crashing a later get()
+                JobResult.from_record(record)
+            except (ValueError, KeyError, TypeError):
+                self.n_corrupt += 1
+                continue
+            entries[key] = record
+        self._entries = entries
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    # ------------------------------------------------------------ get/put
+
+    def get(self, key: str) -> Optional[JobResult]:
+        """Cached result for *key*, or None (and count the hit/miss)."""
+        record = self._load().get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return JobResult.from_record(record, cached=True)
+
+    def put(self, result: JobResult) -> None:
+        self.put_many([result])
+
+    def put_many(self, results: Iterable[JobResult]) -> None:
+        """Append results to the store (one open per batch).
+
+        An unwritable cache location must never lose a finished sweep:
+        the first OSError downgrades this cache to in-memory-only (with
+        one warning), and the results are still indexed for get().
+        """
+        results = list(results)
+        if not results:
+            return
+        entries = self._load()
+        fh = None
+        if not self._unwritable:
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                fh = self.path.open("a")
+            except OSError as exc:
+                self._unwritable = True
+                print(f"repro-vliw: result cache {self.path} is not "
+                      f"writable ({exc}); caching in memory only",
+                      file=sys.stderr)
+        try:
+            for result in results:
+                record = result.to_record()
+                record["v"] = SCHEMA_VERSION
+                if fh is not None:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+                entries[result.key] = record
+                self.stores += 1
+        finally:
+            if fh is not None:
+                fh.close()
+
+    def clear(self) -> None:
+        """Drop the on-disk store and the in-memory index."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        self._entries = None
+        self.n_corrupt = 0
+
+    def stats(self) -> dict:
+        """Counters for progress reporting and benchmarks."""
+        return {"entries": len(self), "hits": self.hits,
+                "misses": self.misses, "stores": self.stores,
+                "corrupt": self.n_corrupt}

@@ -1,0 +1,117 @@
+"""Parallel job executor with caching and ordered, deterministic results.
+
+``run_jobs`` is the single entry point every experiment driver funnels
+through.  The contract:
+
+* results come back **in job order**, regardless of worker count;
+* ``execute_job`` is pure, so ``n_workers=1`` and ``n_workers=N`` produce
+  identical result lists (a tested invariant -- parallel sweeps must be
+  byte-identical to serial ones);
+* jobs whose key is already in the cache are replayed without compiling;
+* any failure to fan out (unpicklable payloads, fork bombs disabled,
+  exhausted file descriptors) degrades gracefully to the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from .cache import ResultCache
+from .job import CompileJob, JobResult
+from .pipeline import execute_job
+
+
+@dataclass
+class RunnerConfig:
+    """How a sweep executes: parallelism, caching, progress reporting.
+
+    ``progress`` is called as ``progress(done, total)`` after every job
+    settles (cache hit or fresh compile).  ``chunk_size`` tunes how many
+    jobs each worker pulls at once; the default balances scheduling
+    overhead against tail latency.
+    """
+
+    n_workers: int = 1
+    cache: Optional[ResultCache] = None
+    progress: Optional[Callable[[int, int], None]] = None
+    chunk_size: Optional[int] = None
+
+
+def _default_chunk_size(n_jobs: int, n_workers: int) -> int:
+    return max(1, n_jobs // (n_workers * 4))
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the corpus); fall back to default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _run_parallel(jobs: Sequence[CompileJob], config: RunnerConfig,
+                  tick: Callable[[], None]) -> list[JobResult]:
+    """Ordered fan-out over a process pool, serial completion on failure."""
+    results: list[JobResult] = []
+    chunk = config.chunk_size or _default_chunk_size(len(jobs),
+                                                     config.n_workers)
+    try:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(config.n_workers, len(jobs))) as pool:
+            for result in pool.imap(execute_job, jobs, chunksize=chunk):
+                results.append(result)
+                tick()
+    except Exception:
+        # imap preserves order, so `results` is a correct prefix; finish
+        # the remainder serially rather than losing the sweep
+        for job in jobs[len(results):]:
+            results.append(execute_job(job))
+            tick()
+    return results
+
+
+def run_jobs(jobs: Sequence[CompileJob],
+             config: Optional[RunnerConfig] = None) -> list[JobResult]:
+    """Execute *jobs*, returning one :class:`JobResult` per job, in order.
+
+    With no *config* this is a plain serial, uncached sweep -- the exact
+    behaviour the experiment drivers had before the runner existed.
+    """
+    config = config or RunnerConfig()
+    jobs = list(jobs)
+    total = len(jobs)
+    results: list[Optional[JobResult]] = [None] * total
+    settled = 0
+
+    def tick() -> None:
+        nonlocal settled
+        settled += 1
+        if config.progress is not None:
+            config.progress(settled, total)
+
+    pending: list[int] = []
+    for i, job in enumerate(jobs):
+        hit = config.cache.get(job.key) if config.cache is not None else None
+        if hit is not None:
+            results[i] = hit
+            tick()
+        else:
+            pending.append(i)
+
+    if pending:
+        todo = [jobs[i] for i in pending]
+        if config.n_workers > 1 and len(todo) > 1:
+            fresh = _run_parallel(todo, config, tick)
+        else:
+            fresh = []
+            for job in todo:
+                fresh.append(execute_job(job))
+                tick()
+        for i, result in zip(pending, fresh):
+            results[i] = result
+        if config.cache is not None:
+            config.cache.put_many(fresh)
+
+    return results  # type: ignore[return-value]

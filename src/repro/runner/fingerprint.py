@@ -1,0 +1,95 @@
+"""Deterministic content fingerprints for compile jobs.
+
+A job's cache key must be a pure function of everything that can change
+its result: the loop DDG (ops, edges, latencies, trip count), the machine
+description (FU mix, register-file kind, latency overrides, queue budget,
+cluster topology) and the pipeline options.  Everything is canonicalised
+into a JSON document with sorted keys and hashed with SHA-256, so keys are
+stable across processes, interpreter runs and machines -- the property the
+content-addressed result cache relies on.
+
+``SCHEMA_VERSION`` is folded into every key; bump it whenever the meaning
+of a signature field (or of a cached record) changes, and stale cache
+entries become unreachable instead of wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.ddg import Ddg
+    from repro.machine.cluster import ClusteredMachine
+    from repro.machine.machine import Machine
+
+#: Bump on any change to signature layout or cached-record semantics.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(obj) -> str:
+    """Canonical (sorted-key, minimal-separator) JSON encoding."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def ddg_signature(ddg: "Ddg") -> dict:
+    """Structure-complete signature of a loop DDG.
+
+    Ops are keyed by (id, opcode, latency) -- names, unroll indices and
+    origins are bookkeeping that cannot affect scheduling.  Edge order is
+    the graph's deterministic iteration order.
+    """
+    return {
+        "name": ddg.name,
+        "trip": ddg.trip_count,
+        "ops": [(op.op_id, op.opcode.mnemonic, op.latency)
+                for op in ddg.operations],
+        "edges": [(e.src, e.dst, e.key, e.latency, e.distance, e.kind.value)
+                  for e in ddg.edges()],
+    }
+
+
+def _single_machine_signature(machine: "Machine") -> dict:
+    return {
+        "kind": "single",
+        "name": machine.name,
+        "rf": machine.rf_kind.value,
+        "fus": {t.value: n for t, n in sorted(
+            machine.fus.counts.items(), key=lambda kv: kv[0].value)},
+        "latencies": {op.mnemonic: lat for op, lat in sorted(
+            machine.latencies.overrides.items(),
+            key=lambda kv: kv[0].mnemonic)},
+        "budget": (machine.queue_budget.private,
+                   machine.queue_budget.ring_out_cw,
+                   machine.queue_budget.ring_out_ccw,
+                   machine.queue_budget.positions),
+    }
+
+
+def machine_signature(machine: "Machine | ClusteredMachine") -> dict:
+    """Signature of a single-cluster or ring-clustered machine."""
+    from repro.machine.cluster import ClusteredMachine
+
+    if isinstance(machine, ClusteredMachine):
+        return {
+            "kind": "clustered",
+            "name": machine.name,
+            "n_clusters": machine.n_clusters,
+            "allow_moves": machine.allow_moves,
+            "xlat": machine.inter_cluster_latency,
+            "cluster": _single_machine_signature(machine.cluster),
+        }
+    return _single_machine_signature(machine)
+
+
+def job_key(ddg: "Ddg", machine: "Machine | ClusteredMachine",
+            options_signature: dict) -> str:
+    """SHA-256 content hash identifying one compile job."""
+    doc = {
+        "v": SCHEMA_VERSION,
+        "ddg": ddg_signature(ddg),
+        "machine": machine_signature(machine),
+        "options": options_signature,
+    }
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()

@@ -1,0 +1,113 @@
+"""Job model of the sweep runner.
+
+A :class:`CompileJob` is one (loop DDG, machine, pipeline options) triple:
+the unit of work that :func:`repro.runner.executor.run_jobs` fans out over
+worker processes.  Jobs are picklable, and each one owns a deterministic
+content-hash ``key`` (see :mod:`repro.runner.fingerprint`) under which its
+:class:`JobResult` is stored in the on-disk cache.
+
+A :class:`JobResult` deliberately carries only plain data -- the
+:class:`~repro.analysis.metrics.LoopOutcome` record plus any requested
+``extras`` (JSON-shaped derived metrics computed in the worker) -- never
+schedule or allocation objects, so results round-trip losslessly through
+both ``pickle`` (process boundary) and JSON (cache file).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.metrics import LoopOutcome
+from repro.ir.ddg import Ddg
+
+from .fingerprint import job_key
+
+
+@dataclass(frozen=True)
+class PipelineOptions:
+    """Pipeline configuration of one job (mirrors ``compile_loop``).
+
+    ``extras`` names derived metrics to compute in the worker after the
+    pipeline runs; see ``EXTRA_EXTRACTORS`` in
+    :mod:`repro.runner.pipeline` for the registry (an entry may carry an
+    argument after a colon, e.g. ``"spills:8x16"``).
+    """
+
+    do_unroll: bool = False
+    unroll_factor: Optional[int] = None
+    copies: bool = True
+    copy_strategy: str = "slack"
+    allocate: bool = True
+    partition_strategy: str = "affinity"
+    use_moves: bool = False
+    extras: tuple[str, ...] = ()
+
+    def compile_kwargs(self) -> dict:
+        """Keyword arguments for ``compile_loop`` (extras excluded)."""
+        out = dataclasses.asdict(self)
+        out.pop("extras")
+        return out
+
+    def signature(self) -> dict:
+        """JSON-shaped content signature (feeds the job key)."""
+        sig = dataclasses.asdict(self)
+        sig["extras"] = list(self.extras)
+        return sig
+
+
+@dataclass
+class CompileJob:
+    """One unit of work: compile *ddg* on *machine* under *options*."""
+
+    ddg: Ddg
+    machine: object  # Machine | ClusteredMachine
+    options: PipelineOptions = field(default_factory=PipelineOptions)
+    _key: Optional[str] = field(default=None, repr=False, compare=False)
+
+    @property
+    def key(self) -> str:
+        """Content-hash identity of this job (cached after first use)."""
+        if self._key is None:
+            self._key = job_key(self.ddg, self.machine,
+                                self.options.signature())
+        return self._key
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CompileJob({self.ddg.name!r}, "
+                f"{getattr(self.machine, 'name', self.machine)!r})")
+
+
+@dataclass
+class JobResult:
+    """Plain-data outcome of one job.
+
+    ``cached`` is True when the result was replayed from the on-disk
+    cache instead of recompiled; it never participates in equality so
+    cached and fresh runs compare identical.
+    """
+
+    key: str
+    outcome: LoopOutcome
+    extras: dict = field(default_factory=dict)
+    cached: bool = field(default=False, compare=False)
+
+    def to_record(self) -> dict:
+        """JSON-shaped cache record."""
+        return {
+            "key": self.key,
+            "outcome": dataclasses.asdict(self.outcome),
+            "extras": self.extras,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict, *, cached: bool = True) -> "JobResult":
+        """Rebuild a result from a cache record.
+
+        Raises ``KeyError``/``TypeError`` on malformed records; the cache
+        treats those as corrupt entries and recompiles.
+        """
+        outcome = LoopOutcome(**record["outcome"])
+        return cls(key=record["key"], outcome=outcome,
+                   extras=dict(record.get("extras") or {}), cached=cached)

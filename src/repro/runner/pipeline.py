@@ -1,0 +1,241 @@
+"""The compile pipeline executed by every job, plus the extras registry.
+
+``compile_loop`` is the shared (unroll ->) (copy-insert ->) schedule
+(-> allocate queues) pipeline that all experiment drivers run; it lives
+here (rather than in :mod:`repro.analysis.experiments`, its original home)
+so worker processes import only the runner subsystem.  The analysis layer
+re-exports it unchanged.
+
+Because :class:`~repro.runner.job.JobResult` carries only plain data, a
+driver that needs more than the :class:`~repro.analysis.metrics.LoopOutcome`
+(queue locations, conventional-RF register demand, spill counts under a
+hardware budget) asks for named **extras**: JSON-shaped derived metrics
+computed inside the worker, where the schedule object still exists.  An
+extras spec is ``"name"`` or ``"name:arg"``; see ``EXTRA_EXTRACTORS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.metrics import LoopOutcome
+from repro.ir.copyins import insert_copies
+from repro.ir.ddg import Ddg
+from repro.ir.unroll import select_unroll_factor, unroll
+from repro.machine.cluster import ClusteredMachine
+from repro.machine.machine import Machine
+from repro.regalloc.queues import allocate_for_schedule
+from repro.sched.ims import ImsConfig, modulo_schedule
+from repro.sched.mii import mii_report
+from repro.sched.partition import (PartitionConfig, partitioned_schedule,
+                                   schedule_with_moves)
+from repro.sched.schedule import SchedulingError
+
+from .job import CompileJob, JobResult
+
+#: caps for the automatic unroll policy (the paper's large loops "do not
+#: require unrolling to exploit efficiently the machine resources")
+UNROLL_MAX_FACTOR = 8
+UNROLL_MAX_OPS = 128
+
+
+@dataclass
+class CompiledLoop:
+    """Pipeline artefacts for one (loop, machine) pair."""
+
+    outcome: LoopOutcome
+    schedule: object = None
+    usage: object = None
+    work: Optional[Ddg] = None
+
+
+def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
+                 do_unroll: bool = False,
+                 unroll_factor: Optional[int] = None,
+                 copies: bool = True,
+                 copy_strategy: str = "slack",
+                 allocate: bool = True,
+                 partition_strategy: str = "affinity",
+                 use_moves: bool = False) -> CompiledLoop:
+    """Run (unroll ->) (copy-insert ->) schedule (-> allocate queues).
+
+    Scheduling failures produce a ``failed`` outcome instead of raising, so
+    corpus sweeps always complete.
+    """
+    factor = 1
+    if unroll_factor is not None:
+        factor = unroll_factor
+    elif do_unroll:
+        factor = select_unroll_factor(
+            ddg, _fu_counts(machine), max_factor=UNROLL_MAX_FACTOR,
+            max_ops=UNROLL_MAX_OPS).factor
+        if factor > 1:
+            # a production compiler keeps whichever version wins: compile
+            # both and fall back to the rolled loop when the unrolled
+            # schedule's per-iteration II is no better (the estimate is a
+            # bound, not a guarantee)
+            rolled = compile_loop(
+                ddg, machine, copies=copies, copy_strategy=copy_strategy,
+                allocate=False, partition_strategy=partition_strategy,
+                use_moves=use_moves)
+            unrolled = compile_loop(
+                ddg, machine, unroll_factor=factor, copies=copies,
+                copy_strategy=copy_strategy, allocate=allocate,
+                partition_strategy=partition_strategy,
+                use_moves=use_moves)
+            if (unrolled.outcome.failed
+                    or rolled.outcome.failed
+                    or unrolled.outcome.ii_per_iteration
+                    <= rolled.outcome.ii_per_iteration + 1e-9):
+                if not unrolled.outcome.failed:
+                    return unrolled
+            if allocate and not rolled.outcome.failed:
+                rolled = compile_loop(
+                    ddg, machine, unroll_factor=1, copies=copies,
+                    copy_strategy=copy_strategy, allocate=True,
+                    partition_strategy=partition_strategy,
+                    use_moves=use_moves)
+            return rolled
+        factor = 1
+    work = unroll(ddg, factor) if factor > 1 else ddg
+
+    n_copies = 0
+    if copies:
+        res = insert_copies(work, strategy=copy_strategy)  # type: ignore[arg-type]
+        work, n_copies = res.ddg, res.n_copies
+
+    clustered = isinstance(machine, ClusteredMachine)
+    report = mii_report(work, machine)
+    try:
+        if clustered and use_moves:
+            sched = schedule_with_moves(
+                work, machine,
+                config=PartitionConfig(strategy=partition_strategy)
+            ).schedule
+        elif clustered:
+            sched = partitioned_schedule(
+                work, machine,
+                config=PartitionConfig(strategy=partition_strategy))
+        else:
+            sched = modulo_schedule(work, machine, config=ImsConfig())
+    except SchedulingError:
+        return CompiledLoop(outcome=LoopOutcome(
+            loop=ddg.name, machine=machine.name,
+            n_source_ops=ddg.n_ops, n_body_ops=work.n_ops,
+            unroll_factor=factor, n_copies=n_copies,
+            ii=0, mii=report.mii, res_mii=report.res, rec_mii=report.rec,
+            stage_count=0, trip_count=ddg.trip_count, failed=True))
+
+    usage = None
+    total_queues = max_depth = None
+    if allocate:
+        usage = allocate_for_schedule(
+            sched, machine if clustered else None)
+        total_queues = usage.total_queues
+        max_depth = usage.max_depth
+
+    # MII of the *scheduled* ddg can exceed the pre-move report; recompute
+    # cheaply off the schedule's ddg only when moves were added
+    outcome = LoopOutcome(
+        loop=ddg.name, machine=machine.name,
+        n_source_ops=ddg.n_ops, n_body_ops=sched.n_ops,
+        unroll_factor=factor, n_copies=n_copies,
+        ii=sched.ii, mii=report.mii, res_mii=report.res,
+        rec_mii=report.rec, stage_count=sched.stage_count,
+        trip_count=ddg.trip_count,
+        total_queues=total_queues, max_queue_depth=max_depth)
+    return CompiledLoop(outcome=outcome, schedule=sched, usage=usage,
+                        work=work)
+
+
+def _fu_counts(machine: "Machine | ClusteredMachine"):
+    from repro.ir.operations import FuType
+    return {t: machine.capacity(t)
+            for t in (FuType.LS, FuType.ADD, FuType.MUL)}
+
+
+# ---------------------------------------------------------------------------
+# extras: derived metrics computed in the worker
+# ---------------------------------------------------------------------------
+
+def _extra_queue_locations(compiled: CompiledLoop, arg: str):
+    """Per-location queue allocation summary (Sec. 4 / Fig. 7 driver)."""
+    if compiled.usage is None:
+        return None
+    return [{"kind": loc.kind.value, "cluster": loc.cluster,
+             "n_queues": alloc.n_queues, "max_depth": alloc.max_depth}
+            for loc, alloc in compiled.usage.by_location.items()]
+
+
+def _extra_crf_registers(compiled: CompiledLoop, arg: str):
+    """Conventional-RF register demand of the schedule (S1 / S2 drivers)."""
+    from repro.regalloc.conventional import register_requirement
+    from repro.regalloc.rotating import (mve_register_requirement,
+                                         rotating_register_requirement)
+
+    if compiled.schedule is None:
+        return None
+    rep = register_requirement(compiled.schedule)
+    mrep = mve_register_requirement(compiled.schedule)
+    return {"max_live": rep.max_live,
+            "rotating": rotating_register_requirement(compiled.schedule),
+            "mve_regs": mrep.registers,
+            "mve_unroll": mrep.kernel_unroll}
+
+
+def _extra_spills(compiled: CompiledLoop, arg: str):
+    """Spill counts under each ``QxP`` hardware budget in *arg* (E6b)."""
+    from repro.regalloc.lifetimes import extract_lifetimes
+    from repro.regalloc.spill import allocate_with_budget
+
+    if compiled.schedule is None:
+        return None
+    lifetimes = extract_lifetimes(compiled.schedule)
+    out = {}
+    for part in arg.split(","):
+        q, p = part.split("x")
+        rep = allocate_with_budget(lifetimes, compiled.schedule.ii,
+                                   max_queues=int(q), max_positions=int(p))
+        out[part] = {"fits": rep.fits, "n_spilled": rep.n_spilled}
+    return out
+
+
+#: Registry of extras extractors; keyed by the name before the colon.
+EXTRA_EXTRACTORS: dict[str, Callable[[CompiledLoop, str], object]] = {
+    "queue_locations": _extra_queue_locations,
+    "crf_registers": _extra_crf_registers,
+    "spills": _extra_spills,
+}
+
+
+def spill_spec(budgets) -> str:
+    """Extras spec string for :func:`_extra_spills`, e.g. ``"spills:8x16"``."""
+    return "spills:" + ",".join(f"{q}x{p}" for q, p in budgets)
+
+
+def compute_extra(spec: str, compiled: CompiledLoop):
+    """Evaluate one extras spec against a compiled loop."""
+    name, _, arg = spec.partition(":")
+    try:
+        extractor = EXTRA_EXTRACTORS[name]
+    except KeyError:
+        raise KeyError(f"unknown extras spec {spec!r}; known: "
+                       f"{', '.join(sorted(EXTRA_EXTRACTORS))}") from None
+    return extractor(compiled, arg)
+
+
+def execute_job(job: CompileJob) -> JobResult:
+    """Run one job's pipeline and extras; the worker-process entry point.
+
+    Pure: the result depends only on the job's content, which is what
+    makes parallel and serial sweeps bit-identical and results cacheable
+    under the job key.
+    """
+    compiled = compile_loop(job.ddg, job.machine,
+                            **job.options.compile_kwargs())
+    extras = {}
+    for spec in job.options.extras:
+        extras[spec] = (None if compiled.outcome.failed
+                        else compute_extra(spec, compiled))
+    return JobResult(key=job.key, outcome=compiled.outcome, extras=extras)

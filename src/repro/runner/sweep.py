@@ -1,0 +1,46 @@
+"""Grid builder: scenario sweeps over loops x machines x variants.
+
+``sweep`` expands a full cartesian grid into a flat, deterministically
+ordered job list (machine-major, then variant, then loop) ready for
+:func:`repro.runner.executor.run_jobs`.  Drivers slice the ordered result
+list back into per-(machine, variant) blocks with ``len(loops)`` stride,
+and ad-hoc scenario grids (machine presets x unroll x copy strategy x
+partition strategy) fall out of passing several variants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.ir.ddg import Ddg
+
+from .job import CompileJob, PipelineOptions
+
+
+def as_options(variant: "PipelineOptions | dict | None",
+               *, extras: tuple[str, ...] = ()) -> PipelineOptions:
+    """Coerce a variant (options object, kwargs dict or None) to options.
+
+    A dict variant may override ``extras``; otherwise the *extras* default
+    applies.
+    """
+    if variant is None:
+        return PipelineOptions(extras=extras)
+    if isinstance(variant, PipelineOptions):
+        return variant
+    kwargs = dict(variant)
+    kwargs.setdefault("extras", extras)
+    kwargs["extras"] = tuple(kwargs["extras"])
+    return PipelineOptions(**kwargs)
+
+
+def sweep(loops: Sequence[Ddg], machines: Iterable,
+          variants: Optional[Sequence["PipelineOptions | dict"]] = None,
+          *, extras: tuple[str, ...] = ()) -> list[CompileJob]:
+    """One job per (machine, variant, loop), in that nesting order."""
+    machines = list(machines)
+    opts = [as_options(v, extras=extras) for v in (variants or [None])]
+    return [CompileJob(ddg=loop, machine=machine, options=opt)
+            for machine in machines
+            for opt in opts
+            for loop in loops]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -11,6 +12,21 @@ from repro.machine.presets import (clustered_machine, crf_machine,
                                    narrow_test_machine, qrf_machine)
 from repro.workloads.kernels import all_kernels, daxpy, dot_product
 from repro.workloads.synth import SynthConfig, generate_loop
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the sweep-runner cache at a per-session temp dir so tests
+    never read or pollute the user's ~/.cache/repro-vliw store."""
+    from repro.runner import CACHE_DIR_ENV
+
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
 
 
 @pytest.fixture

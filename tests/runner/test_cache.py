@@ -1,0 +1,122 @@
+"""Content-addressed result cache: hits, misses, corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.machine.presets import qrf_machine
+from repro.runner import (CompileJob, ResultCache, RunnerConfig,
+                          default_cache_dir, execute_job, run_jobs)
+from repro.runner.cache import CACHE_DIR_ENV
+from repro.runner.fingerprint import SCHEMA_VERSION
+from repro.workloads.kernels import kernel
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _job(name="daxpy", n_fus=4):
+    return CompileJob(kernel(name), qrf_machine(n_fus))
+
+
+def test_miss_then_hit(cache):
+    job = _job()
+    assert cache.get(job.key) is None
+    result = execute_job(job)
+    cache.put(result)
+    hit = cache.get(job.key)
+    assert hit is not None
+    assert hit.cached
+    assert hit == result          # `cached` does not participate in ==
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+
+
+def test_persists_across_instances(cache, tmp_path):
+    result = execute_job(_job())
+    cache.put(result)
+    reopened = ResultCache(tmp_path / "cache")
+    assert reopened.get(result.key) == result
+
+
+def test_extras_round_trip_json(cache):
+    from repro.runner import PipelineOptions, spill_spec
+
+    spec = spill_spec([(4, 8), (32, 16)])
+    job = CompileJob(kernel("fir4"), qrf_machine(4),
+                     PipelineOptions(allocate=False, extras=(spec,)))
+    result = execute_job(job)
+    cache.put(result)
+    replayed = ResultCache(cache.directory).get(job.key)
+    assert replayed.extras == result.extras
+    assert replayed.extras[spec]["4x8"]["n_spilled"] >= 0
+
+
+def test_corrupt_lines_are_skipped_not_fatal(cache):
+    good = execute_job(_job())
+    cache.put(good)
+    with cache.path.open("a") as fh:
+        fh.write("{not json at all\n")                      # truncated write
+        fh.write(json.dumps({"v": SCHEMA_VERSION}) + "\n")  # missing fields
+        fh.write(json.dumps({"v": SCHEMA_VERSION - 1, "key": "k",
+                             "outcome": {}}) + "\n")        # old schema
+    reopened = ResultCache(cache.directory)
+    assert len(reopened) == 1
+    assert reopened.n_corrupt == 3
+    assert reopened.get(good.key) == good
+
+
+def test_corrupt_entry_triggers_recompute(cache):
+    job = _job()
+    run_jobs([job], RunnerConfig(cache=cache))
+    # clobber the stored record's outcome in place
+    record = json.loads(cache.path.read_text())
+    record["outcome"] = {"nonsense": True}
+    cache.path.write_text(json.dumps(record) + "\n")
+    fresh_cache = ResultCache(cache.directory)
+    [result] = run_jobs([job], RunnerConfig(cache=fresh_cache))
+    assert not result.cached            # recompiled, not replayed
+    assert fresh_cache.n_corrupt == 1
+    # and the recompute healed the store
+    healed = ResultCache(cache.directory)
+    assert healed.get(job.key) is not None
+
+
+def test_last_duplicate_wins(cache):
+    result = execute_job(_job())
+    cache.put(result)
+    cache.put(result)
+    reopened = ResultCache(cache.directory)
+    assert len(reopened) == 1
+
+
+def test_clear(cache):
+    cache.put(execute_job(_job()))
+    assert len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0
+    assert not cache.path.exists()
+
+
+def test_unwritable_location_degrades_to_memory(capsys):
+    broken = ResultCache("/proc/definitely/not/writable")
+    job = _job()
+    [first] = run_jobs([job], RunnerConfig(cache=broken))
+    assert not first.cached
+    assert "not writable" in capsys.readouterr().err
+    # the sweep's results are still served from the in-memory index
+    [replay] = run_jobs([job], RunnerConfig(cache=broken))
+    assert replay.cached
+
+
+def test_default_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"
+    assert ResultCache().directory == tmp_path / "elsewhere"
+
+
+def test_default_dir_fallback(monkeypatch):
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+    assert default_cache_dir().name == "repro-vliw"

@@ -1,0 +1,59 @@
+"""Driver-level determinism: every refactored experiment driver renders
+identical tables whether it runs serially, in parallel, or from cache --
+the acceptance invariant behind ``repro-vliw report --jobs N``."""
+
+import random
+
+import pytest
+
+from repro.analysis.experiments import (fig3_queue_requirements,
+                                        fig6_ii_variation, register_pressure,
+                                        sec2_copy_impact, sec4_cluster_queues,
+                                        spill_budget)
+from repro.runner import ResultCache, RunnerConfig
+from repro.workloads.kernels import all_kernels
+from repro.workloads.synth import SynthConfig, generate_loop
+
+
+@pytest.fixture(scope="module")
+def loops():
+    cfg = SynthConfig(n_loops=10)
+    rng = random.Random(cfg.seed)
+    synth = [generate_loop(rng, cfg, i) for i in range(cfg.n_loops)]
+    return synth + all_kernels()[:6]
+
+
+@pytest.fixture
+def parallel_cached(tmp_path):
+    return RunnerConfig(n_workers=2, cache=ResultCache(tmp_path))
+
+
+@pytest.mark.parametrize("driver", [
+    fig3_queue_requirements,
+    sec2_copy_impact,
+    sec4_cluster_queues,
+    register_pressure,
+    spill_budget,
+])
+def test_driver_parallel_render_matches_serial(driver, loops,
+                                               parallel_cached):
+    serial = driver(loops).render()
+    parallel = driver(loops, runner=parallel_cached).render()
+    replayed = driver(loops, runner=parallel_cached).render()
+    assert parallel == serial
+    assert replayed == serial
+
+
+def test_empty_loop_list_degrades_gracefully():
+    empty = fig3_queue_requirements([])
+    assert all(v == 0.0 for row in empty.by_machine.values()
+               for v in row.values())
+    assert sec4_cluster_queues([], cluster_counts=(4,)).fits_budget == {
+        4: 0.0}
+
+
+def test_fig6_two_wave_dependency_parity(loops, parallel_cached):
+    serial = fig6_ii_variation(loops, cluster_counts=(4,))
+    parallel = fig6_ii_variation(loops, cluster_counts=(4,),
+                                 runner=parallel_cached)
+    assert parallel == serial

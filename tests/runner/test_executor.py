@@ -1,0 +1,124 @@
+"""Executor invariants: ordered results, parallel == serial, fallback."""
+
+import pytest
+
+from repro.machine.presets import clustered_machine, qrf_machine
+from repro.runner import (CompileJob, PipelineOptions, ResultCache,
+                          RunnerConfig, run_jobs, sweep)
+from repro.runner import executor as executor_mod
+from repro.workloads.corpus import paper_corpus
+from repro.workloads.kernels import all_kernels, kernel
+
+
+@pytest.fixture(scope="module")
+def corpus_sample():
+    """A stride through the paper corpus plus the hand-written kernels."""
+    loops = paper_corpus()
+    return loops[::60] + all_kernels()[:8]
+
+
+def test_results_come_back_in_job_order():
+    jobs = [CompileJob(kernel(n), qrf_machine(4))
+            for n in ("daxpy", "dot", "fir4", "vadd")]
+    results = run_jobs(jobs)
+    assert [r.outcome.loop for r in results] == ["daxpy", "dot", "fir4",
+                                                 "vadd"]
+    assert [r.key for r in results] == [j.key for j in jobs]
+
+
+def test_parallel_equals_serial_on_paper_corpus(corpus_sample):
+    jobs = sweep(corpus_sample, [qrf_machine(4), clustered_machine(4)],
+                 [dict(copies=True, allocate=False)])
+    serial = run_jobs(jobs)
+    parallel = run_jobs(jobs, RunnerConfig(n_workers=3))
+    assert parallel == serial
+
+
+def test_parallel_equals_serial_with_unrolling(corpus_sample):
+    jobs = sweep(corpus_sample[:10], [qrf_machine(12)],
+                 [dict(do_unroll=True, copies=True, allocate=True)])
+    assert run_jobs(jobs, RunnerConfig(n_workers=2)) == run_jobs(jobs)
+
+
+def test_cache_makes_second_sweep_incremental(tmp_path, corpus_sample):
+    cache = ResultCache(tmp_path)
+    jobs = sweep(corpus_sample[:6], [qrf_machine(4)])
+    config = RunnerConfig(cache=cache)
+    first = run_jobs(jobs, config)
+    assert not any(r.cached for r in first)
+    second = run_jobs(jobs, config)
+    assert all(r.cached for r in second)
+    assert second == first
+    assert cache.stats()["stores"] == len(jobs)
+
+
+def test_cache_is_shared_between_serial_and_parallel(tmp_path,
+                                                     corpus_sample):
+    cache = ResultCache(tmp_path)
+    jobs = sweep(corpus_sample[:6], [qrf_machine(4)])
+    serial = run_jobs(jobs, RunnerConfig(cache=cache))
+    parallel = run_jobs(jobs, RunnerConfig(n_workers=2, cache=cache))
+    assert all(r.cached for r in parallel)
+    assert parallel == serial
+
+
+def test_partial_cache_fills_only_the_gaps(tmp_path):
+    cache = ResultCache(tmp_path)
+    half = [CompileJob(kernel(n), qrf_machine(4))
+            for n in ("daxpy", "dot")]
+    full = half + [CompileJob(kernel(n), qrf_machine(4))
+                   for n in ("fir4", "vadd")]
+    run_jobs(half, RunnerConfig(cache=cache))
+    results = run_jobs(full, RunnerConfig(cache=cache))
+    assert [r.cached for r in results] == [True, True, False, False]
+
+
+def test_progress_callback_ticks_every_job(tmp_path):
+    cache = ResultCache(tmp_path)
+    jobs = [CompileJob(kernel(n), qrf_machine(4))
+            for n in ("daxpy", "dot", "fir4")]
+    seen = []
+    run_jobs(jobs, RunnerConfig(cache=cache,
+                                progress=lambda d, t: seen.append((d, t))))
+    assert seen == [(1, 3), (2, 3), (3, 3)]
+    # cache hits tick too
+    seen.clear()
+    run_jobs(jobs, RunnerConfig(cache=cache,
+                                progress=lambda d, t: seen.append((d, t))))
+    assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+def test_pool_failure_falls_back_to_serial(monkeypatch):
+    def broken_context():
+        raise OSError("no processes for you")
+
+    monkeypatch.setattr(executor_mod, "_pool_context", broken_context)
+    jobs = [CompileJob(kernel(n), qrf_machine(4))
+            for n in ("daxpy", "dot", "fir4")]
+    results = run_jobs(jobs, RunnerConfig(n_workers=4))
+    assert results == run_jobs(jobs)
+
+
+def test_empty_job_list():
+    assert run_jobs([]) == []
+    assert run_jobs([], RunnerConfig(n_workers=4)) == []
+
+
+def test_failed_outcomes_survive_parallel_and_cache(tmp_path):
+    from repro.machine.presets import narrow_test_machine
+    from repro.workloads.synth import SynthConfig, generate_loop
+    import random
+
+    # wide loops on a 1-FU-per-class machine: some fail to schedule
+    cfg = SynthConfig(n_loops=12)
+    rng = random.Random(3)
+    loops = [generate_loop(rng, cfg, i) for i in range(cfg.n_loops)]
+    jobs = sweep(loops, [narrow_test_machine()],
+                 [dict(copies=True, allocate=False)])
+    cache = ResultCache(tmp_path)
+    serial = run_jobs(jobs)
+    parallel = run_jobs(jobs, RunnerConfig(n_workers=2, cache=cache))
+    replayed = run_jobs(jobs, RunnerConfig(cache=cache))
+    assert parallel == serial
+    assert replayed == serial
+    assert all(r.cached for r in replayed)

@@ -1,0 +1,88 @@
+"""Job-key stability and sensitivity.
+
+The whole caching story rests on keys being (a) identical for identical
+jobs -- across objects, interpreter runs and processes -- and (b)
+different for any input change that could change the result.
+"""
+
+import multiprocessing
+
+from repro.machine.presets import clustered_machine, qrf_machine
+from repro.runner import (CompileJob, PipelineOptions, ddg_signature,
+                          job_key, machine_signature)
+from repro.workloads.kernels import kernel
+
+
+def _key_of(name: str) -> str:
+    """Top-level so a worker process can compute the same key."""
+    return CompileJob(kernel(name), qrf_machine(4)).key
+
+
+def test_key_is_deterministic_across_objects():
+    assert _key_of("daxpy") == _key_of("daxpy")
+
+
+def test_key_is_stable_across_processes():
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(2) as pool:
+        child_keys = pool.map(_key_of, ["daxpy", "dot", "fir4"])
+    assert child_keys == [_key_of("daxpy"), _key_of("dot"), _key_of("fir4")]
+
+
+def test_key_is_hex_sha256():
+    key = _key_of("daxpy")
+    assert len(key) == 64
+    assert int(key, 16) >= 0
+
+
+def test_key_changes_with_loop():
+    assert _key_of("daxpy") != _key_of("dot")
+
+
+def test_key_changes_with_machine():
+    ddg = kernel("daxpy")
+    assert (CompileJob(ddg, qrf_machine(4)).key
+            != CompileJob(ddg, qrf_machine(6)).key)
+    assert (CompileJob(ddg, qrf_machine(12)).key
+            != CompileJob(ddg, clustered_machine(4)).key)
+
+
+def test_key_changes_with_options():
+    ddg = kernel("daxpy")
+    m = qrf_machine(4)
+    base = CompileJob(ddg, m, PipelineOptions()).key
+    assert CompileJob(ddg, m, PipelineOptions(do_unroll=True)).key != base
+    assert CompileJob(ddg, m, PipelineOptions(allocate=False)).key != base
+    assert (CompileJob(ddg, m, PipelineOptions(extras=("crf_registers",))).key
+            != base)
+
+
+def test_key_changes_with_trip_count():
+    a, b = kernel("daxpy"), kernel("daxpy")
+    b.trip_count += 1
+    m = qrf_machine(4)
+    assert CompileJob(a, m).key != CompileJob(b, m).key
+
+
+def test_ddg_signature_ignores_bookkeeping_names():
+    a, b = kernel("daxpy"), kernel("daxpy")
+    sig_a, sig_b = ddg_signature(a), ddg_signature(b)
+    assert sig_a == sig_b
+    assert sig_a["ops"] and sig_a["edges"]
+
+
+def test_machine_signature_covers_cluster_topology():
+    sig = machine_signature(clustered_machine(5))
+    assert sig["kind"] == "clustered"
+    assert sig["n_clusters"] == 5
+    assert sig["cluster"]["kind"] == "single"
+    flat = machine_signature(clustered_machine(5).flattened())
+    assert flat["kind"] == "single"
+    assert sig != flat
+
+
+def test_job_key_helper_matches_job_property():
+    ddg = kernel("dot")
+    m = qrf_machine(6)
+    opts = PipelineOptions(copies=True, allocate=True)
+    assert CompileJob(ddg, m, opts).key == job_key(ddg, m, opts.signature())

@@ -1,0 +1,56 @@
+"""Sweep grid builder: ordering, variants, extras defaults."""
+
+from repro.machine.presets import clustered_machine, qrf_machine
+from repro.runner import PipelineOptions, as_options, sweep
+from repro.workloads.kernels import kernel
+
+
+def _loops():
+    return [kernel("daxpy"), kernel("dot"), kernel("fir4")]
+
+
+def test_grid_size_and_nesting_order():
+    loops = _loops()
+    machines = [qrf_machine(4), qrf_machine(6)]
+    variants = [dict(copies=False), dict(copies=True)]
+    jobs = sweep(loops, machines, variants)
+    assert len(jobs) == len(loops) * len(machines) * len(variants)
+    # machine-major, then variant, then loop
+    assert [j.machine.name for j in jobs[:6]] == ["queu-4fu"] * 6
+    assert [j.options.copies for j in jobs[:6]] == [False] * 3 + [True] * 3
+    assert [j.ddg.name for j in jobs[:3]] == ["daxpy", "dot", "fir4"]
+
+
+def test_default_variant_is_default_options():
+    jobs = sweep(_loops(), [qrf_machine(4)])
+    assert all(j.options == PipelineOptions() for j in jobs)
+
+
+def test_sweep_is_deterministic():
+    loops = _loops()
+    machines = [qrf_machine(4), clustered_machine(4)]
+    keys_a = [j.key for j in sweep(loops, machines, [dict(do_unroll=True)])]
+    keys_b = [j.key for j in sweep(loops, machines, [dict(do_unroll=True)])]
+    assert keys_a == keys_b
+    assert len(set(keys_a)) == len(keys_a)   # no dup jobs in the grid
+
+
+def test_extras_default_applies_to_dict_variants():
+    jobs = sweep(_loops(), [qrf_machine(4)], [dict(allocate=False)],
+                 extras=("crf_registers",))
+    assert all(j.options.extras == ("crf_registers",) for j in jobs)
+
+
+def test_dict_variant_may_override_extras():
+    jobs = sweep(_loops(), [qrf_machine(4)],
+                 [dict(allocate=False, extras=["queue_locations"])],
+                 extras=("crf_registers",))
+    assert all(j.options.extras == ("queue_locations",) for j in jobs)
+
+
+def test_as_options_passthrough_and_coercion():
+    opts = PipelineOptions(do_unroll=True)
+    assert as_options(opts) is opts
+    assert as_options(None) == PipelineOptions()
+    coerced = as_options(dict(copy_strategy="chain"))
+    assert coerced.copy_strategy == "chain"

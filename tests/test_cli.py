@@ -70,3 +70,32 @@ def test_schedule_asm_listing(capsys):
     code, out, _ = run_cli(capsys, "schedule", "daxpy", "--asm")
     assert code == 0
     assert "; kernel II=" in out
+
+
+def test_experiment_parallel_output_identical(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    code, serial, _ = run_cli(capsys, "--sample", "8", "--cache-dir", cache,
+                              "experiment", "fig3")
+    assert code == 0
+    code, parallel, _ = run_cli(capsys, "--sample", "8", "--jobs", "2",
+                                "--cache-dir", cache, "experiment", "fig3")
+    assert code == 0
+    assert parallel == serial
+    code, uncached, _ = run_cli(capsys, "--sample", "8", "--no-cache",
+                                "experiment", "fig3")
+    assert code == 0
+    assert uncached == serial
+
+
+def test_cache_subcommand_reports_and_clears(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    run_cli(capsys, "--sample", "6", "--cache-dir", cache,
+            "experiment", "fig3")
+    code, out, _ = run_cli(capsys, "--cache-dir", cache, "cache")
+    assert code == 0
+    assert "results" in out
+    code, out, _ = run_cli(capsys, "--cache-dir", cache, "cache", "--clear")
+    assert code == 0
+    assert "cleared" in out
+    code, out, _ = run_cli(capsys, "--cache-dir", cache, "cache")
+    assert "0 results" in out
