@@ -1,0 +1,43 @@
+"""SC -- scheduler comparison: IMS vs SMS, head to head.
+
+Runs every registered scheduling engine over the bench corpus on the
+paper's 4/6/12-FU QRF presets and records the comparison table
+EXPERIMENTS.md quotes.  Shape requirements:
+
+* both engines schedule every loop (the corpus is schedulable by
+  construction);
+* SMS achieves II == MII on >= 80% of the loops where IMS does (the
+  acceptance headline; in practice it is ~100%);
+* SMS is backtrack-free (zero evictions) and needs no more placement
+  attempts than IMS;
+* SMS's lifetime-minimising placement shows up as conventional-RF
+  register demand (MaxLive) no worse than IMS's on every preset.
+"""
+
+from conftest import record, runner_from_env
+
+from repro.analysis.experiments import exp_scheduler_compare
+from repro.workloads.corpus import bench_corpus
+
+
+def test_scheduler_compare(benchmark):
+    loops = bench_corpus()
+    result = benchmark.pedantic(
+        lambda: exp_scheduler_compare(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
+    record("scheduler_compare", result.render())
+
+    assert set(result.schedulers) >= {"ims", "sms"}
+    assert len(result.machines) >= 3
+    for m in result.machines:
+        ims, sms = (m, "ims"), (m, "sms")
+        assert result.n_failed[ims] == 0 and result.n_failed[sms] == 0
+        # acceptance criterion: SMS keeps (nearly) all of IMS's MII hits
+        assert result.mii_match[sms] >= 0.8, m
+        # near-backtrack-free search
+        assert result.mean_evictions[sms] == 0.0
+        assert (result.mean_attempts[sms]
+                <= result.mean_attempts[ims] + 1e-9), m
+        # lifetime-minimising placement: no extra register pressure
+        assert (result.mean_max_live[sms]
+                <= result.mean_max_live[ims] + 0.5), m

@@ -13,7 +13,10 @@ All drivers accept ``runner=RunnerConfig(...)`` to fan the grid out over
 worker processes and/or replay results from the content-addressed cache;
 the default (``None``) is the historical serial, uncached behaviour, and
 parallel runs are guaranteed to aggregate to identical tables because the
-runner returns results in job order.
+runner returns results in job order.  They also accept
+``scheduler="ims"|"sms"`` to pick the single-cluster scheduling engine
+(the CLI's ``--scheduler``); :func:`exp_scheduler_compare` runs the
+engines head to head.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from repro.runner import (CompileJob, PipelineOptions, RunnerConfig,
 from repro.runner.pipeline import (UNROLL_MAX_FACTOR, UNROLL_MAX_OPS,  # noqa: F401
                                    CompiledLoop, compile_loop)
 from repro.sched.mii import mii_report
+from repro.sched.strategies import DEFAULT_SCHEDULER
 
 from .metrics import (LoopOutcome, cumulative_within, fraction, mean,
                       percentile, weighted_dynamic_ipc,
@@ -54,6 +58,7 @@ __all__ = [
     "SpillBudgetResult", "spill_budget",
     "RingLatencyResult", "ring_latency_sensitivity",
     "HardwareCostResult", "hardware_cost",
+    "SchedulerCompareResult", "exp_scheduler_compare",
 ]
 
 
@@ -93,10 +98,13 @@ def fig3_queue_requirements(
         loops: Sequence[Ddg],
         machines: Optional[Sequence[Machine]] = None,
         buckets: tuple[int, ...] = (4, 8, 16, 32),
-        *, runner: Optional[RunnerConfig] = None) -> Fig3Result:
+        *, runner: Optional[RunnerConfig] = None,
+        scheduler: str = DEFAULT_SCHEDULER) -> Fig3Result:
     machines = list(machines) if machines else paper_qrf_machines()
     results = run_jobs(
-        sweep(loops, machines, [dict(copies=True, allocate=True)]), runner)
+        sweep(loops, machines,
+              [dict(copies=True, allocate=True, scheduler=scheduler)]),
+        runner)
     by_machine: dict[str, dict[int, float]] = {}
     counts: dict[str, list[int]] = {}
     for m, block in zip(machines, _blocks(results, len(loops),
@@ -137,11 +145,13 @@ class Sec2Result:
 
 def sec2_copy_impact(loops: Sequence[Ddg],
                      machines: Optional[Sequence[Machine]] = None,
-                     *, runner: Optional[RunnerConfig] = None) -> Sec2Result:
+                     *, runner: Optional[RunnerConfig] = None,
+                     scheduler: str = DEFAULT_SCHEDULER) -> Sec2Result:
     machines = list(machines) if machines else paper_qrf_machines()
     results = run_jobs(
-        sweep(loops, machines, [dict(copies=False, allocate=False),
-                                dict(copies=True, allocate=False)]),
+        sweep(loops, machines,
+              [dict(copies=False, allocate=False, scheduler=scheduler),
+               dict(copies=True, allocate=False, scheduler=scheduler)]),
         runner)
     same_ii: dict[str, float] = {}
     same_sc: dict[str, float] = {}
@@ -197,13 +207,14 @@ class Fig4Result:
 
 def fig4_unroll_speedup(loops: Sequence[Ddg],
                         machines: Optional[Sequence[Machine]] = None,
-                        *, runner: Optional[RunnerConfig] = None
-                        ) -> Fig4Result:
+                        *, runner: Optional[RunnerConfig] = None,
+                        scheduler: str = DEFAULT_SCHEDULER) -> Fig4Result:
     machines = list(machines) if machines else paper_qrf_machines()
     results = run_jobs(
         sweep(loops, machines,
-              [dict(copies=True, allocate=False),
-               dict(do_unroll=True, copies=True, allocate=True)]),
+              [dict(copies=True, allocate=False, scheduler=scheduler),
+               dict(do_unroll=True, copies=True, allocate=True,
+                    scheduler=scheduler)]),
         runner)
     gt1: dict[str, float] = {}
     mean_spd: dict[str, float] = {}
@@ -260,13 +271,15 @@ def fig6_ii_variation(loops: Sequence[Ddg],
                       *, do_unroll: bool = True,
                       partition_strategy: str = "affinity",
                       use_moves: bool = False,
-                      runner: Optional[RunnerConfig] = None) -> Fig6Result:
+                      runner: Optional[RunnerConfig] = None,
+                      scheduler: str = DEFAULT_SCHEDULER) -> Fig6Result:
     cluster_counts = list(cluster_counts)
     cms = [clustered_machine(n) for n in cluster_counts]
     # wave 1: single-cluster baselines pick the unroll factor...
     single_results = run_jobs(
         sweep(loops, [cm.flattened() for cm in cms],
-              [dict(do_unroll=do_unroll, copies=True, allocate=False)]),
+              [dict(do_unroll=do_unroll, copies=True, allocate=False,
+                    scheduler=scheduler)]),
         runner)
     single_blocks = _blocks(single_results, len(loops), len(cms))
     # ...wave 2 compiles the clustered machine at that same factor
@@ -274,7 +287,8 @@ def fig6_ii_variation(loops: Sequence[Ddg],
         CompileJob(ddg, cm, PipelineOptions(
             unroll_factor=single.outcome.unroll_factor,
             copies=True, allocate=False,
-            partition_strategy=partition_strategy, use_moves=use_moves))
+            partition_strategy=partition_strategy, use_moves=use_moves,
+            scheduler=scheduler))
         for cm, block in zip(cms, single_blocks)
         for ddg, single in zip(loops, block)]
     clustered_blocks = _blocks(run_jobs(clustered_jobs, runner),
@@ -331,12 +345,14 @@ class Sec4Result:
 def sec4_cluster_queues(loops: Sequence[Ddg],
                         cluster_counts: Sequence[int] = PAPER_CLUSTER_COUNTS,
                         *, do_unroll: bool = True,
-                        runner: Optional[RunnerConfig] = None) -> Sec4Result:
+                        runner: Optional[RunnerConfig] = None,
+                        scheduler: str = DEFAULT_SCHEDULER) -> Sec4Result:
     cluster_counts = list(cluster_counts)
     cms = [clustered_machine(n) for n in cluster_counts]
     results = run_jobs(
         sweep(loops, cms,
-              [dict(do_unroll=do_unroll, copies=True, allocate=True)],
+              [dict(do_unroll=do_unroll, copies=True, allocate=True,
+                    scheduler=scheduler)],
               extras=("queue_locations",)),
         runner)
     fits: dict[int, float] = {}
@@ -407,6 +423,7 @@ def ipc_sweep(loops: Sequence[Ddg], *,
               resource_constrained_only: bool = False,
               do_unroll: bool = True,
               runner: Optional[RunnerConfig] = None,
+              scheduler: str = DEFAULT_SCHEDULER,
               title: str = "Fig. 8 -- IPC, all loops") -> IpcSweepResult:
     """Shared driver of Figs. 8 and 9.
 
@@ -416,7 +433,7 @@ def ipc_sweep(loops: Sequence[Ddg], *,
     clustered_by_fus = {3 * n: clustered_machine(n)
                         for n in clustered_counts}
     options = PipelineOptions(do_unroll=do_unroll, copies=True,
-                              allocate=False)
+                              allocate=False, scheduler=scheduler)
     jobs: list[CompileJob] = []
     spans: dict[int, tuple[int, int]] = {}       # n_fus -> (start, count)
     clustered_spans: dict[int, int] = {}          # n_fus -> start
@@ -494,18 +511,21 @@ def ablation_copy_tree(loops: Sequence[Ddg],
                        machine: Optional[Machine] = None,
                        strategies: Sequence[str] = ("chain", "balanced",
                                                     "slack"),
-                       *, runner: Optional[RunnerConfig] = None
-                       ) -> CopyTreeAblation:
+                       *, runner: Optional[RunnerConfig] = None,
+                       scheduler: str = DEFAULT_SCHEDULER) -> CopyTreeAblation:
     m = machine or qrf_machine(12)
     base_results = run_jobs(
-        sweep(loops, [m], [dict(copies=False, allocate=False)]), runner)
+        sweep(loops, [m],
+              [dict(copies=False, allocate=False, scheduler=scheduler)]),
+        runner)
     baselines: dict[str, int] = {
         ddg.name: r.outcome.ii
         for ddg, r in zip(loops, base_results) if not r.outcome.failed}
     ok_loops = [ddg for ddg in loops if ddg.name in baselines]
     strategy_results = run_jobs(
         sweep(ok_loops, [m],
-              [dict(copies=True, copy_strategy=s, allocate=True)
+              [dict(copies=True, copy_strategy=s, allocate=True,
+                    scheduler=scheduler)
                for s in strategies]),
         runner)
     same: dict[str, float] = {}
@@ -548,12 +568,13 @@ class PartitionAblation:
 def ablation_partition(loops: Sequence[Ddg], n_clusters: int = 5,
                        strategies: Sequence[str] = ("affinity", "balance",
                                                     "first", "random"),
-                       *, runner: Optional[RunnerConfig] = None
-                       ) -> PartitionAblation:
+                       *, runner: Optional[RunnerConfig] = None,
+                       scheduler: str = DEFAULT_SCHEDULER) -> PartitionAblation:
     same: dict[str, float] = {}
     for strat in strategies:
         res = fig6_ii_variation(loops, cluster_counts=(n_clusters,),
-                                partition_strategy=strat, runner=runner)
+                                partition_strategy=strat, runner=runner,
+                                scheduler=scheduler)
         same[strat] = res.same_ii[n_clusters]
     return PartitionAblation(same_ii=same)
 
@@ -579,12 +600,13 @@ class MovesAblation:
 
 def ablation_moves(loops: Sequence[Ddg],
                    cluster_counts: Sequence[int] = (5, 6),
-                   *, runner: Optional[RunnerConfig] = None
-                   ) -> MovesAblation:
+                   *, runner: Optional[RunnerConfig] = None,
+                   scheduler: str = DEFAULT_SCHEDULER) -> MovesAblation:
     base = fig6_ii_variation(loops, cluster_counts=cluster_counts,
-                             runner=runner)
+                             runner=runner, scheduler=scheduler)
     moved = fig6_ii_variation(loops, cluster_counts=cluster_counts,
-                              use_moves=True, runner=runner)
+                              use_moves=True, runner=runner,
+                              scheduler=scheduler)
     return MovesAblation(without_moves=base.same_ii,
                          with_moves=moved.same_ii)
 
@@ -631,8 +653,8 @@ class RegisterPressureResult:
 
 def register_pressure(loops: Sequence[Ddg],
                       machines: Optional[Sequence[Machine]] = None,
-                      *, runner: Optional[RunnerConfig] = None
-                      ) -> RegisterPressureResult:
+                      *, runner: Optional[RunnerConfig] = None,
+                      scheduler: str = DEFAULT_SCHEDULER) -> RegisterPressureResult:
     """Experiment S1: storage demand of QRF vs CRF on the same loops."""
     from repro.machine.machine import RfKind, make_machine
 
@@ -641,9 +663,10 @@ def register_pressure(loops: Sequence[Ddg],
     for m in machines:
         crf = make_machine(m.n_fus, rf_kind=RfKind.CONVENTIONAL)
         jobs.extend(CompileJob(ddg, m, PipelineOptions(
-            copies=True, allocate=True)) for ddg in loops)
+            copies=True, allocate=True, scheduler=scheduler))
+            for ddg in loops)
         jobs.extend(CompileJob(ddg, crf, PipelineOptions(
-            copies=False, allocate=False,
+            copies=False, allocate=False, scheduler=scheduler,
             extras=("crf_registers",))) for ddg in loops)
     results = run_jobs(jobs, runner)
 
@@ -708,14 +731,15 @@ def spill_budget(loops: Sequence[Ddg],
                                                        (8, 16), (16, 16),
                                                        (32, 16)),
                  machine: Optional[Machine] = None,
-                 *, runner: Optional[RunnerConfig] = None
-                 ) -> SpillBudgetResult:
+                 *, runner: Optional[RunnerConfig] = None,
+                 scheduler: str = DEFAULT_SCHEDULER) -> SpillBudgetResult:
     """Experiment E6b: quantify the paper's "spill code will occasionally
     be required" across hardware budgets (queues x positions)."""
     m = machine or qrf_machine(12)
     spec = spill_spec(budgets)
     results = run_jobs(
-        sweep(loops, [m], [dict(copies=True, allocate=False)],
+        sweep(loops, [m],
+              [dict(copies=True, allocate=False, scheduler=scheduler)],
               extras=(spec,)),
         runner)
     reports = [r.extras.get(spec) for r in results
@@ -756,8 +780,8 @@ class RingLatencyResult:
 def ring_latency_sensitivity(loops: Sequence[Ddg],
                              latencies: Sequence[int] = (0, 1, 2),
                              cluster_counts: Sequence[int] = (4, 6),
-                             *, runner: Optional[RunnerConfig] = None
-                             ) -> RingLatencyResult:
+                             *, runner: Optional[RunnerConfig] = None,
+                             scheduler: str = DEFAULT_SCHEDULER) -> RingLatencyResult:
     """Experiment A4: how sensitive is the partitioning result to the
     ring-queue forwarding latency?"""
     from repro.machine.cluster import make_clustered
@@ -766,13 +790,14 @@ def ring_latency_sensitivity(loops: Sequence[Ddg],
             for xlat in latencies for n in cluster_counts]
     single_results = run_jobs(
         sweep(loops, [cm.flattened() for _, cm in grid],
-              [dict(do_unroll=True, copies=True, allocate=False)]),
+              [dict(do_unroll=True, copies=True, allocate=False,
+                    scheduler=scheduler)]),
         runner)
     single_blocks = _blocks(single_results, len(loops), len(grid))
     clustered_jobs = [
         CompileJob(ddg, cm, PipelineOptions(
             unroll_factor=single.outcome.unroll_factor,
-            copies=True, allocate=False))
+            copies=True, allocate=False, scheduler=scheduler))
         for (_, cm), block in zip(grid, single_blocks)
         for ddg, single in zip(loops, block)]
     clustered_blocks = _blocks(run_jobs(clustered_jobs, runner),
@@ -816,8 +841,8 @@ class HardwareCostResult:
 
 def hardware_cost(loops: Sequence[Ddg],
                   fu_sizes: Sequence[int] = (6, 12, 18),
-                  *, runner: Optional[RunnerConfig] = None
-                  ) -> HardwareCostResult:
+                  *, runner: Optional[RunnerConfig] = None,
+                  scheduler: str = DEFAULT_SCHEDULER) -> HardwareCostResult:
     """Experiment S2: the paper's 36-port argument, quantified.
 
     For each width: measure the corpus's p95 rotating-register demand on
@@ -831,7 +856,8 @@ def hardware_cost(loops: Sequence[Ddg],
     crfs = [make_machine(n_fus, rf_kind=RfKind.CONVENTIONAL)
             for n_fus in fu_sizes]
     results = run_jobs(
-        sweep(loops, crfs, [dict(copies=False, allocate=False)],
+        sweep(loops, crfs,
+              [dict(copies=False, allocate=False, scheduler=scheduler)],
               extras=("crf_registers",)),
         runner)
     registers_used: dict[int, int] = {}
@@ -846,3 +872,148 @@ def hardware_cost(loops: Sequence[Ddg],
         registers_used[n_fus] = registers
         rows[n_fus] = cost_comparison(crf, cm, registers)
     return HardwareCostResult(registers_used=registers_used, rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# SC -- scheduler comparison: every registered engine, head to head
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SchedulerCompareResult:
+    """Head-to-head quality/effort comparison of scheduling engines.
+
+    Every metric is keyed by ``(machine name, scheduler name)``.
+    ``mii_match`` compares each engine against the *first* scheduler in
+    ``schedulers`` (the baseline, normally ``"ims"``): among the loops
+    where the baseline achieved II == MII, the fraction this engine
+    achieved it too -- the headline "SMS loses (almost) nothing"
+    statistic.
+    """
+
+    schedulers: tuple[str, ...]
+    machines: tuple[str, ...]
+    n_ok: dict[tuple[str, str], int]
+    n_failed: dict[tuple[str, str], int]
+    mii_rate: dict[tuple[str, str], float]       # fraction II == MII
+    mean_ii_excess: dict[tuple[str, str], float]  # mean (II - MII)
+    static_ipc: dict[tuple[str, str], float]
+    dynamic_ipc: dict[tuple[str, str], float]
+    mean_queues: dict[tuple[str, str], float]
+    mean_max_live: dict[tuple[str, str], float]
+    mean_attempts: dict[tuple[str, str], float]
+    mean_evictions: dict[tuple[str, str], float]
+    mii_match: dict[tuple[str, str], float]
+
+    def render(self) -> str:
+        lines = ["SC -- scheduler comparison "
+                 f"(baseline: {self.schedulers[0]})", "",
+                 "machine       engine  sched  II=MII  mean-II-MII  "
+                 "IPC-dyn  queues  MaxLive  attempts  evicted  "
+                 "vs-baseline"]
+        for m in self.machines:
+            for s in self.schedulers:
+                key = (m, s)
+                lines.append(
+                    m.ljust(14)
+                    + f"{s:<6}  {self.n_ok[key]:5d}  "
+                    + f"{self.mii_rate[key]*100:5.1f}%  "
+                    + f"{self.mean_ii_excess[key]:11.2f}  "
+                    + f"{self.dynamic_ipc[key]:7.2f}  "
+                    + f"{self.mean_queues[key]:6.1f}  "
+                    + f"{self.mean_max_live[key]:7.1f}  "
+                    + f"{self.mean_attempts[key]:8.1f}  "
+                    + f"{self.mean_evictions[key]:7.1f}  "
+                    + f"{self.mii_match[key]*100:10.1f}%")
+        return "\n".join(lines)
+
+
+def exp_scheduler_compare(loops: Sequence[Ddg],
+                          machines: Optional[Sequence[Machine]] = None,
+                          schedulers: Optional[Sequence[str]] = None,
+                          *, runner: Optional[RunnerConfig] = None
+                          ) -> SchedulerCompareResult:
+    """Experiment SC: sweep every engine over loops x machine presets.
+
+    Reports, per (machine, engine): II-vs-MII quality, execution-weighted
+    dynamic IPC, queue and conventional-register demand, and the engine's
+    search effort (placement attempts, evictions).  Defaults: the paper's
+    4/6/12-FU QRF presets and every registered engine, with the default
+    engine pinned first so it stays the ``mii_match`` baseline no matter
+    what else registers.
+    """
+    from repro.sched.strategies import (DEFAULT_SCHEDULER,
+                                        available_schedulers)
+
+    machines = list(machines) if machines else paper_qrf_machines()
+    if schedulers:
+        schedulers = tuple(schedulers)
+    else:
+        registered = available_schedulers()
+        schedulers = tuple(
+            ([DEFAULT_SCHEDULER] if DEFAULT_SCHEDULER in registered else [])
+            + [s for s in registered if s != DEFAULT_SCHEDULER])
+    extras = ("sched_stats", "crf_registers")
+    results = run_jobs(
+        sweep(loops, machines,
+              [dict(copies=True, allocate=True, scheduler=s,
+                    extras=extras) for s in schedulers]),
+        runner)
+    blocks = _blocks(results, len(loops), len(machines) * len(schedulers))
+
+    n_ok: dict[tuple[str, str], int] = {}
+    n_failed: dict[tuple[str, str], int] = {}
+    mii_rate: dict[tuple[str, str], float] = {}
+    mean_excess: dict[tuple[str, str], float] = {}
+    static: dict[tuple[str, str], float] = {}
+    dynamic: dict[tuple[str, str], float] = {}
+    mean_q: dict[tuple[str, str], float] = {}
+    mean_ml: dict[tuple[str, str], float] = {}
+    mean_att: dict[tuple[str, str], float] = {}
+    mean_evi: dict[tuple[str, str], float] = {}
+    mii_match: dict[tuple[str, str], float] = {}
+
+    for mi, m in enumerate(machines):
+        per_engine = {s: blocks[mi * len(schedulers) + si]
+                      for si, s in enumerate(schedulers)}
+        base = per_engine[schedulers[0]]
+        base_hit = {ddg.name for ddg, r in zip(loops, base)
+                    if not r.outcome.failed
+                    and r.outcome.ii == r.outcome.mii}
+        for s in schedulers:
+            block = per_engine[s]
+            key = (m.name, s)
+            ok = [r for r in block if not r.outcome.failed]
+            n_ok[key] = len(ok)
+            n_failed[key] = len(block) - len(ok)
+            mii_rate[key] = fraction(
+                r.outcome.ii == r.outcome.mii for r in ok)
+            mean_excess[key] = mean(
+                r.outcome.ii - r.outcome.mii for r in ok)
+            outcomes = [r.outcome for r in block]
+            static[key] = weighted_static_ipc(outcomes)
+            dynamic[key] = weighted_dynamic_ipc(outcomes)
+            mean_q[key] = mean(r.outcome.total_queues or 0 for r in ok)
+            mean_ml[key] = mean(
+                r.extras["crf_registers"]["max_live"] for r in ok
+                if r.extras.get("crf_registers"))
+            mean_att[key] = mean(
+                r.extras["sched_stats"]["attempts"] for r in ok
+                if r.extras.get("sched_stats"))
+            mean_evi[key] = mean(
+                r.extras["sched_stats"]["evictions"] for r in ok
+                if r.extras.get("sched_stats"))
+            # denominator: every loop the baseline hit; an engine that
+            # fails outright on one of them counts as a non-match
+            matched = [not r.outcome.failed
+                       and r.outcome.ii == r.outcome.mii
+                       for ddg, r in zip(loops, block)
+                       if ddg.name in base_hit]
+            mii_match[key] = fraction(matched)
+    return SchedulerCompareResult(
+        schedulers=tuple(schedulers),
+        machines=tuple(m.name for m in machines),
+        n_ok=n_ok, n_failed=n_failed, mii_rate=mii_rate,
+        mean_ii_excess=mean_excess, static_ipc=static,
+        dynamic_ipc=dynamic, mean_queues=mean_q, mean_max_live=mean_ml,
+        mean_attempts=mean_att, mean_evictions=mean_evi,
+        mii_match=mii_match)

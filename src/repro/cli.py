@@ -6,12 +6,16 @@ Subcommands:
 * ``repro-vliw schedule <kernel>``  -- schedule one named kernel and dump
   the kernel table, queue allocation and a simulation report
 * ``repro-vliw experiment <id>``    -- run one paper experiment
-  (fig3, sec2, fig4, fig6, sec4, fig8, fig9, a1, a2, a3)
+  (``experiment --list`` enumerates them)
+* ``repro-vliw schedulers``         -- list the registered scheduling
+  engines
 * ``repro-vliw report``             -- the headline experiment bundle
 * ``repro-vliw cache``              -- inspect/clear the result cache
 
 Experiment sweeps honour ``--jobs N`` (parallel workers; output is
-byte-identical to the serial run), ``--no-cache`` and ``--cache-dir``.
+byte-identical to the serial run), ``--no-cache`` and ``--cache-dir``;
+``schedule`` and ``experiment`` take ``--scheduler`` to pick the
+scheduling engine (default ``ims``).
 """
 
 from __future__ import annotations
@@ -21,9 +25,54 @@ import sys
 from typing import Optional, Sequence
 
 from repro.machine.presets import clustered_machine, qrf_machine
+from repro.sched.strategies import (DEFAULT_SCHEDULER, available_schedulers,
+                                    scheduler_descriptions)
 from repro.sim.checker import run_pipeline
 from repro.workloads.corpus import bench_corpus, corpus_stats, paper_corpus
 from repro.workloads.kernels import KERNELS, kernel
+
+#: experiment id -> (one-line description, driver invocation).  The lambda
+#: takes (loops, runner, scheduler) so ``--scheduler`` threads through
+#: every driver; the compare experiment sweeps all engines itself.
+EXPERIMENTS = {
+    "fig3": ("Fig. 3: loops schedulable within N queues",
+             lambda ex, l, r, s: ex.fig3_queue_requirements(
+                 l, runner=r, scheduler=s)),
+    "sec2": ("Section 2: copy-insertion impact on II / stage count",
+             lambda ex, l, r, s: ex.sec2_copy_impact(
+                 l, runner=r, scheduler=s)),
+    "fig4": ("Fig. 4: II speedup from loop unrolling",
+             lambda ex, l, r, s: ex.fig4_unroll_speedup(
+                 l, runner=r, scheduler=s)),
+    "fig6": ("Fig. 6: clustered vs single-cluster II",
+             lambda ex, l, r, s: ex.fig6_ii_variation(
+                 l, runner=r, scheduler=s)),
+    "sec4": ("Section 4 / Fig. 7: per-cluster queue budgets",
+             lambda ex, l, r, s: ex.sec4_cluster_queues(
+                 l, runner=r, scheduler=s)),
+    "fig8": ("Fig. 8: IPC sweep, all loops",
+             lambda ex, l, r, s: ex.fig8_ipc(l, runner=r, scheduler=s)),
+    "fig9": ("Fig. 9: IPC sweep, resource-constrained loops",
+             lambda ex, l, r, s: ex.fig9_ipc_rc(l, runner=r, scheduler=s)),
+    "a1": ("ablation: copy fan-out tree strategy",
+           lambda ex, l, r, s: ex.ablation_copy_tree(
+               l, runner=r, scheduler=s)),
+    "a2": ("ablation: cluster-partition heuristic",
+           lambda ex, l, r, s: ex.ablation_partition(
+               l, runner=r, scheduler=s)),
+    "a3": ("ablation: explicit inter-cluster MOVE ops",
+           lambda ex, l, r, s: ex.ablation_moves(l, runner=r, scheduler=s)),
+    "a4": ("sensitivity: inter-cluster ring latency",
+           lambda ex, l, r, s: ex.ring_latency_sensitivity(
+               l, runner=r, scheduler=s)),
+    "s1": ("supplementary: register pressure, QRF vs conventional RF",
+           lambda ex, l, r, s: ex.register_pressure(
+               l, runner=r, scheduler=s)),
+    "e6b": ("spill code under finite queue files",
+            lambda ex, l, r, s: ex.spill_budget(l, runner=r, scheduler=s)),
+    "sc": ("scheduler comparison: all registered engines head to head",
+           lambda ex, l, r, s: ex.exp_scheduler_compare(l, runner=r)),
+}
 
 
 def _loops(args) -> list:
@@ -58,6 +107,14 @@ def cmd_corpus(args) -> int:
 
 
 def cmd_schedule(args) -> int:
+    if args.list:
+        for name in sorted(KERNELS):
+            print(f"{name:<12} {KERNELS[name]().n_ops:3d} ops")
+        return 0
+    if args.kernel is None:
+        print("schedule: kernel name required (or --list)",
+              file=sys.stderr)
+        return 2
     if args.kernel not in KERNELS:
         print(f"unknown kernel {args.kernel!r}; available: "
               f"{', '.join(sorted(KERNELS))}", file=sys.stderr)
@@ -66,7 +123,8 @@ def cmd_schedule(args) -> int:
     machine = (clustered_machine(args.clusters) if args.clusters
                else qrf_machine(args.fus))
     res = run_pipeline(ddg, machine, unroll_factor=args.unroll,
-                       iterations=args.iterations)
+                       iterations=args.iterations,
+                       scheduler=args.scheduler)
     print(res.schedule.render())
     if args.asm:
         from repro.codegen.encode import render_assembly
@@ -87,28 +145,26 @@ def cmd_schedule(args) -> int:
 def cmd_experiment(args) -> int:
     from repro.analysis import experiments as ex
 
-    loops = _loops(args)
-    runner = _runner(args)
-    table = {
-        "fig3": lambda: ex.fig3_queue_requirements(loops, runner=runner),
-        "sec2": lambda: ex.sec2_copy_impact(loops, runner=runner),
-        "fig4": lambda: ex.fig4_unroll_speedup(loops, runner=runner),
-        "fig6": lambda: ex.fig6_ii_variation(loops, runner=runner),
-        "sec4": lambda: ex.sec4_cluster_queues(loops, runner=runner),
-        "fig8": lambda: ex.fig8_ipc(loops, runner=runner),
-        "fig9": lambda: ex.fig9_ipc_rc(loops, runner=runner),
-        "a1": lambda: ex.ablation_copy_tree(loops, runner=runner),
-        "a2": lambda: ex.ablation_partition(loops, runner=runner),
-        "a3": lambda: ex.ablation_moves(loops, runner=runner),
-        "a4": lambda: ex.ring_latency_sensitivity(loops, runner=runner),
-        "s1": lambda: ex.register_pressure(loops, runner=runner),
-        "e6b": lambda: ex.spill_budget(loops, runner=runner),
-    }
-    if args.id not in table:
-        print(f"unknown experiment {args.id!r}; available: "
-              f"{', '.join(table)}", file=sys.stderr)
+    if args.list:
+        for exp_id, (descr, _) in EXPERIMENTS.items():
+            print(f"{exp_id:<6} {descr}")
+        return 0
+    if args.id is None:
+        print("experiment: id required (or --list)", file=sys.stderr)
         return 2
-    print(table[args.id]().render())
+    if args.id not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; available: "
+              f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    _, drive = EXPERIMENTS[args.id]
+    print(drive(ex, _loops(args), _runner(args), args.scheduler).render())
+    return 0
+
+
+def cmd_schedulers(args) -> int:
+    for name, descr in scheduler_descriptions().items():
+        default = "  (default)" if name == DEFAULT_SCHEDULER else ""
+        print(f"{name:<6} {descr}{default}")
     return 0
 
 
@@ -158,18 +214,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("corpus", help="corpus statistics")
 
     ps = sub.add_parser("schedule", help="schedule one named kernel")
-    ps.add_argument("kernel", help=f"one of: {', '.join(sorted(KERNELS))}")
+    ps.add_argument("kernel", nargs="?", default=None,
+                    help=f"one of: {', '.join(sorted(KERNELS))}")
+    ps.add_argument("--list", action="store_true",
+                    help="list the available kernels and exit")
     ps.add_argument("--fus", type=int, default=4,
                     help="single-cluster machine width (default 4)")
     ps.add_argument("--clusters", type=int, default=0,
                     help="use a clustered machine with N clusters")
     ps.add_argument("--unroll", type=int, default=1)
     ps.add_argument("--iterations", type=int, default=16)
+    ps.add_argument("--scheduler", default=DEFAULT_SCHEDULER,
+                    choices=available_schedulers(),
+                    help="scheduling engine (see `repro-vliw schedulers`)")
     ps.add_argument("--asm", action="store_true",
                     help="print the queue-addressed assembly listing")
 
     pe = sub.add_parser("experiment", help="run one paper experiment")
-    pe.add_argument("id", help="fig3|sec2|fig4|fig6|sec4|fig8|fig9|a1|a2|a3|a4|s1|e6b")
+    pe.add_argument("id", nargs="?", default=None,
+                    help=f"one of: {', '.join(EXPERIMENTS)}")
+    pe.add_argument("--list", action="store_true",
+                    help="list the available experiments and exit")
+    pe.add_argument("--scheduler", default=DEFAULT_SCHEDULER,
+                    choices=available_schedulers(),
+                    help="scheduling engine used by the sweep "
+                         "(`sc` always compares all engines)")
+
+    sub.add_parser("schedulers",
+                   help="list the registered scheduling engines")
 
     pr = sub.add_parser("report", help="headline experiment bundle")
     pr.add_argument("--sweep", action="store_true",
@@ -187,6 +259,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "corpus": cmd_corpus,
         "schedule": cmd_schedule,
         "experiment": cmd_experiment,
+        "schedulers": cmd_schedulers,
         "report": cmd_report,
         "cache": cmd_cache,
     }[args.command]

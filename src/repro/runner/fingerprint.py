@@ -25,7 +25,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.machine import Machine
 
 #: Bump on any change to signature layout or cached-record semantics.
-SCHEMA_VERSION = 1
+#: v2: options signature gained the ``scheduler`` engine name.
+SCHEMA_VERSION = 2
 
 
 def canonical_json(obj) -> str:

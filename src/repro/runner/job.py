@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.analysis.metrics import LoopOutcome
 from repro.ir.ddg import Ddg
+from repro.sched.strategies import DEFAULT_SCHEDULER
 
 from .fingerprint import job_key
 
@@ -28,6 +29,10 @@ from .fingerprint import job_key
 @dataclass(frozen=True)
 class PipelineOptions:
     """Pipeline configuration of one job (mirrors ``compile_loop``).
+
+    ``scheduler`` names the scheduling engine (see
+    :mod:`repro.sched.strategies`); it participates in the job signature,
+    so cached results can never alias across engines.
 
     ``extras`` names derived metrics to compute in the worker after the
     pipeline runs; see ``EXTRA_EXTRACTORS`` in
@@ -42,6 +47,7 @@ class PipelineOptions:
     allocate: bool = True
     partition_strategy: str = "affinity"
     use_moves: bool = False
+    scheduler: str = DEFAULT_SCHEDULER
     extras: tuple[str, ...] = ()
 
     def compile_kwargs(self) -> dict:

@@ -26,11 +26,12 @@ from repro.ir.unroll import select_unroll_factor, unroll
 from repro.machine.cluster import ClusteredMachine
 from repro.machine.machine import Machine
 from repro.regalloc.queues import allocate_for_schedule
-from repro.sched.ims import ImsConfig, modulo_schedule
 from repro.sched.mii import mii_report
 from repro.sched.partition import (PartitionConfig, partitioned_schedule,
                                    schedule_with_moves)
 from repro.sched.schedule import SchedulingError
+from repro.sched.strategies import (DEFAULT_SCHEDULER,
+                                    get_scheduler)
 
 from .job import CompileJob, JobResult
 
@@ -57,11 +58,16 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                  copy_strategy: str = "slack",
                  allocate: bool = True,
                  partition_strategy: str = "affinity",
-                 use_moves: bool = False) -> CompiledLoop:
+                 use_moves: bool = False,
+                 scheduler: str = DEFAULT_SCHEDULER) -> CompiledLoop:
     """Run (unroll ->) (copy-insert ->) schedule (-> allocate queues).
 
-    Scheduling failures produce a ``failed`` outcome instead of raising, so
-    corpus sweeps always complete.
+    ``scheduler`` selects the single-cluster scheduling engine from the
+    :mod:`repro.sched.strategies` registry; clustered machines always go
+    through the partitioner (its space/time search embeds IMS's eviction
+    machinery -- see DESIGN.md §6).  Scheduling failures produce a
+    ``failed`` outcome instead of raising, so corpus sweeps always
+    complete.
     """
     factor = 1
     if unroll_factor is not None:
@@ -78,12 +84,12 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
             rolled = compile_loop(
                 ddg, machine, copies=copies, copy_strategy=copy_strategy,
                 allocate=False, partition_strategy=partition_strategy,
-                use_moves=use_moves)
+                use_moves=use_moves, scheduler=scheduler)
             unrolled = compile_loop(
                 ddg, machine, unroll_factor=factor, copies=copies,
                 copy_strategy=copy_strategy, allocate=allocate,
                 partition_strategy=partition_strategy,
-                use_moves=use_moves)
+                use_moves=use_moves, scheduler=scheduler)
             if (unrolled.outcome.failed
                     or rolled.outcome.failed
                     or unrolled.outcome.ii_per_iteration
@@ -95,7 +101,7 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                     ddg, machine, unroll_factor=1, copies=copies,
                     copy_strategy=copy_strategy, allocate=True,
                     partition_strategy=partition_strategy,
-                    use_moves=use_moves)
+                    use_moves=use_moves, scheduler=scheduler)
             return rolled
         factor = 1
     work = unroll(ddg, factor) if factor > 1 else ddg
@@ -118,7 +124,7 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                 work, machine,
                 config=PartitionConfig(strategy=partition_strategy))
         else:
-            sched = modulo_schedule(work, machine, config=ImsConfig())
+            sched = get_scheduler(scheduler).schedule(work, machine).schedule
     except SchedulingError:
         return CompiledLoop(outcome=LoopOutcome(
             loop=ddg.name, machine=machine.name,
@@ -201,11 +207,21 @@ def _extra_spills(compiled: CompiledLoop, arg: str):
     return out
 
 
+def _extra_sched_stats(compiled: CompiledLoop, arg: str):
+    """Search-effort counters of the scheduling engine (SC driver)."""
+    if compiled.schedule is None:
+        return None
+    stats = compiled.schedule.stats
+    return {"attempts": stats.attempts, "evictions": stats.evictions,
+            "iis_tried": stats.iis_tried}
+
+
 #: Registry of extras extractors; keyed by the name before the colon.
 EXTRA_EXTRACTORS: dict[str, Callable[[CompiledLoop, str], object]] = {
     "queue_locations": _extra_queue_locations,
     "crf_registers": _extra_crf_registers,
     "spills": _extra_spills,
+    "sched_stats": _extra_sched_stats,
 }
 
 

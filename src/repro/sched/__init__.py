@@ -1,7 +1,12 @@
-"""Modulo scheduling: MII bounds, IMS, and the clustered partitioner."""
+"""Modulo scheduling: MII bounds, pluggable engines (IMS, SMS), and the
+clustered partitioner."""
 
 from .ims import (DEFAULT_BUDGET_RATIO, ImsConfig, modulo_schedule,
                   try_schedule_at_ii)
+from .strategies import (DEFAULT_SCHEDULER, SchedulerResult,
+                         SchedulerStrategy, SmsConfig, available_schedulers,
+                         get_scheduler, register_scheduler,
+                         scheduler_descriptions, sms_schedule)
 from .mii import (MiiReport, max_cycle_ratio, mii, mii_report, rec_mii,
                   res_mii, theoretical_ipc_bound)
 from .mrt import ModuloReservationTable, Placement
@@ -16,6 +21,9 @@ from .schedule import (ModuloSchedule, ScheduleStats,
 __all__ = [
     "DEFAULT_BUDGET_RATIO", "ImsConfig", "modulo_schedule",
     "try_schedule_at_ii",
+    "DEFAULT_SCHEDULER", "SchedulerResult", "SchedulerStrategy",
+    "SmsConfig", "available_schedulers", "get_scheduler",
+    "register_scheduler", "scheduler_descriptions", "sms_schedule",
     "MiiReport", "max_cycle_ratio", "mii", "mii_report", "rec_mii",
     "res_mii", "theoretical_ipc_bound",
     "ModuloReservationTable", "Placement",

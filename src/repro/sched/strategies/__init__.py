@@ -1,0 +1,48 @@
+"""Pluggable scheduler strategies.
+
+The scheduling engine is a seam: every engine consumes a (loop DDG,
+single-cluster machine) pair and produces the same
+:class:`~repro.sched.schedule.ModuloSchedule` object, so partitioning
+baselines, queue allocation, codegen, the simulator and every experiment
+driver run unchanged on top of any registered engine.  The registry is the
+lookup surface used by ``PipelineOptions(scheduler=...)``, the CLI's
+``--scheduler`` / ``schedulers`` commands and the registry-parameterised
+invariant tests.
+
+Engines shipped here:
+
+* ``"ims"`` -- Rau's Iterative Modulo Scheduling (the default; the
+  engine the paper's experiments used), via :mod:`repro.sched.ims`.
+* ``"sms"`` -- Swing Modulo Scheduling (Llosa et al., PACT'96): the
+  co-author's near-backtrack-free, lifetime-minimising engine.
+
+Adding an engine is a self-registering subclass::
+
+    from repro.sched.strategies import SchedulerStrategy, register_scheduler
+
+    @register_scheduler
+    class MyStrategy(SchedulerStrategy):
+        name = "mine"
+        description = "my engine"
+        def schedule(self, ddg, machine, *, start_ii=None):
+            ...
+"""
+
+from .base import SchedulerResult, SchedulerStrategy
+from .ims import ImsStrategy
+from .registry import (available_schedulers, get_scheduler,
+                       register_scheduler, scheduler_descriptions)
+from .sms import (SmsConfig, SmsStrategy, sms_order, sms_schedule,
+                  time_bounds, try_sms_at_ii)
+
+#: The engine used when nothing else is asked for.
+DEFAULT_SCHEDULER = "ims"
+
+__all__ = [
+    "SchedulerResult", "SchedulerStrategy",
+    "ImsStrategy", "SmsStrategy", "SmsConfig",
+    "available_schedulers", "get_scheduler", "register_scheduler",
+    "scheduler_descriptions",
+    "sms_order", "sms_schedule", "time_bounds", "try_sms_at_ii",
+    "DEFAULT_SCHEDULER",
+]

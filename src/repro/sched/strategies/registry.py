@@ -1,0 +1,64 @@
+"""Scheduler registry: name -> engine class.
+
+The registry is the single seam through which the pipeline, the CLI and
+the tests discover scheduling engines.  Registering is declarative::
+
+    @register_scheduler
+    class MyStrategy(SchedulerStrategy):
+        name = "mine"
+        description = "..."
+        def schedule(self, ddg, machine, *, start_ii=None): ...
+
+Names are unique; registering a duplicate raises so two engines can never
+silently shadow each other (cache keys embed the name, so aliasing would
+poison cached results).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from .base import SchedulerStrategy
+
+_REGISTRY: dict[str, Type[SchedulerStrategy]] = {}
+
+
+def register_scheduler(
+        cls: Type[SchedulerStrategy]) -> Type[SchedulerStrategy]:
+    """Class decorator: add *cls* to the registry under ``cls.name``."""
+    name = getattr(cls, "name", "")
+    if not name:
+        raise ValueError(f"{cls.__name__} must set a non-empty `name`")
+    if name in _REGISTRY:
+        raise ValueError(
+            f"scheduler {name!r} already registered "
+            f"({_REGISTRY[name].__name__}); names must be unique")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Registered engine names, sorted (stable for tests and docs)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scheduler(name: str, **kwargs) -> SchedulerStrategy:
+    """Instantiate the engine registered under *name*.
+
+    ``kwargs`` are forwarded to the strategy constructor (engine-specific
+    config objects); raises ``KeyError`` with the available names on an
+    unknown engine.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: "
+            f"{', '.join(available_schedulers())}") from None
+    return cls(**kwargs)
+
+
+def scheduler_descriptions() -> dict[str, str]:
+    """name -> one-line description (the ``schedulers`` CLI listing)."""
+    return {name: _REGISTRY[name].description
+            for name in available_schedulers()}

@@ -17,9 +17,10 @@ from repro.ir.unroll import unroll
 from repro.machine.cluster import ClusteredMachine
 from repro.machine.machine import Machine
 from repro.regalloc.queues import ScheduleQueueUsage, allocate_for_schedule
-from repro.sched.ims import ImsConfig, modulo_schedule
+from repro.sched.ims import ImsConfig
 from repro.sched.partition import PartitionConfig, partitioned_schedule
 from repro.sched.schedule import ModuloSchedule
+from repro.sched.strategies import DEFAULT_SCHEDULER
 
 from .vliwsim import SimReport, simulate
 
@@ -59,10 +60,15 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
                  unroll_factor: int = 1,
                  copy_strategy: str = "slack",
                  iterations: Optional[int] = None,
-                 sched_config: Optional[object] = None) -> PipelineResult:
+                 sched_config: Optional[object] = None,
+                 scheduler: str = DEFAULT_SCHEDULER) -> PipelineResult:
     """Full paper pipeline with end-to-end verification.
 
-    Raises :class:`repro.sim.vliwsim.SimulationError`,
+    ``scheduler`` picks the single-cluster engine from the strategy
+    registry.  A typed ``sched_config`` selects *and* configures its own
+    engine (:class:`ImsConfig` -> ``"ims"``, ``SmsConfig`` -> ``"sms"``),
+    taking precedence over ``scheduler``; clustered machines always use
+    the partitioner.  Raises :class:`repro.sim.vliwsim.SimulationError`,
     :class:`repro.sched.schedule.SchedulingError` or a validation error if
     anything is inconsistent; returns the artefacts otherwise.
     """
@@ -73,15 +79,31 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
         work, n_copies = res.ddg, res.n_copies
 
     if isinstance(machine, ClusteredMachine):
-        cfg = sched_config if isinstance(sched_config, PartitionConfig) \
-            else PartitionConfig()
+        if isinstance(sched_config, PartitionConfig):
+            cfg = sched_config
+        elif sched_config is not None:
+            raise TypeError(
+                f"unsupported sched_config "
+                f"{type(sched_config).__name__} for a clustered machine "
+                f"(expected PartitionConfig)")
+        else:
+            cfg = PartitionConfig()
         sched = partitioned_schedule(work, machine, config=cfg)
         usage = allocate_for_schedule(sched, machine)
         capacities = machine.cluster.fus.as_dict()
     else:
-        cfg = sched_config if isinstance(sched_config, ImsConfig) \
-            else ImsConfig()
-        sched = modulo_schedule(work, machine, config=cfg)
+        from repro.sched.strategies import SmsConfig, get_scheduler
+        if isinstance(sched_config, ImsConfig):
+            engine = get_scheduler("ims", config=sched_config)
+        elif isinstance(sched_config, SmsConfig):
+            engine = get_scheduler("sms", config=sched_config)
+        elif sched_config is not None:
+            raise TypeError(
+                f"unsupported sched_config {type(sched_config).__name__} "
+                f"for a single-cluster machine")
+        else:
+            engine = get_scheduler(scheduler)
+        sched = engine.schedule(work, machine).schedule
         capacities = machine.fus.as_dict()
         if not machine.needs_copies:
             # conventional RF: no queues to allocate, the queue simulator

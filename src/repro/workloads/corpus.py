@@ -22,12 +22,24 @@ FULL_CORPUS_ENV = "REPRO_FULL_CORPUS"
 DEFAULT_BENCH_SAMPLE = 160
 
 
-def corpus(cfg: Optional[SynthConfig] = None) -> list[Ddg]:
-    """The (cached) deterministic corpus for *cfg*."""
+def _cached(cfg: Optional[SynthConfig] = None) -> list[Ddg]:
+    """The shared cached loop list -- internal; callers get copies."""
     cfg = cfg or SynthConfig()
     if cfg not in _CACHE:
         _CACHE[cfg] = generate_corpus(cfg)
-    return list(_CACHE[cfg])
+    return _CACHE[cfg]
+
+
+def corpus(cfg: Optional[SynthConfig] = None) -> list[Ddg]:
+    """The (cached) deterministic corpus for *cfg*.
+
+    Loops are **copied on return**: generating the corpus is expensive
+    (so the module caches it), but ``Ddg`` objects are mutable -- handing
+    out the cached instances let one caller's transformation (unrolling,
+    copy insertion done in place, a stress test poking at edges) silently
+    poison every later sweep's corpus.  Each call now owns its loops.
+    """
+    return [ddg.copy() for ddg in _cached(cfg)]
 
 
 def paper_corpus() -> list[Ddg]:
@@ -42,14 +54,15 @@ def bench_corpus(sample: Optional[int] = None) -> list[Ddg]:
     evenly strided subsample of ``sample`` (default 160) loops plus all
     hand-written kernels, preserving the size/recurrence distributions.
     """
-    loops = paper_corpus()
+    loops = _cached()
     if os.environ.get(FULL_CORPUS_ENV, "") == "1":
-        return loops
+        return [ddg.copy() for ddg in loops]
     n = sample or DEFAULT_BENCH_SAMPLE
     if n >= len(loops):
-        return loops
+        return [ddg.copy() for ddg in loops]
+    # sample first, copy only what the caller keeps
     stride = len(loops) / n
-    picked = [loops[int(i * stride)] for i in range(n)]
+    picked = [loops[int(i * stride)].copy() for i in range(n)]
     return picked + all_kernels()
 
 

@@ -140,3 +140,45 @@ class TestAblations:
     def test_moves_recover(self, loops):
         res = ablation_moves(loops[:12], cluster_counts=(6,))
         assert res.with_moves[6] >= res.without_moves[6] - 1e-9
+
+
+class TestSchedulerCompare:
+    def test_all_registered_engines_over_presets(self, loops):
+        from repro.analysis.experiments import exp_scheduler_compare
+
+        res = exp_scheduler_compare(loops)
+        assert set(res.schedulers) == {"ims", "sms"}
+        # the default engine is pinned first: it is the mii_match baseline
+        assert res.schedulers[0] == "ims"
+        assert len(res.machines) >= 3       # the paper's 4/6/12-FU presets
+        for m in res.machines:
+            for s in res.schedulers:
+                assert res.n_ok[(m, s)] > 0
+                assert 0.0 <= res.mii_rate[(m, s)] <= 1.0
+                assert res.mean_ii_excess[(m, s)] >= 0.0
+            # the baseline trivially matches itself
+            assert res.mii_match[(m, res.schedulers[0])] == 1.0
+            # acceptance: SMS hits MII on >= 80% of the loops IMS does
+            assert res.mii_match[(m, "sms")] >= 0.8
+            # SMS never evicts; IMS's count is >= 0 by construction
+            assert res.mean_evictions[(m, "sms")] == 0.0
+
+    def test_engine_subset_and_render(self, loops):
+        from repro.analysis.experiments import exp_scheduler_compare
+
+        res = exp_scheduler_compare(loops[:10], [qrf_machine(4)],
+                                    schedulers=("sms",))
+        text = res.render()
+        assert "scheduler comparison" in text
+        assert "sms" in text
+
+    def test_sms_compiles_corpus_via_pipeline_options(self, loops):
+        """PipelineOptions(scheduler="sms") end to end: failures allowed,
+        crashes not."""
+        from repro.runner import CompileJob, PipelineOptions, run_jobs
+
+        opts = PipelineOptions(scheduler="sms")
+        results = run_jobs(
+            [CompileJob(ddg, qrf_machine(6), opts) for ddg in loops])
+        assert len(results) == len(loops)
+        assert any(not r.outcome.failed for r in results)

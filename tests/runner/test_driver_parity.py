@@ -57,3 +57,28 @@ def test_fig6_two_wave_dependency_parity(loops, parallel_cached):
     parallel = fig6_ii_variation(loops, cluster_counts=(4,),
                                  runner=parallel_cached)
     assert parallel == serial
+
+
+@pytest.mark.parametrize("scheduler", ["ims", "sms"])
+def test_scheduler_sweeps_parallel_parity(scheduler, loops,
+                                          parallel_cached):
+    """Byte-identical serial/parallel/replayed output for each engine."""
+    serial = fig3_queue_requirements(loops, scheduler=scheduler).render()
+    parallel = fig3_queue_requirements(
+        loops, runner=parallel_cached, scheduler=scheduler).render()
+    replayed = fig3_queue_requirements(
+        loops, runner=parallel_cached, scheduler=scheduler).render()
+    assert parallel == serial
+    assert replayed == serial
+
+
+def test_scheduler_compare_parallel_parity(loops, parallel_cached):
+    from repro.analysis.experiments import exp_scheduler_compare
+
+    serial = exp_scheduler_compare(loops).render()
+    parallel = exp_scheduler_compare(loops,
+                                     runner=parallel_cached).render()
+    replayed = exp_scheduler_compare(loops,
+                                     runner=parallel_cached).render()
+    assert parallel == serial
+    assert replayed == serial

@@ -57,6 +57,18 @@ def test_key_changes_with_options():
             != base)
 
 
+def test_key_never_aliases_across_schedulers():
+    """Same loop, machine and flags under a different engine is a
+    different job: cached IMS results must never answer for SMS."""
+    ddg = kernel("daxpy")
+    m = qrf_machine(4)
+    keys = {CompileJob(ddg, m, PipelineOptions(scheduler=s)).key
+            for s in ("ims", "sms")}
+    assert len(keys) == 2
+    assert (CompileJob(ddg, m, PipelineOptions()).key
+            == CompileJob(ddg, m, PipelineOptions(scheduler="ims")).key)
+
+
 def test_key_changes_with_trip_count():
     a, b = kernel("daxpy"), kernel("daxpy")
     b.trip_count += 1

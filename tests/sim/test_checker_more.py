@@ -25,6 +25,20 @@ def test_custom_partition_config():
     res.schedule.validate(cm.cluster.fus.as_dict(), adjacency=cm)
 
 
+def test_custom_sms_config_selects_sms_engine():
+    from repro.sched.strategies import SmsConfig
+
+    res = run_pipeline(daxpy(), qrf_machine(4),
+                       sched_config=SmsConfig(), iterations=8)
+    assert res.ii == 2
+
+
+def test_mismatched_sched_config_rejected():
+    with pytest.raises(TypeError, match="sched_config"):
+        run_pipeline(daxpy(), qrf_machine(4),
+                     sched_config=PartitionConfig())
+
+
 def test_conventional_machine_reports_registers():
     res = run_pipeline(norm2(), crf_machine(4), iterations=8)
     assert res.n_copies == 0

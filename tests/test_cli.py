@@ -37,6 +37,26 @@ def test_schedule_unknown_kernel(capsys):
     assert "unknown kernel" in err
 
 
+def test_schedule_list_enumerates_kernels(capsys):
+    code, out, _ = run_cli(capsys, "schedule", "--list")
+    assert code == 0
+    assert "daxpy" in out and "ops" in out
+
+
+def test_schedule_missing_kernel_hints_at_list(capsys):
+    code, _, err = run_cli(capsys, "schedule")
+    assert code == 2
+    assert "--list" in err
+
+
+def test_schedule_with_sms_scheduler(capsys):
+    code, out, _ = run_cli(capsys, "schedule", "daxpy",
+                           "--scheduler", "sms")
+    assert code == 0
+    assert "II=" in out
+    assert "simulated" in out
+
+
 def test_experiment_fig3(capsys):
     code, out, _ = run_cli(capsys, "--sample", "8", "experiment", "fig3")
     assert code == 0
@@ -47,6 +67,41 @@ def test_experiment_unknown(capsys):
     code, _, err = run_cli(capsys, "--sample", "8", "experiment", "nope")
     assert code == 2
     assert "unknown experiment" in err
+
+
+def test_experiment_list_enumerates_experiments(capsys):
+    code, out, _ = run_cli(capsys, "experiment", "--list")
+    assert code == 0
+    for exp_id in ("fig3", "fig9", "e6b", "sc"):
+        assert exp_id in out
+
+
+def test_experiment_missing_id_hints_at_list(capsys):
+    code, _, err = run_cli(capsys, "experiment")
+    assert code == 2
+    assert "--list" in err
+
+
+def test_experiment_with_sms_scheduler(capsys):
+    code, out, _ = run_cli(capsys, "--sample", "8", "--no-cache",
+                           "experiment", "fig3", "--scheduler", "sms")
+    assert code == 0
+    assert "Fig. 3" in out
+
+
+def test_experiment_scheduler_compare(capsys):
+    code, out, _ = run_cli(capsys, "--sample", "8", "--no-cache",
+                           "experiment", "sc")
+    assert code == 0
+    assert "scheduler comparison" in out
+    assert "ims" in out and "sms" in out
+
+
+def test_schedulers_subcommand(capsys):
+    code, out, _ = run_cli(capsys, "schedulers")
+    assert code == 0
+    assert "ims" in out and "sms" in out
+    assert "(default)" in out
 
 
 def test_parser_requires_command():

@@ -14,9 +14,23 @@ def test_paper_corpus_size_and_cache():
     a = paper_corpus()
     b = paper_corpus()
     assert len(a) == 1258
-    # cached: same underlying objects, fresh list
-    assert a[0] is b[0]
+    # the cache hands out copies: same content, never the same objects
     assert a is not b
+    assert a[0] is not b[0]
+    assert a[0].name == b[0].name
+    assert a[0].n_ops == b[0].n_ops
+
+
+def test_corpus_mutation_cannot_poison_later_calls():
+    """One sweep mutating its loops must not leak into the next sweep."""
+    a = paper_corpus()
+    victim = a[0]
+    before_ops = victim.n_ops
+    victim.add_operation(victim.op(victim.op_ids[0]).opcode, name="rogue")
+    victim.trip_count += 7
+    b = paper_corpus()
+    assert b[0].n_ops == before_ops
+    assert b[0].trip_count != victim.trip_count
 
 
 def test_corpus_custom_config():
