@@ -23,8 +23,10 @@ def test_ablation_partition_strategy(benchmark):
         rounds=1, iterations=1)
     record("ablation_partition", result.render())
 
+    from repro.sched.partitioners import available_partitioners
+
     same = result.same_ii
-    assert set(same) == {"affinity", "balance", "first", "random"}
+    assert set(same) == set(available_partitioners())
     # finding: once forced placement + deadlock aging are in place, the
     # cluster-choice policy matters surprisingly little (all strategies
     # land within a few points) -- the backtracking machinery, not the

@@ -1,0 +1,49 @@
+"""PC -- partitioner comparison: every registered engine head to head.
+
+Runs the clustered corpus through each registered cluster-partitioning
+engine on the paper's 4/5/6-cluster rings and reports II-vs-MII quality,
+search effort (placement attempts, evictions), ring-crossing value count
+and peak per-cluster MaxLive.  The shape assertions pin the reasons the
+engines exist: the affinity family keeps ring traffic visibly below the
+locality-blind baselines, and the agglomerative pre-assignment matches
+or beats the greedy default's II quality.
+"""
+
+from conftest import record, runner_from_env
+
+from repro.analysis.experiments import exp_partitioner_compare
+from repro.sched.partitioners import available_partitioners
+from repro.workloads.corpus import bench_corpus
+
+
+def test_partitioner_compare(benchmark):
+    loops = bench_corpus(64)
+    result = benchmark.pedantic(
+        lambda: exp_partitioner_compare(loops, runner=runner_from_env()),
+        rounds=1, iterations=1)
+    record("partitioner_compare", result.render())
+
+    engines = set(result.partitioners)
+    assert engines == set(available_partitioners())
+    assert result.partitioners[0] == "affinity"  # the baseline stays first
+
+    for n in result.cluster_counts:
+        for p in result.partitioners:
+            key = (n, p)
+            # every engine schedules the (schedulable) corpus
+            assert result.n_ok[key] > 0
+            assert result.n_failed[key] == 0
+            # II never beats MII; excess stays small on the bench corpus
+            assert result.mean_ii_excess[key] >= 0.0
+            assert result.mean_ii_excess[key] <= 3.0
+        # locality: affinity-guided engines move fewer values across the
+        # ring than the load-only baseline
+        assert (result.mean_inter_cluster[(n, "affinity")]
+                <= result.mean_inter_cluster[(n, "balance")] + 1e-9)
+        assert (result.mean_inter_cluster[(n, "agglomerative")]
+                <= result.mean_inter_cluster[(n, "balance")] + 1e-9)
+
+    # the two-phase pre-assignment holds II quality at the hardest ring
+    worst = max(result.cluster_counts)
+    assert (result.mii_rate[(worst, "agglomerative")]
+            >= result.mii_rate[(worst, "affinity")] - 0.05)

@@ -32,7 +32,8 @@ from repro.machine import (ClusteredMachine, Machine, RfKind,
 from repro.regalloc import (allocate_for_schedule, allocate_queues,
                             q_compatible, register_requirement)
 from repro.sched import (ModuloSchedule, SchedulingError,
-                         available_schedulers, get_scheduler, mii,
+                         available_partitioners, available_schedulers,
+                         get_partitioner, get_scheduler, mii,
                          mii_report, modulo_schedule, partitioned_schedule,
                          schedule_with_moves, sms_schedule)
 from repro.sim import PipelineResult, SimulationError, run_pipeline, simulate
@@ -49,8 +50,9 @@ __all__ = [
     "crf_machine", "make_clustered", "make_machine", "qrf_machine",
     "allocate_for_schedule", "allocate_queues", "q_compatible",
     "register_requirement",
-    "ModuloSchedule", "SchedulingError", "available_schedulers",
-    "get_scheduler", "mii", "mii_report", "modulo_schedule",
+    "ModuloSchedule", "SchedulingError", "available_partitioners",
+    "available_schedulers", "get_partitioner", "get_scheduler", "mii",
+    "mii_report", "modulo_schedule",
     "partitioned_schedule", "schedule_with_moves", "sms_schedule",
     "PipelineResult", "SimulationError", "run_pipeline", "simulate",
     "KERNELS", "SynthConfig", "all_kernels", "bench_corpus",

@@ -37,6 +37,7 @@ from repro.runner import (CompileJob, PipelineOptions, RunnerConfig,
 from repro.runner.pipeline import (UNROLL_MAX_FACTOR, UNROLL_MAX_OPS,  # noqa: F401
                                    CompiledLoop, compile_loop)
 from repro.sched.mii import mii_report
+from repro.sched.partitioners import DEFAULT_PARTITIONER
 from repro.sched.strategies import DEFAULT_SCHEDULER
 
 from .metrics import (LoopOutcome, cumulative_within, fraction, mean,
@@ -59,7 +60,23 @@ __all__ = [
     "RingLatencyResult", "ring_latency_sensitivity",
     "HardwareCostResult", "hardware_cost",
     "SchedulerCompareResult", "exp_scheduler_compare",
+    "PartitionerCompareResult", "exp_partitioner_compare",
 ]
+
+
+def _pinned_first(registered: Sequence[str],
+                  default: str) -> tuple[str, ...]:
+    """*registered* with *default* pinned first (so it stays the
+    comparison baseline no matter what else registers)."""
+    return tuple(([default] if default in registered else [])
+                 + [name for name in registered if name != default])
+
+
+def _registered_partitioners() -> tuple[str, ...]:
+    """Every registered partitioning engine, default engine first."""
+    from repro.sched.partitioners import available_partitioners
+
+    return _pinned_first(available_partitioners(), DEFAULT_PARTITIONER)
 
 
 def _blocks(results, size: int, n_blocks: int):
@@ -269,7 +286,7 @@ class Fig6Result:
 def fig6_ii_variation(loops: Sequence[Ddg],
                       cluster_counts: Sequence[int] = PAPER_CLUSTER_COUNTS,
                       *, do_unroll: bool = True,
-                      partition_strategy: str = "affinity",
+                      partitioner: str = DEFAULT_PARTITIONER,
                       use_moves: bool = False,
                       runner: Optional[RunnerConfig] = None,
                       scheduler: str = DEFAULT_SCHEDULER) -> Fig6Result:
@@ -287,7 +304,7 @@ def fig6_ii_variation(loops: Sequence[Ddg],
         CompileJob(ddg, cm, PipelineOptions(
             unroll_factor=single.outcome.unroll_factor,
             copies=True, allocate=False,
-            partition_strategy=partition_strategy, use_moves=use_moves,
+            partitioner=partitioner, use_moves=use_moves,
             scheduler=scheduler))
         for cm, block in zip(cms, single_blocks)
         for ddg, single in zip(loops, block)]
@@ -345,6 +362,7 @@ class Sec4Result:
 def sec4_cluster_queues(loops: Sequence[Ddg],
                         cluster_counts: Sequence[int] = PAPER_CLUSTER_COUNTS,
                         *, do_unroll: bool = True,
+                        partitioner: str = DEFAULT_PARTITIONER,
                         runner: Optional[RunnerConfig] = None,
                         scheduler: str = DEFAULT_SCHEDULER) -> Sec4Result:
     cluster_counts = list(cluster_counts)
@@ -352,7 +370,7 @@ def sec4_cluster_queues(loops: Sequence[Ddg],
     results = run_jobs(
         sweep(loops, cms,
               [dict(do_unroll=do_unroll, copies=True, allocate=True,
-                    scheduler=scheduler)],
+                    partitioner=partitioner, scheduler=scheduler)],
               extras=("queue_locations",)),
         runner)
     fits: dict[int, float] = {}
@@ -422,6 +440,7 @@ def ipc_sweep(loops: Sequence[Ddg], *,
               clustered_counts: Sequence[int] = PAPER_CLUSTER_COUNTS,
               resource_constrained_only: bool = False,
               do_unroll: bool = True,
+              partitioner: str = DEFAULT_PARTITIONER,
               runner: Optional[RunnerConfig] = None,
               scheduler: str = DEFAULT_SCHEDULER,
               title: str = "Fig. 8 -- IPC, all loops") -> IpcSweepResult:
@@ -433,7 +452,8 @@ def ipc_sweep(loops: Sequence[Ddg], *,
     clustered_by_fus = {3 * n: clustered_machine(n)
                         for n in clustered_counts}
     options = PipelineOptions(do_unroll=do_unroll, copies=True,
-                              allocate=False, scheduler=scheduler)
+                              allocate=False, partitioner=partitioner,
+                              scheduler=scheduler)
     jobs: list[CompileJob] = []
     spans: dict[int, tuple[int, int]] = {}       # n_fus -> (start, count)
     clustered_spans: dict[int, int] = {}          # n_fus -> start
@@ -559,23 +579,24 @@ class PartitionAblation:
     def render(self) -> str:
         lines = ["Ablation A2 -- partition heuristic "
                  "(fraction keeping single-cluster II)", "",
-                 "strategy    same-II"]
+                 "engine          same-II"]
         for s, f in self.same_ii.items():
-            lines.append(f"{s:<10}  {f*100:6.1f}%")
+            lines.append(f"{s:<14}  {f*100:6.1f}%")
         return "\n".join(lines)
 
 
 def ablation_partition(loops: Sequence[Ddg], n_clusters: int = 5,
-                       strategies: Sequence[str] = ("affinity", "balance",
-                                                    "first", "random"),
+                       strategies: Optional[Sequence[str]] = None,
                        *, runner: Optional[RunnerConfig] = None,
                        scheduler: str = DEFAULT_SCHEDULER) -> PartitionAblation:
+    """A2: Fig. 6's same-II fraction per registered partitioning engine
+    (default: every engine in the registry, default engine first)."""
     same: dict[str, float] = {}
-    for strat in strategies:
+    for engine in strategies or _registered_partitioners():
         res = fig6_ii_variation(loops, cluster_counts=(n_clusters,),
-                                partition_strategy=strat, runner=runner,
+                                partitioner=engine, runner=runner,
                                 scheduler=scheduler)
-        same[strat] = res.same_ii[n_clusters]
+        same[engine] = res.same_ii[n_clusters]
     return PartitionAblation(same_ii=same)
 
 
@@ -600,11 +621,14 @@ class MovesAblation:
 
 def ablation_moves(loops: Sequence[Ddg],
                    cluster_counts: Sequence[int] = (5, 6),
-                   *, runner: Optional[RunnerConfig] = None,
+                   *, partitioner: str = DEFAULT_PARTITIONER,
+                   runner: Optional[RunnerConfig] = None,
                    scheduler: str = DEFAULT_SCHEDULER) -> MovesAblation:
     base = fig6_ii_variation(loops, cluster_counts=cluster_counts,
+                             partitioner=partitioner,
                              runner=runner, scheduler=scheduler)
     moved = fig6_ii_variation(loops, cluster_counts=cluster_counts,
+                              partitioner=partitioner,
                               use_moves=True, runner=runner,
                               scheduler=scheduler)
     return MovesAblation(without_moves=base.same_ii,
@@ -780,7 +804,8 @@ class RingLatencyResult:
 def ring_latency_sensitivity(loops: Sequence[Ddg],
                              latencies: Sequence[int] = (0, 1, 2),
                              cluster_counts: Sequence[int] = (4, 6),
-                             *, runner: Optional[RunnerConfig] = None,
+                             *, partitioner: str = DEFAULT_PARTITIONER,
+                             runner: Optional[RunnerConfig] = None,
                              scheduler: str = DEFAULT_SCHEDULER) -> RingLatencyResult:
     """Experiment A4: how sensitive is the partitioning result to the
     ring-queue forwarding latency?"""
@@ -797,7 +822,8 @@ def ring_latency_sensitivity(loops: Sequence[Ddg],
     clustered_jobs = [
         CompileJob(ddg, cm, PipelineOptions(
             unroll_factor=single.outcome.unroll_factor,
-            copies=True, allocate=False, scheduler=scheduler))
+            copies=True, allocate=False, partitioner=partitioner,
+            scheduler=scheduler))
         for (_, cm), block in zip(grid, single_blocks)
         for ddg, single in zip(loops, block)]
     clustered_blocks = _blocks(run_jobs(clustered_jobs, runner),
@@ -948,10 +974,8 @@ def exp_scheduler_compare(loops: Sequence[Ddg],
     if schedulers:
         schedulers = tuple(schedulers)
     else:
-        registered = available_schedulers()
-        schedulers = tuple(
-            ([DEFAULT_SCHEDULER] if DEFAULT_SCHEDULER in registered else [])
-            + [s for s in registered if s != DEFAULT_SCHEDULER])
+        schedulers = _pinned_first(available_schedulers(),
+                                   DEFAULT_SCHEDULER)
     extras = ("sched_stats", "crf_registers")
     results = run_jobs(
         sweep(loops, machines,
@@ -1017,3 +1041,115 @@ def exp_scheduler_compare(loops: Sequence[Ddg],
         dynamic_ipc=dynamic, mean_queues=mean_q, mean_max_live=mean_ml,
         mean_attempts=mean_att, mean_evictions=mean_evi,
         mii_match=mii_match)
+
+
+# ---------------------------------------------------------------------------
+# PC -- partitioner comparison: every registered engine, head to head
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PartitionerCompareResult:
+    """Head-to-head quality/effort comparison of partitioning engines.
+
+    Every metric is keyed by ``(n_clusters, partitioner name)``:
+    II-versus-MII quality on the clustered machine, the engine's search
+    effort (placement attempts and evictions -- the quantity the
+    partitioned search's backtracking burns), and the spatial quality of
+    the assignment (values crossing the ring, peak per-cluster MaxLive).
+    """
+
+    partitioners: tuple[str, ...]
+    cluster_counts: tuple[int, ...]
+    n_ok: dict[tuple[int, str], int]
+    n_failed: dict[tuple[int, str], int]
+    mii_rate: dict[tuple[int, str], float]        # fraction II == MII
+    mean_ii_excess: dict[tuple[int, str], float]  # mean (II - MII)
+    mean_attempts: dict[tuple[int, str], float]
+    mean_evictions: dict[tuple[int, str], float]
+    mean_inter_cluster: dict[tuple[int, str], float]  # ring-crossing values
+    mean_cluster_live: dict[tuple[int, str], float]   # peak per-cluster MaxLive
+
+    def render(self) -> str:
+        lines = ["PC -- partitioner comparison "
+                 f"(baseline: {self.partitioners[0]})", "",
+                 "clusters  engine         sched  II=MII  mean-II-MII  "
+                 "attempts  evicted  ring-copies  cluster-MaxLive"]
+        for n in self.cluster_counts:
+            for p in self.partitioners:
+                key = (n, p)
+                lines.append(
+                    f"{n:8d}  {p:<13}  {self.n_ok[key]:5d}  "
+                    + f"{self.mii_rate[key]*100:5.1f}%  "
+                    + f"{self.mean_ii_excess[key]:11.2f}  "
+                    + f"{self.mean_attempts[key]:8.1f}  "
+                    + f"{self.mean_evictions[key]:7.1f}  "
+                    + f"{self.mean_inter_cluster[key]:11.2f}  "
+                    + f"{self.mean_cluster_live[key]:15.2f}")
+        return "\n".join(lines)
+
+
+def exp_partitioner_compare(loops: Sequence[Ddg],
+                            cluster_counts: Sequence[int] = PAPER_CLUSTER_COUNTS,
+                            partitioners: Optional[Sequence[str]] = None,
+                            *, runner: Optional[RunnerConfig] = None,
+                            scheduler: str = DEFAULT_SCHEDULER
+                            ) -> PartitionerCompareResult:
+    """Experiment PC: sweep every partitioning engine over loops x rings.
+
+    Reports, per (cluster count, engine): II-vs-MII quality, the search
+    effort (placement attempts, evictions), the number of values that
+    cross between clusters, and the peak per-cluster MaxLive -- the
+    spatial-balance numbers that distinguish a good pre-assignment from a
+    lucky greedy run.  Defaults: the paper's 4/5/6-cluster rings and
+    every registered engine, default engine pinned first.
+    """
+    cluster_counts = list(cluster_counts)
+    engines = (tuple(partitioners) if partitioners
+               else _registered_partitioners())
+    cms = [clustered_machine(n) for n in cluster_counts]
+    extras = ("sched_stats", "cluster_stats")
+    results = run_jobs(
+        sweep(loops, cms,
+              [dict(copies=True, allocate=False, partitioner=p,
+                    scheduler=scheduler, extras=extras)
+               for p in engines]),
+        runner)
+    blocks = _blocks(results, len(loops), len(cms) * len(engines))
+
+    n_ok: dict[tuple[int, str], int] = {}
+    n_failed: dict[tuple[int, str], int] = {}
+    mii_rate: dict[tuple[int, str], float] = {}
+    mean_excess: dict[tuple[int, str], float] = {}
+    mean_att: dict[tuple[int, str], float] = {}
+    mean_evi: dict[tuple[int, str], float] = {}
+    mean_inter: dict[tuple[int, str], float] = {}
+    mean_live: dict[tuple[int, str], float] = {}
+    for ci, n in enumerate(cluster_counts):
+        for pi, p in enumerate(engines):
+            block = blocks[ci * len(engines) + pi]
+            key = (n, p)
+            ok = [r for r in block if not r.outcome.failed]
+            n_ok[key] = len(ok)
+            n_failed[key] = len(block) - len(ok)
+            mii_rate[key] = fraction(
+                r.outcome.ii == r.outcome.mii for r in ok)
+            mean_excess[key] = mean(
+                r.outcome.ii - r.outcome.mii for r in ok)
+            mean_att[key] = mean(
+                r.extras["sched_stats"]["attempts"] for r in ok
+                if r.extras.get("sched_stats"))
+            mean_evi[key] = mean(
+                r.extras["sched_stats"]["evictions"] for r in ok
+                if r.extras.get("sched_stats"))
+            mean_inter[key] = mean(
+                r.extras["cluster_stats"]["inter_cluster_edges"]
+                for r in ok if r.extras.get("cluster_stats"))
+            mean_live[key] = mean(
+                r.extras["cluster_stats"]["max_cluster_live"]
+                for r in ok if r.extras.get("cluster_stats"))
+    return PartitionerCompareResult(
+        partitioners=engines, cluster_counts=tuple(cluster_counts),
+        n_ok=n_ok, n_failed=n_failed, mii_rate=mii_rate,
+        mean_ii_excess=mean_excess, mean_attempts=mean_att,
+        mean_evictions=mean_evi, mean_inter_cluster=mean_inter,
+        mean_cluster_live=mean_live)

@@ -9,13 +9,18 @@ Subcommands:
   (``experiment --list`` enumerates them)
 * ``repro-vliw schedulers``         -- list the registered scheduling
   engines
+* ``repro-vliw partitioners``       -- list the registered
+  cluster-partitioning engines
 * ``repro-vliw report``             -- the headline experiment bundle
 * ``repro-vliw cache``              -- inspect/clear the result cache
 
 Experiment sweeps honour ``--jobs N`` (parallel workers; output is
 byte-identical to the serial run), ``--no-cache`` and ``--cache-dir``;
 ``schedule`` and ``experiment`` take ``--scheduler`` to pick the
-scheduling engine (default ``ims``).
+scheduling engine (default ``ims``) and ``--partitioner`` to pick the
+clustered engine (default ``affinity``).  Engine names are validated
+against the registries before anything compiles, so a typo lists the
+available names instead of failing mid-sweep.
 """
 
 from __future__ import annotations
@@ -25,6 +30,9 @@ import sys
 from typing import Optional, Sequence
 
 from repro.machine.presets import clustered_machine, qrf_machine
+from repro.sched.partitioners import (DEFAULT_PARTITIONER,
+                                      available_partitioners,
+                                      partitioner_descriptions)
 from repro.sched.strategies import (DEFAULT_SCHEDULER, available_schedulers,
                                     scheduler_descriptions)
 from repro.sim.checker import run_pipeline
@@ -32,46 +40,55 @@ from repro.workloads.corpus import bench_corpus, corpus_stats, paper_corpus
 from repro.workloads.kernels import KERNELS, kernel
 
 #: experiment id -> (one-line description, driver invocation).  The lambda
-#: takes (loops, runner, scheduler) so ``--scheduler`` threads through
-#: every driver; the compare experiment sweeps all engines itself.
+#: takes (loops, runner, scheduler, partitioner) so ``--scheduler`` and
+#: ``--partitioner`` thread through every driver; the compare experiments
+#: (``sc``, ``pc``) and the partition ablation sweep all engines
+#: themselves.
 EXPERIMENTS = {
     "fig3": ("Fig. 3: loops schedulable within N queues",
-             lambda ex, l, r, s: ex.fig3_queue_requirements(
+             lambda ex, l, r, s, p: ex.fig3_queue_requirements(
                  l, runner=r, scheduler=s)),
     "sec2": ("Section 2: copy-insertion impact on II / stage count",
-             lambda ex, l, r, s: ex.sec2_copy_impact(
+             lambda ex, l, r, s, p: ex.sec2_copy_impact(
                  l, runner=r, scheduler=s)),
     "fig4": ("Fig. 4: II speedup from loop unrolling",
-             lambda ex, l, r, s: ex.fig4_unroll_speedup(
+             lambda ex, l, r, s, p: ex.fig4_unroll_speedup(
                  l, runner=r, scheduler=s)),
     "fig6": ("Fig. 6: clustered vs single-cluster II",
-             lambda ex, l, r, s: ex.fig6_ii_variation(
-                 l, runner=r, scheduler=s)),
+             lambda ex, l, r, s, p: ex.fig6_ii_variation(
+                 l, runner=r, scheduler=s, partitioner=p)),
     "sec4": ("Section 4 / Fig. 7: per-cluster queue budgets",
-             lambda ex, l, r, s: ex.sec4_cluster_queues(
-                 l, runner=r, scheduler=s)),
+             lambda ex, l, r, s, p: ex.sec4_cluster_queues(
+                 l, runner=r, scheduler=s, partitioner=p)),
     "fig8": ("Fig. 8: IPC sweep, all loops",
-             lambda ex, l, r, s: ex.fig8_ipc(l, runner=r, scheduler=s)),
+             lambda ex, l, r, s, p: ex.fig8_ipc(
+                 l, runner=r, scheduler=s, partitioner=p)),
     "fig9": ("Fig. 9: IPC sweep, resource-constrained loops",
-             lambda ex, l, r, s: ex.fig9_ipc_rc(l, runner=r, scheduler=s)),
+             lambda ex, l, r, s, p: ex.fig9_ipc_rc(
+                 l, runner=r, scheduler=s, partitioner=p)),
     "a1": ("ablation: copy fan-out tree strategy",
-           lambda ex, l, r, s: ex.ablation_copy_tree(
+           lambda ex, l, r, s, p: ex.ablation_copy_tree(
                l, runner=r, scheduler=s)),
     "a2": ("ablation: cluster-partition heuristic",
-           lambda ex, l, r, s: ex.ablation_partition(
+           lambda ex, l, r, s, p: ex.ablation_partition(
                l, runner=r, scheduler=s)),
     "a3": ("ablation: explicit inter-cluster MOVE ops",
-           lambda ex, l, r, s: ex.ablation_moves(l, runner=r, scheduler=s)),
+           lambda ex, l, r, s, p: ex.ablation_moves(
+               l, runner=r, scheduler=s, partitioner=p)),
     "a4": ("sensitivity: inter-cluster ring latency",
-           lambda ex, l, r, s: ex.ring_latency_sensitivity(
-               l, runner=r, scheduler=s)),
+           lambda ex, l, r, s, p: ex.ring_latency_sensitivity(
+               l, runner=r, scheduler=s, partitioner=p)),
     "s1": ("supplementary: register pressure, QRF vs conventional RF",
-           lambda ex, l, r, s: ex.register_pressure(
+           lambda ex, l, r, s, p: ex.register_pressure(
                l, runner=r, scheduler=s)),
     "e6b": ("spill code under finite queue files",
-            lambda ex, l, r, s: ex.spill_budget(l, runner=r, scheduler=s)),
+            lambda ex, l, r, s, p: ex.spill_budget(
+                l, runner=r, scheduler=s)),
     "sc": ("scheduler comparison: all registered engines head to head",
-           lambda ex, l, r, s: ex.exp_scheduler_compare(l, runner=r)),
+           lambda ex, l, r, s, p: ex.exp_scheduler_compare(l, runner=r)),
+    "pc": ("partitioner comparison: all registered engines head to head",
+           lambda ex, l, r, s, p: ex.exp_partitioner_compare(
+               l, runner=r, scheduler=s)),
 }
 
 
@@ -124,7 +141,8 @@ def cmd_schedule(args) -> int:
                else qrf_machine(args.fus))
     res = run_pipeline(ddg, machine, unroll_factor=args.unroll,
                        iterations=args.iterations,
-                       scheduler=args.scheduler)
+                       scheduler=args.scheduler,
+                       partitioner=args.partitioner)
     print(res.schedule.render())
     if args.asm:
         from repro.codegen.encode import render_assembly
@@ -157,7 +175,8 @@ def cmd_experiment(args) -> int:
               f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
     _, drive = EXPERIMENTS[args.id]
-    print(drive(ex, _loops(args), _runner(args), args.scheduler).render())
+    print(drive(ex, _loops(args), _runner(args), args.scheduler,
+                args.partitioner).render())
     return 0
 
 
@@ -165,6 +184,13 @@ def cmd_schedulers(args) -> int:
     for name, descr in scheduler_descriptions().items():
         default = "  (default)" if name == DEFAULT_SCHEDULER else ""
         print(f"{name:<6} {descr}{default}")
+    return 0
+
+
+def cmd_partitioners(args) -> int:
+    for name, descr in partitioner_descriptions().items():
+        default = "  (default)" if name == DEFAULT_PARTITIONER else ""
+        print(f"{name:<14} {descr}{default}")
     return 0
 
 
@@ -227,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--scheduler", default=DEFAULT_SCHEDULER,
                     choices=available_schedulers(),
                     help="scheduling engine (see `repro-vliw schedulers`)")
+    ps.add_argument("--partitioner", default=DEFAULT_PARTITIONER,
+                    choices=available_partitioners(),
+                    help="cluster-partitioning engine, used with "
+                         "--clusters (see `repro-vliw partitioners`)")
     ps.add_argument("--asm", action="store_true",
                     help="print the queue-addressed assembly listing")
 
@@ -239,9 +269,16 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=available_schedulers(),
                     help="scheduling engine used by the sweep "
                          "(`sc` always compares all engines)")
+    pe.add_argument("--partitioner", default=DEFAULT_PARTITIONER,
+                    choices=available_partitioners(),
+                    help="cluster-partitioning engine used by clustered "
+                         "sweeps (`pc` and `a2` always compare all "
+                         "engines)")
 
     sub.add_parser("schedulers",
                    help="list the registered scheduling engines")
+    sub.add_parser("partitioners",
+                   help="list the registered cluster-partitioning engines")
 
     pr = sub.add_parser("report", help="headline experiment bundle")
     pr.add_argument("--sweep", action="store_true",
@@ -260,6 +297,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "schedule": cmd_schedule,
         "experiment": cmd_experiment,
         "schedulers": cmd_schedulers,
+        "partitioners": cmd_partitioners,
         "report": cmd_report,
         "cache": cmd_cache,
     }[args.command]

@@ -149,11 +149,19 @@ class Ddg:
     @property
     def operations(self) -> list[Operation]:
         """All operations, ordered by id (deterministic)."""
-        return [self._g.nodes[n]["op"] for n in sorted(self._g.nodes)]
+        cached = self._edge_cache.get("ops")
+        if cached is None:
+            cached = [self._g.nodes[n]["op"] for n in sorted(self._g.nodes)]
+            self._edge_cache["ops"] = cached
+        return list(cached)
 
     @property
     def op_ids(self) -> list[int]:
-        return sorted(self._g.nodes)
+        cached = self._edge_cache.get("op_ids")
+        if cached is None:
+            cached = sorted(self._g.nodes)
+            self._edge_cache["op_ids"] = cached
+        return list(cached)
 
     @property
     def n_ops(self) -> int:
@@ -199,11 +207,19 @@ class Ddg:
 
     def edges(self, kind: Optional[DepKind] = None) -> Iterator[DepEdge]:
         """Iterate all edges (optionally of a single kind), deterministic."""
-        for sid, did, key, attrs in sorted(self._g.edges(keys=True, data=True)):
-            edge = DepEdge(sid, did, attrs["latency"], attrs["distance"],
-                           attrs["kind"], key)
-            if kind is None or edge.kind is kind:
-                yield edge
+        cache_key = ("edges", kind)
+        cached = self._edge_cache.get(cache_key)
+        if cached is None:
+            if kind is None:
+                cached = [
+                    DepEdge(sid, did, attrs["latency"], attrs["distance"],
+                            attrs["kind"], key)
+                    for sid, did, key, attrs in sorted(
+                        self._g.edges(keys=True, data=True))]
+            else:
+                cached = [e for e in self.edges() if e.kind is kind]
+            self._edge_cache[cache_key] = cached
+        return iter(cached)
 
     def data_edges(self) -> Iterator[DepEdge]:
         return self.edges(DepKind.DATA)

@@ -26,7 +26,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Bump on any change to signature layout or cached-record semantics.
 #: v2: options signature gained the ``scheduler`` engine name.
-SCHEMA_VERSION = 2
+#: v3: ``partition_strategy`` became the registry-backed ``partitioner``
+#:     (same default, new field name and engine set -- keys must never
+#:     alias against v2 entries).
+SCHEMA_VERSION = 3
 
 
 def canonical_json(obj) -> str:

@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.analysis.metrics import LoopOutcome
 from repro.ir.ddg import Ddg
+from repro.sched.partitioners import DEFAULT_PARTITIONER
 from repro.sched.strategies import DEFAULT_SCHEDULER
 
 from .fingerprint import job_key
@@ -30,9 +31,10 @@ from .fingerprint import job_key
 class PipelineOptions:
     """Pipeline configuration of one job (mirrors ``compile_loop``).
 
-    ``scheduler`` names the scheduling engine (see
-    :mod:`repro.sched.strategies`); it participates in the job signature,
-    so cached results can never alias across engines.
+    ``scheduler`` names the single-cluster scheduling engine (see
+    :mod:`repro.sched.strategies`) and ``partitioner`` the clustered
+    engine (see :mod:`repro.sched.partitioners`); both participate in the
+    job signature, so cached results can never alias across engines.
 
     ``extras`` names derived metrics to compute in the worker after the
     pipeline runs; see ``EXTRA_EXTRACTORS`` in
@@ -45,7 +47,7 @@ class PipelineOptions:
     copies: bool = True
     copy_strategy: str = "slack"
     allocate: bool = True
-    partition_strategy: str = "affinity"
+    partitioner: str = DEFAULT_PARTITIONER
     use_moves: bool = False
     scheduler: str = DEFAULT_SCHEDULER
     extras: tuple[str, ...] = ()

@@ -29,6 +29,7 @@ from repro.regalloc.queues import allocate_for_schedule
 from repro.sched.mii import mii_report
 from repro.sched.partition import (PartitionConfig, partitioned_schedule,
                                    schedule_with_moves)
+from repro.sched.partitioners import DEFAULT_PARTITIONER
 from repro.sched.schedule import SchedulingError
 from repro.sched.strategies import (DEFAULT_SCHEDULER,
                                     get_scheduler)
@@ -57,17 +58,18 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                  copies: bool = True,
                  copy_strategy: str = "slack",
                  allocate: bool = True,
-                 partition_strategy: str = "affinity",
+                 partitioner: str = DEFAULT_PARTITIONER,
                  use_moves: bool = False,
                  scheduler: str = DEFAULT_SCHEDULER) -> CompiledLoop:
     """Run (unroll ->) (copy-insert ->) schedule (-> allocate queues).
 
     ``scheduler`` selects the single-cluster scheduling engine from the
     :mod:`repro.sched.strategies` registry; clustered machines always go
-    through the partitioner (its space/time search embeds IMS's eviction
-    machinery -- see DESIGN.md §6).  Scheduling failures produce a
-    ``failed`` outcome instead of raising, so corpus sweeps always
-    complete.
+    through a partitioning engine, selected by name from the
+    :mod:`repro.sched.partitioners` registry via ``partitioner`` (the
+    space/time search embeds IMS's eviction machinery -- see DESIGN.md
+    §6).  Scheduling failures produce a ``failed`` outcome instead of
+    raising, so corpus sweeps always complete.
     """
     factor = 1
     if unroll_factor is not None:
@@ -83,12 +85,12 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
             # bound, not a guarantee)
             rolled = compile_loop(
                 ddg, machine, copies=copies, copy_strategy=copy_strategy,
-                allocate=False, partition_strategy=partition_strategy,
+                allocate=False, partitioner=partitioner,
                 use_moves=use_moves, scheduler=scheduler)
             unrolled = compile_loop(
                 ddg, machine, unroll_factor=factor, copies=copies,
                 copy_strategy=copy_strategy, allocate=allocate,
-                partition_strategy=partition_strategy,
+                partitioner=partitioner,
                 use_moves=use_moves, scheduler=scheduler)
             if (unrolled.outcome.failed
                     or rolled.outcome.failed
@@ -100,7 +102,7 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                 rolled = compile_loop(
                     ddg, machine, unroll_factor=1, copies=copies,
                     copy_strategy=copy_strategy, allocate=True,
-                    partition_strategy=partition_strategy,
+                    partitioner=partitioner,
                     use_moves=use_moves, scheduler=scheduler)
             return rolled
         factor = 1
@@ -117,12 +119,12 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
         if clustered and use_moves:
             sched = schedule_with_moves(
                 work, machine,
-                config=PartitionConfig(strategy=partition_strategy)
+                config=PartitionConfig(partitioner=partitioner)
             ).schedule
         elif clustered:
             sched = partitioned_schedule(
                 work, machine,
-                config=PartitionConfig(strategy=partition_strategy))
+                config=PartitionConfig(partitioner=partitioner))
         else:
             sched = get_scheduler(scheduler).schedule(work, machine).schedule
     except SchedulingError:
@@ -207,6 +209,33 @@ def _extra_spills(compiled: CompiledLoop, arg: str):
     return out
 
 
+def _extra_cluster_stats(compiled: CompiledLoop, arg: str):
+    """Spatial quality of a clustered schedule (PC driver): how many
+    values cross the ring, and the per-cluster MaxLive peak."""
+    from repro.regalloc.lifetimes import Lifetime, max_live
+
+    sched = compiled.schedule
+    if sched is None or sched.n_clusters <= 1:
+        return None
+    ddg = sched.ddg
+    cluster_of = sched.cluster_of
+    inter = 0
+    per_cluster: dict[int, list[Lifetime]] = {}
+    for e in ddg.data_edges():
+        if cluster_of[e.src] != cluster_of[e.dst]:
+            inter += 1
+        start = sched.sigma[e.src] + e.latency
+        end = sched.sigma[e.dst] + e.distance * sched.ii
+        per_cluster.setdefault(cluster_of[e.src], []).append(
+            Lifetime(e.src, e.dst, e.key, start, end - start, e.distance))
+    live = {c: max_live(lts, sched.ii)
+            for c, lts in per_cluster.items()}
+    return {"inter_cluster_edges": inter,
+            "max_cluster_live": max(live.values(), default=0),
+            "per_cluster_live": {str(c): v
+                                 for c, v in sorted(live.items())}}
+
+
 def _extra_sched_stats(compiled: CompiledLoop, arg: str):
     """Search-effort counters of the scheduling engine (SC driver)."""
     if compiled.schedule is None:
@@ -222,6 +251,7 @@ EXTRA_EXTRACTORS: dict[str, Callable[[CompiledLoop, str], object]] = {
     "crf_registers": _extra_crf_registers,
     "spills": _extra_spills,
     "sched_stats": _extra_sched_stats,
+    "cluster_stats": _extra_cluster_stats,
 }
 
 

@@ -1,5 +1,6 @@
-"""Modulo scheduling: MII bounds, pluggable engines (IMS, SMS), and the
-clustered partitioner."""
+"""Modulo scheduling: MII bounds, pluggable single-cluster engines
+(IMS, SMS), and the pluggable cluster-partitioner registry (affinity,
+balance, first, random, agglomerative)."""
 
 from .ims import (DEFAULT_BUDGET_RATIO, ImsConfig, modulo_schedule,
                   try_schedule_at_ii)
@@ -14,6 +15,10 @@ from .partition import (MoveScheduleResult, PartitionConfig,
                         PartitionStrategy, insert_moves,
                         partitioned_schedule, schedule_with_moves,
                         try_partition_at_ii)
+from .partitioners import (DEFAULT_PARTITIONER, Partitioner,
+                           PartitionState, available_partitioners,
+                           get_partitioner, partitioner_descriptions,
+                           register_partitioner)
 from .priority import heights, priority_order
 from .schedule import (ModuloSchedule, ScheduleStats,
                        ScheduleValidationError, SchedulingError)
@@ -30,6 +35,9 @@ __all__ = [
     "MoveScheduleResult", "PartitionConfig", "PartitionStrategy",
     "insert_moves", "partitioned_schedule", "schedule_with_moves",
     "try_partition_at_ii",
+    "DEFAULT_PARTITIONER", "Partitioner", "PartitionState",
+    "available_partitioners", "get_partitioner",
+    "partitioner_descriptions", "register_partitioner",
     "heights", "priority_order",
     "ModuloSchedule", "ScheduleStats", "ScheduleValidationError",
     "SchedulingError",

@@ -98,16 +98,30 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
                        ) -> Optional[dict[int, int]]:
     """One IMS attempt at a fixed II; returns ``sigma`` or ``None``."""
     order = priority_order(ddg, ii)
+    pos = {o: i for i, o in enumerate(order)}
+    cursor = 0
     mrt = ModuloReservationTable(ii, machine.fus.as_dict())
     sigma: dict[int, int] = {}
     last_time: dict[int, int] = {}
     unscheduled = set(order)
 
+    def readd(ops) -> None:
+        """Re-activate evicted ops, rewinding the ready cursor."""
+        nonlocal cursor
+        for o in ops:
+            unscheduled.add(o)
+            if pos[o] < cursor:
+                cursor = pos[o]
+
     while unscheduled:
         if budget <= 0:
             return None
         budget -= 1
-        op_id = next(o for o in order if o in unscheduled)
+        # ready pick: first op of `order` still unscheduled (the cursor
+        # only rewinds on evictions, so the scan is O(1) amortised)
+        while order[cursor] not in unscheduled:
+            cursor += 1
+        op_id = order[cursor]
         unscheduled.discard(op_id)
         op = ddg.op(op_id)
         est = _estart(ddg, sigma, op_id, ii)
@@ -129,7 +143,7 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
                 del sigma[victim]
             if stats is not None:
                 stats.evictions += len(evicted)
-            unscheduled.update(evicted)
+            readd(evicted)
 
         mrt.place(op_id, op.fu_type, placed_at)
         sigma[op_id] = placed_at
@@ -139,7 +153,7 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
 
         before = set(sigma)
         _unschedule_violations(ddg, sigma, mrt, op_id, ii)
-        unscheduled.update(before - set(sigma))
+        readd(before - set(sigma))
 
     return sigma
 

@@ -48,45 +48,77 @@ def _edge_list(ddg: Ddg) -> list[tuple[int, int, int, int]]:
     return [(e.src, e.dst, e.latency, e.distance) for e in ddg.edges()]
 
 
-def _has_positive_cycle(nodes: list[int],
-                        edges: list[tuple[int, int, int, int]],
-                        ii: float) -> bool:
-    """Bellman-Ford longest-path: does any cycle have
-    ``sum(lat) - ii * sum(dist) > eps``?"""
+def _indexed_edges(ddg: Ddg) -> tuple[int, list[tuple[int, int, int, int]]]:
+    """Node count + edges with endpoints mapped to dense indices.
+
+    The binary searches below call the positive-cycle test many times on
+    the same graph; indexing once turns the Bellman-Ford inner loop into
+    flat list arithmetic instead of dict probes.
+    """
+    nodes = ddg.op_ids
+    idx = {n: i for i, n in enumerate(nodes)}
+    es = [(idx[e.src], idx[e.dst], e.latency, e.distance)
+          for e in ddg.edges()]
+    return len(nodes), es
+
+
+def _positive_cycle(n: int, edges: list[tuple[int, int, int, int]],
+                    ii: float) -> bool:
+    """Bellman-Ford longest-path over index-mapped edges: does any cycle
+    have ``sum(lat) - ii * sum(dist) > eps``?"""
     eps = 1e-9
-    dist = {n: 0.0 for n in nodes}
-    for it in range(len(nodes)):
+    weighted = [(s, d, lat - ii * dd) for s, d, lat, dd in edges]
+    dist = [0.0] * n
+    for _ in range(n):
         changed = False
-        for src, dst, lat, d in edges:
-            w = lat - ii * d
-            if dist[src] + w > dist[dst] + eps:
-                dist[dst] = dist[src] + w
+        for s, d, w in weighted:
+            cand = dist[s] + w
+            if cand > dist[d] + eps:
+                dist[d] = cand
                 changed = True
         if not changed:
             return False
     return True  # still relaxing after |V| passes -> positive cycle
 
 
+def _has_positive_cycle(nodes: list[int],
+                        edges: list[tuple[int, int, int, int]],
+                        ii: float) -> bool:
+    """Positive-cycle test over op-id-keyed edges (indexes, then runs
+    :func:`_positive_cycle`)."""
+    idx = {node: i for i, node in enumerate(nodes)}
+    es = [(idx[s], idx[d], lat, dd) for s, d, lat, dd in edges]
+    return _positive_cycle(len(nodes), es, ii)
+
+
 def rec_mii(ddg: Ddg) -> int:
-    """Recurrence-constrained lower bound on II (exact, integer)."""
-    edges = _edge_list(ddg)
+    """Recurrence-constrained lower bound on II (exact, integer).
+
+    Memoised on the DDG's structural cache: schedulers, the pipeline and
+    the II drivers all ask for the same bound on the same (immutable
+    while scheduling) graph, and any mutation invalidates the cache.
+    """
+    cached = ddg._edge_cache.get("rec_mii")
+    if cached is not None:
+        return cached
+    n, edges = _indexed_edges(ddg)
     if not edges:
+        ddg._edge_cache["rec_mii"] = 1
         return 1
-    nodes = ddg.op_ids
     # at II > sum of latencies only a zero-distance cycle can stay positive,
     # and such a loop is unschedulable at any II
-    if _has_positive_cycle(nodes, edges, ddg.sum_latency() + 1.0):
+    if _positive_cycle(n, edges, ddg.sum_latency() + 1.0):
         raise ValueError(
             f"loop {ddg.name!r} has a zero-distance dependence cycle")
     lo, hi = 1, max(1, ddg.sum_latency())
-    if not _has_positive_cycle(nodes, edges, lo):
-        return lo
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if _has_positive_cycle(nodes, edges, mid):
-            lo = mid + 1
-        else:
-            hi = mid
+    if _positive_cycle(n, edges, lo):
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if _positive_cycle(n, edges, mid):
+                lo = mid + 1
+            else:
+                hi = mid
+    ddg._edge_cache["rec_mii"] = lo
     return lo
 
 
@@ -94,24 +126,33 @@ def max_cycle_ratio(ddg: Ddg, *, tol: float = 1e-6) -> float:
     """Exact recurrence bound ``max_c lat(c)/dist(c)`` as a float.
 
     Returns 0.0 for acyclic loops.  Binary search with the positive-cycle
-    test; the result is within *tol* of the true maximum ratio.
+    test down to an interval no wider than *tol*, then the interval
+    **midpoint**: the result is within ``tol / 2`` of the true maximum
+    ratio (returning the upper bisection bound, as this function once
+    did, biases the estimate high by up to a full *tol*).
     """
-    edges = _edge_list(ddg)
+    cache_key = ("max_cycle_ratio", tol)
+    cached = ddg._edge_cache.get(cache_key)
+    if cached is not None:
+        return cached
+    n, edges = _indexed_edges(ddg)
     if not edges:
         return 0.0
-    nodes = ddg.op_ids
     hi = float(max(1, ddg.sum_latency()))
-    if not _has_positive_cycle(nodes, edges, 0.0 + 1e-9):
+    if not _positive_cycle(n, edges, 0.0 + 1e-9):
         # even at ii ~ 0 nothing is positive -> no cycles with latency
+        ddg._edge_cache[cache_key] = 0.0
         return 0.0
     lo = 0.0
     while hi - lo > tol:
         mid = (lo + hi) / 2
-        if _has_positive_cycle(nodes, edges, mid):
+        if _positive_cycle(n, edges, mid):
             lo = mid
         else:
             hi = mid
-    return hi
+    result = (lo + hi) / 2
+    ddg._edge_cache[cache_key] = result
+    return result
 
 
 @dataclass(frozen=True)

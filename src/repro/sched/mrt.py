@@ -104,21 +104,31 @@ class ModuloReservationTable:
         placement = self._where.pop(op_id)
         self._rows[placement.pool][placement.row].remove(op_id)
 
+    def conflicts(self, fu_type: FuType, time: int) -> list[int]:
+        """The occupants a forced placement of *fu_type* at ``time`` must
+        displace, newest-first -- :meth:`evict_for`'s victim selection
+        without the removal, for callers whose eviction path owns more
+        bookkeeping than the table (the partitioner routes every victim
+        through ``PartitionState.unschedule``)."""
+        pool = pool_for(fu_type)
+        if self._cap.get(pool, 0) == 0:
+            raise ValueError(f"machine has no {pool.value} units at all")
+        occupants = self._rows[pool][time % self.ii]
+        spare = len(occupants) - self._cap[pool] + 1
+        if spare <= 0:
+            return []
+        return list(reversed(occupants[-spare:]))
+
     def evict_for(self, fu_type: FuType, time: int) -> list[int]:
         """Make room for one op of *fu_type* at ``time`` by evicting the
         most recently placed occupant (Rau's forced placement displaces
         conflicting ops; evicting the newest favours stability of older,
-        higher-priority placements).  Returns evicted op ids."""
-        pool = pool_for(fu_type)
-        if self._cap.get(pool, 0) == 0:
-            raise ValueError(f"machine has no {pool.value} units at all")
-        evicted: list[int] = []
-        row = time % self.ii
-        while len(self._rows[pool][row]) >= self._cap[pool]:
-            victim = self._rows[pool][row][-1]
+        higher-priority placements).  Returns evicted op ids -- exactly
+        the :meth:`conflicts` set, so the two can never diverge."""
+        victims = self.conflicts(fu_type, time)
+        for victim in victims:
             self.remove(victim)
-            evicted.append(victim)
-        return evicted
+        return victims
 
     def clear(self) -> None:
         for pool in self._rows:

@@ -9,13 +9,12 @@ machinery as plain IMS ("a backtracking process to unschedule conflicting
 operations") and, when the budget runs out, an II increase -- the quantity
 Fig. 6 reports.
 
-Cluster-choice strategies (ablation A2):
-
-* ``"affinity"`` (default) -- prefer the cluster holding the most scheduled
-  DATA neighbours, then earliest slot, then lightest load.
-* ``"balance"``  -- prefer the least-loaded cluster, then earliest slot.
-* ``"first"``    -- earliest slot, lowest cluster index (naive baseline).
-* ``"random"``   -- uniformly random feasible candidate (seeded).
+*How* the space/time search picks clusters is a pluggable seam: the
+engines live in :mod:`repro.sched.partitioners` (``affinity``,
+``balance``, ``first``, ``random``, ``agglomerative``) and are selected
+by name through ``PartitionConfig.partitioner``.  This module owns the
+engine-agnostic II search (:func:`partitioned_schedule`) and the MOVE
+extension.
 
 :func:`schedule_with_moves` implements the paper's proposed future-work fix
 (evaluated as ablation A3): a relaxed scheduling pass assigns clusters
@@ -28,7 +27,7 @@ from __future__ import annotations
 
 import random as _random
 from dataclasses import dataclass, field
-from typing import Literal, Optional
+from typing import Optional
 
 from repro.ir.ddg import Ddg, DepKind
 from repro.ir.operations import Opcode
@@ -36,23 +35,39 @@ from repro.ir.validate import validate_ddg
 from repro.machine.cluster import ClusteredMachine
 
 from .mii import mii_report
-from .mrt import ModuloReservationTable
-from .priority import priority_order
+from .partitioners import (DEFAULT_PARTITIONER, PartitionState,
+                           get_partitioner)
 from .schedule import ModuloSchedule, ScheduleStats, SchedulingError
 
-PartitionStrategy = Literal["affinity", "balance", "first", "random"]
+#: Historical alias -- partitioner names are an open registry now, not a
+#: closed Literal; kept so old annotations keep importing.
+PartitionStrategy = str
 
 
 @dataclass
 class PartitionConfig:
-    """Tunables of the partitioned search."""
+    """Tunables of the partitioned search.
+
+    ``partitioner`` names the cluster-partitioning engine from the
+    :mod:`repro.sched.partitioners` registry; ``strategy`` is the
+    pre-registry spelling, kept as an init-time alias that overrides
+    ``partitioner`` when given.  It is reset to ``None`` after folding,
+    so ``dataclasses.replace(cfg, partitioner=...)`` selects the new
+    engine instead of reviving the alias.
+    """
 
     budget_ratio: int = 6
     max_ii: Optional[int] = None
-    strategy: PartitionStrategy = "affinity"
+    partitioner: str = DEFAULT_PARTITIONER
+    strategy: Optional[str] = None
     validate_input: bool = True
     validate_output: bool = True
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy is not None:
+            self.partitioner = self.strategy
+            self.strategy = None
 
     def budget_for(self, n_ops: int) -> int:
         return max(1, self.budget_ratio * n_ops)
@@ -63,207 +78,25 @@ class PartitionConfig:
         return start_ii + ddg.n_ops + ddg.sum_latency() + 1
 
 
-class _State:
-    """Mutable search state for one II attempt."""
-
-    def __init__(self, ddg: Ddg, cm: ClusteredMachine, ii: int) -> None:
-        self.ddg = ddg
-        self.cm = cm
-        self.ii = ii
-        self.sigma: dict[int, int] = {}
-        self.cluster_of: dict[int, int] = {}
-        self.last_time: dict[int, int] = {}
-        self.mrts = [
-            ModuloReservationTable(ii, cm.cluster.fus.as_dict())
-            for _ in range(cm.n_clusters)
-        ]
-        n = cm.n_clusters
-        # flat caches -- the inner loop runs millions of times
-        self.adj = [[cm.are_adjacent(a, b) for b in range(n)]
-                    for a in range(n)]
-        self.in_e = {o: ddg.in_edges(o) for o in ddg.op_ids}
-        self.data_nbrs = {o: ddg.neighbors_data(o) for o in ddg.op_ids}
-        self.all_clusters = list(range(n))
-
-    def unschedule(self, op_id: int) -> None:
-        self.mrts[self.cluster_of[op_id]].remove(op_id)
-        del self.sigma[op_id]
-        del self.cluster_of[op_id]
-
-    def estart(self, op_id: int, cluster: int) -> int:
-        xlat = self.cm.inter_cluster_latency
-        est = 0
-        sigma = self.sigma
-        ii = self.ii
-        for e in self.in_e[op_id]:
-            t = sigma.get(e.src)
-            if t is None:
-                continue
-            extra = 0
-            if (xlat and e.kind is DepKind.DATA
-                    and self.cluster_of[e.src] != cluster):
-                extra = xlat
-            cand = t + e.latency + extra - e.distance * ii
-            if cand > est:
-                est = cand
-        return est
-
-    def scheduled_data_neighbours(self, op_id: int) -> dict[int, int]:
-        """Scheduled DATA-neighbour op -> its cluster."""
-        cluster_of = self.cluster_of
-        return {nbr: cluster_of[nbr] for nbr in self.data_nbrs[op_id]
-                if nbr in cluster_of}
-
-    def allowed_clusters(self, op_id: int,
-                         pinned: dict[int, int],
-                         relax_adjacency: bool) -> list[int]:
-        if op_id in pinned:
-            return [pinned[op_id]]
-        if relax_adjacency:
-            return self.all_clusters
-        nbrs = self.scheduled_data_neighbours(op_id)
-        if not nbrs:
-            return self.all_clusters
-        adj = self.adj
-        clusters = set(nbrs.values())
-        return [c for c in self.all_clusters
-                if all(adj[c][nc] for nc in clusters)]
-
-    def affinity(self, op_id: int, cluster: int) -> int:
-        return sum(1 for c in
-                   self.scheduled_data_neighbours(op_id).values()
-                   if c == cluster)
-
-
 def try_partition_at_ii(ddg: Ddg, cm: ClusteredMachine, ii: int, *,
                         budget: int,
-                        strategy: PartitionStrategy = "affinity",
+                        strategy: str = DEFAULT_PARTITIONER,
                         pinned: Optional[dict[int, int]] = None,
                         relax_adjacency: bool = False,
                         stats: Optional[ScheduleStats] = None,
                         rng: Optional[_random.Random] = None,
-                        ) -> Optional[_State]:
-    """One partitioned-IMS attempt at a fixed II.
+                        ) -> Optional[PartitionState]:
+    """One partitioned attempt at a fixed II under the named engine.
 
-    Returns the final :class:`_State` (``sigma`` + ``cluster_of``) or
-    ``None`` when the budget runs out.
+    Kept as the historical single-call surface; the engine objects in
+    :mod:`repro.sched.partitioners` are the extensible form.  Returns the
+    final :class:`~repro.sched.partitioners.PartitionState` or ``None``
+    when the budget runs out; raises ``KeyError`` naming the registered
+    engines on an unknown name.
     """
-    if strategy not in ("affinity", "balance", "first", "random"):
-        raise ValueError(f"unknown strategy {strategy!r}")
-    pinned = pinned or {}
-    rng = rng or _random.Random(0)
-    order = priority_order(ddg, ii)
-    state = _State(ddg, cm, ii)
-    unscheduled = set(order)
-    # aging: repeated adjacency deadlocks rotate through cluster choices
-    # (a deterministic heuristic would otherwise ping-pong forever between
-    # two mutually-exclusive placements)
-    deadlocks: dict[int, int] = {}
-
-    while unscheduled:
-        if budget <= 0:
-            return None
-        budget -= 1
-        op_id = next(o for o in order if o in unscheduled)
-        unscheduled.discard(op_id)
-        op = ddg.op(op_id)
-
-        allowed = state.allowed_clusters(op_id, pinned, relax_adjacency)
-        nbr_clusters = state.scheduled_data_neighbours(op_id)
-        aff_count: dict[int, int] = {}
-        for nc in nbr_clusters.values():
-            aff_count[nc] = aff_count.get(nc, 0) + 1
-        uniform_est = (state.estart(op_id, 0)
-                       if cm.inter_cluster_latency == 0 else None)
-
-        # ---- normal placement: best (cluster, slot) candidate ----------
-        best: Optional[tuple[tuple, int, int]] = None  # key, cluster, slot
-        for c in allowed:
-            est = (uniform_est if uniform_est is not None
-                   else state.estart(op_id, c))
-            for t in range(est, est + ii):
-                if state.mrts[c].can_place(op.fu_type, t):
-                    aff = aff_count.get(c, 0)
-                    load = state.mrts[c].load()
-                    if strategy == "affinity":
-                        key = (-aff, t, load, c)
-                    elif strategy == "balance":
-                        key = (load, t, -aff, c)
-                    elif strategy == "first":
-                        key = (t, c)
-                    else:  # random
-                        key = (rng.random(),)
-                    if best is None or key < best[0]:
-                        best = (key, c, t)
-                    break  # earliest slot in this cluster is enough
-
-        if best is not None:
-            _, cluster, t = best
-        else:
-            # ---- forced placement -------------------------------------
-            if allowed:
-                # adjacency satisfiable but no free slot: evict on the
-                # cluster with the best affinity
-                cluster = min(
-                    allowed,
-                    key=lambda c: (-aff_count.get(c, 0),
-                                   state.mrts[c].load(), c))
-            else:
-                # adjacency deadlock: rank clusters by violation count and
-                # rotate through the ranking as the same op deadlocks
-                # again (aging); after a full rotation, clear the whole
-                # data neighbourhood to re-seed the region
-                k = deadlocks.get(op_id, 0)
-                deadlocks[op_id] = k + 1
-                adj = state.adj
-                ranked = sorted(
-                    state.all_clusters,
-                    key=lambda c: (
-                        sum(1 for nc in nbr_clusters.values()
-                            if not adj[c][nc]),
-                        state.mrts[c].load(), c))
-                cluster = ranked[k % len(ranked)]
-                wide = k >= len(ranked)
-                for nbr, nc in sorted(nbr_clusters.items()):
-                    if wide or not state.adj[cluster][nc]:
-                        state.unschedule(nbr)
-                        unscheduled.add(nbr)
-                        if stats is not None:
-                            stats.evictions += 1
-            t = state.estart(op_id, cluster)
-            prev = state.last_time.get(op_id)
-            if prev is not None and t <= prev:
-                t = prev + 1
-            evicted = state.mrts[cluster].evict_for(op.fu_type, t)
-            for victim in evicted:
-                del state.sigma[victim]
-                del state.cluster_of[victim]
-            unscheduled.update(evicted)
-            if stats is not None:
-                stats.evictions += len(evicted)
-
-        state.mrts[cluster].place(op_id, op.fu_type, t)
-        state.sigma[op_id] = t
-        state.cluster_of[op_id] = cluster
-        state.last_time[op_id] = t
-        if stats is not None:
-            stats.attempts += 1
-
-        # ---- drop ops whose dependence the new placement violates ------
-        for e in ddg.out_edges(op_id):
-            ts = state.sigma.get(e.dst)
-            if (ts is not None and e.dst != op_id
-                    and ts + e.distance * ii < t + e.latency):
-                state.unschedule(e.dst)
-                unscheduled.add(e.dst)
-        for e in ddg.in_edges(op_id):
-            tp = state.sigma.get(e.src)
-            if (tp is not None and e.src != op_id
-                    and t + e.distance * ii < tp + e.latency):
-                state.unschedule(e.src)
-                unscheduled.add(e.src)
-
-    return state
+    return get_partitioner(strategy).try_at_ii(
+        ddg, cm, ii, budget=budget, pinned=pinned,
+        relax_adjacency=relax_adjacency, stats=stats, rng=rng)
 
 
 def partitioned_schedule(ddg: Ddg, cm: ClusteredMachine, *,
@@ -273,12 +106,14 @@ def partitioned_schedule(ddg: Ddg, cm: ClusteredMachine, *,
                          relax_adjacency: bool = False) -> ModuloSchedule:
     """Schedule *ddg* on a clustered machine.
 
-    Raises :class:`SchedulingError` when no II up to the limit works.
-    ``pinned`` fixes some ops' clusters (used by the MOVE pipeline);
-    ``relax_adjacency`` disables the ring constraint (internal use and
-    upper-bound studies).
+    Raises :class:`SchedulingError` when no II up to the limit works and
+    ``KeyError`` (naming the registered engines) on an unknown
+    ``config.partitioner``.  ``pinned`` fixes some ops' clusters (used by
+    the MOVE pipeline); ``relax_adjacency`` disables the ring constraint
+    (internal use and upper-bound studies).
     """
     cfg = config or PartitionConfig()
+    engine = get_partitioner(cfg.partitioner)
     ddg = cm.cluster.retime(ddg)
     if cfg.validate_input:
         validate_ddg(ddg)
@@ -293,10 +128,9 @@ def partitioned_schedule(ddg: Ddg, cm: ClusteredMachine, *,
     for ii in range(first_ii, limit + 1):
         stats.iis_tried += 1
         stats.budget = cfg.budget_for(ddg.n_ops)
-        state = try_partition_at_ii(
-            ddg, cm, ii, budget=stats.budget, strategy=cfg.strategy,
-            pinned=pinned, relax_adjacency=relax_adjacency, stats=stats,
-            rng=rng)
+        state = engine.try_at_ii(
+            ddg, cm, ii, budget=stats.budget, pinned=pinned,
+            relax_adjacency=relax_adjacency, stats=stats, rng=rng)
         if state is None:
             continue
         shift = min(state.sigma.values())
@@ -312,7 +146,7 @@ def partitioned_schedule(ddg: Ddg, cm: ClusteredMachine, *,
 
     raise SchedulingError(
         f"no partitioned schedule for {ddg.name!r} on {cm.name} "
-        f"with II <= {limit}")
+        f"with II <= {limit} ({cfg.partitioner!r} partitioner)")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""Pluggable cluster-partitioning engines.
+
+The partitioner is a seam exactly like the single-cluster scheduler
+registry (:mod:`repro.sched.strategies`): every engine attempts to place
+a loop's ops in time *and* space at one fixed II, the II search in
+:func:`repro.sched.partition.partitioned_schedule` is engine-agnostic,
+and engines are looked up by name
+(``PartitionConfig(partitioner="agglomerative")``, ``--partitioner`` on
+the CLI, ``repro-vliw partitioners`` to list them).
+
+Engines shipped here:
+
+* ``"affinity"`` (default) -- the paper's heuristic: most scheduled DATA
+  neighbours, then earliest slot, then lightest load.
+* ``"balance"`` -- least-loaded cluster first.
+* ``"first"``   -- earliest slot, lowest cluster index (naive baseline).
+* ``"random"``  -- uniformly random feasible candidate (seeded).
+* ``"agglomerative"`` -- two-phase: merge affinity-weighted subgraphs
+  under per-cluster ResMII balance, lay the groups around the ring, then
+  slot-search with every op pinned to its cluster.
+
+Adding an engine is a self-registering subclass::
+
+    from repro.sched.partitioners import Partitioner, register_partitioner
+
+    @register_partitioner
+    class MyPartitioner(Partitioner):
+        name = "mine"
+        description = "my engine"
+        def try_at_ii(self, ddg, cm, ii, *, budget, **kw):
+            ...
+"""
+
+from .base import Partitioner, PartitionState
+from .registry import (available_partitioners, get_partitioner,
+                       partitioner_descriptions, register_partitioner)
+from .slotsearch import (AffinityPartitioner, BalancePartitioner,
+                         FirstFitPartitioner, RandomPartitioner,
+                         SlotSearchPartitioner)
+from .agglomerative import (AgglomerativePartitioner,
+                            agglomerative_assignment)
+
+#: The engine used when nothing else is asked for.
+DEFAULT_PARTITIONER = "affinity"
+
+__all__ = [
+    "Partitioner", "PartitionState",
+    "available_partitioners", "get_partitioner",
+    "partitioner_descriptions", "register_partitioner",
+    "SlotSearchPartitioner", "AffinityPartitioner", "BalancePartitioner",
+    "FirstFitPartitioner", "RandomPartitioner",
+    "AgglomerativePartitioner", "agglomerative_assignment",
+    "DEFAULT_PARTITIONER",
+]

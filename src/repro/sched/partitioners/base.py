@@ -1,0 +1,171 @@
+"""The cluster-partitioner contract.
+
+A *partitioner* is one engine that attempts to place every op of a loop
+DDG both *in time* (a modulo row) and *in space* (a ring cluster) at one
+fixed II.  The surrounding II search, normalisation and validation live
+in :func:`repro.sched.partition.partitioned_schedule`, which is
+engine-agnostic: it asks the registry for an engine by name and calls
+:meth:`Partitioner.try_at_ii` per candidate II.
+
+Engines register themselves with
+:func:`~repro.sched.partitioners.registry.register_partitioner` and are
+looked up by name (``PartitionConfig(partitioner="agglomerative")``,
+``PipelineOptions(partitioner=...)``, ``--partitioner`` on the CLI).
+
+The mutable search state (:class:`PartitionState`) is shared by all
+engines: it owns the per-cluster modulo reservation tables, the sigma and
+cluster maps, and the flat caches the inner loop depends on.  Every
+eviction MUST go through :meth:`PartitionState.unschedule` so the MRT,
+``sigma``/``cluster_of`` maps and the ready-scan cursor can never drift
+apart (the forced-placement path once bypassed it with raw ``del``s).
+"""
+
+from __future__ import annotations
+
+import abc
+import random as _random
+from typing import TYPE_CHECKING, ClassVar, Optional
+
+from repro.ir.ddg import Ddg, DepKind
+from repro.machine.cluster import ClusteredMachine
+
+from ..mrt import ModuloReservationTable
+from ..schedule import ScheduleStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class PartitionState:
+    """Mutable search state for one II attempt on a clustered machine."""
+
+    def __init__(self, ddg: Ddg, cm: ClusteredMachine, ii: int) -> None:
+        self.ddg = ddg
+        self.cm = cm
+        self.ii = ii
+        self.sigma: dict[int, int] = {}
+        self.cluster_of: dict[int, int] = {}
+        self.last_time: dict[int, int] = {}
+        self.mrts = [
+            ModuloReservationTable(ii, cm.cluster.fus.as_dict())
+            for _ in range(cm.n_clusters)
+        ]
+        n = cm.n_clusters
+        # flat caches -- the inner loop runs millions of times
+        self.adj = [[cm.are_adjacent(a, b) for b in range(n)]
+                    for a in range(n)]
+        self.in_e = {o: ddg.in_edges(o) for o in ddg.op_ids}
+        self.out_e = {o: ddg.out_edges(o) for o in ddg.op_ids}
+        self.data_nbrs = {o: ddg.neighbors_data(o) for o in ddg.op_ids}
+        self.all_clusters = list(range(n))
+        self.xlat = cm.inter_cluster_latency
+
+    def unschedule(self, op_id: int) -> None:
+        """THE eviction path: MRT slot, sigma and cluster assignment are
+        always released together (never ``del`` the maps directly)."""
+        self.mrts[self.cluster_of[op_id]].remove(op_id)
+        del self.sigma[op_id]
+        del self.cluster_of[op_id]
+
+    def pred_arrivals(self, op_id: int) -> list[tuple[int, int]]:
+        """Scheduled-predecessor arrival terms for one placement round.
+
+        Returns ``(base, src_cluster)`` per scheduled in-edge, where
+        ``base = sigma(src) + latency - distance * II`` and
+        ``src_cluster`` is -1 when no inter-cluster penalty can apply
+        (zero ring latency or a non-DATA edge).  Computing this once per
+        round turns the per-cluster estart into a max over a short list
+        instead of a fresh edge walk per candidate cluster.
+        """
+        sigma = self.sigma
+        cluster_of = self.cluster_of
+        ii = self.ii
+        xlat = self.xlat
+        out: list[tuple[int, int]] = []
+        for e in self.in_e[op_id]:
+            t = sigma.get(e.src)
+            if t is None:
+                continue
+            base = t + e.latency - e.distance * ii
+            sc = (cluster_of[e.src]
+                  if xlat and e.kind is DepKind.DATA else -1)
+            out.append((base, sc))
+        return out
+
+    @staticmethod
+    def estart_from(arrivals: list[tuple[int, int]], cluster: int,
+                    xlat: int) -> int:
+        """Earliest start on *cluster* given cached :meth:`pred_arrivals`."""
+        est = 0
+        for base, sc in arrivals:
+            if sc >= 0 and sc != cluster:
+                base += xlat
+            if base > est:
+                est = base
+        return est
+
+    def estart(self, op_id: int, cluster: int) -> int:
+        """Earliest start of *op_id* on *cluster* (uncached form)."""
+        return self.estart_from(self.pred_arrivals(op_id), cluster,
+                                self.xlat)
+
+    def scheduled_data_neighbours(self, op_id: int) -> dict[int, int]:
+        """Scheduled DATA-neighbour op -> its cluster."""
+        cluster_of = self.cluster_of
+        return {nbr: cluster_of[nbr] for nbr in self.data_nbrs[op_id]
+                if nbr in cluster_of}
+
+    def allowed_clusters(self, op_id: int,
+                         pinned: dict[int, int],
+                         relax_adjacency: bool,
+                         nbr_clusters: Optional[dict[int, int]] = None
+                         ) -> list[int]:
+        if op_id in pinned:
+            return [pinned[op_id]]
+        if relax_adjacency:
+            return self.all_clusters
+        if nbr_clusters is None:
+            nbr_clusters = self.scheduled_data_neighbours(op_id)
+        if not nbr_clusters:
+            return self.all_clusters
+        adj = self.adj
+        clusters = set(nbr_clusters.values())
+        return [c for c in self.all_clusters
+                if all(adj[c][nc] for nc in clusters)]
+
+    def affinity(self, op_id: int, cluster: int) -> int:
+        return sum(1 for c in
+                   self.scheduled_data_neighbours(op_id).values()
+                   if c == cluster)
+
+
+class Partitioner(abc.ABC):
+    """Base class of all cluster-partitioning engines.
+
+    Subclasses set ``name`` (the registry key) and ``description`` (one
+    line for ``repro-vliw partitioners``) and implement :meth:`try_at_ii`.
+    """
+
+    #: Registry key; also the value of ``PartitionConfig.partitioner``.
+    name: ClassVar[str] = ""
+    #: One-line summary shown by ``repro-vliw partitioners``.
+    description: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def try_at_ii(self, ddg: Ddg, cm: ClusteredMachine, ii: int, *,
+                  budget: int,
+                  pinned: Optional[dict[int, int]] = None,
+                  relax_adjacency: bool = False,
+                  stats: Optional[ScheduleStats] = None,
+                  rng: Optional[_random.Random] = None,
+                  ) -> Optional[PartitionState]:
+        """One partitioned-scheduling attempt at a fixed II.
+
+        Returns the final :class:`PartitionState` (``sigma`` +
+        ``cluster_of``) or ``None`` when the placement budget runs out.
+        ``pinned`` fixes some ops' clusters; ``relax_adjacency`` disables
+        the ring constraint (the MOVE pipeline's first pass).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<partitioner {self.name!r}>"

@@ -1,0 +1,66 @@
+"""Partitioner registry: name -> engine class.
+
+The registry is the single seam through which the pipeline, the CLI and
+the tests discover cluster-partitioning engines, mirroring the scheduler
+registry (:mod:`repro.sched.strategies.registry`).  Registering is
+declarative::
+
+    @register_partitioner
+    class MyPartitioner(Partitioner):
+        name = "mine"
+        description = "..."
+        def try_at_ii(self, ddg, cm, ii, *, budget, ...): ...
+
+Names are unique; registering a duplicate raises so two engines can never
+silently shadow each other (cache keys embed the name, so aliasing would
+poison cached results).
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from .base import Partitioner
+
+_REGISTRY: dict[str, Type[Partitioner]] = {}
+
+
+def register_partitioner(cls: Type[Partitioner]) -> Type[Partitioner]:
+    """Class decorator: add *cls* to the registry under ``cls.name``."""
+    name = getattr(cls, "name", "")
+    if not name:
+        raise ValueError(f"{cls.__name__} must set a non-empty `name`")
+    if name in _REGISTRY:
+        raise ValueError(
+            f"partitioner {name!r} already registered "
+            f"({_REGISTRY[name].__name__}); names must be unique")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def available_partitioners() -> tuple[str, ...]:
+    """Registered engine names, sorted (stable for tests and docs)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_partitioner(name: str, **kwargs) -> Partitioner:
+    """Instantiate the engine registered under *name*.
+
+    ``kwargs`` are forwarded to the engine constructor; raises
+    ``KeyError`` naming the available engines on an unknown name, so a
+    typo'd ``--partitioner`` never surfaces as a bare failure deep inside
+    scheduling.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown partitioner {name!r}; available: "
+            f"{', '.join(available_partitioners())}") from None
+    return cls(**kwargs)
+
+
+def partitioner_descriptions() -> dict[str, str]:
+    """name -> one-line description (the ``partitioners`` CLI listing)."""
+    return {name: _REGISTRY[name].description
+            for name in available_partitioners()}

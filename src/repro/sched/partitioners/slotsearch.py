@@ -1,0 +1,220 @@
+"""The slot-search partitioning engine family (paper Section 4).
+
+One shared search loop -- partitioned IMS: every op is placed in the best
+(cluster, slot) candidate, with forced placement, eviction and
+deadlock-aging when the ring constraint or the MRTs refuse -- and one
+thin subclass per cluster-choice heuristic (the engines compared in
+ablation A2):
+
+* ``"affinity"`` (default) -- prefer the cluster holding the most
+  scheduled DATA neighbours, then earliest slot, then lightest load.
+* ``"balance"``  -- prefer the least-loaded cluster, then earliest slot.
+* ``"first"``    -- earliest slot, lowest cluster index (naive baseline).
+* ``"random"``   -- uniformly random feasible candidate (seeded).
+
+The inner loop is the hottest code in the clustered experiments, so the
+search keeps flat state (:class:`~repro.sched.partitioners.base.
+PartitionState`), walks the priority order with an index cursor (the
+ready-op pick is O(1) amortised instead of an O(n) scan per placement),
+and computes the predecessor arrival terms once per placement round
+instead of once per candidate cluster.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Optional
+
+from repro.ir.ddg import Ddg
+from repro.machine.cluster import ClusteredMachine
+
+from ..priority import priority_order
+from ..schedule import ScheduleStats
+from .base import Partitioner, PartitionState
+from .registry import register_partitioner
+
+
+class SlotSearchPartitioner(Partitioner):
+    """Shared search loop; subclasses supply the candidate ranking."""
+
+    def candidate_key(self, aff: int, t: int, load: int, c: int,
+                      rng: _random.Random) -> tuple:
+        """Ranking key of one feasible (cluster, slot) candidate; the
+        minimum key wins.  ``aff`` counts scheduled DATA neighbours on
+        cluster ``c``, ``t`` is the earliest free slot there, ``load``
+        the cluster's current reservation count."""
+        raise NotImplementedError
+
+    def try_at_ii(self, ddg: Ddg, cm: ClusteredMachine, ii: int, *,
+                  budget: int,
+                  pinned: Optional[dict[int, int]] = None,
+                  relax_adjacency: bool = False,
+                  stats: Optional[ScheduleStats] = None,
+                  rng: Optional[_random.Random] = None,
+                  ) -> Optional[PartitionState]:
+        pinned = pinned or {}
+        rng = rng or _random.Random(0)
+        order = priority_order(ddg, ii)
+        pos = {o: i for i, o in enumerate(order)}
+        state = PartitionState(ddg, cm, ii)
+        unscheduled = set(order)
+        cursor = 0
+        xlat = state.xlat
+        key_fn = self.candidate_key
+        # aging: repeated adjacency deadlocks rotate through cluster
+        # choices (a deterministic heuristic would otherwise ping-pong
+        # forever between two mutually-exclusive placements)
+        deadlocks: dict[int, int] = {}
+
+        def drop(victim: int) -> None:
+            """Evict one op; re-adding may rewind the ready cursor."""
+            nonlocal cursor
+            state.unschedule(victim)
+            unscheduled.add(victim)
+            p = pos[victim]
+            if p < cursor:
+                cursor = p
+
+        while unscheduled:
+            if budget <= 0:
+                return None
+            budget -= 1
+            # ready pick: first op of `order` still unscheduled.  The
+            # cursor only moves forward here; drop() rewinds it when an
+            # eviction re-activates an earlier op.
+            while order[cursor] not in unscheduled:
+                cursor += 1
+            op_id = order[cursor]
+            unscheduled.discard(op_id)
+            op = ddg.op(op_id)
+
+            nbr_clusters = state.scheduled_data_neighbours(op_id)
+            allowed = state.allowed_clusters(op_id, pinned,
+                                             relax_adjacency, nbr_clusters)
+            aff_count: dict[int, int] = {}
+            for nc in nbr_clusters.values():
+                aff_count[nc] = aff_count.get(nc, 0) + 1
+            arrivals = state.pred_arrivals(op_id)
+            uniform_est: Optional[int] = None
+            if not xlat or all(sc < 0 for _, sc in arrivals):
+                uniform_est = PartitionState.estart_from(arrivals, 0, 0)
+
+            # ---- normal placement: best (cluster, slot) candidate ------
+            best: Optional[tuple[tuple, int, int]] = None  # key, c, slot
+            mrts = state.mrts
+            fu_type = op.fu_type
+            for c in allowed:
+                est = (uniform_est if uniform_est is not None
+                       else PartitionState.estart_from(arrivals, c, xlat))
+                mrt = mrts[c]
+                for t in range(est, est + ii):
+                    if mrt.can_place(fu_type, t):
+                        key = key_fn(aff_count.get(c, 0), t, mrt.load(),
+                                     c, rng)
+                        if best is None or key < best[0]:
+                            best = (key, c, t)
+                        break  # earliest slot in this cluster is enough
+
+            if best is not None:
+                _, cluster, t = best
+            else:
+                # ---- forced placement ---------------------------------
+                if allowed:
+                    # adjacency satisfiable but no free slot: evict on
+                    # the cluster with the best affinity
+                    cluster = min(
+                        allowed,
+                        key=lambda c: (-aff_count.get(c, 0),
+                                       mrts[c].load(), c))
+                else:
+                    # adjacency deadlock: rank clusters by violation
+                    # count and rotate through the ranking as the same op
+                    # deadlocks again (aging); after a full rotation,
+                    # clear the whole data neighbourhood to re-seed the
+                    # region
+                    k = deadlocks.get(op_id, 0)
+                    deadlocks[op_id] = k + 1
+                    adj = state.adj
+                    ranked = sorted(
+                        state.all_clusters,
+                        key=lambda c: (
+                            sum(1 for nc in nbr_clusters.values()
+                                if not adj[c][nc]),
+                            mrts[c].load(), c))
+                    cluster = ranked[k % len(ranked)]
+                    wide = k >= len(ranked)
+                    for nbr, nc in sorted(nbr_clusters.items()):
+                        if wide or not adj[cluster][nc]:
+                            drop(nbr)
+                            if stats is not None:
+                                stats.evictions += 1
+                t = PartitionState.estart_from(arrivals, cluster, xlat)
+                prev = state.last_time.get(op_id)
+                if prev is not None and t <= prev:
+                    t = prev + 1
+                # every victim leaves through drop() -> unschedule so
+                # MRT, sigma/cluster_of and the cursor stay consistent
+                victims = mrts[cluster].conflicts(fu_type, t)
+                for victim in victims:
+                    drop(victim)
+                if stats is not None:
+                    stats.evictions += len(victims)
+
+            mrts[cluster].place(op_id, fu_type, t)
+            state.sigma[op_id] = t
+            state.cluster_of[op_id] = cluster
+            state.last_time[op_id] = t
+            if stats is not None:
+                stats.attempts += 1
+
+            # ---- drop ops whose dependence the new placement violates --
+            sigma = state.sigma
+            for e in state.out_e[op_id]:
+                ts = sigma.get(e.dst)
+                if (ts is not None and e.dst != op_id
+                        and ts + e.distance * ii < t + e.latency):
+                    drop(e.dst)
+            for e in state.in_e[op_id]:
+                tp = sigma.get(e.src)
+                if (tp is not None and e.src != op_id
+                        and t + e.distance * ii < tp + e.latency):
+                    drop(e.src)
+
+        return state
+
+
+@register_partitioner
+class AffinityPartitioner(SlotSearchPartitioner):
+    name = "affinity"
+    description = ("most scheduled DATA neighbours first, then earliest "
+                   "slot, then lightest load (paper default)")
+
+    def candidate_key(self, aff, t, load, c, rng):
+        return (-aff, t, load, c)
+
+
+@register_partitioner
+class BalancePartitioner(SlotSearchPartitioner):
+    name = "balance"
+    description = "least-loaded cluster first, then earliest slot"
+
+    def candidate_key(self, aff, t, load, c, rng):
+        return (load, t, -aff, c)
+
+
+@register_partitioner
+class FirstFitPartitioner(SlotSearchPartitioner):
+    name = "first"
+    description = "earliest slot, lowest cluster index (naive baseline)"
+
+    def candidate_key(self, aff, t, load, c, rng):
+        return (t, c)
+
+
+@register_partitioner
+class RandomPartitioner(SlotSearchPartitioner):
+    name = "random"
+    description = "uniformly random feasible candidate (seeded)"
+
+    def candidate_key(self, aff, t, load, c, rng):
+        return (rng.random(),)

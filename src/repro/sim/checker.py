@@ -19,6 +19,7 @@ from repro.machine.machine import Machine
 from repro.regalloc.queues import ScheduleQueueUsage, allocate_for_schedule
 from repro.sched.ims import ImsConfig
 from repro.sched.partition import PartitionConfig, partitioned_schedule
+from repro.sched.partitioners import DEFAULT_PARTITIONER
 from repro.sched.schedule import ModuloSchedule
 from repro.sched.strategies import DEFAULT_SCHEDULER
 
@@ -61,14 +62,18 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
                  copy_strategy: str = "slack",
                  iterations: Optional[int] = None,
                  sched_config: Optional[object] = None,
-                 scheduler: str = DEFAULT_SCHEDULER) -> PipelineResult:
+                 scheduler: str = DEFAULT_SCHEDULER,
+                 partitioner: str = DEFAULT_PARTITIONER) -> PipelineResult:
     """Full paper pipeline with end-to-end verification.
 
     ``scheduler`` picks the single-cluster engine from the strategy
-    registry.  A typed ``sched_config`` selects *and* configures its own
-    engine (:class:`ImsConfig` -> ``"ims"``, ``SmsConfig`` -> ``"sms"``),
-    taking precedence over ``scheduler``; clustered machines always use
-    the partitioner.  Raises :class:`repro.sim.vliwsim.SimulationError`,
+    registry and ``partitioner`` the clustered engine from the
+    partitioner registry.  A typed ``sched_config`` selects *and*
+    configures its own engine (:class:`ImsConfig` -> ``"ims"``,
+    ``SmsConfig`` -> ``"sms"``, :class:`PartitionConfig` -> its own
+    ``partitioner`` field), taking precedence over both names; clustered
+    machines always go through a partitioning engine.  Raises
+    :class:`repro.sim.vliwsim.SimulationError`,
     :class:`repro.sched.schedule.SchedulingError` or a validation error if
     anything is inconsistent; returns the artefacts otherwise.
     """
@@ -87,7 +92,7 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
                 f"{type(sched_config).__name__} for a clustered machine "
                 f"(expected PartitionConfig)")
         else:
-            cfg = PartitionConfig()
+            cfg = PartitionConfig(partitioner=partitioner)
         sched = partitioned_schedule(work, machine, config=cfg)
         usage = allocate_for_schedule(sched, machine)
         capacities = machine.cluster.fus.as_dict()

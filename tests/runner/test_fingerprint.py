@@ -69,6 +69,27 @@ def test_key_never_aliases_across_schedulers():
             == CompileJob(ddg, m, PipelineOptions(scheduler="ims")).key)
 
 
+def test_key_never_aliases_across_partitioners():
+    """Same loop, machine and flags under a different partitioning
+    engine is a different job: cached affinity results must never answer
+    for the agglomerative engine (SCHEMA_VERSION 3)."""
+    from repro.sched.partitioners import available_partitioners
+
+    ddg = kernel("daxpy")
+    cm = clustered_machine(4)
+    keys = {CompileJob(ddg, cm, PipelineOptions(partitioner=p)).key
+            for p in available_partitioners()}
+    assert len(keys) == len(available_partitioners())
+    assert (CompileJob(ddg, cm, PipelineOptions()).key
+            == CompileJob(ddg, cm,
+                          PipelineOptions(partitioner="affinity")).key)
+
+
+def test_schema_version_is_current():
+    from repro.runner import SCHEMA_VERSION
+    assert SCHEMA_VERSION == 3
+
+
 def test_key_changes_with_trip_count():
     a, b = kernel("daxpy"), kernel("daxpy")
     b.trip_count += 1

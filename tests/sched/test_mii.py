@@ -75,6 +75,29 @@ class TestMaxCycleRatio:
         b.carry(a, a, distance=2)
         assert max_cycle_ratio(b.build()) == pytest.approx(2.5, abs=1e-4)
 
+    def test_known_ratio_within_half_tol(self):
+        """Regression: the bisection used to return the *upper* bound of
+        the final interval, biasing every estimate high by up to a full
+        ``tol``; the midpoint must sit within ``tol/2`` of the true
+        maximum ratio on a cycle whose ratio is known exactly."""
+        b = LoopBuilder("known")
+        a = b.add("a", latency=3)
+        c = b.add("c", a, latency=4)
+        b.carry(c, a, distance=2)
+        # cycle latency 3 + 4 = 7 over distance 2 -> ratio 3.5 exactly
+        tol = 1e-6
+        ratio = max_cycle_ratio(b.build(), tol=tol)
+        assert abs(ratio - 3.5) <= tol / 2
+
+    def test_tighter_tol_tightens_the_answer(self):
+        b = LoopBuilder("r7")
+        a = b.add("a", latency=7)
+        b.carry(a, a, distance=3)
+        loose = max_cycle_ratio(b.build(), tol=1e-2)
+        tight = max_cycle_ratio(b.build(), tol=1e-8)
+        assert abs(loose - 7 / 3) <= 0.5e-2
+        assert abs(tight - 7 / 3) <= 0.5e-8
+
     def test_matches_recmii_ceiling(self, synth_sample):
         for ddg in synth_sample[:15]:
             ratio = max_cycle_ratio(ddg)

@@ -51,20 +51,31 @@ class TestBasicPartitioning:
         assert s.machine_name == cm.name
         assert s.n_clusters == 4
 
-    def test_all_strategies_produce_valid_schedules(self):
+    def test_all_registered_engines_produce_valid_schedules(self):
+        from repro.sched.partitioners import available_partitioners
         cm = make_clustered(5)
         work = prepared(dot_product(), 4)
-        for strat in ("affinity", "balance", "first", "random"):
+        for engine in available_partitioners():
             s = partitioned_schedule(
-                work, cm, config=PartitionConfig(strategy=strat))
+                work, cm, config=PartitionConfig(partitioner=engine))
             s.validate(cm.cluster.fus.as_dict(), adjacency=cm)
 
-    def test_unknown_strategy(self):
+    def test_unknown_partitioner_names_the_alternatives(self):
         cm = make_clustered(4)
-        with pytest.raises(ValueError, match="strategy"):
+        with pytest.raises(KeyError, match="affinity"):
             partitioned_schedule(
                 prepared(daxpy()), cm,
-                config=PartitionConfig(strategy="bogus"))  # type: ignore
+                config=PartitionConfig(partitioner="bogus"))
+
+    def test_strategy_alias_still_selects_the_engine(self):
+        cfg = PartitionConfig(strategy="balance")
+        assert cfg.partitioner == "balance"
+
+    def test_replace_switches_engine_despite_alias_history(self):
+        import dataclasses
+        cfg = PartitionConfig(strategy="balance")
+        swapped = dataclasses.replace(cfg, partitioner="agglomerative")
+        assert swapped.partitioner == "agglomerative"
 
     def test_determinism(self):
         cm = make_clustered(5)

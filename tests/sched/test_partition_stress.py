@@ -61,10 +61,11 @@ def test_budget_stays_bounded():
     assert s.stats.evictions <= 8 * work.n_ops
 
 
-def test_all_strategies_survive_stress():
+def test_all_registered_engines_survive_stress():
+    from repro.sched.partitioners import available_partitioners
     cm = make_clustered(6)
     work = insert_copies(unroll(dot_product(), 6)).ddg
-    for strategy in ("affinity", "balance", "first", "random"):
+    for engine in available_partitioners():
         s = partitioned_schedule(
-            work, cm, config=PartitionConfig(strategy=strategy))
+            work, cm, config=PartitionConfig(partitioner=engine))
         s.validate(cm.cluster.fus.as_dict(), adjacency=cm)

@@ -1,0 +1,229 @@
+"""Partitioner-registry subsystem tests.
+
+The invariant tests are *registry-parameterized*: they run against every
+registered cluster-partitioning engine, so a future engine is held to the
+same contract as the shipped five the moment it registers -- II >= MII,
+every DATA edge lands on ring-adjacent clusters, inter-cluster ring
+latency is honoured on the copy edges that cross clusters, and the full
+pipeline (queue allocation + token simulation against the scalar
+reference semantics) green on the classic kernel corpus.
+"""
+
+import pytest
+
+from repro.ir.copyins import insert_copies
+from repro.ir.ddg import DepKind
+from repro.ir.unroll import unroll
+from repro.machine.cluster import make_clustered
+from repro.machine.presets import clustered_machine
+from repro.sched.mii import mii
+from repro.sched.partition import PartitionConfig, partitioned_schedule
+from repro.sched.partitioners import (DEFAULT_PARTITIONER, Partitioner,
+                                      agglomerative_assignment,
+                                      available_partitioners,
+                                      get_partitioner,
+                                      partitioner_descriptions,
+                                      register_partitioner)
+from repro.sim.checker import run_pipeline
+from repro.workloads.kernels import KERNELS, kernel
+
+ALL_PARTITIONERS = available_partitioners()
+
+
+def prepared(ddg, factor=1):
+    work = unroll(ddg, factor) if factor > 1 else ddg
+    return insert_copies(work).ddg
+
+
+# ---------------------------------------------------------------- registry
+
+def test_registry_lists_all_five_engines():
+    assert set(ALL_PARTITIONERS) == {
+        "affinity", "agglomerative", "balance", "first", "random"}
+    assert DEFAULT_PARTITIONER in ALL_PARTITIONERS
+
+
+def test_registry_unknown_name_names_the_alternatives():
+    with pytest.raises(KeyError, match="affinity"):
+        get_partitioner("nope")
+
+
+def test_registry_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="already registered"):
+        @register_partitioner
+        class Duplicate(Partitioner):
+            name = "affinity"
+
+            def try_at_ii(self, ddg, cm, ii, *, budget, **kw):
+                raise NotImplementedError
+
+
+def test_registry_rejects_anonymous_engines():
+    with pytest.raises(ValueError, match="non-empty"):
+        @register_partitioner
+        class NoName(Partitioner):
+            def try_at_ii(self, ddg, cm, ii, *, budget, **kw):
+                raise NotImplementedError
+
+
+def test_every_engine_has_a_description():
+    for name, descr in partitioner_descriptions().items():
+        assert descr, name
+
+
+# ----------------------------------------------- engine-generic invariants
+
+@pytest.mark.parametrize("name", ALL_PARTITIONERS)
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+def test_engine_invariants_on_classic_kernels(name, kernel_name):
+    """II >= MII, resources respected, every DATA edge ring-adjacent --
+    per engine, on every classic kernel, on the 4-cluster ring."""
+    cm = make_clustered(4)
+    work = prepared(kernel(kernel_name))
+    s = partitioned_schedule(
+        work, cm, config=PartitionConfig(partitioner=name))
+    assert s.ii >= mii(s.ddg, cm)
+    assert min(s.sigma.values()) >= 0
+    assert set(s.sigma) == set(s.cluster_of) == set(s.ddg.op_ids)
+    # resource + dependence + ring-adjacency audit (raises on violation)
+    s.validate(cm.cluster.fus.as_dict(), adjacency=cm)
+
+
+@pytest.mark.parametrize("name", ALL_PARTITIONERS)
+def test_engine_cross_checked_against_reference_simulator(name):
+    """End to end on the classic kernels: partition with the engine,
+    allocate queues, simulate, and verify every operand against the
+    scalar reference semantics."""
+    for kernel_name in sorted(KERNELS):
+        res = run_pipeline(kernel(kernel_name), clustered_machine(4),
+                           iterations=6, partitioner=name)
+        assert res.sim.reads_checked > 0, kernel_name
+        assert res.schedule.n_clusters == 4
+
+
+@pytest.mark.parametrize("name", ALL_PARTITIONERS)
+@pytest.mark.parametrize("xlat", [1, 2])
+def test_inter_cluster_latency_honoured_on_copy_edges(name, xlat):
+    """With a non-zero ring-forwarding latency, every DATA edge that
+    crosses clusters (the copy/communication edges) must leave at least
+    ``xlat`` extra cycles between producer completion and the read."""
+    cm = make_clustered(4, inter_cluster_latency=xlat)
+    total_crossing = 0
+    for kernel_name in ("daxpy", "dot", "fir4", "wide8", "cmul"):
+        work = prepared(kernel(kernel_name), 2)
+        s = partitioned_schedule(
+            work, cm, config=PartitionConfig(partitioner=name))
+        for e in s.ddg.edges(DepKind.DATA):
+            if s.cluster_of[e.src] == s.cluster_of[e.dst]:
+                continue
+            total_crossing += 1
+            slack = (s.sigma[e.dst] + e.distance * s.ii
+                     - s.sigma[e.src] - e.latency)
+            assert slack >= xlat, (kernel_name, e)
+    # the check must have exercised real ring crossings
+    assert total_crossing > 0
+
+
+@pytest.mark.parametrize("name", ALL_PARTITIONERS)
+def test_engine_is_deterministic(name):
+    cm = make_clustered(5)
+    work = prepared(kernel("dot"), 4)
+    cfg = PartitionConfig(partitioner=name)
+    s1 = partitioned_schedule(work, cm, config=cfg)
+    s2 = partitioned_schedule(work, cm,
+                              config=PartitionConfig(partitioner=name))
+    assert s1.sigma == s2.sigma
+    assert s1.cluster_of == s2.cluster_of
+
+
+@pytest.mark.parametrize("name", ALL_PARTITIONERS)
+def test_engine_respects_external_pins(name):
+    cm = make_clustered(4)
+    work = prepared(kernel("daxpy"))
+    pins = {work.op_ids[0]: 2}
+    s = partitioned_schedule(
+        work, cm, config=PartitionConfig(partitioner=name), pinned=pins)
+    assert s.cluster_of[work.op_ids[0]] == 2
+
+
+# -------------------------------------------------- agglomerative details
+
+def test_agglomerative_assignment_is_complete_and_ring_legal():
+    cm = make_clustered(4)
+    for kernel_name in ("dot", "fir4", "trielim", "cmul"):
+        work = prepared(kernel(kernel_name), 2)
+        pins = agglomerative_assignment(work, cm, ii=mii(work, cm))
+        if pins is None:
+            continue  # legal: the engine falls back to the free search
+        assert set(pins) == set(work.op_ids)
+        assert set(pins.values()) <= set(range(4))
+        for e in work.edges(DepKind.DATA):
+            assert cm.are_adjacent(pins[e.src], pins[e.dst]), kernel_name
+
+
+def test_agglomerative_assignment_declines_tiny_loops():
+    cm = make_clustered(4)
+    work = prepared(kernel("daxpy"))
+    if work.n_ops <= 4:
+        assert agglomerative_assignment(work, cm, ii=4) is None
+
+
+def test_agglomerative_spreads_independent_lanes():
+    cm = make_clustered(4)
+    work = prepared(kernel("wide8"))
+    s = partitioned_schedule(
+        work, cm, config=PartitionConfig(partitioner="agglomerative"))
+    assert len(set(s.cluster_of.values())) >= 3
+
+
+# --------------------------------------- eviction-bookkeeping regression
+
+def _assert_state_consistent(state):
+    """sigma, cluster_of and the per-cluster MRTs must agree exactly."""
+    assert set(state.sigma) == set(state.cluster_of)
+    placed_by_cluster: dict[int, set] = {}
+    for c, mrt in enumerate(state.mrts):
+        placed_by_cluster[c] = {p.op_id for p in mrt}
+    for op_id, c in state.cluster_of.items():
+        assert op_id in placed_by_cluster[c], op_id
+        placement = state.mrts[c].placement_of(op_id)
+        assert placement.time == state.sigma[op_id]
+        # last_time records the most recent placement of every op
+        assert state.last_time[op_id] == state.sigma[op_id]
+    for c, placed in placed_by_cluster.items():
+        for op_id in placed:
+            assert state.cluster_of.get(op_id) == c, (
+                f"MRT {c} holds {op_id} not assigned to it")
+
+
+@pytest.mark.parametrize("name", ALL_PARTITIONERS)
+def test_forced_eviction_keeps_state_consistent(name):
+    """Regression: forced-placement victims used to leave through raw
+    ``del state.sigma[...]`` instead of ``unschedule``; every eviction
+    path must leave MRT/sigma/cluster_of bookkeeping aligned."""
+    from repro.sched.schedule import ScheduleStats
+
+    cm = make_clustered(6)
+    work = insert_copies(unroll(kernel("dot"), 6)).ddg
+    engine = get_partitioner(name)
+    stats = ScheduleStats()
+    # a tight II forces the eviction machinery; walk upward until the
+    # engine lands so every engine gets audited
+    state = None
+    for ii in range(mii(work, cm), mii(work, cm) + 8):
+        state = engine.try_at_ii(work, cm, ii, budget=12 * work.n_ops,
+                                 stats=stats)
+        if state is not None:
+            break
+    assert state is not None, f"{name} never landed near MII"
+    _assert_state_consistent(state)
+
+
+def test_forced_eviction_branch_actually_fires():
+    """The regression test above is only meaningful if the stress input
+    really drives the forced-placement path."""
+    cm = make_clustered(6)
+    work = insert_copies(unroll(kernel("dot"), 6)).ddg
+    s = partitioned_schedule(work, cm)
+    assert s.stats.evictions > 0
+    s.validate(cm.cluster.fus.as_dict(), adjacency=cm)

@@ -72,7 +72,7 @@ def test_experiment_unknown(capsys):
 def test_experiment_list_enumerates_experiments(capsys):
     code, out, _ = run_cli(capsys, "experiment", "--list")
     assert code == 0
-    for exp_id in ("fig3", "fig9", "e6b", "sc"):
+    for exp_id in ("fig3", "fig9", "e6b", "sc", "pc"):
         assert exp_id in out
 
 
@@ -102,6 +102,57 @@ def test_schedulers_subcommand(capsys):
     assert code == 0
     assert "ims" in out and "sms" in out
     assert "(default)" in out
+
+
+def test_partitioners_subcommand(capsys):
+    code, out, _ = run_cli(capsys, "partitioners")
+    assert code == 0
+    for name in ("affinity", "agglomerative", "balance", "first",
+                 "random"):
+        assert name in out
+    assert "(default)" in out
+
+
+def test_schedule_clustered_with_partitioner(capsys):
+    code, out, _ = run_cli(capsys, "schedule", "dot", "--clusters", "4",
+                           "--unroll", "2",
+                           "--partitioner", "agglomerative")
+    assert code == 0
+    assert "II=" in out and "simulated" in out
+
+
+def test_unknown_partitioner_rejected_before_compiling(capsys):
+    """A typo'd engine name must die in argument parsing, listing the
+    registered names, instead of surfacing as an error mid-sweep."""
+    with pytest.raises(SystemExit):
+        main(["schedule", "dot", "--clusters", "4",
+              "--partitioner", "bogus"])
+    err = capsys.readouterr().err
+    assert "bogus" in err
+    assert "affinity" in err and "agglomerative" in err
+
+
+def test_unknown_scheduler_rejected_before_compiling(capsys):
+    with pytest.raises(SystemExit):
+        main(["schedule", "daxpy", "--scheduler", "bogus"])
+    err = capsys.readouterr().err
+    assert "ims" in err and "sms" in err
+
+
+def test_experiment_partitioner_compare(capsys):
+    code, out, _ = run_cli(capsys, "--sample", "6", "--no-cache",
+                           "experiment", "pc")
+    assert code == 0
+    assert "partitioner comparison" in out
+    assert "affinity" in out and "agglomerative" in out
+
+
+def test_experiment_fig6_with_partitioner(capsys):
+    code, out, _ = run_cli(capsys, "--sample", "6", "--no-cache",
+                           "experiment", "fig6",
+                           "--partitioner", "agglomerative")
+    assert code == 0
+    assert "Fig. 6" in out
 
 
 def test_parser_requires_command():
