@@ -8,7 +8,7 @@ zero, the architecture would be fragile; a graceful decline validates the
 design margin.
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import ring_latency_sensitivity
 from repro.workloads.corpus import bench_corpus
@@ -18,9 +18,12 @@ SAMPLE = 48
 
 def test_a4_ring_latency(benchmark):
     loops = bench_corpus(SAMPLE)
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "a4_ring_latency",
         lambda: ring_latency_sensitivity(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {f"same_ii_xlat{x}_4cl": r.same_ii[x][4]
+                           for x in (0, 1, 2)})
     record("a4_ring_latency", result.render())
 
     same = result.same_ii

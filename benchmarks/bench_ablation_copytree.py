@@ -7,7 +7,7 @@ The slack strategy should preserve the no-copy II at least as often as the
 alternatives.
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import ablation_copy_tree
 from repro.workloads.corpus import bench_corpus
@@ -17,9 +17,12 @@ SAMPLE = 80
 
 def test_ablation_copy_tree(benchmark):
     loops = bench_corpus(SAMPLE)
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "ablation_copytree",
         lambda: ablation_copy_tree(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {f"same_ii_{s}": v
+                           for s, v in r.same_ii.items()})
     record("ablation_copytree", result.render())
 
     assert set(result.same_ii) == {"chain", "balanced", "slack"}

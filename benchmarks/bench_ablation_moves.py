@@ -8,7 +8,7 @@ assignment -> MOVE chains on every multi-hop edge -> pinned re-schedule)
 and measures how much of the loss it recovers on 5 and 6 clusters.
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import ablation_moves
 from repro.workloads.corpus import bench_corpus
@@ -18,9 +18,12 @@ SAMPLE = 64
 
 def test_ablation_moves(benchmark):
     loops = bench_corpus(SAMPLE)
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "ablation_moves",
         lambda: ablation_moves(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {f"with_moves_{n}cl": r.with_moves[n]
+                           for n in (5, 6)})
     record("ablation_moves", result.render())
 
     for n in (5, 6):

@@ -8,7 +8,7 @@ random baseline.  Affinity must beat random; the gap is the value of the
 heuristic.
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import ablation_partition
 from repro.workloads.corpus import bench_corpus
@@ -18,9 +18,12 @@ SAMPLE = 64
 
 def test_ablation_partition_strategy(benchmark):
     loops = bench_corpus(SAMPLE)
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "ablation_partition",
         lambda: ablation_partition(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {f"same_ii_{s}": v
+                           for s, v in r.same_ii.items()})
     record("ablation_partition", result.render())
 
     from repro.sched.partitioners import available_partitioners

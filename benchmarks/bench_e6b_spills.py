@@ -7,7 +7,7 @@ reports the spill-free fraction and mean spilled lifetimes -- the
 quantified version of the paper's "occasionally".
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import spill_budget
 from repro.workloads.corpus import bench_corpus
@@ -17,9 +17,13 @@ SAMPLE = 96
 
 def test_e6b_spill_budget(benchmark):
     loops = bench_corpus(SAMPLE)
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "e6b_spills",
         lambda: spill_budget(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {
+            "no_spill_4x8": r.no_spill_fraction[(4, 8)],
+            "no_spill_32x16": r.no_spill_fraction[(32, 16)]})
     record("e6b_spills", result.render())
 
     frac = result.no_spill_fraction

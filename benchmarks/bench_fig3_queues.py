@@ -7,7 +7,7 @@ queues (the paper's "machine configuration required to schedule most of
 the loops ... consist of 32 queues").
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import fig3_queue_requirements
 from repro.workloads.corpus import bench_corpus
@@ -15,9 +15,13 @@ from repro.workloads.corpus import bench_corpus
 
 def test_fig3_queue_requirements(benchmark):
     loops = bench_corpus()
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "fig3_queues",
         lambda: fig3_queue_requirements(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {
+            "min_covered_le32": min(row[32]
+                                    for row in r.by_machine.values())})
     record("fig3_queues", result.render())
 
     for machine, row in result.by_machine.items():

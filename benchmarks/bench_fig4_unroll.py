@@ -7,7 +7,7 @@ machines benefit more, and no loop regresses (the compiler keeps the
 rolled version when unrolling loses).
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import fig4_unroll_speedup
 from repro.workloads.corpus import bench_corpus
@@ -15,9 +15,12 @@ from repro.workloads.corpus import bench_corpus
 
 def test_fig4_unroll_speedup(benchmark):
     loops = bench_corpus()
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "fig4_unroll",
         lambda: fig4_unroll_speedup(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {f"speedup_gt1_{m}": v
+                           for m, v in r.speedup_gt1.items()})
     record("fig4_unroll", result.render())
 
     names = list(result.speedup_gt1)

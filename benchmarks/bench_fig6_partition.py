@@ -7,7 +7,7 @@ cannot move between non-adjacent clusters; increases are "typically of one
 cycle only".
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import fig6_ii_variation
 from repro.workloads.corpus import bench_corpus
@@ -15,9 +15,14 @@ from repro.workloads.corpus import bench_corpus
 
 def test_fig6_ii_variation(benchmark):
     loops = bench_corpus()
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "fig6_partition",
         lambda: fig6_ii_variation(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {"same_ii_4cl": r.same_ii[4],
+                           "same_ii_5cl": r.same_ii[5],
+                           "same_ii_6cl": r.same_ii[6],
+                           "mean_increase_6cl": r.mean_increase[6]})
     record("fig6_partition", result.render())
 
     # paper shape: degradation as the ring grows

@@ -8,7 +8,7 @@ stop scaling); dynamic < static (prologue/epilogue drag); clustered at or
 below single-cluster.
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import fig8_ipc
 from repro.workloads.corpus import bench_corpus
@@ -19,9 +19,12 @@ SAMPLE = 96
 
 def test_fig8_ipc_all_loops(benchmark):
     loops = bench_corpus(SAMPLE)
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "fig8_ipc_all",
         lambda: fig8_ipc(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {"static_ipc_18fu": r.static_single[18],
+                           "dynamic_ipc_18fu": r.dynamic_single[18]})
     record("fig8_ipc_all", result.render())
 
     # growth with machine width, per series

@@ -8,7 +8,7 @@ requirements: these loops exploit the machine better than the full
 population and keep scaling further.
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import fig8_ipc, fig9_ipc_rc
 from repro.workloads.corpus import bench_corpus
@@ -18,9 +18,12 @@ SAMPLE = 96
 
 def test_fig9_ipc_resource_constrained(benchmark):
     loops = bench_corpus(SAMPLE)
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "fig9_ipc_rc",
         lambda: fig9_ipc_rc(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {"static_ipc_18fu": r.static_single[18],
+                           "dynamic_ipc_18fu": r.dynamic_single[18]})
     record("fig9_ipc_rc", result.render())
 
     assert result.static_single[18] > result.static_single[4]

@@ -9,7 +9,7 @@ locality-blind baselines, and the agglomerative pre-assignment matches
 or beats the greedy default's II quality.
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import exp_partitioner_compare
 from repro.sched.partitioners import available_partitioners
@@ -18,9 +18,13 @@ from repro.workloads.corpus import bench_corpus
 
 def test_partitioner_compare(benchmark):
     loops = bench_corpus(64)
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "partitioner_compare",
         lambda: exp_partitioner_compare(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {
+            f"mii_rate_{n}cl_{p}": r.mii_rate[(n, p)]
+            for n in r.cluster_counts for p in r.partitioners})
     record("partitioner_compare", result.render())
 
     engines = set(result.partitioners)

@@ -18,7 +18,7 @@ import os
 import tempfile
 import time
 
-from conftest import record
+from conftest import record, record_bench_json
 
 from repro.machine.presets import paper_qrf_machines
 from repro.runner import ResultCache, RunnerConfig, run_jobs, sweep
@@ -66,6 +66,11 @@ def test_runner_parallel_speedup_and_cache(benchmark):
         f"replay speedup {t_cold / max(t_warm, 1e-9):.1f}x",
     ]
     record("runner_parallel", "\n".join(lines))
+    record_bench_json(
+        "runner_parallel", t_serial, corpus_size=len(loops),
+        n_jobs=len(jobs), n_workers=N_WORKERS,
+        parallel_speedup=round(t_serial / max(t_parallel, 1e-9), 2),
+        cache_replay_speedup=round(t_cold / max(t_warm, 1e-9), 1))
 
     # determinism: parallel and cached sweeps replay the serial results
     assert parallel == serial

@@ -8,7 +8,7 @@ naturally.  Compares, on the same loops and machine widths: queues used
 (QRF side) vs MaxLive / rotating / MVE register counts (CRF side).
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import register_pressure
 from repro.workloads.corpus import bench_corpus
@@ -18,9 +18,12 @@ SAMPLE = 96
 
 def test_s1_register_pressure(benchmark):
     loops = bench_corpus(SAMPLE)
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "s1_register_pressure",
         lambda: register_pressure(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {f"mean_queues_{m}": v
+                           for m, v in r.mean_queues.items()})
     record("s1_register_pressure", result.render())
 
     for name in result.mean_queues:

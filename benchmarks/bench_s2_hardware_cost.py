@@ -7,7 +7,7 @@ machine width, with register demand measured on the corpus rather than
 assumed.
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import hardware_cost
 from repro.workloads.corpus import bench_corpus
@@ -17,9 +17,11 @@ SAMPLE = 96
 
 def test_s2_hardware_cost(benchmark):
     loops = bench_corpus(SAMPLE)
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "s2_hardware_cost",
         lambda: hardware_cost(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {"machine_widths": sorted(r.rows)})
     record("s2_hardware_cost", result.render())
 
     for n_fus, (mono, flat, clustered) in result.rows.items():

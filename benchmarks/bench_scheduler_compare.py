@@ -14,7 +14,7 @@ EXPERIMENTS.md quotes.  Shape requirements:
   register demand (MaxLive) no worse than IMS's on every preset.
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import exp_scheduler_compare
 from repro.workloads.corpus import bench_corpus
@@ -22,9 +22,13 @@ from repro.workloads.corpus import bench_corpus
 
 def test_scheduler_compare(benchmark):
     loops = bench_corpus()
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "scheduler_compare",
         lambda: exp_scheduler_compare(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {
+            f"mii_match_{m}_{s}": r.mii_match[(m, s)]
+            for m in r.machines for s in r.schedulers})
     record("scheduler_compare", result.render())
 
     assert set(result.schedulers) >= {"ims", "sms"}

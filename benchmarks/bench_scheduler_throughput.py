@@ -7,6 +7,8 @@ statistics.
 
 import pytest
 
+from conftest import record_bench_stats
+
 from repro.ir.copyins import insert_copies
 from repro.ir.unroll import unroll
 from repro.machine.cluster import make_clustered
@@ -33,22 +35,30 @@ def corpus_slice():
 def test_throughput_mii(benchmark, corpus_slice):
     m = qrf_machine(12)
     benchmark(lambda: [mii_report(l, m) for l in corpus_slice])
+    record_bench_stats(benchmark, "throughput_mii",
+                       corpus_size=len(corpus_slice))
 
 
 def test_throughput_copy_insertion(benchmark, corpus_slice):
     benchmark(lambda: [insert_copies(l) for l in corpus_slice])
+    record_bench_stats(benchmark, "throughput_copy_insertion",
+                       corpus_size=len(corpus_slice))
 
 
 def test_throughput_ims(benchmark, medium_loop):
     m = qrf_machine(12)
     sched = benchmark(lambda: modulo_schedule(medium_loop, m))
     assert sched.ii >= 1
+    record_bench_stats(benchmark, "throughput_ims",
+                       n_ops=medium_loop.n_ops, ii=sched.ii)
 
 
 def test_throughput_partitioned(benchmark, medium_loop):
     cm = make_clustered(4)
     sched = benchmark(lambda: partitioned_schedule(medium_loop, cm))
     assert sched.ii >= 1
+    record_bench_stats(benchmark, "throughput_partitioned",
+                       n_ops=medium_loop.n_ops, ii=sched.ii)
 
 
 def test_throughput_queue_allocation(benchmark, medium_loop):
@@ -56,3 +66,6 @@ def test_throughput_queue_allocation(benchmark, medium_loop):
     sched = modulo_schedule(medium_loop, m)
     usage = benchmark(lambda: allocate_for_schedule(sched))
     assert usage.total_queues >= 1
+    record_bench_stats(benchmark, "throughput_queue_allocation",
+                       n_ops=medium_loop.n_ops,
+                       total_queues=usage.total_queues)

@@ -8,7 +8,7 @@ the absolute fraction depends on how often recurrence producers feed extra
 consumers (EXPERIMENTS.md discusses the gap).
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import sec2_copy_impact
 from repro.workloads.corpus import bench_corpus
@@ -16,9 +16,12 @@ from repro.workloads.corpus import bench_corpus
 
 def test_sec2_copy_impact(benchmark):
     loops = bench_corpus()
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "sec2_copyops",
         lambda: sec2_copy_impact(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {f"same_ii_{m}": v
+                           for m, v in r.same_ii.items()})
     record("sec2_copyops", result.render())
 
     for machine in result.same_ii:

@@ -6,7 +6,7 @@ the private QRF and another 16 queues to implement the communication ring
 of loops [requiring] additional resources".
 """
 
-from conftest import record, runner_from_env
+from conftest import record, run_recorded, runner_from_env
 
 from repro.analysis.experiments import sec4_cluster_queues
 from repro.workloads.corpus import bench_corpus
@@ -14,9 +14,12 @@ from repro.workloads.corpus import bench_corpus
 
 def test_sec4_cluster_queues(benchmark):
     loops = bench_corpus()
-    result = benchmark.pedantic(
+    result = run_recorded(
+        benchmark, "sec4_cluster_queues",
         lambda: sec4_cluster_queues(loops, runner=runner_from_env()),
-        rounds=1, iterations=1)
+        corpus_size=len(loops),
+        metrics=lambda r: {f"fits_budget_{n}cl": r.fits_budget[n]
+                           for n in (4, 5, 6)})
     record("sec4_cluster_queues", result.render())
 
     for n in (4, 5, 6):

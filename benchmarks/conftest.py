@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import time
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -51,3 +52,50 @@ def record(name: str, rendered: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
     # also echo into the benchmark log
     print(f"\n{rendered}\n")
+
+
+def record_bench_json(name: str, wall_s: float, *,
+                      corpus_size: int | None = None, **metrics) -> None:
+    """Write this run's ``BENCH_<name>.json`` telemetry record (repo
+    root; see :mod:`telemetry`) -- wall time, corpus size and headline
+    metrics.  Every benchmark calls this so the perf trajectory is never
+    empty and CI's perf-smoke job has something to gate on."""
+    import telemetry
+
+    telemetry.write_bench_json(name, wall_s, corpus_size=corpus_size,
+                               metrics=metrics)
+
+
+def run_recorded(benchmark, name: str, fn, *,
+                 corpus_size: int | None = None, metrics=None):
+    """Run *fn* once under the pytest-benchmark fixture and persist its
+    telemetry record.
+
+    ``metrics`` is either a dict or a callable mapping the result to a
+    dict (evaluated after the run, so headline numbers come from the
+    measured result).  Returns *fn*'s result.
+    """
+    holder: dict[str, float] = {}
+
+    def timed():
+        t0 = time.perf_counter()
+        out = fn()
+        holder["wall"] = time.perf_counter() - t0
+        return out
+
+    result = benchmark.pedantic(timed, rounds=1, iterations=1)
+    resolved = metrics(result) if callable(metrics) else (metrics or {})
+    record_bench_json(name, holder["wall"], corpus_size=corpus_size,
+                      **resolved)
+    return result
+
+
+def record_bench_stats(benchmark, name: str, *,
+                       corpus_size: int | None = None, **metrics) -> None:
+    """Record the mean round time of a classic (multi-round)
+    pytest-benchmark run that already happened on *benchmark*."""
+    try:
+        wall = float(benchmark.stats.stats.mean)
+    except (AttributeError, TypeError):
+        return
+    record_bench_json(name, wall, corpus_size=corpus_size, **metrics)

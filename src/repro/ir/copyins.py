@@ -27,8 +27,6 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Literal, Optional
 
-import networkx as nx
-
 from .ddg import Ddg, DepEdge, DepKind
 from .operations import Opcode
 
@@ -57,28 +55,32 @@ class CopyInsertionResult:
 # --------------------------------------------------------------------------
 
 def _heights(ddg: Ddg) -> dict[int, int]:
-    dag = ddg.acyclic_condensation()
-    heights: dict[int, int] = {}
-    for node in reversed(list(nx.topological_sort(dag))):
-        h = 0
-        for _, succ, attrs in dag.out_edges(node, data=True):
-            h = max(h, attrs["latency"] + heights[succ])
-        heights[node] = h
-    return heights
+    """Longest downstream path per op over distance-0 edges (packed
+    Bellman-Ford on the arrays view; the distance-0 subgraph is acyclic
+    for any valid loop, so |V| passes always converge)."""
+    arr = ddg.arrays()
+    h = [0] * arr.n
+    zero = [(s, d, lat)
+            for s, d, lat, dist in zip(arr.e_src, arr.e_dst, arr.e_lat,
+                                       arr.e_dist) if dist == 0]
+    for _ in range(arr.n + 1):
+        changed = False
+        for s, d, lat in zero:
+            cand = h[d] + lat
+            if cand > h[s]:
+                h[s] = cand
+                changed = True
+        if not changed:
+            break
+    return dict(zip(arr.ids, h))
 
 
 def _scc_index(ddg: Ddg) -> dict[int, int]:
     """Strongly-connected-component id per op over the *full* edge set
     (loop-carried edges included): an edge inside an SCC lies on a
     recurrence circuit, and every copy on its path raises RecMII."""
-    g = nx.DiGraph()
-    g.add_nodes_from(ddg.op_ids)
-    g.add_edges_from((e.src, e.dst) for e in ddg.edges())
-    out: dict[int, int] = {}
-    for i, comp in enumerate(nx.strongly_connected_components(g)):
-        for node in comp:
-            out[node] = i
-    return out
+    arr = ddg.arrays()
+    return dict(zip(arr.ids, arr.scc_id))
 
 
 # ----------------------------------------------------------- tree shaping
@@ -162,14 +164,20 @@ def insert_copies(ddg: Ddg, *, strategy: CopyStrategy = "slack",
     scc_sizes: dict[int, int] = {}
     for comp in scc.values():
         scc_sizes[comp] = scc_sizes.get(comp, 0) + 1
-    has_self_cycle = {o for o in ddg.op_ids
-                      if any(e.dst == o for e in ddg.out_edges(o))}
+    arr = ddg.arrays()
+    has_self_cycle = {arr.ids[s]
+                      for s, d in zip(arr.e_src, arr.e_dst) if s == d}
     n_copies = 0
     depth_by_edge: dict[tuple[int, int, int], int] = {}
 
-    # iterate over a snapshot: we mutate `out` while walking producers
+    # snapshot every producer's consumer list up front: rewriting one
+    # producer's fan-out never touches another producer's DATA out-edges,
+    # and querying `out` after each mutation would rebuild its edge cache
+    # per producer
+    consumers_of = {oid: out.consumers(oid) for oid in ddg.op_ids}
+
     for oid in ddg.op_ids:
-        consumers = out.consumers(oid)
+        consumers = consumers_of[oid]
         if len(consumers) <= 1:
             for e in consumers:
                 depth_by_edge[(e.src, e.dst, e.key)] = 0

@@ -172,11 +172,14 @@ class Ddg:
         return self._g.number_of_edges()
 
     def fu_demand(self) -> dict[FuType, int]:
-        """Number of ops per FU class (input of ResMII)."""
-        demand: dict[FuType, int] = {}
-        for op in self.operations:
-            demand[op.fu_type] = demand.get(op.fu_type, 0) + 1
-        return demand
+        """Number of ops per FU class (input of ResMII; memoised)."""
+        cached = self._edge_cache.get("fu_demand")
+        if cached is None:
+            cached = {}
+            for op in self.operations:
+                cached[op.fu_type] = cached.get(op.fu_type, 0) + 1
+            self._edge_cache["fu_demand"] = cached
+        return dict(cached)
 
     # ---------------------------------------------------------------- edges
 
@@ -366,14 +369,25 @@ class Ddg:
         return out
 
     def copy(self, name: Optional[str] = None) -> "Ddg":
-        """Deep copy (ops are frozen dataclasses; edges are rebuilt)."""
+        """Deep copy (ops are frozen dataclasses and shared; the graph
+        structure -- including parallel-edge keys -- is copied wholesale
+        rather than rebuilt edge by edge)."""
         out = Ddg(name or self.name, self.trip_count)
-        for op in self.operations:
-            out.insert_operation(op)
-        for e in self.edges():
-            out.add_dependence(e.src, e.dst, distance=e.distance,
-                               kind=e.kind, latency=e.latency)
+        out._g = self._g.copy()
+        out._next_id = self._next_id
         return out
+
+    def arrays(self):
+        """Packed struct-of-arrays view (:class:`~repro.ir.ddgarrays.
+        DdgArrays`) of this graph -- the schedulers' hot-path
+        representation.  Built lazily, memoised on the structural cache:
+        any mutation invalidates it and the next call rebuilds."""
+        cached = self._edge_cache.get("arrays")
+        if cached is None:
+            from .ddgarrays import DdgArrays
+            cached = DdgArrays(self)
+            self._edge_cache["arrays"] = cached
+        return cached
 
     def fresh_id(self) -> int:
         """Peek the id the next inserted op will get."""

@@ -1,0 +1,204 @@
+"""Struct-of-arrays lowering of a :class:`~repro.ir.ddg.Ddg`.
+
+The schedulers walk dependence edges millions of times per corpus sweep;
+iterating :class:`~repro.ir.ddg.DepEdge` dataclasses (built from networkx
+attribute dicts, hashed by enum kind) dominates their profiles.  A
+:class:`DdgArrays` lowers one graph -- **once per loop** -- into flat
+integer arrays the inner loops index directly:
+
+* ``ids``/``index`` map dense op indices (0..n-1) to/from op ids;
+* ``latency``/``pool`` are per-op int vectors (``pool`` is the integer
+  hardware-pool id of :data:`repro.machine.resources.POOL_IDS`, so the
+  reservation tables never hash :class:`~repro.ir.operations.FuType`);
+* predecessor/successor edges in CSR form (``in_ptr``/``out_ptr`` index
+  arrays plus parallel data arrays for endpoint, latency, distance and a
+  DATA flag) in exactly ``Ddg.in_edges``/``Ddg.out_edges`` order;
+* one flat edge list (``e_src``/``e_dst``/``e_lat``/``e_dist``) for the
+  Bellman-Ford passes (heights, RecMII);
+* a DATA-neighbourhood CSR (``nbr_ptr``/``nbr``) for cluster affinity;
+* strongly-connected-component ids plus the *cycle-restricted* edge list
+  ``cyc_edges`` over ``cyc_n`` compacted nodes: a positive dependence
+  cycle can only use edges inside one SCC, so RecMII's repeated
+  positive-cycle tests run on the (usually tiny) recurrence subgraph
+  instead of the whole loop body.
+
+Instances are immutable snapshots.  Obtain them through
+:meth:`Ddg.arrays`, which memoises on the graph's structural cache --
+any mutation invalidates, the next call rebuilds.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING
+
+from repro.machine.resources import POOL_ID_FOR
+
+from .ddg import DepKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ddg import Ddg
+
+
+class DdgArrays:
+    """Immutable packed-array view of one loop DDG (see module doc)."""
+
+    __slots__ = (
+        "n", "ids", "index", "latency", "pool", "produces",
+        "in_ptr", "in_src", "in_lat", "in_dist", "in_data",
+        "out_ptr", "out_dst", "out_lat", "out_dist", "out_data",
+        "e_src", "e_dst", "e_lat", "e_dist",
+        "nbr_ptr", "nbr",
+        "scc_id", "cyc_n", "cyc_edges",
+    )
+
+    def __init__(self, ddg: "Ddg") -> None:
+        ids = ddg.op_ids
+        n = len(ids)
+        index = {o: i for i, o in enumerate(ids)}
+        self.n = n
+        self.ids = ids
+        self.index = index
+        ops = ddg.operations
+        self.latency = [op.latency for op in ops]
+        self.pool = [POOL_ID_FOR[op.fu_type] for op in ops]
+        self.produces = [op.produces_value for op in ops]
+
+        # one pass over the (src, dst, key)-sorted edge list buckets both
+        # CSRs in Ddg.in_edges / Ddg.out_edges order
+        edges = [(index[e.src], index[e.dst], e.latency, e.distance,
+                  1 if e.kind is DepKind.DATA else 0)
+                 for e in ddg.edges()]
+        m = len(edges)
+        self.e_src = [e[0] for e in edges]
+        self.e_dst = [e[1] for e in edges]
+        self.e_lat = [e[2] for e in edges]
+        self.e_dist = [e[3] for e in edges]
+
+        out_ptr = array("i", bytes(4 * (n + 1)))
+        for s, _d, _l, _dd, _k in edges:
+            out_ptr[s + 1] += 1
+        for i in range(n):
+            out_ptr[i + 1] += out_ptr[i]
+        self.out_ptr = out_ptr
+        # edges are sorted by (src, dst, key): consecutive same-src runs
+        # land in CSR order without a second sort
+        self.out_dst = [e[1] for e in edges]
+        self.out_lat = [e[2] for e in edges]
+        self.out_dist = [e[3] for e in edges]
+        self.out_data = [e[4] for e in edges]
+
+        in_ptr = array("i", bytes(4 * (n + 1)))
+        for _s, d, _l, _dd, _k in edges:
+            in_ptr[d + 1] += 1
+        for i in range(n):
+            in_ptr[i + 1] += in_ptr[i]
+        self.in_ptr = in_ptr
+        fill = list(in_ptr[:n])
+        in_src = [0] * m
+        in_lat = [0] * m
+        in_dist = [0] * m
+        in_data = [0] * m
+        for s, d, lat, dist, kind in edges:
+            j = fill[d]
+            fill[d] = j + 1
+            in_src[j] = s
+            in_lat[j] = lat
+            in_dist[j] = dist
+            in_data[j] = kind
+        self.in_src = in_src
+        self.in_lat = in_lat
+        self.in_dist = in_dist
+        self.in_data = in_data
+
+        # DATA neighbourhood (either direction, deduplicated, ascending)
+        nbr_sets: list[set[int]] = [set() for _ in range(n)]
+        for s, d, _l, _dd, kind in edges:
+            if kind and s != d:
+                nbr_sets[s].add(d)
+                nbr_sets[d].add(s)
+        nbr_ptr = array("i", bytes(4 * (n + 1)))
+        nbr: list[int] = []
+        for i, ns in enumerate(nbr_sets):
+            nbr.extend(sorted(ns))
+            nbr_ptr[i + 1] = len(nbr)
+        self.nbr_ptr = nbr_ptr
+        self.nbr = nbr
+
+        self.scc_id = _scc_ids(n, out_ptr, self.out_dst)
+        self._build_cycle_edges(edges)
+
+    def _build_cycle_edges(self, edges) -> None:
+        """Compact the edges that can participate in a dependence cycle.
+
+        An edge can only lie on a cycle when both endpoints share an SCC
+        and that SCC is cyclic (more than one node, or a self-loop).
+        Nodes of cyclic SCCs are renumbered 0..cyc_n-1.
+        """
+        scc = self.scc_id
+        cyclic: set[int] = set()
+        members: dict[int, int] = {}
+        for c in scc:
+            members[c] = members.get(c, 0) + 1
+        for c, count in members.items():
+            if count > 1:
+                cyclic.add(c)
+        for s, d, _l, _dd, _k in edges:
+            if s == d:
+                cyclic.add(scc[s])
+        remap: dict[int, int] = {}
+        for i in range(self.n):
+            if scc[i] in cyclic:
+                remap[i] = len(remap)
+        self.cyc_n = len(remap)
+        self.cyc_edges = [
+            (remap[s], remap[d], lat, dist)
+            for s, d, lat, dist, _k in edges
+            if scc[s] == scc[d] and scc[s] in cyclic]
+
+
+def _scc_ids(n: int, out_ptr, out_dst) -> list[int]:
+    """Strongly connected components over a CSR digraph (iterative
+    Tarjan); returns a component id per node."""
+    ids = [-1] * n
+    low = [0] * n
+    num = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    counter = 0
+    n_comps = 0
+    for root in range(n):
+        if ids[root] != -1 or num[root]:
+            continue
+        work: list[tuple[int, int]] = [(root, out_ptr[root])]
+        num[root] = low[root] = counter = counter + 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            v, ptr = work[-1]
+            if ptr < out_ptr[v + 1]:
+                work[-1] = (v, ptr + 1)
+                w = out_dst[ptr]
+                if not num[w]:
+                    counter += 1
+                    num[w] = low[w] = counter
+                    stack.append(w)
+                    on_stack[w] = True
+                    work.append((w, out_ptr[w]))
+                elif on_stack[w] and num[w] < low[v]:
+                    low[v] = num[w]
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    if low[v] < low[parent]:
+                        low[parent] = low[v]
+                if low[v] == num[v]:
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        ids[w] = n_comps
+                        if w == v:
+                            break
+                    n_comps += 1
+    return ids

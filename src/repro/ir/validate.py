@@ -7,7 +7,10 @@ output is validated in tests.
 
 from __future__ import annotations
 
-from .ddg import Ddg, DepKind
+from repro.machine.resources import POOL_ID_FOR
+
+from .ddg import Ddg
+from .operations import FuType
 
 
 class DdgValidationError(ValueError):
@@ -30,32 +33,44 @@ def validate_ddg(ddg: Ddg, *, require_schedulable: bool = True,
     6. non-negative distances/latencies (enforced by dataclasses, re-checked).
     """
     problems: list[str] = []
+    arr = ddg.arrays()
+    ids = arr.ids
+    latency = arr.latency
+    produces = arr.produces
 
-    for e in ddg.edges():
-        if not ddg.has_op(e.src) or not ddg.has_op(e.dst):
-            problems.append(f"dangling edge {e.src}->{e.dst}")
-            continue
-        if e.src == e.dst and e.distance == 0:
-            problems.append(
-                f"zero-distance self edge on {ddg.op(e.src).name}")
-        if e.kind is DepKind.DATA:
-            src = ddg.op(e.src)
-            if not src.produces_value:
+    # edge invariants on the flat CSR (out-edge order == Ddg.edges order)
+    for i in range(arr.n):
+        for j in range(arr.out_ptr[i], arr.out_ptr[i + 1]):
+            d = arr.out_dst[j]
+            if d == i and arr.out_dist[j] == 0:
                 problems.append(
-                    f"DATA edge from non-producer {src.name}")
-            elif e.latency != src.latency:
-                problems.append(
-                    f"DATA edge {src.name}->{ddg.op(e.dst).name} latency "
-                    f"{e.latency} != producer latency {src.latency}")
+                    f"zero-distance self edge on {ddg.op(ids[i]).name}")
+            if arr.out_data[j]:
+                if not produces[i]:
+                    problems.append(
+                        f"DATA edge from non-producer "
+                        f"{ddg.op(ids[i]).name}")
+                elif arr.out_lat[j] != latency[i]:
+                    problems.append(
+                        f"DATA edge {ddg.op(ids[i]).name}->"
+                        f"{ddg.op(ids[d]).name} latency {arr.out_lat[j]} "
+                        f"!= producer latency {latency[i]}")
 
-    if require_schedulable and ddg.has_zero_distance_cycle():
+    if require_schedulable and _has_zero_distance_cycle(arr):
         problems.append("zero-distance dependence cycle (unschedulable)")
 
-    for oid in ddg.op_ids:
-        op = ddg.op(oid)
+    # copy/move port discipline from the CSR DATA flags
+    for i in range(arr.n):
+        op = None
+        pool = arr.pool[i]
+        if pool != _COPY_POOL:
+            continue
+        op = ddg.op(ids[i])
+        n_reads = sum(arr.in_data[j] for j in
+                      range(arr.in_ptr[i], arr.in_ptr[i + 1]))
+        n_writes = sum(arr.out_data[j] for j in
+                       range(arr.out_ptr[i], arr.out_ptr[i + 1]))
         if op.is_copy:
-            n_reads = len(ddg.producers(oid))
-            n_writes = ddg.fanout(oid)
             if n_reads != max_copy_reads:
                 problems.append(
                     f"copy {op.name} reads {n_reads} values "
@@ -67,7 +82,7 @@ def validate_ddg(ddg: Ddg, *, require_schedulable: bool = True,
             if n_writes == 0:
                 problems.append(f"copy {op.name} is dead")
         if op.is_move:
-            if len(ddg.producers(oid)) != 1 or ddg.fanout(oid) != 1:
+            if n_reads != 1 or n_writes != 1:
                 problems.append(
                     f"move {op.name} must have exactly 1 producer and "
                     f"1 consumer")
@@ -75,6 +90,46 @@ def validate_ddg(ddg: Ddg, *, require_schedulable: bool = True,
     if problems:
         raise DdgValidationError(
             f"DDG {ddg.name!r} invalid:\n  " + "\n  ".join(problems))
+
+
+#: COPY and MOVE ops both map to the copy pool -- the only pool whose ops
+#: carry port-discipline invariants.
+_COPY_POOL = POOL_ID_FOR[FuType.COPY]
+
+
+def _has_zero_distance_cycle(arr) -> bool:
+    """Any cycle of distance-0 edges?  Restricted to the recurrence
+    subgraph (a distance-0 cycle is a cycle, so all its edges live in
+    ``cyc_edges``), then an iterative DFS 3-colouring."""
+    n = arr.cyc_n
+    if not n:
+        return False
+    succs: list[list[int]] = [[] for _ in range(n)]
+    for s, d, _lat, dist in arr.cyc_edges:
+        if dist == 0:
+            if s == d:
+                return True
+            succs[s].append(d)
+    state = [0] * n  # 0 = white, 1 = on stack, 2 = done
+    for root in range(n):
+        if state[root]:
+            continue
+        stack = [(root, 0)]
+        state[root] = 1
+        while stack:
+            v, ptr = stack[-1]
+            if ptr < len(succs[v]):
+                stack[-1] = (v, ptr + 1)
+                w = succs[v][ptr]
+                if state[w] == 1:
+                    return True
+                if state[w] == 0:
+                    state[w] = 1
+                    stack.append((w, 0))
+            else:
+                state[v] = 2
+                stack.pop()
+    return False
 
 
 def is_valid(ddg: Ddg, **kwargs) -> bool:

@@ -29,6 +29,19 @@ SERVICE_MAP: dict[FuType, FuType] = {
 #: FU pools that hold actual hardware (MOVE is virtual).
 HARDWARE_POOLS = (FuType.LS, FuType.ADD, FuType.MUL, FuType.COPY)
 
+#: Dense integer id per hardware pool -- the packed-array scheduling core
+#: (``repro.ir.ddgarrays``, ``repro.sched.mrt.PackedMRT``) indexes flat
+#: vectors by these instead of hashing enum members in hot loops.
+POOL_IDS: dict[FuType, int] = {p: i for i, p in enumerate(HARDWARE_POOLS)}
+
+#: Number of hardware pools (length of every per-pool packed vector).
+N_POOLS = len(HARDWARE_POOLS)
+
+#: Integer pool id serving ops of a given FU type (``SERVICE_MAP`` then
+#: ``POOL_IDS``), precomputed for every FuType.
+POOL_ID_FOR: dict[FuType, int] = {
+    t: POOL_IDS[p] for t, p in SERVICE_MAP.items()}
+
 #: Pools counted as "FUs" when the paper says "a 12 FUs machine" -- copy
 #: units are always reported separately ("plus the required FUs to support
 #: copy operations", Section 4).

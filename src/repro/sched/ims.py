@@ -31,8 +31,8 @@ from repro.ir.validate import validate_ddg
 from repro.machine.machine import Machine
 
 from .mii import mii_report
-from .mrt import ModuloReservationTable
-from .priority import priority_order
+from .mrt import PackedMRT
+from .priority import priority_order_idx
 from .schedule import ModuloSchedule, ScheduleStats, SchedulingError
 
 #: Default Rau budget multiplier (the 1996 paper finds 3-6 sufficient).
@@ -58,60 +58,37 @@ class ImsConfig:
         return start_ii + ddg.n_ops + ddg.sum_latency() + 1
 
 
-def _estart(ddg: Ddg, sigma: dict[int, int], op_id: int, ii: int) -> int:
-    est = 0
-    for e in ddg.in_edges(op_id):
-        t = sigma.get(e.src)
-        if t is None:
-            continue
-        est = max(est, t + e.latency - e.distance * ii)
-    return est
-
-
-def _unschedule_violations(ddg: Ddg, sigma: dict[int, int],
-                           mrt: ModuloReservationTable,
-                           op_id: int, ii: int) -> int:
-    """After (force-)placing *op_id*, drop scheduled ops whose dependence
-    with it is now violated.  Returns how many were dropped."""
-    t = sigma[op_id]
-    dropped = 0
-    for e in ddg.out_edges(op_id):
-        ts = sigma.get(e.dst)
-        if ts is not None and e.dst != op_id:
-            if ts + e.distance * ii < t + e.latency:
-                del sigma[e.dst]
-                mrt.remove(e.dst)
-                dropped += 1
-    for e in ddg.in_edges(op_id):
-        tp = sigma.get(e.src)
-        if tp is not None and e.src != op_id and e.src in sigma:
-            if t + e.distance * ii < tp + e.latency:
-                del sigma[e.src]
-                mrt.remove(e.src)
-                dropped += 1
-    return dropped
-
-
 def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
                        budget: int,
                        stats: Optional[ScheduleStats] = None,
                        ) -> Optional[dict[int, int]]:
-    """One IMS attempt at a fixed II; returns ``sigma`` or ``None``."""
-    order = priority_order(ddg, ii)
-    pos = {o: i for i, o in enumerate(order)}
-    cursor = 0
-    mrt = ModuloReservationTable(ii, machine.fus.as_dict())
-    sigma: dict[int, int] = {}
-    last_time: dict[int, int] = {}
-    unscheduled = set(order)
+    """One IMS attempt at a fixed II; returns ``sigma`` or ``None``.
 
-    def readd(ops) -> None:
-        """Re-activate evicted ops, rewinding the ready cursor."""
-        nonlocal cursor
-        for o in ops:
-            unscheduled.add(o)
-            if pos[o] < cursor:
-                cursor = pos[o]
+    Runs entirely on the packed core: op indices from
+    :meth:`~repro.ir.ddg.Ddg.arrays`, CSR edge walks for Estart and
+    violation drops, and a :class:`~repro.sched.mrt.PackedMRT` keyed by
+    integer pool ids.  Decisions (and therefore the returned sigma) are
+    identical to the historical edge-object implementation -- pinned by
+    the golden-schedule equivalence tests.
+    """
+    arr = ddg.arrays()
+    n = arr.n
+    order = priority_order_idx(arr, ii)
+    pos = [0] * n
+    for rank, i in enumerate(order):
+        pos[i] = rank
+    cursor = 0
+    mrt = PackedMRT(ii, machine.fus.as_dict())
+    ids = arr.ids
+    index = arr.index
+    pool = arr.pool
+    in_ptr, in_src = arr.in_ptr, arr.in_src
+    in_lat, in_dist = arr.in_lat, arr.in_dist
+    out_ptr, out_dst = arr.out_ptr, arr.out_dst
+    out_lat, out_dist = arr.out_lat, arr.out_dist
+    sig = [-1] * n          # issue time per op index (-1 = unscheduled)
+    last_time = [-1] * n
+    unscheduled = set(order)
 
     while unscheduled:
         if budget <= 0:
@@ -121,41 +98,64 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
         # only rewinds on evictions, so the scan is O(1) amortised)
         while order[cursor] not in unscheduled:
             cursor += 1
-        op_id = order[cursor]
-        unscheduled.discard(op_id)
-        op = ddg.op(op_id)
-        est = _estart(ddg, sigma, op_id, ii)
+        i = order[cursor]
+        unscheduled.discard(i)
 
-        placed_at: Optional[int] = None
-        for t in range(est, est + ii):
-            if mrt.can_place(op.fu_type, t):
-                placed_at = t
-                break
+        est = 0
+        for j in range(in_ptr[i], in_ptr[i + 1]):
+            t = sig[in_src[j]]
+            if t >= 0:
+                cand = t + in_lat[j] - in_dist[j] * ii
+                if cand > est:
+                    est = cand
 
-        if placed_at is None:
+        placed_at = mrt.first_free(pool[i], est)
+        if placed_at < 0:
             # forced placement with eviction
             placed_at = est
-            prev = last_time.get(op_id)
-            if prev is not None and placed_at <= prev:
+            prev = last_time[i]
+            if prev >= 0 and placed_at <= prev:
                 placed_at = prev + 1
-            evicted = mrt.evict_for(op.fu_type, placed_at)
-            for victim in evicted:
-                del sigma[victim]
+            evicted = mrt.evict_for(pool[i], placed_at)
             if stats is not None:
                 stats.evictions += len(evicted)
-            readd(evicted)
+            for victim in evicted:
+                v = index[victim]
+                sig[v] = -1
+                unscheduled.add(v)
+                if pos[v] < cursor:
+                    cursor = pos[v]
 
-        mrt.place(op_id, op.fu_type, placed_at)
-        sigma[op_id] = placed_at
-        last_time[op_id] = placed_at
+        mrt.place(ids[i], pool[i], placed_at)
+        sig[i] = placed_at
+        last_time[i] = placed_at
         if stats is not None:
             stats.attempts += 1
 
-        before = set(sigma)
-        _unschedule_violations(ddg, sigma, mrt, op_id, ii)
-        readd(before - set(sigma))
+        # drop scheduled ops whose dependence the new placement violates
+        t = placed_at
+        for j in range(out_ptr[i], out_ptr[i + 1]):
+            d = out_dst[j]
+            ts = sig[d]
+            if ts >= 0 and d != i and ts + out_dist[j] * ii \
+                    < t + out_lat[j]:
+                sig[d] = -1
+                mrt.remove(ids[d])
+                unscheduled.add(d)
+                if pos[d] < cursor:
+                    cursor = pos[d]
+        for j in range(in_ptr[i], in_ptr[i + 1]):
+            s = in_src[j]
+            tp = sig[s]
+            if tp >= 0 and s != i and t + in_dist[j] * ii \
+                    < tp + in_lat[j]:
+                sig[s] = -1
+                mrt.remove(ids[s])
+                unscheduled.add(s)
+                if pos[s] < cursor:
+                    cursor = pos[s]
 
-    return sigma
+    return {ids[i]: sig[i] for i in range(n)}
 
 
 def modulo_schedule(ddg: Ddg, machine: Machine, *,

@@ -48,18 +48,17 @@ def _edge_list(ddg: Ddg) -> list[tuple[int, int, int, int]]:
     return [(e.src, e.dst, e.latency, e.distance) for e in ddg.edges()]
 
 
-def _indexed_edges(ddg: Ddg) -> tuple[int, list[tuple[int, int, int, int]]]:
-    """Node count + edges with endpoints mapped to dense indices.
+def _cycle_edges(ddg: Ddg) -> tuple[int, list[tuple[int, int, int, int]]]:
+    """Node count + index-mapped edges of the *cycle-restricted* subgraph.
 
-    The binary searches below call the positive-cycle test many times on
-    the same graph; indexing once turns the Bellman-Ford inner loop into
-    flat list arithmetic instead of dict probes.
+    A positive cycle can only use edges inside one strongly connected
+    component, so the binary searches below run their Bellman-Ford passes
+    on the packed recurrence subgraph of
+    :class:`~repro.ir.ddgarrays.DdgArrays` -- usually a few ops -- rather
+    than the whole loop body.
     """
-    nodes = ddg.op_ids
-    idx = {n: i for i, n in enumerate(nodes)}
-    es = [(idx[e.src], idx[e.dst], e.latency, e.distance)
-          for e in ddg.edges()]
-    return len(nodes), es
+    arr = ddg.arrays()
+    return arr.cyc_n, arr.cyc_edges
 
 
 def _positive_cycle(n: int, edges: list[tuple[int, int, int, int]],
@@ -101,7 +100,7 @@ def rec_mii(ddg: Ddg) -> int:
     cached = ddg._edge_cache.get("rec_mii")
     if cached is not None:
         return cached
-    n, edges = _indexed_edges(ddg)
+    n, edges = _cycle_edges(ddg)
     if not edges:
         ddg._edge_cache["rec_mii"] = 1
         return 1
@@ -135,15 +134,17 @@ def max_cycle_ratio(ddg: Ddg, *, tol: float = 1e-6) -> float:
     cached = ddg._edge_cache.get(cache_key)
     if cached is not None:
         return cached
-    n, edges = _indexed_edges(ddg)
+    n, edges = _cycle_edges(ddg)
     if not edges:
         return 0.0
-    hi = float(max(1, ddg.sum_latency()))
     if not _positive_cycle(n, edges, 0.0 + 1e-9):
         # even at ii ~ 0 nothing is positive -> no cycles with latency
         ddg._edge_cache[cache_key] = 0.0
         return 0.0
-    lo = 0.0
+    # the true ratio r satisfies rec_mii - 1 < r <= rec_mii (RecMII is its
+    # ceiling), so the bisection starts on a unit-wide interval
+    rec = rec_mii(ddg)
+    lo, hi = float(rec - 1), float(rec)
     while hi - lo > tol:
         mid = (lo + hi) / 2
         if _positive_cycle(n, edges, mid):

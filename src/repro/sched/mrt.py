@@ -11,12 +11,14 @@ One MRT serves one cluster; a single-cluster machine uses exactly one.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence, Union
 
 from repro.ir.operations import FuType
 
-from repro.machine.resources import pool_for
+from repro.machine.resources import (HARDWARE_POOLS, N_POOLS, POOL_IDS,
+                                     pool_for)
 
 
 @dataclass(frozen=True)
@@ -42,6 +44,11 @@ class ModuloReservationTable:
         self._rows: dict[FuType, list[list[int]]] = {
             pool: [[] for _ in range(ii)] for pool in self._cap}
         self._where: dict[int, Placement] = {}
+        # maintained counters: usage()/load() are hot-path queries (the
+        # slot search ranks clusters by load on every candidate), so they
+        # must never recount rows
+        self._usage: dict[FuType, int] = {pool: 0 for pool in self._cap}
+        self._load = 0
 
     # ------------------------------------------------------------ queries
 
@@ -56,12 +63,12 @@ class ModuloReservationTable:
             return False
         return len(self._rows[pool][time % self.ii]) < cap
 
-    def occupants(self, fu_type: FuType, time: int) -> list[int]:
+    def occupants(self, fu_type: FuType, time: int) -> tuple[int, ...]:
         """Ops currently holding the row serving *fu_type* at ``time``."""
         pool = pool_for(fu_type)
         if pool not in self._rows:
-            return []
-        return list(self._rows[pool][time % self.ii])
+            return ()
+        return tuple(self._rows[pool][time % self.ii])
 
     def placement_of(self, op_id: int) -> Optional[Placement]:
         return self._where.get(op_id)
@@ -70,14 +77,14 @@ class ModuloReservationTable:
         return op_id in self._where
 
     def usage(self, pool: FuType) -> int:
-        """Total reservations currently held in a pool."""
-        if pool not in self._rows:
-            return 0
-        return sum(len(r) for r in self._rows[pool])
+        """Total reservations currently held in a pool (maintained
+        counter -- never recounts the rows)."""
+        return self._usage.get(pool, 0)
 
     def load(self) -> int:
-        """Total reservations across all pools (cluster load heuristic)."""
-        return len(self._where)
+        """Total reservations across all pools (cluster load heuristic;
+        maintained counter)."""
+        return self._load
 
     def __iter__(self) -> Iterator[Placement]:
         return iter(sorted(self._where.values(), key=lambda p: p.op_id))
@@ -98,11 +105,15 @@ class ModuloReservationTable:
         self._rows[pool][row].append(op_id)
         placement = Placement(op_id, pool, time, row)
         self._where[op_id] = placement
+        self._usage[pool] += 1
+        self._load += 1
         return placement
 
     def remove(self, op_id: int) -> None:
         placement = self._where.pop(op_id)
         self._rows[placement.pool][placement.row].remove(op_id)
+        self._usage[placement.pool] -= 1
+        self._load -= 1
 
     def conflicts(self, fu_type: FuType, time: int) -> list[int]:
         """The occupants a forced placement of *fu_type* at ``time`` must
@@ -134,6 +145,8 @@ class ModuloReservationTable:
         for pool in self._rows:
             self._rows[pool] = [[] for _ in range(self.ii)]
         self._where.clear()
+        self._usage = {pool: 0 for pool in self._cap}
+        self._load = 0
 
     # ------------------------------------------------------------ display
 
@@ -150,3 +163,171 @@ class ModuloReservationTable:
                              or ".")
             lines.append(f"{row:3d} | " + " | ".join(cells))
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Packed-array MRT: the schedulers' hot-path representation
+# ---------------------------------------------------------------------------
+
+#: Shared immutable empty-victims result -- ``conflicts()`` on a free row
+#: must not allocate (it runs once per forced placement probe).
+_NO_VICTIMS: tuple[int, ...] = ()
+
+
+class PackedMRT:
+    """FU occupancy for one cluster at a fixed II, packed into flat arrays.
+
+    Semantically identical to :class:`ModuloReservationTable` (the property
+    test in ``tests/sched/test_mrt_equiv.py`` drives both through random
+    place/remove/evict sequences and requires exact agreement), but built
+    for the scheduler inner loops:
+
+    * pools are dense integer ids (:data:`repro.machine.resources.POOL_IDS`)
+      so queries never hash enum members;
+    * per-(pool, row) occupancy lives in one flat ``array('i')`` row-count
+      vector -- ``can_place`` is two indexed loads and a compare;
+    * ``usage()``/``load()`` are maintained counters, never a ``sum()``;
+    * ``conflicts()`` is non-mutating and returns the shared empty tuple
+      when the row has spare capacity (no allocation on the common path).
+
+    Occupant op ids are kept per row (placement order) so forced-placement
+    victim selection matches the legacy table exactly.
+    """
+
+    __slots__ = ("ii", "caps", "_counts", "_rows", "_usage", "_load",
+                 "_where")
+
+    def __init__(self, ii: int,
+                 capacities: Union[dict[FuType, int], Sequence[int]],
+                 ) -> None:
+        if ii < 1:
+            raise ValueError("II must be >= 1")
+        self.ii = ii
+        if isinstance(capacities, dict):
+            caps = [0] * N_POOLS
+            for pool, n in capacities.items():
+                if n > 0:
+                    caps[POOL_IDS[pool_for(pool)]] = n
+        else:
+            caps = list(capacities)
+            if len(caps) != N_POOLS:
+                raise ValueError(f"expected {N_POOLS} pool capacities")
+        self.caps = array("i", caps)
+        self._counts = array("i", bytes(4 * N_POOLS * ii))
+        self._rows: list[list[int]] = [[] for _ in range(N_POOLS * ii)]
+        self._usage = array("i", bytes(4 * N_POOLS))
+        self._load = 0
+        self._where: dict[int, tuple[int, int]] = {}  # op -> (pool, time)
+
+    # ------------------------------------------------------------ queries
+
+    def capacity(self, pool: int) -> int:
+        return self.caps[pool]
+
+    def can_place(self, pool: int, time: int) -> bool:
+        """Is there a free unit of integer pool *pool* at ``time``?"""
+        return self._counts[pool * self.ii + time % self.ii] \
+            < self.caps[pool]
+
+    def first_free(self, pool: int, est: int) -> int:
+        """Earliest ``t`` in ``[est, est + II)`` with a free unit, or -1.
+
+        The II-wide window is exhaustive: rows repeat modulo II, so any
+        later slot reuses a row already probed.
+        """
+        ii = self.ii
+        cap = self.caps[pool]
+        if cap <= 0 or self._usage[pool] >= cap * ii:
+            return -1
+        base = pool * ii
+        counts = self._counts
+        for t in range(est, est + ii):
+            if counts[base + t % ii] < cap:
+                return t
+        return -1
+
+    def occupants(self, pool: int, time: int) -> tuple[int, ...]:
+        row = self._rows[pool * self.ii + time % self.ii]
+        return tuple(row) if row else _NO_VICTIMS
+
+    def placement_of(self, op_id: int) -> Optional[Placement]:
+        entry = self._where.get(op_id)
+        if entry is None:
+            return None
+        pool, time = entry
+        return Placement(op_id, HARDWARE_POOLS[pool], time, time % self.ii)
+
+    def is_placed(self, op_id: int) -> bool:
+        return op_id in self._where
+
+    def usage(self, pool: int) -> int:
+        """Reservations currently held in integer pool *pool*."""
+        return self._usage[pool]
+
+    def load(self) -> int:
+        """Total reservations across all pools (maintained counter)."""
+        return self._load
+
+    def __iter__(self) -> Iterator[Placement]:
+        for op_id in sorted(self._where):
+            pool, time = self._where[op_id]
+            yield Placement(op_id, HARDWARE_POOLS[pool], time,
+                            time % self.ii)
+
+    # ----------------------------------------------------------- mutation
+
+    def place(self, op_id: int, pool: int, time: int) -> None:
+        """Reserve a unit; raises if the op is already placed or no unit
+        is free (callers must evict first)."""
+        slot = pool * self.ii + time % self.ii
+        if op_id in self._where:
+            raise ValueError(f"op {op_id} already placed")
+        if self._counts[slot] >= self.caps[pool]:
+            raise ValueError(
+                f"no free {HARDWARE_POOLS[pool].value} unit at row "
+                f"{time % self.ii}")
+        self._rows[slot].append(op_id)
+        self._counts[slot] += 1
+        self._usage[pool] += 1
+        self._load += 1
+        self._where[op_id] = (pool, time)
+
+    def remove(self, op_id: int) -> None:
+        pool, time = self._where.pop(op_id)
+        slot = pool * self.ii + time % self.ii
+        self._rows[slot].remove(op_id)
+        self._counts[slot] -= 1
+        self._usage[pool] -= 1
+        self._load -= 1
+
+    def conflicts(self, pool: int, time: int) -> tuple[int, ...]:
+        """Occupants a forced placement at ``time`` must displace,
+        newest-first; the shared empty tuple when the row has room.
+        Never mutates, never allocates on the no-conflict path."""
+        cap = self.caps[pool]
+        if cap == 0:
+            raise ValueError(
+                f"machine has no {HARDWARE_POOLS[pool].value} units at all")
+        occupants = self._rows[pool * self.ii + time % self.ii]
+        spare = len(occupants) - cap + 1
+        if spare <= 0:
+            return _NO_VICTIMS
+        return tuple(occupants[:-(spare + 1):-1])
+
+    def evict_for(self, pool: int, time: int) -> tuple[int, ...]:
+        """Make room for one op at ``time`` by evicting the newest
+        occupants; returns exactly the :meth:`conflicts` set."""
+        victims = self.conflicts(pool, time)
+        for victim in victims:
+            self.remove(victim)
+        return victims
+
+    def clear(self) -> None:
+        for row in self._rows:
+            row.clear()
+        for i in range(N_POOLS * self.ii):
+            self._counts[i] = 0
+        for i in range(N_POOLS):
+            self._usage[i] = 0
+        self._load = 0
+        self._where.clear()

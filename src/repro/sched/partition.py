@@ -133,10 +133,12 @@ def partitioned_schedule(ddg: Ddg, cm: ClusteredMachine, *,
             relax_adjacency=relax_adjacency, stats=stats, rng=rng)
         if state is None:
             continue
+        # normalise off the packed state; the state dies here, so its
+        # cluster map transfers without a copy
         shift = min(state.sigma.values())
         sigma = {o: t - shift for o, t in state.sigma.items()}
         sched = ModuloSchedule(
-            ddg=ddg, ii=ii, sigma=sigma, cluster_of=dict(state.cluster_of),
+            ddg=ddg, ii=ii, sigma=sigma, cluster_of=state.cluster_of,
             n_clusters=cm.n_clusters, machine_name=cm.name, stats=stats)
         if cfg.validate_output:
             sched.validate(

@@ -26,10 +26,10 @@ import abc
 import random as _random
 from typing import TYPE_CHECKING, ClassVar, Optional
 
-from repro.ir.ddg import Ddg, DepKind
+from repro.ir.ddg import Ddg
 from repro.machine.cluster import ClusteredMachine
 
-from ..mrt import ModuloReservationTable
+from ..mrt import PackedMRT
 from ..schedule import ScheduleStats
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,37 +37,67 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class PartitionState:
-    """Mutable search state for one II attempt on a clustered machine."""
+    """Mutable search state for one II attempt on a clustered machine.
+
+    Built on the packed core: per-cluster
+    :class:`~repro.sched.mrt.PackedMRT` tables and the loop's
+    :class:`~repro.ir.ddgarrays.DdgArrays` lowering.  The engine inner
+    loops work in op-*index* space through ``sig``/``cl`` (flat lists,
+    -1 = unscheduled) and the ``*_idx`` methods; the public ``sigma`` /
+    ``cluster_of`` / ``last_time`` dicts stay keyed by op id (drivers,
+    tests and the MOVE pipeline consume those) and are maintained in
+    lock-step by :meth:`place_idx` / :meth:`unschedule`.
+    """
 
     def __init__(self, ddg: Ddg, cm: ClusteredMachine, ii: int) -> None:
         self.ddg = ddg
         self.cm = cm
         self.ii = ii
+        self.arr = arr = ddg.arrays()
         self.sigma: dict[int, int] = {}
         self.cluster_of: dict[int, int] = {}
         self.last_time: dict[int, int] = {}
-        self.mrts = [
-            ModuloReservationTable(ii, cm.cluster.fus.as_dict())
-            for _ in range(cm.n_clusters)
-        ]
+        caps = cm.cluster.fus.as_dict()
+        self.mrts = [PackedMRT(ii, caps) for _ in range(cm.n_clusters)]
         n = cm.n_clusters
-        # flat caches -- the inner loop runs millions of times
         self.adj = [[cm.are_adjacent(a, b) for b in range(n)]
                     for a in range(n)]
-        self.in_e = {o: ddg.in_edges(o) for o in ddg.op_ids}
-        self.out_e = {o: ddg.out_edges(o) for o in ddg.op_ids}
-        self.data_nbrs = {o: ddg.neighbors_data(o) for o in ddg.op_ids}
         self.all_clusters = list(range(n))
         self.xlat = cm.inter_cluster_latency
+        # packed mirrors of sigma / cluster_of, indexed by op index
+        self.sig = [-1] * arr.n
+        self.cl = [-1] * arr.n
 
-    def unschedule(self, op_id: int) -> None:
-        """THE eviction path: MRT slot, sigma and cluster assignment are
-        always released together (never ``del`` the maps directly)."""
-        self.mrts[self.cluster_of[op_id]].remove(op_id)
+    # ------------------------------------------------------- mutation
+
+    def place_idx(self, i: int, cluster: int, t: int) -> None:
+        """Place op index *i* on *cluster* at time *t* (all bookkeeping:
+        MRT slot, packed mirrors, public dicts, last placement time)."""
+        op_id = self.arr.ids[i]
+        self.mrts[cluster].place(op_id, self.arr.pool[i], t)
+        self.sig[i] = t
+        self.cl[i] = cluster
+        self.sigma[op_id] = t
+        self.cluster_of[op_id] = cluster
+        self.last_time[op_id] = t
+
+    def unschedule_idx(self, i: int) -> None:
+        """THE eviction path: MRT slot, packed mirrors and public maps
+        are always released together."""
+        op_id = self.arr.ids[i]
+        self.mrts[self.cl[i]].remove(op_id)
+        self.sig[i] = -1
+        self.cl[i] = -1
         del self.sigma[op_id]
         del self.cluster_of[op_id]
 
-    def pred_arrivals(self, op_id: int) -> list[tuple[int, int]]:
+    def unschedule(self, op_id: int) -> None:
+        """Id-keyed form of :meth:`unschedule_idx` (public surface)."""
+        self.unschedule_idx(self.arr.index[op_id])
+
+    # -------------------------------------------------------- queries
+
+    def pred_arrivals_idx(self, i: int) -> list[tuple[int, int]]:
         """Scheduled-predecessor arrival terms for one placement round.
 
         Returns ``(base, src_cluster)`` per scheduled in-edge, where
@@ -77,25 +107,29 @@ class PartitionState:
         round turns the per-cluster estart into a max over a short list
         instead of a fresh edge walk per candidate cluster.
         """
-        sigma = self.sigma
-        cluster_of = self.cluster_of
+        arr = self.arr
+        sig = self.sig
+        cl = self.cl
         ii = self.ii
         xlat = self.xlat
+        in_src, in_lat = arr.in_src, arr.in_lat
+        in_dist, in_data = arr.in_dist, arr.in_data
         out: list[tuple[int, int]] = []
-        for e in self.in_e[op_id]:
-            t = sigma.get(e.src)
-            if t is None:
+        ptr = arr.in_ptr
+        for j in range(ptr[i], ptr[i + 1]):
+            s = in_src[j]
+            t = sig[s]
+            if t < 0:
                 continue
-            base = t + e.latency - e.distance * ii
-            sc = (cluster_of[e.src]
-                  if xlat and e.kind is DepKind.DATA else -1)
+            base = t + in_lat[j] - in_dist[j] * ii
+            sc = cl[s] if xlat and in_data[j] else -1
             out.append((base, sc))
         return out
 
     @staticmethod
     def estart_from(arrivals: list[tuple[int, int]], cluster: int,
                     xlat: int) -> int:
-        """Earliest start on *cluster* given cached :meth:`pred_arrivals`."""
+        """Earliest start on *cluster* given cached arrival terms."""
         est = 0
         for base, sc in arrivals:
             if sc >= 0 and sc != cluster:
@@ -106,14 +140,38 @@ class PartitionState:
 
     def estart(self, op_id: int, cluster: int) -> int:
         """Earliest start of *op_id* on *cluster* (uncached form)."""
-        return self.estart_from(self.pred_arrivals(op_id), cluster,
-                                self.xlat)
+        return self.estart_from(
+            self.pred_arrivals_idx(self.arr.index[op_id]), cluster,
+            self.xlat)
+
+    def scheduled_nbr_clusters_idx(self, i: int) -> dict[int, int]:
+        """Scheduled DATA-neighbour op *index* -> its cluster."""
+        arr = self.arr
+        cl = self.cl
+        ptr = arr.nbr_ptr
+        nbr = arr.nbr
+        out: dict[int, int] = {}
+        for j in range(ptr[i], ptr[i + 1]):
+            x = nbr[j]
+            c = cl[x]
+            if c >= 0:
+                out[x] = c
+        return out
 
     def scheduled_data_neighbours(self, op_id: int) -> dict[int, int]:
-        """Scheduled DATA-neighbour op -> its cluster."""
-        cluster_of = self.cluster_of
-        return {nbr: cluster_of[nbr] for nbr in self.data_nbrs[op_id]
-                if nbr in cluster_of}
+        """Scheduled DATA-neighbour op id -> its cluster."""
+        ids = self.arr.ids
+        return {ids[x]: c for x, c in self.scheduled_nbr_clusters_idx(
+            self.arr.index[op_id]).items()}
+
+    def allowed_from_nbrs(self, nbr_clusters: dict[int, int]) -> list[int]:
+        """Clusters adjacent to every scheduled DATA neighbour."""
+        if not nbr_clusters:
+            return self.all_clusters
+        adj = self.adj
+        clusters = set(nbr_clusters.values())
+        return [c for c in self.all_clusters
+                if all(adj[c][nc] for nc in clusters)]
 
     def allowed_clusters(self, op_id: int,
                          pinned: dict[int, int],
@@ -126,12 +184,7 @@ class PartitionState:
             return self.all_clusters
         if nbr_clusters is None:
             nbr_clusters = self.scheduled_data_neighbours(op_id)
-        if not nbr_clusters:
-            return self.all_clusters
-        adj = self.adj
-        clusters = set(nbr_clusters.values())
-        return [c for c in self.all_clusters
-                if all(adj[c][nc] for nc in clusters)]
+        return self.allowed_from_nbrs(nbr_clusters)
 
     def affinity(self, op_id: int, cluster: int) -> int:
         return sum(1 for c in

@@ -28,7 +28,7 @@ from typing import Optional
 from repro.ir.ddg import Ddg
 from repro.machine.cluster import ClusteredMachine
 
-from ..priority import priority_order
+from ..priority import priority_order_idx
 from ..schedule import ScheduleStats
 from .base import Partitioner, PartitionState
 from .registry import register_partitioner
@@ -52,24 +52,38 @@ class SlotSearchPartitioner(Partitioner):
                   stats: Optional[ScheduleStats] = None,
                   rng: Optional[_random.Random] = None,
                   ) -> Optional[PartitionState]:
-        pinned = pinned or {}
         rng = rng or _random.Random(0)
-        order = priority_order(ddg, ii)
-        pos = {o: i for i, o in enumerate(order)}
         state = PartitionState(ddg, cm, ii)
+        arr = state.arr
+        index = arr.index
+        pinned_idx = ({index[o]: c for o, c in pinned.items()}
+                      if pinned else {})
+        order = priority_order_idx(arr, ii)
+        n = arr.n
+        pos = [0] * n
+        for rank, i in enumerate(order):
+            pos[i] = rank
         unscheduled = set(order)
         cursor = 0
         xlat = state.xlat
         key_fn = self.candidate_key
+        estart_from = PartitionState.estart_from
+        pool = arr.pool
+        sig = state.sig
+        last_time = [-1] * n
+        in_ptr, in_src = arr.in_ptr, arr.in_src
+        in_lat, in_dist = arr.in_lat, arr.in_dist
+        out_ptr, out_dst = arr.out_ptr, arr.out_dst
+        out_lat, out_dist = arr.out_lat, arr.out_dist
         # aging: repeated adjacency deadlocks rotate through cluster
         # choices (a deterministic heuristic would otherwise ping-pong
         # forever between two mutually-exclusive placements)
         deadlocks: dict[int, int] = {}
 
         def drop(victim: int) -> None:
-            """Evict one op; re-adding may rewind the ready cursor."""
+            """Evict one op index; re-adding may rewind the cursor."""
             nonlocal cursor
-            state.unschedule(victim)
+            state.unschedule_idx(victim)
             unscheduled.add(victim)
             p = pos[victim]
             if p < cursor:
@@ -84,36 +98,38 @@ class SlotSearchPartitioner(Partitioner):
             # eviction re-activates an earlier op.
             while order[cursor] not in unscheduled:
                 cursor += 1
-            op_id = order[cursor]
-            unscheduled.discard(op_id)
-            op = ddg.op(op_id)
+            i = order[cursor]
+            unscheduled.discard(i)
 
-            nbr_clusters = state.scheduled_data_neighbours(op_id)
-            allowed = state.allowed_clusters(op_id, pinned,
-                                             relax_adjacency, nbr_clusters)
+            nbr_clusters = state.scheduled_nbr_clusters_idx(i)
+            if i in pinned_idx:
+                allowed = [pinned_idx[i]]
+            elif relax_adjacency:
+                allowed = state.all_clusters
+            else:
+                allowed = state.allowed_from_nbrs(nbr_clusters)
             aff_count: dict[int, int] = {}
             for nc in nbr_clusters.values():
                 aff_count[nc] = aff_count.get(nc, 0) + 1
-            arrivals = state.pred_arrivals(op_id)
+            arrivals = state.pred_arrivals_idx(i)
             uniform_est: Optional[int] = None
             if not xlat or all(sc < 0 for _, sc in arrivals):
-                uniform_est = PartitionState.estart_from(arrivals, 0, 0)
+                uniform_est = estart_from(arrivals, 0, 0)
 
             # ---- normal placement: best (cluster, slot) candidate ------
             best: Optional[tuple[tuple, int, int]] = None  # key, c, slot
             mrts = state.mrts
-            fu_type = op.fu_type
+            p_i = pool[i]
             for c in allowed:
                 est = (uniform_est if uniform_est is not None
-                       else PartitionState.estart_from(arrivals, c, xlat))
+                       else estart_from(arrivals, c, xlat))
                 mrt = mrts[c]
-                for t in range(est, est + ii):
-                    if mrt.can_place(fu_type, t):
-                        key = key_fn(aff_count.get(c, 0), t, mrt.load(),
-                                     c, rng)
-                        if best is None or key < best[0]:
-                            best = (key, c, t)
-                        break  # earliest slot in this cluster is enough
+                t = mrt.first_free(p_i, est)
+                if t >= 0:  # earliest slot in this cluster is enough
+                    key = key_fn(aff_count.get(c, 0), t, mrt.load(),
+                                 c, rng)
+                    if best is None or key < best[0]:
+                        best = (key, c, t)
 
             if best is not None:
                 _, cluster, t = best
@@ -132,8 +148,8 @@ class SlotSearchPartitioner(Partitioner):
                     # deadlocks again (aging); after a full rotation,
                     # clear the whole data neighbourhood to re-seed the
                     # region
-                    k = deadlocks.get(op_id, 0)
-                    deadlocks[op_id] = k + 1
+                    k = deadlocks.get(i, 0)
+                    deadlocks[i] = k + 1
                     adj = state.adj
                     ranked = sorted(
                         state.all_clusters,
@@ -143,42 +159,41 @@ class SlotSearchPartitioner(Partitioner):
                             mrts[c].load(), c))
                     cluster = ranked[k % len(ranked)]
                     wide = k >= len(ranked)
-                    for nbr, nc in sorted(nbr_clusters.items()):
-                        if wide or not adj[cluster][nc]:
+                    for nbr in sorted(nbr_clusters):
+                        if wide or not adj[cluster][nbr_clusters[nbr]]:
                             drop(nbr)
                             if stats is not None:
                                 stats.evictions += 1
-                t = PartitionState.estart_from(arrivals, cluster, xlat)
-                prev = state.last_time.get(op_id)
-                if prev is not None and t <= prev:
+                t = estart_from(arrivals, cluster, xlat)
+                prev = last_time[i]
+                if prev >= 0 and t <= prev:
                     t = prev + 1
                 # every victim leaves through drop() -> unschedule so
                 # MRT, sigma/cluster_of and the cursor stay consistent
-                victims = mrts[cluster].conflicts(fu_type, t)
+                victims = mrts[cluster].conflicts(p_i, t)
                 for victim in victims:
-                    drop(victim)
+                    drop(index[victim])
                 if stats is not None:
                     stats.evictions += len(victims)
 
-            mrts[cluster].place(op_id, fu_type, t)
-            state.sigma[op_id] = t
-            state.cluster_of[op_id] = cluster
-            state.last_time[op_id] = t
+            state.place_idx(i, cluster, t)
+            last_time[i] = t
             if stats is not None:
                 stats.attempts += 1
 
             # ---- drop ops whose dependence the new placement violates --
-            sigma = state.sigma
-            for e in state.out_e[op_id]:
-                ts = sigma.get(e.dst)
-                if (ts is not None and e.dst != op_id
-                        and ts + e.distance * ii < t + e.latency):
-                    drop(e.dst)
-            for e in state.in_e[op_id]:
-                tp = sigma.get(e.src)
-                if (tp is not None and e.src != op_id
-                        and t + e.distance * ii < tp + e.latency):
-                    drop(e.src)
+            for j in range(out_ptr[i], out_ptr[i + 1]):
+                d = out_dst[j]
+                ts = sig[d]
+                if ts >= 0 and d != i and ts + out_dist[j] * ii \
+                        < t + out_lat[j]:
+                    drop(d)
+            for j in range(in_ptr[i], in_ptr[i + 1]):
+                s = in_src[j]
+                tp = sig[s]
+                if tp >= 0 and s != i and t + in_dist[j] * ii \
+                        < tp + in_lat[j]:
+                    drop(s)
 
         return state
 

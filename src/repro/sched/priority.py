@@ -9,33 +9,36 @@ Loop-carried edges participate with their ``-d * II`` credit; at any
 ``II >= RecMII`` no positive cycle exists, so the fixed point is finite and
 a Bellman-Ford style relaxation converges in at most ``|V|`` passes.
 
-Ops are scheduled highest-height first (critical ops early), ties broken by
-op id for determinism.
+Ops are scheduled highest-height first (ties broken by op id for
+determinism).  The relaxation runs on the packed edge arrays of
+:class:`~repro.ir.ddgarrays.DdgArrays` -- one flat pass per iteration, no
+edge objects.
 """
 
 from __future__ import annotations
 
 from repro.ir.ddg import Ddg
+from repro.ir.ddgarrays import DdgArrays
 
 
-def heights(ddg: Ddg, ii: int) -> dict[int, int]:
-    """Height of every op at initiation interval *ii*.
+def heights_list(arr: DdgArrays, ii: int) -> list[int]:
+    """Height per op *index* at initiation interval *ii* (packed form).
 
     Raises ``ValueError`` if *ii* is below RecMII (a positive cycle makes
     heights diverge).
     """
     if ii < 1:
         raise ValueError("II must be >= 1")
-    h = {op_id: 0 for op_id in ddg.op_ids}
-    edges = [(e.src, e.dst, e.latency - e.distance * ii)
-             for e in ddg.edges()]
-    n = ddg.n_ops
-    for iteration in range(n + 1):
+    h = [0] * arr.n
+    e_src = arr.e_src
+    e_dst = arr.e_dst
+    w = [lat - dist * ii for lat, dist in zip(arr.e_lat, arr.e_dist)]
+    for _ in range(arr.n + 1):
         changed = False
-        for src, dst, w in edges:
-            cand = h[dst] + w
-            if cand > h[src]:
-                h[src] = cand
+        for s, d, wt in zip(e_src, e_dst, w):
+            cand = h[d] + wt
+            if cand > h[s]:
+                h[s] = cand
                 changed = True
         if not changed:
             return h
@@ -44,10 +47,25 @@ def heights(ddg: Ddg, ii: int) -> dict[int, int]:
         f"(II below RecMII?)")
 
 
+def heights(ddg: Ddg, ii: int) -> dict[int, int]:
+    """Height of every op (keyed by op id) at initiation interval *ii*."""
+    arr = ddg.arrays()
+    h = heights_list(arr, ii)
+    return dict(zip(arr.ids, h))
+
+
+def priority_order_idx(arr: DdgArrays, ii: int) -> list[int]:
+    """Op *indices* in scheduling order: decreasing height, then
+    increasing op id (ids ascend with index, so index breaks the tie)."""
+    h = heights_list(arr, ii)
+    return sorted(range(arr.n), key=lambda i: (-h[i], i))
+
+
 def priority_order(ddg: Ddg, ii: int) -> list[int]:
     """Op ids in scheduling order: decreasing height, then increasing id."""
-    h = heights(ddg, ii)
-    return sorted(ddg.op_ids, key=lambda o: (-h[o], o))
+    arr = ddg.arrays()
+    ids = arr.ids
+    return [ids[i] for i in priority_order_idx(arr, ii)]
 
 
 def highest_priority(unscheduled: set[int], order: list[int]) -> int:

@@ -16,7 +16,7 @@ from typing import Optional
 from repro.ir.ddg import Ddg, DepEdge, DepKind
 from repro.ir.operations import FuType
 
-from repro.machine.resources import pool_for
+from repro.machine.resources import HARDWARE_POOLS, POOL_IDS, pool_for
 
 
 class SchedulingError(RuntimeError):
@@ -159,48 +159,74 @@ class ModuloSchedule:
         :class:`~repro.machine.cluster.ClusteredMachine` as *adjacency*.
         """
         problems: list[str] = []
-        for op_id in self.ddg.op_ids:
-            if op_id not in self.sigma:
-                problems.append(f"op {op_id} unscheduled")
-            elif self.sigma[op_id] < 0:
-                problems.append(f"op {op_id} at negative time")
-        for extra in set(self.sigma) - set(self.ddg.op_ids):
-            problems.append(f"sigma has unknown op {extra}")
+        ddg = self.ddg
+        arr = ddg.arrays()
+        ids = arr.ids
+        sigma = self.sigma
+        ii = self.ii
+        # packed sigma mirror; -1 marks unscheduled ops
+        sig = [-1] * arr.n
+        for i, o in enumerate(ids):
+            t = sigma.get(o)
+            if t is None:
+                problems.append(f"op {o} unscheduled")
+            elif t < 0:
+                problems.append(f"op {o} at negative time")
+            else:
+                sig[i] = t
+        known = arr.index
+        for extra in sigma:
+            if extra not in known:
+                problems.append(f"sigma has unknown op {extra}")
 
-        for e in self.ddg.edges():
-            if e.src not in self.sigma or e.dst not in self.sigma:
+        for s, d, lat, dist in zip(arr.e_src, arr.e_dst, arr.e_lat,
+                                   arr.e_dist):
+            ts, td = sig[s], sig[d]
+            if ts < 0 or td < 0:
                 continue
-            if self.edge_slack(e) < 0:
+            if td + dist * ii - ts - lat < 0:
                 problems.append(
-                    f"dependence violated: {self.ddg.op(e.src).name}"
-                    f"@{self.sigma[e.src]} -> {self.ddg.op(e.dst).name}"
-                    f"@{self.sigma[e.dst]} (lat={e.latency}, "
-                    f"d={e.distance}, II={self.ii})")
+                    f"dependence violated: {ddg.op(ids[s]).name}"
+                    f"@{ts} -> {ddg.op(ids[d]).name}"
+                    f"@{td} (lat={lat}, d={dist}, II={ii})")
 
         if capacities is not None:
-            usage: dict[tuple[int, FuType, int], int] = {}
-            for op_id, t in self.sigma.items():
-                pool = pool_for(self.ddg.op(op_id).fu_type)
-                key = (self.cluster_of.get(op_id, 0), pool, t % self.ii)
+            cluster_of = self.cluster_of
+            pool = arr.pool
+            usage: dict[tuple[int, int, int], int] = {}
+            for i, o in enumerate(ids):
+                t = sig[i]
+                if t < 0:
+                    continue
+                key = (cluster_of.get(o, 0), pool[i], t % ii)
                 usage[key] = usage.get(key, 0) + 1
-            for (cl, pool, row), n in sorted(
-                    usage.items(), key=lambda kv: (kv[0][0], kv[0][1].name,
-                                                   kv[0][2])):
-                cap = capacities.get(pool, 0)
-                if n > cap:
+            caps = [0] * len(HARDWARE_POOLS)
+            for p, n in capacities.items():
+                caps[POOL_IDS[pool_for(p)]] = n
+            for (cl, pid, row), n in sorted(
+                    usage.items(),
+                    key=lambda kv: (kv[0][0], HARDWARE_POOLS[kv[0][1]].name,
+                                    kv[0][2])):
+                if n > caps[pid]:
                     problems.append(
-                        f"cluster {cl}: {n} ops on {pool.value} at row "
-                        f"{row} (capacity {cap})")
+                        f"cluster {cl}: {n} ops on "
+                        f"{HARDWARE_POOLS[pid].value} at row "
+                        f"{row} (capacity {caps[pid]})")
 
         if adjacency is not None:
-            for e in self.ddg.data_edges():
-                ca = self.cluster_of.get(e.src, 0)
-                cb = self.cluster_of.get(e.dst, 0)
-                if not adjacency.are_adjacent(ca, cb):
-                    problems.append(
-                        f"DATA edge {self.ddg.op(e.src).name}(cl{ca}) -> "
-                        f"{self.ddg.op(e.dst).name}(cl{cb}) spans "
-                        f"non-adjacent clusters")
+            cluster_of = self.cluster_of
+            cl = [cluster_of.get(o, 0) for o in ids]
+            for i in range(arr.n):
+                ca = cl[i]
+                for j in range(arr.out_ptr[i], arr.out_ptr[i + 1]):
+                    if not arr.out_data[j]:
+                        continue
+                    cb = cl[arr.out_dst[j]]
+                    if not adjacency.are_adjacent(ca, cb):
+                        problems.append(
+                            f"DATA edge {ddg.op(ids[i]).name}(cl{ca}) -> "
+                            f"{ddg.op(ids[arr.out_dst[j]]).name}(cl{cb}) "
+                            f"spans non-adjacent clusters")
 
         if problems:
             raise ScheduleValidationError(

@@ -55,8 +55,8 @@ from repro.ir.validate import validate_ddg
 from repro.machine.machine import Machine
 
 from ..mii import mii_report
-from ..mrt import ModuloReservationTable
-from ..priority import heights
+from ..mrt import PackedMRT
+from ..priority import heights_list
 from ..schedule import ModuloSchedule, ScheduleStats, SchedulingError
 from .base import SchedulerResult, SchedulerStrategy
 from .registry import register_scheduler
@@ -87,15 +87,16 @@ def _analyse(ddg: Ddg, ii: int) -> _Analysis:
     """``(E, L, H)`` at *ii*; raises ``ValueError`` below RecMII."""
     if ii < 1:
         raise ValueError("II must be >= 1")
-    e_of = {op_id: 0 for op_id in ddg.op_ids}
-    edges = [(e.src, e.dst, e.latency - e.distance * ii)
-             for e in ddg.edges()]
-    for _ in range(ddg.n_ops + 1):
+    arr = ddg.arrays()
+    e_list = [0] * arr.n
+    e_src, e_dst = arr.e_src, arr.e_dst
+    w = [lat - dist * ii for lat, dist in zip(arr.e_lat, arr.e_dist)]
+    for _ in range(arr.n + 1):
         changed = False
-        for src, dst, w in edges:
-            cand = e_of[src] + w
-            if cand > e_of[dst]:
-                e_of[dst] = cand
+        for src, dst, wt in zip(e_src, e_dst, w):
+            cand = e_list[src] + wt
+            if cand > e_list[dst]:
+                e_list[dst] = cand
                 changed = True
         if not changed:
             break
@@ -103,9 +104,12 @@ def _analyse(ddg: Ddg, ii: int) -> _Analysis:
         raise ValueError(
             f"earliest starts diverge at II={ii}: positive dependence "
             f"cycle (II below RecMII?)")
-    h = heights(ddg, ii)
-    span = max((e_of[o] + h[o] for o in ddg.op_ids), default=0)
-    l_of = {o: span - h[o] for o in ddg.op_ids}
+    h_list = heights_list(arr, ii)
+    span = max(map(int.__add__, e_list, h_list), default=0)
+    ids = arr.ids
+    e_of = dict(zip(ids, e_list))
+    l_of = {o: span - h for o, h in zip(ids, h_list)}
+    h = dict(zip(ids, h_list))
     return e_of, l_of, h
 
 
@@ -250,25 +254,36 @@ def try_sms_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
     if order is None:
         order = sms_order(ddg, ii, analysis=analysis)
     e_of = analysis[0]
-    mrt = ModuloReservationTable(ii, machine.fus.as_dict())
+    arr = ddg.arrays()
+    index = arr.index
+    pool = arr.pool
+    in_ptr, in_src = arr.in_ptr, arr.in_src
+    in_lat, in_dist = arr.in_lat, arr.in_dist
+    out_ptr, out_dst = arr.out_ptr, arr.out_dst
+    out_lat, out_dist = arr.out_lat, arr.out_dist
+    mrt = PackedMRT(ii, machine.fus.as_dict())
+    # SMS times go negative (bottom-up placements), so the unscheduled
+    # sentinel cannot be -1; track placement separately
+    sig = [0] * arr.n
+    placed = [False] * arr.n
     sigma: dict[int, int] = {}
 
     for op_id in order:
-        op = ddg.op(op_id)
+        i = index[op_id]
         est: Optional[int] = None
         lst: Optional[int] = None
-        for e in ddg.in_edges(op_id):
-            t = sigma.get(e.src)
-            if t is None:
+        for j in range(in_ptr[i], in_ptr[i + 1]):
+            s = in_src[j]
+            if not placed[s]:
                 continue
-            cand = t + e.latency - e.distance * ii
+            cand = sig[s] + in_lat[j] - in_dist[j] * ii
             if est is None or cand > est:
                 est = cand
-        for e in ddg.out_edges(op_id):
-            t = sigma.get(e.dst)
-            if t is None:
+        for j in range(out_ptr[i], out_ptr[i + 1]):
+            d = out_dst[j]
+            if not placed[d]:
                 continue
-            cand = t - e.latency + e.distance * ii
+            cand = sig[d] - out_lat[j] + out_dist[j] * ii
             if lst is None or cand < lst:
                 lst = cand
 
@@ -282,15 +297,18 @@ def try_sms_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
             scan = range(e_of[op_id], e_of[op_id] + ii)
 
         placed_at: Optional[int] = None
+        p_i = pool[i]
         for t in scan:
-            if mrt.can_place(op.fu_type, t):
+            if mrt.can_place(p_i, t):
                 placed_at = t
                 break
         if stats is not None:
             stats.attempts += 1
         if placed_at is None:
             return None
-        mrt.place(op_id, op.fu_type, placed_at)
+        mrt.place(op_id, p_i, placed_at)
+        sig[i] = placed_at
+        placed[i] = True
         sigma[op_id] = placed_at
     return sigma
 

@@ -4,6 +4,14 @@ This is the one-call integration surface the test-suite (and users who just
 want confidence) lean on: it runs the full paper pipeline on a loop --
 optional unrolling, copy insertion, (partitioned) modulo scheduling, queue
 allocation, and token simulation -- and raises on the first inconsistency.
+
+The registry-parameterised invariant suites drive this entry point once
+per engine per kernel, so the whole chain below it runs on the packed
+core (DESIGN §5.4): the schedulers consume the loop's
+:meth:`~repro.ir.ddg.Ddg.arrays` lowering (built once per loop and
+shared by copy insertion, validation, MII bounds and the schedule
+audit), and the simulator's cross-check walks cycle-indexed event lists
+instead of per-op dicts.
 """
 
 from __future__ import annotations

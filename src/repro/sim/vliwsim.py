@@ -27,13 +27,13 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.ir.operations import FuType
-from repro.machine.resources import pool_for
+from repro.machine.resources import HARDWARE_POOLS
 from repro.regalloc.lifetimes import Location
 from repro.regalloc.queues import ScheduleQueueUsage
 from repro.sched.schedule import ModuloSchedule
 
 from .qrf import FifoQueue
-from .reference import expected_operand, value_token
+from .reference import value_token
 
 
 class SimulationError(RuntimeError):
@@ -94,9 +94,14 @@ class VliwSimulator:
 
     def _check_write_ports(self) -> None:
         ddg = self.sched.ddg
-        for op_id in ddg.op_ids:
-            op = ddg.op(op_id)
-            fanout = ddg.fanout(op_id)
+        arr = ddg.arrays()
+        out_ptr, out_data = arr.out_ptr, arr.out_data
+        for i in range(arr.n):
+            fanout = sum(out_data[j]
+                         for j in range(out_ptr[i], out_ptr[i + 1]))
+            if fanout <= 1:
+                continue
+            op = ddg.op(arr.ids[i])
             limit = 2 if op.is_copy else 1
             if fanout > limit:
                 raise SimulationError(
@@ -140,26 +145,71 @@ class VliwSimulator:
             for _t, token in sorted(entries, key=lambda it: it[0]):
                 q.preload(token)
 
-        # -- event tables -------------------------------------------------
-        writes: dict[int, list[tuple[FifoQueue, object]]] = {}
-        reads: dict[int, list[tuple[FifoQueue, object, str]]] = {}
-        issues: dict[int, list[int]] = {}
-        for op_id, t0 in sched.sigma.items():
+        # -- event tables (packed: cycle-indexed lists, no per-event
+        #    dict probes or eager error strings) --------------------------
+        ii = sched.ii
+        sigma = sched.sigma
+        arr = ddg.arrays()
+        # per-op static bindings, one pass over the graph instead of one
+        # per (op, iteration)
+        op_writes: dict[int, list[FifoQueue]] = {}
+        op_reads: dict[int, list[tuple[FifoQueue, int, int, int]]] = {}
+        for e in ddg.data_edges():
+            q = self._edge_queue[(e.src, e.dst, e.key)]
+            op_writes.setdefault(e.src, []).append(q)
+            op_reads.setdefault(e.dst, []).append(
+                (q, e.src, e.distance, e.dst))
+
+        span = (n - 1) * ii
+        last_cycle = 0
+        for op_id, t0 in sigma.items():
+            top = t0 + span
             lat = ddg.op(op_id).latency
-            out_edges = ddg.consumers(op_id)
-            in_edges = ddg.producers(op_id)
+            if op_writes.get(op_id) and top + lat > last_cycle:
+                last_cycle = top + lat
+            elif top > last_cycle:
+                last_cycle = top
+        for slot in injections:
+            if slot > last_cycle:
+                last_cycle = slot
+        n_cycles = last_cycle + 1
+        # one slot per cycle; lists are created lazily on first event
+        writes: list = [None] * n_cycles
+        reads: list = [None] * n_cycles
+        issues: list = [None] * n_cycles
+
+        check_issues = self.capacities is not None
+        if check_issues:
+            pool_caps = [self.capacities.get(p, 0) for p in HARDWARE_POOLS]
+            cluster_of = sched.cluster_of
+            issue_key = {
+                o: (cluster_of.get(o, 0), arr.pool[arr.index[o]])
+                for o in sigma}
+        for op_id, t0 in sigma.items():
+            w = op_writes.get(op_id)
+            r = op_reads.get(op_id)
+            lat = ddg.op(op_id).latency
             for k in range(n):
-                t = t0 + k * sched.ii
-                issues.setdefault(t, []).append(op_id)
-                for e in out_edges:
-                    writes.setdefault(t + lat, []).append(
-                        (self._edge_queue[(e.src, e.dst, e.key)],
-                         value_token(op_id, k)))
-                for e in in_edges:
-                    reads.setdefault(t, []).append(
-                        (self._edge_queue[(e.src, e.dst, e.key)],
-                         expected_operand(e, k),
-                         f"{ddg.op(e.dst).name}[{k}]"))
+                t = t0 + k * ii
+                if check_issues:
+                    if issues[t] is None:
+                        issues[t] = []
+                    issues[t].append(op_id)
+                if w:
+                    tw = t + lat
+                    if writes[tw] is None:
+                        writes[tw] = []
+                    wl = writes[tw]
+                    for q in w:
+                        wl.append((q, ("v", op_id, k)))
+                if r:
+                    if reads[t] is None:
+                        reads[t] = []
+                    rl = reads[t]
+                    for q, src, dist, dst in r:
+                        # expected token ("v", src, k - dist), kept
+                        # unpacked; the error string is built lazily
+                        rl.append((q, src, k - dist, dst, k))
 
         # -- epilogue drains ----------------------------------------------
         # The last `distance` values of every carried lifetime are the
@@ -171,18 +221,21 @@ class VliwSimulator:
             if e.distance == 0:
                 continue
             q = self._edge_queue[(e.src, e.dst, e.key)]
-            read0 = sched.sigma[e.dst] + e.distance * sched.ii
+            read0 = sigma[e.dst] + e.distance * ii
             for k in range(n - e.distance, n):
-                t = read0 + k * sched.ii
-                reads.setdefault(t, []).append(
-                    (q, value_token(e.src, k),
-                     f"epilogue[{ddg.op(e.src).name},{k}]"))
+                t = read0 + k * ii
+                if t > last_cycle:
+                    last_cycle = t
+                    n_cycles = t + 1
+                    writes.extend([None] * (n_cycles - len(writes)))
+                    reads.extend([None] * (n_cycles - len(reads)))
+                    issues.extend([None] * (n_cycles - len(issues)))
+                if reads[t] is None:
+                    reads[t] = []
+                reads[t].append((q, e.src, k, e.src, k, True))
                 epilogue_reads += 1
 
         # -- cycle loop: writes first (bypass), then reads -----------------
-        last_cycle = max(
-            max(writes, default=0), max(reads, default=0),
-            max(issues, default=0))
         reads_checked = 0
         # occupancy is measured at end of cycle: a value written at t
         # counts at t, a value read at t does not (half-open lifetimes,
@@ -192,32 +245,39 @@ class VliwSimulator:
         occ_max: dict[FifoQueue, int] = {
             q: q.occupancy for q in self._queues.values()}
         for t in range(last_cycle + 1):
-            if self.capacities is not None and t in issues:
-                per_pool: dict[tuple[int, FuType], int] = {}
+            if check_issues and issues[t]:
+                per_pool: dict[tuple[int, int], int] = {}
                 for op_id in issues[t]:
-                    key = (sched.cluster_of.get(op_id, 0),
-                           pool_for(ddg.op(op_id).fu_type))
+                    key = issue_key[op_id]
                     per_pool[key] = per_pool.get(key, 0) + 1
-                for (cl, pool), count in per_pool.items():
-                    if count > self.capacities.get(pool, 0):
+                for (cl, pid), count in per_pool.items():
+                    if count > pool_caps[pid]:
                         raise SimulationError(
                             f"cycle {t}: cluster {cl} issues {count} ops "
-                            f"on {pool.value}")
+                            f"on {HARDWARE_POOLS[pid].value}")
             touched = set()
             for q, token in injections.get(t, ()):
                 q.push(token, t)
                 touched.add(q)
-            for q, token in writes.get(t, ()):
-                q.push(token, t)
-                touched.add(q)
-            for q, expected, who in reads.get(t, ()):
-                got = q.pop(t)
-                touched.add(q)
-                if got != expected:
-                    raise SimulationError(
-                        f"cycle {t}: {who} read {got} from {q.name}, "
-                        f"expected {expected} -- FIFO order broken")
-                reads_checked += 1
+            if writes[t]:
+                for q, token in writes[t]:
+                    q.push(token, t)
+                    touched.add(q)
+            if reads[t]:
+                for entry in reads[t]:
+                    q, src, k_src = entry[0], entry[1], entry[2]
+                    got = q.pop(t)
+                    touched.add(q)
+                    if got != ("v", src, k_src):
+                        if len(entry) == 6:
+                            who = f"epilogue[{ddg.op(src).name},{entry[4]}]"
+                        else:
+                            who = f"{ddg.op(entry[3]).name}[{entry[4]}]"
+                        raise SimulationError(
+                            f"cycle {t}: {who} read {got} from {q.name}, "
+                            f"expected {value_token(src, k_src)} -- "
+                            f"FIFO order broken")
+                    reads_checked += 1
             for q in touched:
                 if q.occupancy > occ_max[q]:
                     occ_max[q] = q.occupancy

@@ -17,7 +17,7 @@ class TestPlacement:
         p = t.place(7, FuType.ADD, 5)
         assert p.row == 1
         assert t.is_placed(7)
-        assert t.occupants(FuType.ADD, 9) == [7]   # 9 % 4 == 1
+        assert t.occupants(FuType.ADD, 9) == (7,)  # 9 % 4 == 1
         assert t.placement_of(7).time == 5
 
     def test_modulo_conflict(self):
