@@ -24,6 +24,25 @@ import time
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Arena-counter snapshot taken at the previous telemetry record, so a
+#: multi-benchmark pytest process reports per-benchmark *deltas* of the
+#: monotonic counters instead of the process-cumulative totals.
+_ARENA_BASE: dict = {}
+
+
+def _arena_delta() -> dict:
+    """Arena counters accumulated since the last record in this process
+    (``pooled_mrts`` is a level, not a counter, and passes through)."""
+    from repro.sched import arena_counters
+
+    global _ARENA_BASE
+    now = arena_counters()
+    delta = {k: now[k] - _ARENA_BASE.get(k, 0)
+             for k in ("generation", "resets", "hits", "allocs")}
+    delta["pooled_mrts"] = now["pooled_mrts"]
+    _ARENA_BASE = now
+    return delta
+
 #: Environment knobs mirrored from the CLI's runner flags.
 JOBS_ENV = "REPRO_JOBS"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
@@ -59,11 +78,36 @@ def record_bench_json(name: str, wall_s: float, *,
     """Write this run's ``BENCH_<name>.json`` telemetry record (repo
     root; see :mod:`telemetry`) -- wall time, corpus size and headline
     metrics.  Every benchmark calls this so the perf trajectory is never
-    empty and CI's perf-smoke job has something to gate on."""
+    empty and CI's perf-smoke job has something to gate on.
+
+    The scheduling-arena counters (buffer hits / allocations / attempt
+    resets, see :mod:`repro.sched.arena`) ride along in every record's
+    metrics, and ``ARENA_COUNTERS.json`` beside the records keeps one
+    entry *per benchmark name* (read-modify-write, so separate pytest
+    invocations -- how CI's perf-smoke job runs -- accumulate instead of
+    clobbering each other): the artifact CI uploads so arena
+    effectiveness is observable run over run.  The counters are read
+    from *this* process's arena (the ``scope`` field says so): under
+    ``REPRO_JOBS > 1`` the scheduling happens in pool workers whose
+    arenas fork per process, so serial runs -- the perf-smoke default --
+    are the meaningful trajectory."""
+    import json
+
     import telemetry
 
+    counters = dict(_arena_delta(), scope="parent-process")
     telemetry.write_bench_json(name, wall_s, corpus_size=corpus_size,
-                               metrics=metrics)
+                               metrics={**metrics, "arena": counters})
+    snapshot_path = telemetry.bench_dir() / "ARENA_COUNTERS.json"
+    try:
+        snapshot = json.loads(snapshot_path.read_text())
+        if not isinstance(snapshot, dict) or "generation" in snapshot:
+            snapshot = {}          # pre-keyed or corrupt: start over
+    except (OSError, ValueError):
+        snapshot = {}
+    snapshot[name] = counters
+    snapshot_path.write_text(
+        json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
 
 
 def run_recorded(benchmark, name: str, fn, *,

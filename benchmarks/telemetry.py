@@ -77,15 +77,21 @@ def check_against_baseline(
         record_paths: Iterable["pathlib.Path | str"],
         baseline: dict, *,
         tolerance: float = DEFAULT_TOLERANCE,
+        total_budget_ratio: Optional[float] = None,
         ) -> tuple[list[str], list[str]]:
     """Compare records to the baseline; returns ``(report, failures)``.
 
     A record fails when ``wall_s > baseline_wall * tolerance``; the
-    per-entry ``"tolerance"`` key overrides the global factor.
+    per-entry ``"tolerance"`` key overrides the global factor.  With
+    *total_budget_ratio* set, the *combined* wall clock of every record
+    that has a baseline entry is additionally held to
+    ``sum(baselines) * ratio`` -- the CI wall-clock budget: individually
+    tolerable creep across several benchmarks still fails the job.
     """
     report: list[str] = []
     failures: list[str] = []
     benches = baseline["benches"]
+    total_wall = total_base = 0.0
     for path in sorted(map(str, record_paths)):
         rec = read_bench(path)
         name, wall = rec["name"], rec["wall_s"]
@@ -94,6 +100,8 @@ def check_against_baseline(
             report.append(f"  {name}: {wall:.2f}s (no baseline entry)")
             continue
         base = float(entry["wall_s"])
+        total_wall += wall
+        total_base += base
         tol = float(entry.get("tolerance", tolerance))
         limit = base * tol
         verdict = "ok" if wall <= limit else "REGRESSION"
@@ -101,6 +109,15 @@ def check_against_baseline(
                 f"(limit {limit:.2f}s = {tol:.2f}x) -- {verdict}")
         report.append(line)
         if wall > limit:
+            failures.append(line.strip())
+    if total_budget_ratio is not None and total_base > 0.0:
+        budget = total_base * total_budget_ratio
+        verdict = "ok" if total_wall <= budget else "REGRESSION"
+        line = (f"  TOTAL: {total_wall:.2f}s vs budget {budget:.2f}s "
+                f"({total_budget_ratio:.2f}x of {total_base:.2f}s "
+                f"combined baseline) -- {verdict}")
+        report.append(line)
+        if total_wall > budget:
             failures.append(line.strip())
     return report, failures
 
@@ -130,6 +147,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         if cmd == "check":
             p.add_argument("--tolerance", type=float,
                            default=DEFAULT_TOLERANCE)
+            p.add_argument("--total-budget-ratio", type=float,
+                           default=None,
+                           help="also fail when the combined wall clock "
+                                "of all baselined records exceeds this "
+                                "factor of the combined baseline")
     args = parser.parse_args(argv)
 
     if args.cmd == "update":
@@ -140,7 +162,8 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     baseline = load_baseline(args.baseline)
     report, failures = check_against_baseline(
-        args.records, baseline, tolerance=args.tolerance)
+        args.records, baseline, tolerance=args.tolerance,
+        total_budget_ratio=args.total_budget_ratio)
     print("perf-smoke comparison:")
     for line in report:
         print(line)

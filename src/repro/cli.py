@@ -12,13 +12,17 @@ Subcommands:
 * ``repro-vliw partitioners``       -- list the registered
   cluster-partitioning engines
 * ``repro-vliw report``             -- the headline experiment bundle
+* ``repro-vliw bench``              -- run a named benchmark and gate it
+  against ``benchmarks/baseline.json`` (the CI perf-smoke check, local)
 * ``repro-vliw cache``              -- inspect/clear the result cache
 
 Experiment sweeps honour ``--jobs N`` (parallel workers; output is
 byte-identical to the serial run), ``--no-cache`` and ``--cache-dir``;
 ``schedule`` and ``experiment`` take ``--scheduler`` to pick the
-scheduling engine (default ``ims``) and ``--partitioner`` to pick the
-clustered engine (default ``affinity``).  Engine names are validated
+scheduling engine (default ``ims``), ``--partitioner`` to pick the
+clustered engine (default ``affinity``) and ``--ii-search`` to pick the
+II search mode (``adaptive`` default, ``linear`` for the historical
+walk; both produce identical schedules).  Engine names are validated
 against the registries before anything compiles, so a typo lists the
 available names instead of failing mid-sweep.
 """
@@ -30,6 +34,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.machine.presets import clustered_machine, qrf_machine
+from repro.sched.iisearch import DEFAULT_II_SEARCH, II_SEARCH_MODES
 from repro.sched.partitioners import (DEFAULT_PARTITIONER,
                                       available_partitioners,
                                       partitioner_descriptions)
@@ -40,55 +45,56 @@ from repro.workloads.corpus import bench_corpus, corpus_stats, paper_corpus
 from repro.workloads.kernels import KERNELS, kernel
 
 #: experiment id -> (one-line description, driver invocation).  The lambda
-#: takes (loops, runner, scheduler, partitioner) so ``--scheduler`` and
-#: ``--partitioner`` thread through every driver; the compare experiments
-#: (``sc``, ``pc``) and the partition ablation sweep all engines
-#: themselves.
+#: takes (loops, runner, scheduler, partitioner, ii_search) so
+#: ``--scheduler``, ``--partitioner`` and ``--ii-search`` thread through
+#: every driver; the compare experiments (``sc``, ``pc``) and the
+#: partition ablation sweep all engines themselves.
 EXPERIMENTS = {
     "fig3": ("Fig. 3: loops schedulable within N queues",
-             lambda ex, l, r, s, p: ex.fig3_queue_requirements(
-                 l, runner=r, scheduler=s)),
+             lambda ex, l, r, s, p, i: ex.fig3_queue_requirements(
+                 l, runner=r, scheduler=s, ii_search=i)),
     "sec2": ("Section 2: copy-insertion impact on II / stage count",
-             lambda ex, l, r, s, p: ex.sec2_copy_impact(
-                 l, runner=r, scheduler=s)),
+             lambda ex, l, r, s, p, i: ex.sec2_copy_impact(
+                 l, runner=r, scheduler=s, ii_search=i)),
     "fig4": ("Fig. 4: II speedup from loop unrolling",
-             lambda ex, l, r, s, p: ex.fig4_unroll_speedup(
-                 l, runner=r, scheduler=s)),
+             lambda ex, l, r, s, p, i: ex.fig4_unroll_speedup(
+                 l, runner=r, scheduler=s, ii_search=i)),
     "fig6": ("Fig. 6: clustered vs single-cluster II",
-             lambda ex, l, r, s, p: ex.fig6_ii_variation(
-                 l, runner=r, scheduler=s, partitioner=p)),
+             lambda ex, l, r, s, p, i: ex.fig6_ii_variation(
+                 l, runner=r, scheduler=s, partitioner=p, ii_search=i)),
     "sec4": ("Section 4 / Fig. 7: per-cluster queue budgets",
-             lambda ex, l, r, s, p: ex.sec4_cluster_queues(
-                 l, runner=r, scheduler=s, partitioner=p)),
+             lambda ex, l, r, s, p, i: ex.sec4_cluster_queues(
+                 l, runner=r, scheduler=s, partitioner=p, ii_search=i)),
     "fig8": ("Fig. 8: IPC sweep, all loops",
-             lambda ex, l, r, s, p: ex.fig8_ipc(
-                 l, runner=r, scheduler=s, partitioner=p)),
+             lambda ex, l, r, s, p, i: ex.fig8_ipc(
+                 l, runner=r, scheduler=s, partitioner=p, ii_search=i)),
     "fig9": ("Fig. 9: IPC sweep, resource-constrained loops",
-             lambda ex, l, r, s, p: ex.fig9_ipc_rc(
-                 l, runner=r, scheduler=s, partitioner=p)),
+             lambda ex, l, r, s, p, i: ex.fig9_ipc_rc(
+                 l, runner=r, scheduler=s, partitioner=p, ii_search=i)),
     "a1": ("ablation: copy fan-out tree strategy",
-           lambda ex, l, r, s, p: ex.ablation_copy_tree(
-               l, runner=r, scheduler=s)),
+           lambda ex, l, r, s, p, i: ex.ablation_copy_tree(
+               l, runner=r, scheduler=s, ii_search=i)),
     "a2": ("ablation: cluster-partition heuristic",
-           lambda ex, l, r, s, p: ex.ablation_partition(
-               l, runner=r, scheduler=s)),
+           lambda ex, l, r, s, p, i: ex.ablation_partition(
+               l, runner=r, scheduler=s, ii_search=i)),
     "a3": ("ablation: explicit inter-cluster MOVE ops",
-           lambda ex, l, r, s, p: ex.ablation_moves(
-               l, runner=r, scheduler=s, partitioner=p)),
+           lambda ex, l, r, s, p, i: ex.ablation_moves(
+               l, runner=r, scheduler=s, partitioner=p, ii_search=i)),
     "a4": ("sensitivity: inter-cluster ring latency",
-           lambda ex, l, r, s, p: ex.ring_latency_sensitivity(
-               l, runner=r, scheduler=s, partitioner=p)),
+           lambda ex, l, r, s, p, i: ex.ring_latency_sensitivity(
+               l, runner=r, scheduler=s, partitioner=p, ii_search=i)),
     "s1": ("supplementary: register pressure, QRF vs conventional RF",
-           lambda ex, l, r, s, p: ex.register_pressure(
-               l, runner=r, scheduler=s)),
+           lambda ex, l, r, s, p, i: ex.register_pressure(
+               l, runner=r, scheduler=s, ii_search=i)),
     "e6b": ("spill code under finite queue files",
-            lambda ex, l, r, s, p: ex.spill_budget(
-                l, runner=r, scheduler=s)),
+            lambda ex, l, r, s, p, i: ex.spill_budget(
+                l, runner=r, scheduler=s, ii_search=i)),
     "sc": ("scheduler comparison: all registered engines head to head",
-           lambda ex, l, r, s, p: ex.exp_scheduler_compare(l, runner=r)),
+           lambda ex, l, r, s, p, i: ex.exp_scheduler_compare(
+               l, runner=r, ii_search=i)),
     "pc": ("partitioner comparison: all registered engines head to head",
-           lambda ex, l, r, s, p: ex.exp_partitioner_compare(
-               l, runner=r, scheduler=s)),
+           lambda ex, l, r, s, p, i: ex.exp_partitioner_compare(
+               l, runner=r, scheduler=s, ii_search=i)),
 }
 
 
@@ -142,7 +148,8 @@ def cmd_schedule(args) -> int:
     res = run_pipeline(ddg, machine, unroll_factor=args.unroll,
                        iterations=args.iterations,
                        scheduler=args.scheduler,
-                       partitioner=args.partitioner)
+                       partitioner=args.partitioner,
+                       ii_search=args.ii_search)
     print(res.schedule.render())
     if args.asm:
         from repro.codegen.encode import render_assembly
@@ -176,7 +183,7 @@ def cmd_experiment(args) -> int:
         return 2
     _, drive = EXPERIMENTS[args.id]
     print(drive(ex, _loops(args), _runner(args), args.scheduler,
-                args.partitioner).render())
+                args.partitioner, args.ii_search).render())
     return 0
 
 
@@ -199,6 +206,107 @@ def cmd_report(args) -> int:
 
     print(full_report(_loops(args), include_sweep=args.sweep,
                       runner=_runner(args)))
+    return 0
+
+
+def _bench_dir() -> "pathlib.Path":
+    """The ``benchmarks/`` directory of the current checkout."""
+    import pathlib
+
+    return pathlib.Path.cwd() / "benchmarks"
+
+
+def _load_telemetry(bench_dir):
+    """Import ``benchmarks/telemetry.py`` (not a package) by path."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "repro_bench_telemetry", bench_dir / "telemetry.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run_benchmark(bench_file) -> int:
+    """Run one benchmark file under pytest in a subprocess (separated out
+    so tests can stub the expensive part)."""
+    import os
+    import pathlib
+    import subprocess
+
+    import repro
+
+    env = dict(os.environ)
+    pkg_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [pkg_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", str(bench_file), "-q"],
+        env=env).returncode
+
+
+def cmd_bench(args) -> int:
+    """Run a named benchmark and gate it against the committed baseline.
+
+    ``repro-vliw bench fig6_partition`` is the CI perf-smoke job in one
+    local command: it runs ``benchmarks/bench_<name>.py``, reads the
+    ``BENCH_<name>.json`` telemetry the benchmark wrote, and compares it
+    against ``benchmarks/baseline.json`` with the same tolerance the CI
+    gate uses.  Run it from the repository root.
+    """
+    bench_dir = _bench_dir()
+    if not bench_dir.is_dir():
+        print(f"bench: no benchmarks/ directory under {bench_dir.parent} "
+              f"(run from the repository root)", file=sys.stderr)
+        return 2
+    names = sorted(p.stem[len("bench_"):]
+                   for p in bench_dir.glob("bench_*.py"))
+    if args.list:
+        for name in names:
+            print(name)
+        return 0
+    if args.name is None:
+        print("bench: benchmark name required (or --list)", file=sys.stderr)
+        return 2
+    if args.name not in names:
+        print(f"unknown benchmark {args.name!r}; available: "
+              f"{', '.join(names)}", file=sys.stderr)
+        return 2
+
+    import time
+
+    telemetry = _load_telemetry(bench_dir)
+    started = time.time()
+    code = _run_benchmark(bench_dir / f"bench_{args.name}.py")
+    if code != 0:
+        print(f"bench: benchmark run failed (exit {code})",
+              file=sys.stderr)
+        return code
+
+    record = telemetry.bench_dir() / f"BENCH_{args.name}.json"
+    # records are committed at the repo root, so existence alone is not
+    # proof of a run: demand a record written by *this* invocation
+    if not record.exists() or record.stat().st_mtime < started - 1:
+        print(f"bench: {record} was not (re)written by this run; "
+              f"nothing to gate", file=sys.stderr)
+        return 2
+    baseline = telemetry.load_baseline(bench_dir / "baseline.json")
+    if args.name not in baseline["benches"]:
+        rec = telemetry.read_bench(record)
+        print(f"{args.name}: {rec['wall_s']:.2f}s -- NOT GATED "
+              f"(no entry in benchmarks/baseline.json; add one to gate "
+              f"this benchmark)")
+        return 0
+    report, failures = telemetry.check_against_baseline(
+        [record], baseline, tolerance=args.tolerance)
+    print("baseline comparison:")
+    for line in report:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} perf regression(s) beyond "
+              f"{args.tolerance:.2f}x", file=sys.stderr)
+        return 1
+    print("\nwithin budget")
     return 0
 
 
@@ -257,6 +365,11 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=available_partitioners(),
                     help="cluster-partitioning engine, used with "
                          "--clusters (see `repro-vliw partitioners`)")
+    ps.add_argument("--ii-search", default=DEFAULT_II_SEARCH,
+                    choices=II_SEARCH_MODES,
+                    help="II search mode: adaptive bracketing (default) "
+                         "or the historical linear walk -- identical "
+                         "schedules either way")
     ps.add_argument("--asm", action="store_true",
                     help="print the queue-addressed assembly listing")
 
@@ -274,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="cluster-partitioning engine used by clustered "
                          "sweeps (`pc` and `a2` always compare all "
                          "engines)")
+    pe.add_argument("--ii-search", default=DEFAULT_II_SEARCH,
+                    choices=II_SEARCH_MODES,
+                    help="II search mode used by every engine in the "
+                         "sweep (adaptive default; linear preserves the "
+                         "historical walk)")
 
     sub.add_parser("schedulers",
                    help="list the registered scheduling engines")
@@ -283,6 +401,18 @@ def build_parser() -> argparse.ArgumentParser:
     pr = sub.add_parser("report", help="headline experiment bundle")
     pr.add_argument("--sweep", action="store_true",
                     help="include the (slow) IPC sweep")
+
+    pb = sub.add_parser(
+        "bench", help="run a named benchmark and gate it against "
+                      "benchmarks/baseline.json")
+    pb.add_argument("name", nargs="?", default=None,
+                    help="benchmark name, e.g. fig6_partition "
+                         "(see --list)")
+    pb.add_argument("--list", action="store_true",
+                    help="list the available benchmarks and exit")
+    pb.add_argument("--tolerance", type=float, default=1.3,
+                    help="allowed wall-time factor over the baseline "
+                         "(default 1.3, the CI gate's)")
 
     pc = sub.add_parser("cache", help="inspect or clear the result cache")
     pc.add_argument("--clear", action="store_true",
@@ -299,6 +429,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "schedulers": cmd_schedulers,
         "partitioners": cmd_partitioners,
         "report": cmd_report,
+        "bench": cmd_bench,
         "cache": cmd_cache,
     }[args.command]
     return handler(args)

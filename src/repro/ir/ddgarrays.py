@@ -50,9 +50,16 @@ class DdgArrays:
         "e_src", "e_dst", "e_lat", "e_dist",
         "nbr_ptr", "nbr",
         "scc_id", "cyc_n", "cyc_edges",
+        "ii_cache",
     )
 
     def __init__(self, ddg: "Ddg") -> None:
+        #: per-II derived-analysis memo (heights, priority orders, SMS
+        #: analyses -- all pure functions of (this lowering, II)).  II
+        #: drivers re-probe the same (loop, II) points across machines
+        #: and search modes; the memo rides the lowering, which itself
+        #: rides the Ddg's structural cache, so any mutation drops both.
+        self.ii_cache: dict = {}
         ids = ddg.op_ids
         n = len(ids)
         index = {o: i for i, o in enumerate(ids)}

@@ -31,7 +31,15 @@ def validate_ddg(ddg: Ddg, *, require_schedulable: bool = True,
        ``max_copy_writes`` consumers (the hardware reads 1 queue, writes 2);
     5. MOVE ops have exactly one producer and one consumer;
     6. non-negative distances/latencies (enforced by dataclasses, re-checked).
+
+    A *pass* is memoised on the DDG's structural cache (sweeps validate
+    the same work graph once per machine; any mutation invalidates the
+    stamp and the next call re-checks).  Failures are never cached.
     """
+    memo_key = ("validated", require_schedulable, max_copy_reads,
+                max_copy_writes)
+    if ddg._edge_cache.get(memo_key):
+        return
     problems: list[str] = []
     arr = ddg.arrays()
     ids = arr.ids
@@ -90,6 +98,7 @@ def validate_ddg(ddg: Ddg, *, require_schedulable: bool = True,
     if problems:
         raise DdgValidationError(
             f"DDG {ddg.name!r} invalid:\n  " + "\n  ".join(problems))
+    ddg._edge_cache[memo_key] = True
 
 
 #: COPY and MOVE ops both map to the copy pool -- the only pool whose ops

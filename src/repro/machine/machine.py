@@ -96,10 +96,24 @@ class Machine:
         return {t: self.fus.counts.get(t, 0) for t in COMPUTE_POOLS}
 
     def retime(self, ddg: Ddg) -> Ddg:
-        """Apply this machine's latency model to a loop."""
+        """Apply this machine's latency model to a loop.
+
+        Memoised on the source DDG's structural cache, keyed by the
+        override table: a sweep that schedules one loop on several
+        machines sharing a latency model re-times (and re-lowers) it
+        once.  The memoised graph is consumed read-only by the
+        schedulers, like every post-front-end DDG.
+        """
         if not self.latencies.overrides:
             return ddg
-        return ddg.retimed(self.latencies)
+        key = ("retimed", tuple(sorted(
+            (op.mnemonic, lat)
+            for op, lat in self.latencies.overrides.items())))
+        cached = ddg._edge_cache.get(key)
+        if cached is None:
+            cached = ddg.retimed(self.latencies)
+            ddg._edge_cache[key] = cached
+        return cached
 
     def describe(self) -> str:
         return (f"{self.name}: {self.fus.describe()}, "

@@ -29,11 +29,13 @@ from .fingerprint import (SCHEMA_VERSION, ddg_signature, job_key,
 from .job import CompileJob, JobResult, PipelineOptions
 from .pipeline import (CompiledLoop, compile_loop, compute_extra,
                        execute_job, spill_spec)
+from .pool import PoolSession, close_all_sessions, get_session
 from .sweep import as_options, sweep
 
 __all__ = [
     "CACHE_DIR_ENV", "ResultCache", "default_cache_dir",
     "RunnerConfig", "run_jobs",
+    "PoolSession", "close_all_sessions", "get_session",
     "SCHEMA_VERSION", "ddg_signature", "job_key", "machine_signature",
     "CompileJob", "JobResult", "PipelineOptions",
     "CompiledLoop", "compile_loop", "compute_extra", "execute_job",

@@ -101,7 +101,14 @@ class ResultCache:
         self.put_many([result])
 
     def put_many(self, results: Iterable[JobResult]) -> None:
-        """Append results to the store (one open per batch).
+        """Append results to the store (one buffered write per batch).
+
+        The whole batch is serialised first and written with a *single*
+        ``write`` call -- ``run_jobs`` calls this once per sweep, so a
+        1000-job sweep costs one open/write/close, not 1000.  If the file
+        ends mid-line (a previous writer crashed mid-append), a leading
+        newline is emitted first so the fresh records never merge into the
+        torn tail; the loader then skips exactly the one corrupt line.
 
         An unwritable cache location must never lose a finished sweep:
         the first OSError downgrades this cache to in-memory-only (with
@@ -111,27 +118,39 @@ class ResultCache:
         if not results:
             return
         entries = self._load()
-        fh = None
-        if not self._unwritable:
-            try:
-                self.directory.mkdir(parents=True, exist_ok=True)
-                fh = self.path.open("a")
-            except OSError as exc:
-                self._unwritable = True
-                print(f"repro-vliw: result cache {self.path} is not "
-                      f"writable ({exc}); caching in memory only",
-                      file=sys.stderr)
+        lines = []
+        for result in results:
+            record = result.to_record()
+            record["v"] = SCHEMA_VERSION
+            lines.append(json.dumps(record, sort_keys=True))
+            entries[result.key] = record
+            self.stores += 1
+        if self._unwritable:
+            return
+        payload = "\n".join(lines) + "\n"
         try:
-            for result in results:
-                record = result.to_record()
-                record["v"] = SCHEMA_VERSION
-                if fh is not None:
-                    fh.write(json.dumps(record, sort_keys=True) + "\n")
-                entries[result.key] = record
-                self.stores += 1
-        finally:
-            if fh is not None:
-                fh.close()
+            self.directory.mkdir(parents=True, exist_ok=True)
+            if not self._ends_with_newline():
+                payload = "\n" + payload
+            with self.path.open("a") as fh:
+                fh.write(payload)
+        except OSError as exc:
+            self._unwritable = True
+            print(f"repro-vliw: result cache {self.path} is not "
+                  f"writable ({exc}); caching in memory only",
+                  file=sys.stderr)
+
+    def _ends_with_newline(self) -> bool:
+        """Whether the store is empty or ends on a record boundary."""
+        try:
+            with self.path.open("rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() == 0:
+                    return True
+                fh.seek(-1, os.SEEK_END)
+                return fh.read(1) == b"\n"
+        except (FileNotFoundError, OSError):
+            return True
 
     def clear(self) -> None:
         """Drop the on-disk store and the in-memory index."""

@@ -18,6 +18,7 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from . import pool as pool_mod
 from .cache import ResultCache
 from .job import CompileJob, JobResult
 from .pipeline import execute_job
@@ -28,19 +29,16 @@ class RunnerConfig:
     """How a sweep executes: parallelism, caching, progress reporting.
 
     ``progress`` is called as ``progress(done, total)`` after every job
-    settles (cache hit or fresh compile).  ``chunk_size`` tunes how many
-    jobs each worker pulls at once; the default balances scheduling
-    overhead against tail latency.
+    settles (cache hit or fresh compile).  ``chunk_size`` overrides how
+    many tasks each worker pulls at once; by default the persistent pool
+    derives it from the job count and stripes cost-ranked tasks across
+    chunks.
     """
 
     n_workers: int = 1
     cache: Optional[ResultCache] = None
     progress: Optional[Callable[[int, int], None]] = None
     chunk_size: Optional[int] = None
-
-
-def _default_chunk_size(n_jobs: int, n_workers: int) -> int:
-    return max(1, n_jobs // (n_workers * 4))
 
 
 def _pool_context():
@@ -53,23 +51,33 @@ def _pool_context():
 
 def _run_parallel(jobs: Sequence[CompileJob], config: RunnerConfig,
                   tick: Callable[[], None]) -> list[JobResult]:
-    """Ordered fan-out over a process pool, serial completion on failure."""
-    results: list[JobResult] = []
-    chunk = config.chunk_size or _default_chunk_size(len(jobs),
-                                                     config.n_workers)
+    """Ordered fan-out over the persistent pool, serial completion on
+    failure.
+
+    The pool session (one per worker count) survives across ``run_jobs``
+    calls: workers are initialized once with the deduplicated machine /
+    corpus payload and reuse their scheduling arenas job to job.  Any
+    fan-out failure discards the session and finishes the remaining jobs
+    serially -- a sweep is never lost to a broken pool.
+    """
+    results: list[Optional[JobResult]] = [None] * len(jobs)
+
+    def on_result(seq: int, result: JobResult) -> None:
+        results[seq] = result
+        tick()
+
     try:
-        ctx = _pool_context()
-        with ctx.Pool(processes=min(config.n_workers, len(jobs))) as pool:
-            for result in pool.imap(execute_job, jobs, chunksize=chunk):
-                results.append(result)
-                tick()
+        session = pool_mod.get_session(config.n_workers, _pool_context)
+        session.run(jobs, on_result,
+                    pool_mod.cost_estimator(config.cache),
+                    chunk_size=config.chunk_size)
     except Exception:
-        # imap preserves order, so `results` is a correct prefix; finish
-        # the remainder serially rather than losing the sweep
-        for job in jobs[len(results):]:
-            results.append(execute_job(job))
-            tick()
-    return results
+        pool_mod.discard_session(config.n_workers)
+        for seq, job in enumerate(jobs):
+            if results[seq] is None:
+                results[seq] = execute_job(job)
+                tick()
+    return results  # type: ignore[return-value]
 
 
 def run_jobs(jobs: Sequence[CompileJob],

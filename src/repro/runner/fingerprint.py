@@ -29,7 +29,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: v3: ``partition_strategy`` became the registry-backed ``partitioner``
 #:     (same default, new field name and engine set -- keys must never
 #:     alias against v2 entries).
-SCHEMA_VERSION = 3
+#: v4: options signature gained ``ii_search`` (the II search mode) and
+#:     cached records gained the optional ``wall_s`` cost estimate.
+SCHEMA_VERSION = 4
 
 
 def canonical_json(obj) -> str:
@@ -42,9 +44,14 @@ def ddg_signature(ddg: "Ddg") -> dict:
 
     Ops are keyed by (id, opcode, latency) -- names, unroll indices and
     origins are bookkeeping that cannot affect scheduling.  Edge order is
-    the graph's deterministic iteration order.
+    the graph's deterministic iteration order.  Memoised on the DDG's
+    structural cache: a sweep keys the same loop against many machines
+    and option variants, and only the graph walk is loop-specific.
     """
-    return {
+    cached = ddg._edge_cache.get("fingerprint_sig")
+    if cached is not None:
+        return cached
+    sig = {
         "name": ddg.name,
         "trip": ddg.trip_count,
         "ops": [(op.op_id, op.opcode.mnemonic, op.latency)
@@ -52,6 +59,8 @@ def ddg_signature(ddg: "Ddg") -> dict:
         "edges": [(e.src, e.dst, e.key, e.latency, e.distance, e.kind.value)
                   for e in ddg.edges()],
     }
+    ddg._edge_cache["fingerprint_sig"] = sig
+    return sig
 
 
 def _single_machine_signature(machine: "Machine") -> dict:

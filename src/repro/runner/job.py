@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.analysis.metrics import LoopOutcome
 from repro.ir.ddg import Ddg
+from repro.sched.iisearch import DEFAULT_II_SEARCH
 from repro.sched.partitioners import DEFAULT_PARTITIONER
 from repro.sched.strategies import DEFAULT_SCHEDULER
 
@@ -50,17 +51,20 @@ class PipelineOptions:
     partitioner: str = DEFAULT_PARTITIONER
     use_moves: bool = False
     scheduler: str = DEFAULT_SCHEDULER
+    ii_search: str = DEFAULT_II_SEARCH
     extras: tuple[str, ...] = ()
 
     def compile_kwargs(self) -> dict:
         """Keyword arguments for ``compile_loop`` (extras excluded)."""
-        out = dataclasses.asdict(self)
+        out = {f.name: getattr(self, f.name)
+               for f in dataclasses.fields(self)}
         out.pop("extras")
         return out
 
     def signature(self) -> dict:
         """JSON-shaped content signature (feeds the job key)."""
-        sig = dataclasses.asdict(self)
+        sig = {f.name: getattr(self, f.name)
+               for f in dataclasses.fields(self)}
         sig["extras"] = list(self.extras)
         return sig
 
@@ -92,14 +96,17 @@ class JobResult:
     """Plain-data outcome of one job.
 
     ``cached`` is True when the result was replayed from the on-disk
-    cache instead of recompiled; it never participates in equality so
-    cached and fresh runs compare identical.
+    cache instead of recompiled; ``wall_s`` is the worker-side compile
+    time (the job-cost estimate future sweeps use to balance chunked
+    dispatch).  Neither participates in equality, so cached and fresh
+    runs compare identical.
     """
 
     key: str
     outcome: LoopOutcome
     extras: dict = field(default_factory=dict)
     cached: bool = field(default=False, compare=False)
+    wall_s: float = field(default=0.0, compare=False)
 
     def to_record(self) -> dict:
         """JSON-shaped cache record."""
@@ -107,6 +114,7 @@ class JobResult:
             "key": self.key,
             "outcome": dataclasses.asdict(self.outcome),
             "extras": self.extras,
+            "wall_s": round(self.wall_s, 6),
         }
 
     @classmethod
@@ -114,8 +122,10 @@ class JobResult:
         """Rebuild a result from a cache record.
 
         Raises ``KeyError``/``TypeError`` on malformed records; the cache
-        treats those as corrupt entries and recompiles.
+        treats those as corrupt entries and recompiles.  ``wall_s`` is
+        optional so pre-existing records stay readable.
         """
         outcome = LoopOutcome(**record["outcome"])
         return cls(key=record["key"], outcome=outcome,
-                   extras=dict(record.get("extras") or {}), cached=cached)
+                   extras=dict(record.get("extras") or {}), cached=cached,
+                   wall_s=float(record.get("wall_s") or 0.0))

@@ -16,6 +16,8 @@ extras spec is ``"name"`` or ``"name:arg"``; see ``EXTRA_EXTRACTORS``.
 
 from __future__ import annotations
 
+import time
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -26,6 +28,7 @@ from repro.ir.unroll import select_unroll_factor, unroll
 from repro.machine.cluster import ClusteredMachine
 from repro.machine.machine import Machine
 from repro.regalloc.queues import allocate_for_schedule
+from repro.sched.iisearch import DEFAULT_II_SEARCH
 from repro.sched.mii import mii_report
 from repro.sched.partition import (PartitionConfig, partitioned_schedule,
                                    schedule_with_moves)
@@ -40,6 +43,39 @@ from .job import CompileJob, JobResult
 #: require unrolling to exploit efficiently the machine resources")
 UNROLL_MAX_FACTOR = 8
 UNROLL_MAX_OPS = 128
+
+#: Front-end memo: the (unroll ->) copy-insert prefix of the pipeline is
+#: machine-independent, but sweeps compile the same loop object on many
+#: machines (fig6: four machines per loop; fig8/9: every preset).  Keyed
+#: by source-DDG identity + structural version, so any mutation of the
+#: source invalidates its entries; the memoised work DDG is consumed
+#: strictly read-only downstream (schedulers retime *copies*), which also
+#: lets its packed ``arrays()`` lowering be shared across machines.
+_FRONTEND_MEMO: "weakref.WeakKeyDictionary[Ddg, dict]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _frontend(ddg: Ddg, factor: int, copies: bool,
+              copy_strategy: str) -> tuple[Ddg, int]:
+    """Memoised (unroll ->) copy-insert prefix: ``(work, n_copies)``."""
+    per_ddg = _FRONTEND_MEMO.get(ddg)
+    if per_ddg is None or per_ddg.get("version") != ddg._version:
+        per_ddg = {"version": ddg._version}
+        _FRONTEND_MEMO[ddg] = per_ddg
+    key = (factor, copies, copy_strategy)
+    hit = per_ddg.get(key)
+    if hit is not None:
+        return hit
+    work = unroll(ddg, factor) if factor > 1 else ddg
+    n_copies = 0
+    if copies:
+        res = insert_copies(work, strategy=copy_strategy)  # type: ignore[arg-type]
+        work, n_copies = res.ddg, res.n_copies
+    if work is not ddg:
+        # the identity case recomputes nothing -- and storing it would
+        # make the weak-keyed entry strongly self-referential (immortal)
+        per_ddg[key] = (work, n_copies)
+    return work, n_copies
 
 
 @dataclass
@@ -60,7 +96,8 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                  allocate: bool = True,
                  partitioner: str = DEFAULT_PARTITIONER,
                  use_moves: bool = False,
-                 scheduler: str = DEFAULT_SCHEDULER) -> CompiledLoop:
+                 scheduler: str = DEFAULT_SCHEDULER,
+                 ii_search: str = DEFAULT_II_SEARCH) -> CompiledLoop:
     """Run (unroll ->) (copy-insert ->) schedule (-> allocate queues).
 
     ``scheduler`` selects the single-cluster scheduling engine from the
@@ -68,8 +105,10 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
     through a partitioning engine, selected by name from the
     :mod:`repro.sched.partitioners` registry via ``partitioner`` (the
     space/time search embeds IMS's eviction machinery -- see DESIGN.md
-    §6).  Scheduling failures produce a ``failed`` outcome instead of
-    raising, so corpus sweeps always complete.
+    §6).  ``ii_search`` picks the II search mode for either engine kind
+    (see :mod:`repro.sched.iisearch`).  Scheduling failures produce a
+    ``failed`` outcome instead of raising, so corpus sweeps always
+    complete.
     """
     factor = 1
     if unroll_factor is not None:
@@ -86,12 +125,14 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
             rolled = compile_loop(
                 ddg, machine, copies=copies, copy_strategy=copy_strategy,
                 allocate=False, partitioner=partitioner,
-                use_moves=use_moves, scheduler=scheduler)
+                use_moves=use_moves, scheduler=scheduler,
+                ii_search=ii_search)
             unrolled = compile_loop(
                 ddg, machine, unroll_factor=factor, copies=copies,
                 copy_strategy=copy_strategy, allocate=allocate,
                 partitioner=partitioner,
-                use_moves=use_moves, scheduler=scheduler)
+                use_moves=use_moves, scheduler=scheduler,
+                ii_search=ii_search)
             if (unrolled.outcome.failed
                     or rolled.outcome.failed
                     or unrolled.outcome.ii_per_iteration
@@ -103,15 +144,11 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                     ddg, machine, unroll_factor=1, copies=copies,
                     copy_strategy=copy_strategy, allocate=True,
                     partitioner=partitioner,
-                    use_moves=use_moves, scheduler=scheduler)
+                    use_moves=use_moves, scheduler=scheduler,
+                    ii_search=ii_search)
             return rolled
         factor = 1
-    work = unroll(ddg, factor) if factor > 1 else ddg
-
-    n_copies = 0
-    if copies:
-        res = insert_copies(work, strategy=copy_strategy)  # type: ignore[arg-type]
-        work, n_copies = res.ddg, res.n_copies
+    work, n_copies = _frontend(ddg, factor, copies, copy_strategy)
 
     clustered = isinstance(machine, ClusteredMachine)
     report = mii_report(work, machine)
@@ -119,14 +156,17 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
         if clustered and use_moves:
             sched = schedule_with_moves(
                 work, machine,
-                config=PartitionConfig(partitioner=partitioner)
+                config=PartitionConfig(partitioner=partitioner,
+                                       ii_search=ii_search)
             ).schedule
         elif clustered:
             sched = partitioned_schedule(
                 work, machine,
-                config=PartitionConfig(partitioner=partitioner))
+                config=PartitionConfig(partitioner=partitioner,
+                                       ii_search=ii_search))
         else:
-            sched = get_scheduler(scheduler).schedule(work, machine).schedule
+            sched = get_scheduler(scheduler).schedule(
+                work, machine, ii_search=ii_search).schedule
     except SchedulingError:
         return CompiledLoop(outcome=LoopOutcome(
             loop=ddg.name, machine=machine.name,
@@ -276,12 +316,16 @@ def execute_job(job: CompileJob) -> JobResult:
 
     Pure: the result depends only on the job's content, which is what
     makes parallel and serial sweeps bit-identical and results cacheable
-    under the job key.
+    under the job key.  ``wall_s`` (excluded from equality) records the
+    compile time -- the cost estimate the persistent pool's chunked
+    dispatch reads back from cache records.
     """
+    t0 = time.perf_counter()
     compiled = compile_loop(job.ddg, job.machine,
                             **job.options.compile_kwargs())
     extras = {}
     for spec in job.options.extras:
         extras[spec] = (None if compiled.outcome.failed
                         else compute_extra(spec, compiled))
-    return JobResult(key=job.key, outcome=compiled.outcome, extras=extras)
+    return JobResult(key=job.key, outcome=compiled.outcome, extras=extras,
+                     wall_s=time.perf_counter() - t0)

@@ -1,0 +1,254 @@
+"""Persistent sweep-worker pools with preloaded payloads.
+
+The historical executor spun up a fresh ``multiprocessing.Pool`` for
+every ``run_jobs`` call and shipped every job whole -- the loop DDG and
+the machine description were re-pickled per job even though a sweep grid
+references the same few objects hundreds of times.
+
+A :class:`PoolSession` keeps one pool of workers alive across
+``run_jobs`` calls (keyed by worker count) and moves the bulky payload
+out of the per-task path:
+
+* **Dedup tables + pool initializer** -- the session maintains grow-only
+  tables of the distinct loop/machine objects it has seen; workers
+  receive the tables once, through the pool initializer (free under the
+  ``fork`` start method -- the child inherits them), and each task is
+  just ``(seq, ddg_index, machine_index, options, key)``.  New table
+  entries restart the pool (counted, and rare: drivers reuse the same
+  loop and machine objects across their calls).
+* **Cost-balanced chunked dispatch** -- tasks are dispatched
+  largest-first over ``imap_unordered`` with a chunk size derived from
+  the job count, so one expensive loop cannot serialise the tail of the
+  sweep.  Cost estimates come from prior cache records (``wall_s`` by
+  ``(loop, machine)``), falling back to an op-count heuristic for jobs
+  never seen before.  Results are re-ordered by sequence number, so the
+  output stays byte-identical to the serial walk.
+* **Arena reuse inside each worker** -- workers are ordinary processes
+  running :func:`~repro.runner.pipeline.execute_job`, so each one's
+  process-global :func:`~repro.sched.arena.global_arena` (and front-end
+  memo) persists across every job it executes.
+
+Any failure to fan out degrades to the caller's serial path, exactly as
+before.
+"""
+
+from __future__ import annotations
+
+import atexit
+from typing import Callable, Optional, Sequence
+
+from .fingerprint import canonical_json, machine_signature
+from .job import CompileJob, JobResult
+from .pipeline import execute_job
+
+#: Grow-only table cap; beyond it the session recycles itself so a
+#: pathological stream of one-shot loop objects cannot hoard memory.
+MAX_TABLE_ENTRIES = 4096
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: Per-worker payload tables, set once by the pool initializer.
+_WORKER_DDGS: Sequence = ()
+_WORKER_MACHINES: Sequence = ()
+
+
+def _init_worker(ddgs, machines) -> None:
+    global _WORKER_DDGS, _WORKER_MACHINES
+    _WORKER_DDGS = ddgs
+    _WORKER_MACHINES = machines
+
+
+def _run_task(task) -> tuple[int, JobResult]:
+    seq, ddg_i, machine_i, options, key = task
+    job = CompileJob(ddg=_WORKER_DDGS[ddg_i],
+                     machine=_WORKER_MACHINES[machine_i],
+                     options=options, _key=key)
+    return seq, execute_job(job)
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+class PoolSession:
+    """One persistent worker pool plus its payload tables."""
+
+    def __init__(self, n_workers: int,
+                 context_factory: Callable) -> None:
+        self.n_workers = n_workers
+        self._context_factory = context_factory
+        self._pool = None
+        self._ddgs: list = []
+        self._machines: list = []
+        self._ddg_idx: dict[int, int] = {}       # id(ddg) -> table index
+        self._machine_idx: dict[str, int] = {}   # content sig -> index
+        self.spawns = 0        # pools (re)created
+        self.reuses = 0        # run_jobs calls served by a live pool
+
+    # ------------------------------------------------------------- tables
+
+    def _index_of(self, obj, idx: dict, table: list, key,
+                  ) -> tuple[int, bool]:
+        """Table index of *obj* under *key*; True when newly added.
+
+        Loops are keyed by identity (the table's strong reference keeps
+        the id stable); machines by content signature -- drivers rebuild
+        behaviourally identical machine objects every call, and the
+        signature is exactly the machine part of the cache key, so
+        substituting the first-seen equivalent cannot change results.
+        """
+        i = idx.get(key)
+        if i is not None:
+            return i, False
+        table.append(obj)
+        idx[key] = len(table) - 1
+        return len(table) - 1, True
+
+    def _ensure_pool(self, grew: bool):
+        """A live pool whose workers hold the current tables."""
+        if self._pool is not None and not grew:
+            self.reuses += 1
+            return self._pool
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool = None
+        ctx = self._context_factory()
+        self._pool = ctx.Pool(
+            processes=self.n_workers,
+            initializer=_init_worker,
+            initargs=(tuple(self._ddgs), tuple(self._machines)))
+        self.spawns += 1
+        return self._pool
+
+    # ------------------------------------------------------------ running
+
+    def run(self, jobs: Sequence[CompileJob],
+            on_result: Callable[[int, JobResult], None],
+            cost_of: Callable[[CompileJob], float],
+            chunk_size: Optional[int] = None) -> None:
+        """Execute *jobs*, reporting ``(position, result)`` as each
+        settles (any completion order); raises on fan-out failure with
+        the unreported positions simply never delivered -- the caller
+        finishes those serially."""
+        if len(self._ddgs) + len(self._machines) > MAX_TABLE_ENTRIES:
+            # recycle before indexing: the tables restart from only the
+            # objects of this call, and the pool respawns with them
+            self.close()
+        grew = False
+        tasks = []
+        for seq, job in enumerate(jobs):
+            # loops are keyed by identity AND structural version: a DDG
+            # mutated since the workers forked must not be served from
+            # their stale snapshot (the fresh entry restarts the pool)
+            di, new_d = self._index_of(job.ddg, self._ddg_idx, self._ddgs,
+                                       (id(job.ddg), job.ddg._version))
+            mi, new_m = self._index_of(
+                job.machine, self._machine_idx, self._machines,
+                canonical_json(machine_signature(job.machine)))
+            grew = grew or new_d or new_m
+            tasks.append((seq, di, mi, job.options, job.key))
+        pool = self._ensure_pool(grew)
+        # cost-balanced chunked dispatch: rank tasks costliest-first,
+        # then *stripe* them across the chunks -- contiguous chunking
+        # after the sort would hand all the expensive jobs to one worker
+        # and grow the tail instead of shrinking it
+        tasks.sort(key=lambda t: -cost_of(jobs[t[0]]))
+        chunk = chunk_size or max(
+            1, min(32, len(tasks) // (self.n_workers * 4)))
+        if chunk > 1:
+            n_chunks = -(-len(tasks) // chunk)
+            tasks = [t for i in range(n_chunks) for t in tasks[i::n_chunks]]
+        for seq, result in pool.imap_unordered(_run_task, tasks,
+                                               chunksize=chunk):
+            on_result(seq, result)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool = None
+        self._ddgs.clear()
+        self._machines.clear()
+        self._ddg_idx.clear()
+        self._machine_idx.clear()
+
+    def counters(self) -> dict:
+        return {"spawns": self.spawns, "reuses": self.reuses,
+                "ddgs": len(self._ddgs), "machines": len(self._machines)}
+
+
+#: Live sessions, keyed by worker count.
+_SESSIONS: dict[int, PoolSession] = {}
+
+
+def get_session(n_workers: int,
+                context_factory: Callable) -> PoolSession:
+    """The persistent session for *n_workers* (created on first use)."""
+    session = _SESSIONS.get(n_workers)
+    if session is None:
+        session = PoolSession(n_workers, context_factory)
+        _SESSIONS[n_workers] = session
+    return session
+
+
+def discard_session(n_workers: int) -> None:
+    """Tear one session down (fan-out failed; a fresh one may recover)."""
+    session = _SESSIONS.pop(n_workers, None)
+    if session is not None:
+        session.close()
+
+
+def close_all_sessions() -> None:
+    """Terminate every pool (atexit, and the test-suite's isolation)."""
+    for n in list(_SESSIONS):
+        discard_session(n)
+
+
+atexit.register(close_all_sessions)
+
+
+# ---------------------------------------------------------------------------
+# cost model
+# ---------------------------------------------------------------------------
+
+def cost_estimator(cache) -> Callable[[CompileJob], float]:
+    """Job-cost estimator from prior cache records.
+
+    Averages ``wall_s`` per ``(loop, machine)`` over everything the cache
+    has seen (options variants of a loop cost alike, to first order);
+    jobs with no history fall back to an op-count heuristic scaled to be
+    comparable with real timings.  The aggregation is memoised on the
+    cache instance -- drivers call ``run_jobs`` many times against one
+    cache, and the hints need not track results stored mid-session.
+    """
+    hints: dict[tuple[str, str], tuple[float, int]] = {}
+    if cache is not None:
+        cached_hints = getattr(cache, "_cost_hints", None)
+        if cached_hints is not None:
+            hints = cached_hints
+        else:
+            try:
+                for record in cache._load().values():
+                    wall = float(record.get("wall_s") or 0.0)
+                    if wall <= 0.0:
+                        continue
+                    outcome = record.get("outcome") or {}
+                    key = (outcome.get("loop"), outcome.get("machine"))
+                    total, n = hints.get(key, (0.0, 0))
+                    hints[key] = (total + wall, n + 1)
+            except Exception:  # cache internals are best-effort here
+                hints = {}
+            cache._cost_hints = hints
+
+    def cost(job: CompileJob) -> float:
+        name = getattr(job.machine, "name", "")
+        hint = hints.get((job.ddg.name, name))
+        if hint is not None:
+            return hint[0] / hint[1]
+        # ~linear in body size; unrolling multiplies the body
+        factor = job.options.unroll_factor or (
+            4 if job.options.do_unroll else 1)
+        return 1e-4 * job.ddg.n_ops * factor
+
+    return cost

@@ -2,6 +2,9 @@
 (IMS, SMS), and the pluggable cluster-partitioner registry (affinity,
 balance, first, random, agglomerative)."""
 
+from .arena import SchedArena, arena_counters, global_arena
+from .iisearch import (DEFAULT_II_SEARCH, II_SEARCH_MODES, check_ii_search,
+                       search_ii)
 from .ims import (DEFAULT_BUDGET_RATIO, ImsConfig, modulo_schedule,
                   try_schedule_at_ii)
 from .strategies import (DEFAULT_SCHEDULER, SchedulerResult,
@@ -24,6 +27,8 @@ from .schedule import (ModuloSchedule, ScheduleStats,
                        ScheduleValidationError, SchedulingError)
 
 __all__ = [
+    "SchedArena", "arena_counters", "global_arena",
+    "DEFAULT_II_SEARCH", "II_SEARCH_MODES", "check_ii_search", "search_ii",
     "DEFAULT_BUDGET_RATIO", "ImsConfig", "modulo_schedule",
     "try_schedule_at_ii",
     "DEFAULT_SCHEDULER", "SchedulerResult", "SchedulerStrategy",

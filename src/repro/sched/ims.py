@@ -30,6 +30,8 @@ from repro.ir.ddg import Ddg
 from repro.ir.validate import validate_ddg
 from repro.machine.machine import Machine
 
+from .arena import SchedArena, global_arena
+from .iisearch import DEFAULT_II_SEARCH, search_ii
 from .mii import mii_report
 from .mrt import PackedMRT
 from .priority import priority_order_idx
@@ -47,6 +49,7 @@ class ImsConfig:
     max_ii: Optional[int] = None      # default: mii + n_ops + sum latency
     validate_input: bool = True
     validate_output: bool = True
+    ii_search: str = DEFAULT_II_SEARCH
 
     def budget_for(self, n_ops: int) -> int:
         return max(1, self.budget_ratio * n_ops)
@@ -61,6 +64,7 @@ class ImsConfig:
 def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
                        budget: int,
                        stats: Optional[ScheduleStats] = None,
+                       arena: Optional[SchedArena] = None,
                        ) -> Optional[dict[int, int]]:
     """One IMS attempt at a fixed II; returns ``sigma`` or ``None``.
 
@@ -69,7 +73,8 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
     violation drops, and a :class:`~repro.sched.mrt.PackedMRT` keyed by
     integer pool ids.  Decisions (and therefore the returned sigma) are
     identical to the historical edge-object implementation -- pinned by
-    the golden-schedule equivalence tests.
+    the golden-schedule equivalence tests.  With an *arena* the
+    reservation table is borrowed from its pool instead of allocated.
     """
     arr = ddg.arrays()
     n = arr.n
@@ -78,7 +83,11 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
     for rank, i in enumerate(order):
         pos[i] = rank
     cursor = 0
-    mrt = PackedMRT(ii, machine.fus.as_dict())
+    if arena is not None:
+        arena.begin_attempt()
+        mrt = arena.take_mrt(ii, machine.fus.as_dict())
+    else:
+        mrt = PackedMRT(ii, machine.fus.as_dict())
     ids = arr.ids
     index = arr.index
     pool = arr.pool
@@ -160,12 +169,14 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
 
 def modulo_schedule(ddg: Ddg, machine: Machine, *,
                     config: Optional[ImsConfig] = None,
-                    start_ii: Optional[int] = None) -> ModuloSchedule:
+                    start_ii: Optional[int] = None,
+                    ii_search: Optional[str] = None) -> ModuloSchedule:
     """Schedule *ddg* on a single-cluster *machine* with IMS.
 
     Raises :class:`SchedulingError` if no II up to the limit admits a
     schedule (in practice only malformed inputs do).  The machine's latency
-    model, if any, is applied first.
+    model, if any, is applied first.  ``ii_search`` overrides the
+    config's II search mode (see :mod:`repro.sched.iisearch`).
     """
     cfg = config or ImsConfig()
     ddg = machine.retime(ddg)
@@ -180,25 +191,29 @@ def modulo_schedule(ddg: Ddg, machine: Machine, *,
     stats = ScheduleStats(mii=report.mii, res_mii=report.res,
                           rec_mii=report.rec)
     limit = cfg.ii_limit(ddg, first_ii)
+    arena = global_arena()
 
-    for ii in range(first_ii, limit + 1):
+    def probe(ii: int) -> Optional[dict[int, int]]:
         stats.iis_tried += 1
         stats.budget = cfg.budget_for(ddg.n_ops)
-        sigma = try_schedule_at_ii(ddg, machine, ii,
-                                   budget=stats.budget, stats=stats)
-        if sigma is None:
-            continue
-        # normalise: shift so the earliest issue is cycle >= 0 (IMS never
-        # goes negative, but keep the invariant explicit)
-        shift = min(sigma.values())
-        if shift:
-            sigma = {o: t - shift for o, t in sigma.items()}
-        sched = ModuloSchedule(
-            ddg=ddg, ii=ii, sigma=sigma, machine_name=machine.name,
-            stats=stats)
-        if cfg.validate_output:
-            sched.validate(machine.fus.as_dict())
-        return sched
+        return try_schedule_at_ii(ddg, machine, ii, budget=stats.budget,
+                                  stats=stats, arena=arena)
 
-    raise SchedulingError(
-        f"no schedule for {ddg.name!r} on {machine.name} with II <= {limit}")
+    found = search_ii(probe, first_ii, limit,
+                      mode=ii_search or cfg.ii_search)
+    if found is None:
+        raise SchedulingError(
+            f"no schedule for {ddg.name!r} on {machine.name} "
+            f"with II <= {limit}")
+    ii, sigma = found
+    # normalise: shift so the earliest issue is cycle >= 0 (IMS never
+    # goes negative, but keep the invariant explicit)
+    shift = min(sigma.values())
+    if shift:
+        sigma = {o: t - shift for o, t in sigma.items()}
+    sched = ModuloSchedule(
+        ddg=ddg, ii=ii, sigma=sigma, machine_name=machine.name,
+        stats=stats)
+    if cfg.validate_output:
+        sched.validate(machine.fus.as_dict())
+    return sched

@@ -192,17 +192,21 @@ class PackedMRT:
 
     Occupant op ids are kept per row (placement order) so forced-placement
     victim selection matches the legacy table exactly.
+
+    The table is **arena-reusable**: :meth:`reset` tears the previous
+    attempt down in O(touched slots) -- only rows that actually held an
+    op are cleared -- and re-dimensions the same buffers for a new II, so
+    a pooled instance (see :class:`repro.sched.arena.SchedArena`) never
+    reallocates its count vector or its per-row occupant lists between
+    attempts.
     """
 
     __slots__ = ("ii", "caps", "_counts", "_rows", "_usage", "_load",
-                 "_where")
+                 "_where", "_full")
 
-    def __init__(self, ii: int,
-                 capacities: Union[dict[FuType, int], Sequence[int]],
-                 ) -> None:
-        if ii < 1:
-            raise ValueError("II must be >= 1")
-        self.ii = ii
+    @staticmethod
+    def _caps_array(capacities: Union[dict[FuType, int], Sequence[int]],
+                    ) -> array:
         if isinstance(capacities, dict):
             caps = [0] * N_POOLS
             for pool, n in capacities.items():
@@ -212,12 +216,25 @@ class PackedMRT:
             caps = list(capacities)
             if len(caps) != N_POOLS:
                 raise ValueError(f"expected {N_POOLS} pool capacities")
-        self.caps = array("i", caps)
+        return array("i", caps)
+
+    def __init__(self, ii: int,
+                 capacities: Union[dict[FuType, int], Sequence[int]],
+                 ) -> None:
+        if ii < 1:
+            raise ValueError("II must be >= 1")
+        self.ii = ii
+        self.caps = self._caps_array(capacities)
         self._counts = array("i", bytes(4 * N_POOLS * ii))
         self._rows: list[list[int]] = [[] for _ in range(N_POOLS * ii)]
         self._usage = array("i", bytes(4 * N_POOLS))
         self._load = 0
         self._where: dict[int, tuple[int, int]] = {}  # op -> (pool, time)
+        # per-pool bitmask of *full* rows (bit r set iff row r is at
+        # capacity).  Its lowest clear bit is the pool's low-water mark:
+        # first_free() reads the answer off the mask instead of probing
+        # the count vector row by row from the start slot.
+        self._full = [0] * N_POOLS
 
     # ------------------------------------------------------------ queries
 
@@ -233,18 +250,26 @@ class PackedMRT:
         """Earliest ``t`` in ``[est, est + II)`` with a free unit, or -1.
 
         The II-wide window is exhaustive: rows repeat modulo II, so any
-        later slot reuses a row already probed.
+        later slot reuses a row already probed.  Answered from the pool's
+        full-row mask: rotate the mask so ``est``'s row sits at bit 0 and
+        take the lowest clear bit -- no per-row count probing (the
+        property test in ``tests/sched/test_mrt.py`` pins this against
+        the naive scan under random place/remove interleavings).
         """
-        ii = self.ii
-        cap = self.caps[pool]
-        if cap <= 0 or self._usage[pool] >= cap * ii:
+        if self.caps[pool] <= 0:
             return -1
-        base = pool * ii
-        counts = self._counts
-        for t in range(est, est + ii):
-            if counts[base + t % ii] < cap:
-                return t
-        return -1
+        mask = self._full[pool]
+        if not mask:
+            return est
+        ii = self.ii
+        all_full = (1 << ii) - 1
+        if mask == all_full:
+            return -1
+        r = est % ii
+        if r:
+            mask = ((mask >> r) | (mask << (ii - r))) & all_full
+        free = ~mask & all_full
+        return est + (free & -free).bit_length() - 1
 
     def occupants(self, pool: int, time: int) -> tuple[int, ...]:
         row = self._rows[pool * self.ii + time % self.ii]
@@ -279,7 +304,8 @@ class PackedMRT:
     def place(self, op_id: int, pool: int, time: int) -> None:
         """Reserve a unit; raises if the op is already placed or no unit
         is free (callers must evict first)."""
-        slot = pool * self.ii + time % self.ii
+        row = time % self.ii
+        slot = pool * self.ii + row
         if op_id in self._where:
             raise ValueError(f"op {op_id} already placed")
         if self._counts[slot] >= self.caps[pool]:
@@ -288,15 +314,19 @@ class PackedMRT:
                 f"{time % self.ii}")
         self._rows[slot].append(op_id)
         self._counts[slot] += 1
+        if self._counts[slot] >= self.caps[pool]:
+            self._full[pool] |= 1 << row
         self._usage[pool] += 1
         self._load += 1
         self._where[op_id] = (pool, time)
 
     def remove(self, op_id: int) -> None:
         pool, time = self._where.pop(op_id)
-        slot = pool * self.ii + time % self.ii
+        row = time % self.ii
+        slot = pool * self.ii + row
         self._rows[slot].remove(op_id)
         self._counts[slot] -= 1
+        self._full[pool] &= ~(1 << row)
         self._usage[pool] -= 1
         self._load -= 1
 
@@ -322,12 +352,44 @@ class PackedMRT:
             self.remove(victim)
         return victims
 
-    def clear(self) -> None:
-        for row in self._rows:
-            row.clear()
-        for i in range(N_POOLS * self.ii):
-            self._counts[i] = 0
+    def reset(self, ii: Optional[int] = None,
+              capacities: Union[dict[FuType, int], Sequence[int], None]
+              = None) -> "PackedMRT":
+        """Empty the table in O(touched) and re-dimension it in place.
+
+        Only slots that actually held an op are cleared (the count vector
+        and occupant lists are otherwise already zero/empty -- the class
+        invariant ``counts[slot] == len(rows[slot])`` makes the occupied
+        set derivable from ``_where``).  With *ii*/*capacities* given the
+        same buffers serve the next attempt, growing geometrically only
+        when a larger ``N_POOLS * II`` footprint is first seen.
+        """
+        if self._where:
+            old_ii = self.ii
+            counts = self._counts
+            rows = self._rows
+            for pool, time in self._where.values():
+                slot = pool * old_ii + time % old_ii
+                if counts[slot]:
+                    counts[slot] = 0
+                    rows[slot].clear()
+            self._where.clear()
         for i in range(N_POOLS):
             self._usage[i] = 0
+            self._full[i] = 0
         self._load = 0
-        self._where.clear()
+        if capacities is not None:
+            self.caps = self._caps_array(capacities)
+        if ii is not None and ii != self.ii:
+            if ii < 1:
+                raise ValueError("II must be >= 1")
+            self.ii = ii
+            need = N_POOLS * ii
+            if len(self._counts) < need:
+                self._counts = array("i", bytes(4 * need))
+                self._rows.extend([] for _ in
+                                  range(need - len(self._rows)))
+        return self
+
+    def clear(self) -> None:
+        self.reset()

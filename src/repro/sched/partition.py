@@ -34,6 +34,8 @@ from repro.ir.operations import Opcode
 from repro.ir.validate import validate_ddg
 from repro.machine.cluster import ClusteredMachine
 
+from .arena import global_arena
+from .iisearch import DEFAULT_II_SEARCH, search_ii
 from .mii import mii_report
 from .partitioners import (DEFAULT_PARTITIONER, PartitionState,
                            get_partitioner)
@@ -63,6 +65,7 @@ class PartitionConfig:
     validate_input: bool = True
     validate_output: bool = True
     seed: int = 0
+    ii_search: str = DEFAULT_II_SEARCH
 
     def __post_init__(self) -> None:
         if self.strategy is not None:
@@ -124,31 +127,39 @@ def partitioned_schedule(ddg: Ddg, cm: ClusteredMachine, *,
                           rec_mii=report.rec)
     limit = cfg.ii_limit(ddg, first_ii)
     rng = _random.Random(cfg.seed)
+    arena = global_arena()
 
-    for ii in range(first_ii, limit + 1):
+    def probe(ii: int) -> Optional[PartitionState]:
         stats.iis_tried += 1
         stats.budget = cfg.budget_for(ddg.n_ops)
-        state = engine.try_at_ii(
+        return engine.try_at_ii(
             ddg, cm, ii, budget=stats.budget, pinned=pinned,
-            relax_adjacency=relax_adjacency, stats=stats, rng=rng)
-        if state is None:
-            continue
-        # normalise off the packed state; the state dies here, so its
-        # cluster map transfers without a copy
-        shift = min(state.sigma.values())
-        sigma = {o: t - shift for o, t in state.sigma.items()}
-        sched = ModuloSchedule(
-            ddg=ddg, ii=ii, sigma=sigma, cluster_of=state.cluster_of,
-            n_clusters=cm.n_clusters, machine_name=cm.name, stats=stats)
-        if cfg.validate_output:
-            sched.validate(
-                cm.cluster.fus.as_dict(),
-                adjacency=None if relax_adjacency else cm)
-        return sched
+            relax_adjacency=relax_adjacency, stats=stats, rng=rng,
+            arena=arena)
 
-    raise SchedulingError(
-        f"no partitioned schedule for {ddg.name!r} on {cm.name} "
-        f"with II <= {limit} ({cfg.partitioner!r} partitioner)")
+    # stochastic engines consume one seeded stream across probes, so
+    # only the sequential walk gives reproducible (and linear-identical)
+    # results; deterministic engines honour the configured mode
+    mode = "linear" if engine.stochastic else cfg.ii_search
+    found = search_ii(probe, first_ii, limit, mode=mode)
+    if found is None:
+        raise SchedulingError(
+            f"no partitioned schedule for {ddg.name!r} on {cm.name} "
+            f"with II <= {limit} ({cfg.partitioner!r} partitioner)")
+    ii, state = found
+    # normalise off the packed state; the state dies here, so its
+    # cluster map transfers without a copy (the dicts are per-state,
+    # never arena-pooled)
+    shift = min(state.sigma.values())
+    sigma = {o: t - shift for o, t in state.sigma.items()}
+    sched = ModuloSchedule(
+        ddg=ddg, ii=ii, sigma=sigma, cluster_of=state.cluster_of,
+        n_clusters=cm.n_clusters, machine_name=cm.name, stats=stats)
+    if cfg.validate_output:
+        sched.validate(
+            cm.cluster.fus.as_dict(),
+            adjacency=None if relax_adjacency else cm)
+    return sched
 
 
 # ---------------------------------------------------------------------------

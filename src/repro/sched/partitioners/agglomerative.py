@@ -29,6 +29,7 @@ from repro.ir.ddg import Ddg
 from repro.machine.cluster import ClusteredMachine
 from repro.machine.resources import pool_for
 
+from ..arena import SchedArena
 from ..schedule import ScheduleStats
 from .base import PartitionState
 from .registry import register_partitioner
@@ -198,6 +199,7 @@ class AgglomerativePartitioner(SlotSearchPartitioner):
                   relax_adjacency: bool = False,
                   stats: Optional[ScheduleStats] = None,
                   rng: Optional[_random.Random] = None,
+                  arena: Optional[SchedArena] = None,
                   ) -> Optional[PartitionState]:
         if not pinned and not relax_adjacency:
             pins = agglomerative_assignment(ddg, cm, ii)
@@ -207,7 +209,8 @@ class AgglomerativePartitioner(SlotSearchPartitioner):
                 pinned_budget = max(1, budget // 2)
                 state = super().try_at_ii(
                     ddg, cm, ii, budget=pinned_budget, pinned=pins,
-                    relax_adjacency=relax_adjacency, stats=stats, rng=rng)
+                    relax_adjacency=relax_adjacency, stats=stats, rng=rng,
+                    arena=arena)
                 if state is not None:
                     return state
                 budget -= pinned_budget
@@ -215,4 +218,5 @@ class AgglomerativePartitioner(SlotSearchPartitioner):
                     return None
         return super().try_at_ii(
             ddg, cm, ii, budget=budget, pinned=pinned,
-            relax_adjacency=relax_adjacency, stats=stats, rng=rng)
+            relax_adjacency=relax_adjacency, stats=stats, rng=rng,
+            arena=arena)

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, ClassVar, Optional
 from repro.ir.ddg import Ddg
 from repro.machine.cluster import ClusteredMachine
 
+from ..arena import SchedArena
 from ..mrt import PackedMRT
 from ..schedule import ScheduleStats
 
@@ -47,9 +48,16 @@ class PartitionState:
     ``cluster_of`` / ``last_time`` dicts stay keyed by op id (drivers,
     tests and the MOVE pipeline consume those) and are maintained in
     lock-step by :meth:`place_idx` / :meth:`unschedule`.
+
+    With an *arena* the reservation tables and ring topology come from
+    the arena's pools (reset in O(touched) between attempts) instead of
+    being rebuilt; such a state is only valid until the arena's next
+    ``begin_attempt`` and must not outlive the II driver that owns the
+    arena -- the driver detaches the plain result dicts on success.
     """
 
-    def __init__(self, ddg: Ddg, cm: ClusteredMachine, ii: int) -> None:
+    def __init__(self, ddg: Ddg, cm: ClusteredMachine, ii: int,
+                 arena: Optional[SchedArena] = None) -> None:
         self.ddg = ddg
         self.cm = cm
         self.ii = ii
@@ -58,11 +66,19 @@ class PartitionState:
         self.cluster_of: dict[int, int] = {}
         self.last_time: dict[int, int] = {}
         caps = cm.cluster.fus.as_dict()
-        self.mrts = [PackedMRT(ii, caps) for _ in range(cm.n_clusters)]
         n = cm.n_clusters
-        self.adj = [[cm.are_adjacent(a, b) for b in range(n)]
-                    for a in range(n)]
-        self.all_clusters = list(range(n))
+        if arena is not None:
+            arena.begin_attempt()
+            self.mrts = arena.take_mrts(n, ii, caps)
+            self.adj, self.adj_mask, self.all_clusters = \
+                arena.ring_topology(cm)
+        else:
+            self.mrts = [PackedMRT(ii, caps) for _ in range(n)]
+            self.adj = [[cm.are_adjacent(a, b) for b in range(n)]
+                        for a in range(n)]
+            self.adj_mask = [sum(1 << b for b in range(n) if row[b])
+                             for row in self.adj]
+            self.all_clusters = list(range(n))
         self.xlat = cm.inter_cluster_latency
         # packed mirrors of sigma / cluster_of, indexed by op index
         self.sig = [-1] * arr.n
@@ -165,13 +181,16 @@ class PartitionState:
             self.arr.index[op_id]).items()}
 
     def allowed_from_nbrs(self, nbr_clusters: dict[int, int]) -> list[int]:
-        """Clusters adjacent to every scheduled DATA neighbour."""
+        """Clusters adjacent to every scheduled DATA neighbour (bitmask
+        intersection over the cached ring topology)."""
         if not nbr_clusters:
             return self.all_clusters
-        adj = self.adj
-        clusters = set(nbr_clusters.values())
+        need = 0
+        for nc in nbr_clusters.values():
+            need |= 1 << nc
+        masks = self.adj_mask
         return [c for c in self.all_clusters
-                if all(adj[c][nc] for nc in clusters)]
+                if masks[c] & need == need]
 
     def allowed_clusters(self, op_id: int,
                          pinned: dict[int, int],
@@ -203,6 +222,12 @@ class Partitioner(abc.ABC):
     name: ClassVar[str] = ""
     #: One-line summary shown by ``repro-vliw partitioners``.
     description: ClassVar[str] = ""
+    #: True when attempts consume shared randomness (the ``random``
+    #: engine): probe outcomes then depend on the *sequence* of IIs
+    #: probed, so the II driver must keep the sequential linear walk --
+    #: adaptive bracketing would visit different IIs and desynchronise
+    #: the stream, breaking linear/adaptive schedule parity.
+    stochastic: ClassVar[bool] = False
 
     @abc.abstractmethod
     def try_at_ii(self, ddg: Ddg, cm: ClusteredMachine, ii: int, *,
@@ -211,13 +236,17 @@ class Partitioner(abc.ABC):
                   relax_adjacency: bool = False,
                   stats: Optional[ScheduleStats] = None,
                   rng: Optional[_random.Random] = None,
+                  arena: Optional[SchedArena] = None,
                   ) -> Optional[PartitionState]:
         """One partitioned-scheduling attempt at a fixed II.
 
         Returns the final :class:`PartitionState` (``sigma`` +
         ``cluster_of``) or ``None`` when the placement budget runs out.
         ``pinned`` fixes some ops' clusters; ``relax_adjacency`` disables
-        the ring constraint (the MOVE pipeline's first pass).
+        the ring constraint (the MOVE pipeline's first pass).  With an
+        *arena* the attempt state borrows the arena's pooled buffers;
+        the returned state is then only valid until the arena's next
+        attempt begins (II drivers consume it immediately).
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

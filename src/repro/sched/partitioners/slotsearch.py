@@ -28,6 +28,7 @@ from typing import Optional
 from repro.ir.ddg import Ddg
 from repro.machine.cluster import ClusteredMachine
 
+from ..arena import SchedArena
 from ..priority import priority_order_idx
 from ..schedule import ScheduleStats
 from .base import Partitioner, PartitionState
@@ -51,9 +52,10 @@ class SlotSearchPartitioner(Partitioner):
                   relax_adjacency: bool = False,
                   stats: Optional[ScheduleStats] = None,
                   rng: Optional[_random.Random] = None,
+                  arena: Optional[SchedArena] = None,
                   ) -> Optional[PartitionState]:
         rng = rng or _random.Random(0)
-        state = PartitionState(ddg, cm, ii)
+        state = PartitionState(ddg, cm, ii, arena=arena)
         arr = state.arr
         index = arr.index
         pinned_idx = ({index[o]: c for o, c in pinned.items()}
@@ -70,11 +72,16 @@ class SlotSearchPartitioner(Partitioner):
         estart_from = PartitionState.estart_from
         pool = arr.pool
         sig = state.sig
+        cl = state.cl
+        adj_mask = state.adj_mask
+        all_clusters = state.all_clusters
         last_time = [-1] * n
         in_ptr, in_src = arr.in_ptr, arr.in_src
         in_lat, in_dist = arr.in_lat, arr.in_dist
         out_ptr, out_dst = arr.out_ptr, arr.out_dst
         out_lat, out_dist = arr.out_lat, arr.out_dist
+        nbr_ptr, nbr_arr = arr.nbr_ptr, arr.nbr
+        in_data = arr.in_data
         # aging: repeated adjacency deadlocks rotate through cluster
         # choices (a deterministic heuristic would otherwise ping-pong
         # forever between two mutually-exclusive placements)
@@ -101,20 +108,46 @@ class SlotSearchPartitioner(Partitioner):
             i = order[cursor]
             unscheduled.discard(i)
 
-            nbr_clusters = state.scheduled_nbr_clusters_idx(i)
+            # inlined scheduled_nbr_clusters_idx / allowed_from_nbrs /
+            # pred_arrivals_idx (the three hottest per-round queries;
+            # the methods on PartitionState stay the public forms)
+            nbr_clusters: dict[int, int] = {}
+            aff_count: dict[int, int] = {}
+            need = 0
+            for j in range(nbr_ptr[i], nbr_ptr[i + 1]):
+                x = nbr_arr[j]
+                c = cl[x]
+                if c >= 0:
+                    nbr_clusters[x] = c
+                    need |= 1 << c
+                    aff_count[c] = aff_count.get(c, 0) + 1
             if i in pinned_idx:
                 allowed = [pinned_idx[i]]
-            elif relax_adjacency:
-                allowed = state.all_clusters
+            elif relax_adjacency or not need:
+                allowed = all_clusters
             else:
-                allowed = state.allowed_from_nbrs(nbr_clusters)
-            aff_count: dict[int, int] = {}
-            for nc in nbr_clusters.values():
-                aff_count[nc] = aff_count.get(nc, 0) + 1
-            arrivals = state.pred_arrivals_idx(i)
+                allowed = [c for c in all_clusters
+                           if adj_mask[c] & need == need]
+            arrivals: list[tuple[int, int]] = []
+            uniform = True
+            for j in range(in_ptr[i], in_ptr[i + 1]):
+                s = in_src[j]
+                t = sig[s]
+                if t < 0:
+                    continue
+                base = t + in_lat[j] - in_dist[j] * ii
+                if xlat and in_data[j]:
+                    arrivals.append((base, cl[s]))
+                    uniform = False
+                else:
+                    arrivals.append((base, -1))
             uniform_est: Optional[int] = None
-            if not xlat or all(sc < 0 for _, sc in arrivals):
-                uniform_est = estart_from(arrivals, 0, 0)
+            if uniform:
+                est0 = 0
+                for base, _sc in arrivals:
+                    if base > est0:
+                        est0 = base
+                uniform_est = est0
 
             # ---- normal placement: best (cluster, slot) candidate ------
             best: Optional[tuple[tuple, int, int]] = None  # key, c, slot
@@ -230,6 +263,10 @@ class FirstFitPartitioner(SlotSearchPartitioner):
 class RandomPartitioner(SlotSearchPartitioner):
     name = "random"
     description = "uniformly random feasible candidate (seeded)"
+    # draws from the shared seeded stream on every candidate: probe
+    # results depend on probe order, so the II driver pins this engine
+    # to the linear walk (see Partitioner.stochastic)
+    stochastic = True
 
     def candidate_key(self, aff, t, load, c, rng):
         return (rng.random(),)

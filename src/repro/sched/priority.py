@@ -25,10 +25,15 @@ def heights_list(arr: DdgArrays, ii: int) -> list[int]:
     """Height per op *index* at initiation interval *ii* (packed form).
 
     Raises ``ValueError`` if *ii* is below RecMII (a positive cycle makes
-    heights diverge).
+    heights diverge).  Memoised per (lowering, II) on ``arr.ii_cache``
+    (every II driver probes the same points across machines); callers
+    treat the returned list as immutable.
     """
     if ii < 1:
         raise ValueError("II must be >= 1")
+    cached = arr.ii_cache.get(("heights", ii))
+    if cached is not None:
+        return cached
     h = [0] * arr.n
     e_src = arr.e_src
     e_dst = arr.e_dst
@@ -41,6 +46,7 @@ def heights_list(arr: DdgArrays, ii: int) -> list[int]:
                 h[s] = cand
                 changed = True
         if not changed:
+            arr.ii_cache[("heights", ii)] = h
             return h
     raise ValueError(
         f"heights diverge at II={ii}: positive dependence cycle "
@@ -56,9 +62,16 @@ def heights(ddg: Ddg, ii: int) -> dict[int, int]:
 
 def priority_order_idx(arr: DdgArrays, ii: int) -> list[int]:
     """Op *indices* in scheduling order: decreasing height, then
-    increasing op id (ids ascend with index, so index breaks the tie)."""
+    increasing op id (ids ascend with index, so index breaks the tie).
+    Memoised beside :func:`heights_list`; callers must not mutate the
+    returned list."""
+    cached = arr.ii_cache.get(("prio", ii))
+    if cached is not None:
+        return cached
     h = heights_list(arr, ii)
-    return sorted(range(arr.n), key=lambda i: (-h[i], i))
+    order = sorted(range(arr.n), key=lambda i: (-h[i], i))
+    arr.ii_cache[("prio", ii)] = order
+    return order
 
 
 def priority_order(ddg: Ddg, ii: int) -> list[int]:

@@ -54,6 +54,8 @@ from repro.ir.ddg import Ddg
 from repro.ir.validate import validate_ddg
 from repro.machine.machine import Machine
 
+from ..arena import SchedArena, global_arena
+from ..iisearch import DEFAULT_II_SEARCH, search_ii
 from ..mii import mii_report
 from ..mrt import PackedMRT
 from ..priority import heights_list
@@ -69,6 +71,7 @@ class SmsConfig:
     max_ii: Optional[int] = None      # default: mii + n_ops + sum latency
     validate_input: bool = True
     validate_output: bool = True
+    ii_search: str = DEFAULT_II_SEARCH
 
     def ii_limit(self, ddg: Ddg, start_ii: int) -> int:
         if self.max_ii is not None:
@@ -84,10 +87,17 @@ _Analysis = tuple[dict[int, int], dict[int, int], dict[int, int]]
 
 
 def _analyse(ddg: Ddg, ii: int) -> _Analysis:
-    """``(E, L, H)`` at *ii*; raises ``ValueError`` below RecMII."""
+    """``(E, L, H)`` at *ii*; raises ``ValueError`` below RecMII.
+
+    Memoised per (lowering, II) -- the adaptive II driver and repeated
+    sweeps probe the same points; consumers read the dicts only.
+    """
     if ii < 1:
         raise ValueError("II must be >= 1")
     arr = ddg.arrays()
+    cached = arr.ii_cache.get(("sms_analysis", ii))
+    if cached is not None:
+        return cached
     e_list = [0] * arr.n
     e_src, e_dst = arr.e_src, arr.e_dst
     w = [lat - dist * ii for lat, dist in zip(arr.e_lat, arr.e_dist)]
@@ -110,6 +120,7 @@ def _analyse(ddg: Ddg, ii: int) -> _Analysis:
     e_of = dict(zip(ids, e_list))
     l_of = {o: span - h for o, h in zip(ids, h_list)}
     h = dict(zip(ids, h_list))
+    arr.ii_cache[("sms_analysis", ii)] = (e_of, l_of, h)
     return e_of, l_of, h
 
 
@@ -242,12 +253,15 @@ def try_sms_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
                   order: Optional[list[int]] = None,
                   analysis: Optional[_Analysis] = None,
                   stats: Optional[ScheduleStats] = None,
+                  arena: Optional[SchedArena] = None,
                   ) -> Optional[dict[int, int]]:
     """One SMS pass at a fixed II; returns ``sigma`` or ``None``.
 
     No backtracking: the first op that finds no free slot in its (at most
     II-wide) feasible window fails the whole II.  Issue times may be
-    negative (bottom-up placements); callers normalise.
+    negative (bottom-up placements); callers normalise.  With an *arena*
+    the reservation table is borrowed from its pool; the sigma dict is
+    only materialised on success (failed IIs allocate nothing op-sized).
     """
     if analysis is None:
         analysis = _analyse(ddg, ii)
@@ -261,12 +275,15 @@ def try_sms_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
     in_lat, in_dist = arr.in_lat, arr.in_dist
     out_ptr, out_dst = arr.out_ptr, arr.out_dst
     out_lat, out_dist = arr.out_lat, arr.out_dist
-    mrt = PackedMRT(ii, machine.fus.as_dict())
+    if arena is not None:
+        arena.begin_attempt()
+        mrt = arena.take_mrt(ii, machine.fus.as_dict())
+    else:
+        mrt = PackedMRT(ii, machine.fus.as_dict())
     # SMS times go negative (bottom-up placements), so the unscheduled
     # sentinel cannot be -1; track placement separately
     sig = [0] * arr.n
     placed = [False] * arr.n
-    sigma: dict[int, int] = {}
 
     for op_id in order:
         i = index[op_id]
@@ -309,20 +326,23 @@ def try_sms_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
         mrt.place(op_id, p_i, placed_at)
         sig[i] = placed_at
         placed[i] = True
-        sigma[op_id] = placed_at
-    return sigma
+    # materialise sigma in placement order (matches the historical
+    # incrementally-built dict exactly)
+    return {op_id: sig[index[op_id]] for op_id in order}
 
 
 def sms_schedule(ddg: Ddg, machine: Machine, *,
                  config: Optional[SmsConfig] = None,
-                 start_ii: Optional[int] = None) -> ModuloSchedule:
+                 start_ii: Optional[int] = None,
+                 ii_search: Optional[str] = None) -> ModuloSchedule:
     """Schedule *ddg* on a single-cluster *machine* with SMS.
 
     Mirrors :func:`repro.sched.ims.modulo_schedule`: the machine's latency
-    model is applied first, IIs are tried from MII upward and
-    :class:`SchedulingError` is raised when the limit is exceeded (in
-    practice only malformed inputs get there -- at ``II = n_ops *
-    max-latency`` a fully serial placement always fits).
+    model is applied first, IIs are tried from MII upward (linear or
+    adaptive per ``ii_search`` / the config) and :class:`SchedulingError`
+    is raised when the limit is exceeded (in practice only malformed
+    inputs get there -- at ``II = n_ops * max-latency`` a fully serial
+    placement always fits).
     """
     cfg = config or SmsConfig()
     ddg = machine.retime(ddg)
@@ -337,25 +357,28 @@ def sms_schedule(ddg: Ddg, machine: Machine, *,
     stats = ScheduleStats(mii=report.mii, res_mii=report.res,
                           rec_mii=report.rec)
     limit = cfg.ii_limit(ddg, first_ii)
+    arena = global_arena()
 
-    for ii in range(first_ii, limit + 1):
+    def probe(ii: int) -> Optional[dict[int, int]]:
         stats.iis_tried += 1
-        sigma = try_sms_at_ii(ddg, machine, ii, stats=stats)
-        if sigma is None:
-            continue
-        shift = min(sigma.values())
-        if shift:
-            sigma = {o: t - shift for o, t in sigma.items()}
-        sched = ModuloSchedule(
-            ddg=ddg, ii=ii, sigma=sigma, machine_name=machine.name,
-            stats=stats)
-        if cfg.validate_output:
-            sched.validate(machine.fus.as_dict())
-        return sched
+        return try_sms_at_ii(ddg, machine, ii, stats=stats, arena=arena)
 
-    raise SchedulingError(
-        f"no SMS schedule for {ddg.name!r} on {machine.name} "
-        f"with II <= {limit}")
+    found = search_ii(probe, first_ii, limit,
+                      mode=ii_search or cfg.ii_search)
+    if found is None:
+        raise SchedulingError(
+            f"no SMS schedule for {ddg.name!r} on {machine.name} "
+            f"with II <= {limit}")
+    ii, sigma = found
+    shift = min(sigma.values())
+    if shift:
+        sigma = {o: t - shift for o, t in sigma.items()}
+    sched = ModuloSchedule(
+        ddg=ddg, ii=ii, sigma=sigma, machine_name=machine.name,
+        stats=stats)
+    if cfg.validate_output:
+        sched.validate(machine.fus.as_dict())
+    return sched
 
 
 @register_scheduler
@@ -371,7 +394,8 @@ class SmsStrategy(SchedulerStrategy):
         self.config = config or SmsConfig()
 
     def schedule(self, ddg: Ddg, machine: Machine, *,
-                 start_ii: Optional[int] = None) -> SchedulerResult:
+                 start_ii: Optional[int] = None,
+                 ii_search: Optional[str] = None) -> SchedulerResult:
         sched = sms_schedule(ddg, machine, config=self.config,
-                             start_ii=start_ii)
+                             start_ii=start_ii, ii_search=ii_search)
         return SchedulerResult(schedule=sched, scheduler=self.name)

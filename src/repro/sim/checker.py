@@ -25,6 +25,7 @@ from repro.ir.unroll import unroll
 from repro.machine.cluster import ClusteredMachine
 from repro.machine.machine import Machine
 from repro.regalloc.queues import ScheduleQueueUsage, allocate_for_schedule
+from repro.sched.iisearch import DEFAULT_II_SEARCH
 from repro.sched.ims import ImsConfig
 from repro.sched.partition import PartitionConfig, partitioned_schedule
 from repro.sched.partitioners import DEFAULT_PARTITIONER
@@ -71,16 +72,18 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
                  iterations: Optional[int] = None,
                  sched_config: Optional[object] = None,
                  scheduler: str = DEFAULT_SCHEDULER,
-                 partitioner: str = DEFAULT_PARTITIONER) -> PipelineResult:
+                 partitioner: str = DEFAULT_PARTITIONER,
+                 ii_search: str = DEFAULT_II_SEARCH) -> PipelineResult:
     """Full paper pipeline with end-to-end verification.
 
     ``scheduler`` picks the single-cluster engine from the strategy
     registry and ``partitioner`` the clustered engine from the
-    partitioner registry.  A typed ``sched_config`` selects *and*
-    configures its own engine (:class:`ImsConfig` -> ``"ims"``,
-    ``SmsConfig`` -> ``"sms"``, :class:`PartitionConfig` -> its own
-    ``partitioner`` field), taking precedence over both names; clustered
-    machines always go through a partitioning engine.  Raises
+    partitioner registry; ``ii_search`` the II search mode for either.
+    A typed ``sched_config`` selects *and* configures its own engine
+    (:class:`ImsConfig` -> ``"ims"``, ``SmsConfig`` -> ``"sms"``,
+    :class:`PartitionConfig` -> its own ``partitioner`` field), taking
+    precedence over the names and the search mode; clustered machines
+    always go through a partitioning engine.  Raises
     :class:`repro.sim.vliwsim.SimulationError`,
     :class:`repro.sched.schedule.SchedulingError` or a validation error if
     anything is inconsistent; returns the artefacts otherwise.
@@ -100,7 +103,8 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
                 f"{type(sched_config).__name__} for a clustered machine "
                 f"(expected PartitionConfig)")
         else:
-            cfg = PartitionConfig(partitioner=partitioner)
+            cfg = PartitionConfig(partitioner=partitioner,
+                                  ii_search=ii_search)
         sched = partitioned_schedule(work, machine, config=cfg)
         usage = allocate_for_schedule(sched, machine)
         capacities = machine.cluster.fus.as_dict()
@@ -116,7 +120,8 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
                 f"for a single-cluster machine")
         else:
             engine = get_scheduler(scheduler)
-        sched = engine.schedule(work, machine).schedule
+        mode = None if sched_config is not None else ii_search
+        sched = engine.schedule(work, machine, ii_search=mode).schedule
         capacities = machine.fus.as_dict()
         if not machine.needs_copies:
             # conventional RF: no queues to allocate, the queue simulator

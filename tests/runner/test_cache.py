@@ -120,3 +120,54 @@ def test_default_dir_honours_env(monkeypatch, tmp_path):
 def test_default_dir_fallback(monkeypatch):
     monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
     assert default_cache_dir().name == "repro-vliw"
+
+
+def test_crash_mid_append_recovers_and_heals(cache):
+    """A writer killed mid-append leaves a torn final line with no
+    newline.  The loader must skip exactly that line, and the next batch
+    append must start on a fresh line instead of merging into the tear."""
+    good = execute_job(_job())
+    cache.put(good)
+    # simulate the crash: a truncated record, no trailing newline
+    with cache.path.open("a") as fh:
+        fh.write('{"v": %d, "key": "deadbeef", "outco' % SCHEMA_VERSION)
+
+    torn = ResultCache(cache.directory)
+    assert torn.get(good.key) == good
+    assert torn.n_corrupt == 1
+
+    # appending through the torn tail must not corrupt the new record
+    second = execute_job(_job("dot"))
+    torn.put(second)
+    healed = ResultCache(cache.directory)
+    assert healed.get(good.key) == good
+    assert healed.get(second.key) == second
+    assert healed.n_corrupt == 1          # still just the torn line
+    # the torn fragment sits isolated on its own line
+    lines = cache.path.read_text().splitlines()
+    assert sum(1 for ln in lines if ln.endswith('"outco')) == 1
+
+
+def test_put_many_is_one_append_per_batch(cache, monkeypatch):
+    """run_jobs stores the whole sweep with a single buffered write."""
+    jobs = [_job(n) for n in ("daxpy", "dot", "fir4", "vadd")]
+    results = [execute_job(j) for j in jobs]
+    writes = []
+    real_open = type(cache.path).open
+
+    def counting_open(self, mode="r", *a, **kw):
+        fh = real_open(self, mode, *a, **kw)
+        if "a" in mode:
+            real_write = fh.write
+            def write(data):
+                writes.append(data)
+                return real_write(data)
+            fh.write = write
+        return fh
+
+    monkeypatch.setattr(type(cache.path), "open", counting_open)
+    cache.put_many(results)
+    assert len(writes) == 1
+    assert writes[0].count("\n") == len(results)
+    reopened = ResultCache(cache.directory)
+    assert len(reopened) == len(results)

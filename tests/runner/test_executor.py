@@ -122,3 +122,61 @@ def test_failed_outcomes_survive_parallel_and_cache(tmp_path):
     assert parallel == serial
     assert replayed == serial
     assert all(r.cached for r in replayed)
+
+
+class TestPersistentPool:
+    def test_pool_survives_across_run_jobs_calls(self, corpus_sample):
+        from repro.runner import pool as pool_mod
+
+        pool_mod.close_all_sessions()
+        jobs = sweep(corpus_sample[:8], [qrf_machine(4)],
+                     [dict(copies=True, allocate=False)])
+        first = run_jobs(jobs, RunnerConfig(n_workers=2))
+        session = pool_mod._SESSIONS[2]
+        assert session.spawns == 1
+        # same loop/machine objects: the second sweep reuses the workers
+        more = sweep(corpus_sample[:8], [qrf_machine(4)],
+                     [dict(copies=True, allocate=True)])
+        run_jobs(more, RunnerConfig(n_workers=2))
+        assert session.spawns == 1
+        assert session.reuses >= 1
+        assert first == run_jobs(jobs)          # parity with serial
+        pool_mod.close_all_sessions()
+
+    def test_new_payload_objects_restart_workers(self, corpus_sample):
+        from repro.runner import pool as pool_mod
+
+        pool_mod.close_all_sessions()
+        run_jobs(sweep(corpus_sample[:4], [qrf_machine(4)], None),
+                 RunnerConfig(n_workers=2))
+        session = pool_mod._SESSIONS[2]
+        assert session.spawns == 1
+        # a machine object the workers have never seen forces a respawn
+        run_jobs(sweep(corpus_sample[:4], [qrf_machine(6)], None),
+                 RunnerConfig(n_workers=2))
+        assert session.spawns == 2
+        pool_mod.close_all_sessions()
+
+    def test_cost_estimator_prefers_cache_history(self, tmp_path):
+        from repro.runner import pool as pool_mod
+
+        cache = ResultCache(tmp_path)
+        job = CompileJob(kernel("daxpy"), qrf_machine(4))
+        run_jobs([job], RunnerConfig(cache=cache))
+        cost = pool_mod.cost_estimator(cache)
+        recorded = cost(job)
+        assert recorded > 0
+        # an unseen (loop, machine) pair falls back to the op heuristic
+        other = CompileJob(kernel("dot"), qrf_machine(6))
+        assert cost(other) == pytest.approx(1e-4 * other.ddg.n_ops)
+
+    def test_unordered_dispatch_returns_ordered_results(self,
+                                                        corpus_sample):
+        from repro.runner import pool as pool_mod
+
+        pool_mod.close_all_sessions()
+        jobs = sweep(corpus_sample, [qrf_machine(4)],
+                     [dict(copies=True, allocate=False)])
+        parallel = run_jobs(jobs, RunnerConfig(n_workers=3))
+        assert [r.key for r in parallel] == [j.key for j in jobs]
+        pool_mod.close_all_sessions()

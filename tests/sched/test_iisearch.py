@@ -1,0 +1,206 @@
+"""The II search driver: adaptive == linear, and every edge case.
+
+The acceptance bar of the adaptive driver is *bit-identical schedules*:
+whatever mode finds an II, the probe at that II is deterministic, so the
+only way the modes can diverge is by choosing different IIs.  The corpus
+parity test at the bottom pins that they never do.
+"""
+
+import pytest
+
+from repro.ir.copyins import insert_copies
+from repro.machine.presets import clustered_machine, qrf_machine
+from repro.sched.iisearch import (DEFAULT_II_SEARCH, NEAR_WINDOW,
+                                  check_ii_search, search_ii)
+from repro.sched.ims import ImsConfig, modulo_schedule
+from repro.sched.partition import PartitionConfig, partitioned_schedule
+from repro.sched.partitioners import available_partitioners
+from repro.sched.schedule import SchedulingError
+from repro.sched.strategies import available_schedulers, get_scheduler
+from repro.workloads.kernels import KERNELS, kernel
+
+
+def make_probe(feasible_from, limit=None, log=None):
+    """Probe feasible at every II >= *feasible_from* (monotone)."""
+    def probe(ii):
+        if log is not None:
+            log.append(ii)
+        if feasible_from is not None and ii >= feasible_from:
+            return f"sched@{ii}"
+        return None
+    return probe
+
+
+class TestSearchDriver:
+    def test_default_mode_is_adaptive(self):
+        assert DEFAULT_II_SEARCH == "adaptive"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown II search mode"):
+            check_ii_search("bogus")
+        with pytest.raises(ValueError, match="bogus"):
+            search_ii(make_probe(1), 1, 10, mode="bogus")
+
+    def test_mii_feasible_means_single_probe(self):
+        """MII already feasible: exactly one probe, both modes."""
+        for mode in ("linear", "adaptive"):
+            log = []
+            assert search_ii(make_probe(4, log=log), 4, 50,
+                             mode=mode) == (4, "sched@4")
+            assert log == [4]
+
+    def test_near_window_is_probe_identical_to_linear(self):
+        """Within the near-MII window the adaptive probe sequence IS the
+        linear walk -- same probes, same order."""
+        for gap in range(NEAR_WINDOW + 1):
+            lin, ada = [], []
+            first = 5
+            r_lin = search_ii(make_probe(first + gap, log=lin),
+                              first, 60, mode="linear")
+            r_ada = search_ii(make_probe(first + gap, log=ada),
+                              first, 60, mode="adaptive")
+            assert r_lin == r_ada == (first + gap, f"sched@{first + gap}")
+            assert lin == ada
+
+    def test_far_feasible_probes_logarithmically(self):
+        log = []
+        first, target, limit = 3, 200, 400
+        got = search_ii(make_probe(target, log=log), first, limit,
+                        mode="adaptive")
+        assert got == (200, "sched@200")
+        # the linear walk would probe 198 IIs; bracketing stays small
+        assert len(log) < 25
+
+    def test_adaptive_matches_linear_on_monotone_probes(self):
+        for first in (1, 4):
+            for target_gap in (0, 1, 2, 3, 5, 9, 17, 40):
+                lin = search_ii(make_probe(first + target_gap), first, 200,
+                                mode="linear")
+                ada = search_ii(make_probe(first + target_gap), first, 200,
+                                mode="adaptive")
+                assert lin == ada
+
+    def test_infeasible_range_returns_none(self):
+        for mode in ("linear", "adaptive"):
+            assert search_ii(make_probe(None), 2, 40, mode=mode) is None
+            # feasible only beyond the limit
+            assert search_ii(make_probe(50), 2, 40, mode=mode) is None
+
+    def test_empty_range_returns_none(self):
+        assert search_ii(make_probe(1), 5, 4) is None
+
+    def test_limit_probed_before_giving_up(self):
+        """Overshoot clamps to the limit, so a loop feasible exactly at
+        the limit is still found."""
+        log = []
+        assert search_ii(make_probe(40, log=log), 2, 40,
+                         mode="adaptive") == (40, "sched@40")
+        assert 40 in log
+
+    def test_budget_exhaustion_falls_back_to_linear(self):
+        """With probe_budget exhausted mid-bisection the remaining
+        bracket is walked linearly from below -- the answer is still the
+        minimal feasible II."""
+        log = []
+        got = search_ii(make_probe(100, log=log), 1, 1000,
+                        mode="adaptive", probe_budget=8)
+        assert got == (100, "sched@100")
+        # the fallback scan runs upward: the probes after the bracket
+        # phase are a strictly increasing run ending at 100
+        tail = log[log.index(max(log)) + 1:]
+        assert tail == sorted(tail)
+        assert tail[-1] == 100
+
+    def test_budget_exhaustion_keeps_known_feasible_when_scan_fails(self):
+        """A non-monotone probe set: the linear fallback finds nothing
+        below the bracketed feasible II, which is then returned."""
+        def probe(ii):
+            return "ok" if ii >= 64 else None
+
+        got = search_ii(probe, 1, 1000, mode="adaptive", probe_budget=4)
+        assert got is not None
+        assert probe(got[0]) == "ok"
+        assert got[0] == 64
+
+
+class TestEngineEdgeCases:
+    def test_infeasible_loop_hits_max_ii(self):
+        """A kernel on a machine lacking its FU mix cannot schedule; the
+        adaptive driver must exhaust [MII, max_ii] and raise, exactly
+        like the linear walk."""
+        from repro.machine.presets import narrow_test_machine
+
+        work = insert_copies(kernel("wide8")).ddg
+        for mode in ("linear", "adaptive"):
+            cfg = ImsConfig(max_ii=4, ii_search=mode)
+            with pytest.raises(SchedulingError, match="II <= 4"):
+                modulo_schedule(work, narrow_test_machine(), config=cfg)
+
+    def test_mii_feasible_loop_probes_once(self):
+        work = insert_copies(kernel("daxpy")).ddg
+        sched = modulo_schedule(work, qrf_machine(12))
+        assert sched.stats.iis_tried == 1           # zero extra probes
+        assert sched.ii == sched.stats.mii
+
+    def test_partitioned_infeasible_raises_at_limit(self):
+        work = insert_copies(kernel("dot")).ddg
+        cfg = PartitionConfig(max_ii=1, ii_search="adaptive")
+        cm = clustered_machine(4)
+        try:
+            s = partitioned_schedule(work, cm, config=cfg)
+            assert s.ii <= 1                         # genuinely fits
+        except SchedulingError as exc:
+            assert "II <= 1" in str(exc)
+
+
+class TestCorpusParity:
+    """Acceptance: ``--ii-search linear`` and ``adaptive`` produce
+    identical schedules over the full kernel corpus, every engine."""
+
+    @pytest.mark.parametrize("scheduler", available_schedulers())
+    def test_schedulers_identical_across_modes(self, scheduler):
+        m = qrf_machine(12)
+        for name in sorted(KERNELS):
+            work = insert_copies(kernel(name)).ddg
+            a = get_scheduler(scheduler).schedule(
+                work, m, ii_search="adaptive").schedule
+            b = get_scheduler(scheduler).schedule(
+                work, m, ii_search="linear").schedule
+            assert (a.ii, a.sigma) == (b.ii, b.sigma), \
+                f"{scheduler}/{name} diverges between II search modes"
+
+    @pytest.mark.parametrize("partitioner", available_partitioners())
+    def test_partitioners_identical_across_modes(self, partitioner):
+        cm = clustered_machine(4)
+        for name in sorted(KERNELS):
+            work = insert_copies(kernel(name)).ddg
+            a = partitioned_schedule(work, cm, config=PartitionConfig(
+                partitioner=partitioner, ii_search="adaptive"))
+            b = partitioned_schedule(work, cm, config=PartitionConfig(
+                partitioner=partitioner, ii_search="linear"))
+            assert (a.ii, a.sigma, a.cluster_of) \
+                == (b.ii, b.sigma, b.cluster_of), \
+                f"{partitioner}/{name} diverges between II search modes"
+
+
+def test_stochastic_engines_pin_the_linear_walk():
+    """The `random` engine consumes one seeded stream across probes, so
+    probe outcomes depend on probe order; the II driver keeps it on the
+    sequential walk (every deterministic engine stays adaptive)."""
+    from repro.sched.partitioners import get_partitioner
+
+    for name in available_partitioners():
+        engine = get_partitioner(name)
+        assert engine.stochastic == (name == "random"), name
+
+
+def test_ii_search_is_part_of_the_job_signature():
+    """Cached results can never alias across search modes."""
+    from repro.runner import CompileJob, PipelineOptions
+
+    ddg = kernel("daxpy")
+    m = qrf_machine(4)
+    adaptive = CompileJob(ddg, m, PipelineOptions(ii_search="adaptive"))
+    linear = CompileJob(ddg, m, PipelineOptions(ii_search="linear"))
+    assert adaptive.key != linear.key
+    assert CompileJob(ddg, m, PipelineOptions()).key == adaptive.key

@@ -114,3 +114,72 @@ class TestBookkeeping:
     def test_bad_ii(self):
         with pytest.raises(ValueError):
             ModuloReservationTable(0, {FuType.ADD: 1})
+
+
+class TestPackedFirstFree:
+    """The full-row-mask fast path of ``PackedMRT.first_free`` must agree
+    with the naive row-by-row scan under arbitrary interleavings."""
+
+    @staticmethod
+    def _naive_first_free(t, pool, est):
+        cap = t.caps[pool]
+        if cap <= 0:
+            return -1
+        for time in range(est, est + t.ii):
+            if t.can_place(pool, time):
+                return time
+        return -1
+
+    def _caps(self):
+        from repro.machine.resources import N_POOLS
+        return [2, 1, 1, 1][:N_POOLS] + [0] * max(0, N_POOLS - 4)
+
+    def test_mask_agrees_with_naive_scan_randomised(self):
+        import random
+
+        from repro.machine.resources import N_POOLS
+        from repro.sched.mrt import PackedMRT
+
+        rng = random.Random(1234)
+        for trial in range(40):
+            ii = rng.randint(1, 9)
+            t = PackedMRT(ii, self._caps())
+            placed = []
+            next_op = 0
+            for _step in range(120):
+                pool = rng.randrange(N_POOLS)
+                est = rng.randint(0, 3 * ii)
+                assert t.first_free(pool, est) \
+                    == self._naive_first_free(t, pool, est), \
+                    f"divergence at trial {trial} (ii={ii})"
+                if placed and rng.random() < 0.4:
+                    victim = placed.pop(rng.randrange(len(placed)))
+                    t.remove(victim)
+                else:
+                    slot = t.first_free(pool, est)
+                    if slot >= 0:
+                        t.place(next_op, pool, slot)
+                        placed.append(next_op)
+                        next_op += 1
+
+    def test_mask_survives_reset_and_regrow(self):
+        import random
+
+        from repro.machine.resources import N_POOLS
+        from repro.sched.mrt import PackedMRT
+
+        rng = random.Random(99)
+        t = PackedMRT(3, self._caps())
+        for _round in range(25):
+            ii = rng.randint(1, 12)
+            t.reset(ii, self._caps())
+            assert t.load() == 0
+            ops = 0
+            for _ in range(30):
+                pool = rng.randrange(N_POOLS)
+                est = rng.randint(0, 2 * ii)
+                got = t.first_free(pool, est)
+                assert got == self._naive_first_free(t, pool, est)
+                if got >= 0:
+                    t.place(1000 + ops, pool, got)
+                    ops += 1

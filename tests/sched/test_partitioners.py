@@ -227,3 +227,66 @@ def test_forced_eviction_branch_actually_fires():
     s = partitioned_schedule(work, cm)
     assert s.stats.evictions > 0
     s.validate(cm.cluster.fus.as_dict(), adjacency=cm)
+
+
+class TestStateQueryEquivalence:
+    """The slot-search inner loop inlines pred_arrivals_idx /
+    scheduled_nbr_clusters_idx / allowed_from_nbrs for speed; the
+    methods remain the public forms.  Pin the methods against a
+    brute-force recomputation on mid-search states so neither copy can
+    drift silently."""
+
+    def test_methods_match_bruteforce_on_partial_states(self):
+        import random
+
+        from repro.ir.copyins import insert_copies
+        from repro.machine.presets import clustered_machine
+        from repro.sched.partitioners import PartitionState
+        from repro.workloads.kernels import kernel
+
+        rng = random.Random(7)
+        for name in ("dot", "fir4", "tridiag"):
+            work = insert_copies(kernel(name)).ddg
+            for n_clusters in (4, 6):
+                cm = clustered_machine(n_clusters)
+                state = PartitionState(work, cm, ii=4)
+                arr = state.arr
+                # place a random half of the ops
+                for i in rng.sample(range(arr.n), arr.n // 2):
+                    for c in rng.sample(range(n_clusters), n_clusters):
+                        t = rng.randint(0, 7)
+                        if state.mrts[c].can_place(arr.pool[i], t):
+                            state.place_idx(i, c, t)
+                            break
+                for i in range(arr.n):
+                    op_id = arr.ids[i]
+                    # scheduled DATA neighbours, brute force off the ddg
+                    expect_nbrs = {}
+                    for e in work.data_edges():
+                        if e.src == e.dst:
+                            continue
+                        for a, b in ((e.src, e.dst), (e.dst, e.src)):
+                            if a == op_id and state.cl[arr.index[b]] >= 0:
+                                expect_nbrs[arr.index[b]] = \
+                                    state.cl[arr.index[b]]
+                    assert state.scheduled_nbr_clusters_idx(i) \
+                        == expect_nbrs
+                    # allowed clusters: adjacent to every neighbour
+                    got = state.allowed_from_nbrs(expect_nbrs)
+                    expect_allowed = [
+                        c for c in range(n_clusters)
+                        if all(cm.are_adjacent(c, nc)
+                               for nc in expect_nbrs.values())]
+                    assert got == expect_allowed
+                    # estart via the cached-arrival helpers
+                    for c in range(n_clusters):
+                        est = 0
+                        for e in work.in_edges(op_id):
+                            s = arr.index[e.src]
+                            if state.sig[s] < 0:
+                                continue
+                            cand = state.sig[s] + e.latency \
+                                - e.distance * state.ii
+                            if cand > est:
+                                est = cand
+                        assert state.estart(op_id, c) == est  # xlat == 0

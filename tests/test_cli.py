@@ -205,3 +205,128 @@ def test_cache_subcommand_reports_and_clears(capsys, tmp_path):
     assert "cleared" in out
     code, out, _ = run_cli(capsys, "--cache-dir", cache, "cache")
     assert "0 results" in out
+
+
+# ---------------------------------------------------------------------------
+# II search flag
+# ---------------------------------------------------------------------------
+
+def test_schedule_ii_search_modes_agree(capsys):
+    code, adaptive, _ = run_cli(capsys, "schedule", "fir4")
+    assert code == 0
+    code, linear, _ = run_cli(capsys, "schedule", "fir4",
+                              "--ii-search", "linear")
+    assert code == 0
+    assert linear == adaptive
+
+def test_experiment_accepts_ii_search(capsys):
+    code, adaptive, _ = run_cli(capsys, "--sample", "6", "--no-cache",
+                                "experiment", "fig3")
+    assert code == 0
+    code, linear, _ = run_cli(capsys, "--sample", "6", "--no-cache",
+                              "experiment", "fig3",
+                              "--ii-search", "linear")
+    assert code == 0
+    assert linear == adaptive
+
+def test_unknown_ii_search_rejected(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["schedule", "daxpy",
+                                   "--ii-search", "bogus"])
+
+
+# ---------------------------------------------------------------------------
+# bench subcommand
+# ---------------------------------------------------------------------------
+
+REPO_ROOT = __import__("pathlib").Path(__file__).resolve().parents[1]
+
+
+def test_bench_list(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    code, out, _ = run_cli(capsys, "bench", "--list")
+    assert code == 0
+    assert "fig6_partition" in out
+    assert "scheduler_compare" in out
+
+def test_bench_unknown_name(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    code, _, err = run_cli(capsys, "bench", "nope")
+    assert code == 2
+    assert "unknown benchmark" in err
+
+def test_bench_requires_name(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    code, _, err = run_cli(capsys, "bench")
+    assert code == 2
+    assert "name required" in err
+
+def test_bench_gates_against_baseline(capsys, monkeypatch, tmp_path):
+    """A stubbed benchmark run: the gate passes within tolerance and
+    fails beyond it, with the records written where telemetry looks."""
+    import json
+
+    from repro import cli as cli_mod
+
+    monkeypatch.chdir(REPO_ROOT)
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+
+    def fake_run(bench_file, wall):
+        def _run(path):
+            assert str(path).endswith("bench_fig6_partition.py")
+            record = {"schema": 1, "name": "fig6_partition",
+                      "wall_s": wall, "corpus_size": 1,
+                      "timestamp": "now", "metrics": {}}
+            (tmp_path / "BENCH_fig6_partition.json").write_text(
+                json.dumps(record))
+            return 0
+        return _run
+
+    baseline = json.loads(
+        (REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+    base_wall = baseline["benches"]["fig6_partition"]["wall_s"]
+
+    monkeypatch.setattr(cli_mod, "_run_benchmark",
+                        fake_run("fig6_partition", base_wall * 0.5))
+    code, out, _ = run_cli(capsys, "bench", "fig6_partition")
+    assert code == 0
+    assert "within budget" in out
+
+    monkeypatch.setattr(cli_mod, "_run_benchmark",
+                        fake_run("fig6_partition", base_wall * 10))
+    code, out, err = run_cli(capsys, "bench", "fig6_partition")
+    assert code == 1
+    assert "REGRESSION" in out
+    assert "regression" in err
+
+def test_bench_without_baseline_entry_reports_not_gated(capsys,
+                                                        monkeypatch,
+                                                        tmp_path):
+    import json
+
+    from repro import cli as cli_mod
+
+    monkeypatch.chdir(REPO_ROOT)
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+
+    def fake_run(path):
+        record = {"schema": 1, "name": "fig3_queues", "wall_s": 1.0,
+                  "corpus_size": 1, "timestamp": "now", "metrics": {}}
+        (tmp_path / "BENCH_fig3_queues.json").write_text(
+            json.dumps(record))
+        return 0
+
+    monkeypatch.setattr(cli_mod, "_run_benchmark", fake_run)
+    code, out, _ = run_cli(capsys, "bench", "fig3_queues")
+    assert code == 0
+    assert "NOT GATED" in out
+    assert "within budget" not in out
+
+def test_bench_failing_run_propagates(capsys, monkeypatch):
+    from repro import cli as cli_mod
+
+    monkeypatch.chdir(REPO_ROOT)
+    monkeypatch.setattr(cli_mod, "_run_benchmark", lambda path: 3)
+    code, _, err = run_cli(capsys, "bench", "fig6_partition")
+    assert code == 3
+    assert "failed" in err
