@@ -14,7 +14,12 @@ Subcommands:
 * ``repro-vliw report``             -- the headline experiment bundle
 * ``repro-vliw bench``              -- run a named benchmark and gate it
   against ``benchmarks/baseline.json`` (the CI perf-smoke check, local)
-* ``repro-vliw cache``              -- inspect/clear the result cache
+* ``repro-vliw cache``              -- inspect (``stats``), compact
+  (``gc --max-bytes``), migrate or clear the result cache
+* ``repro-vliw serve``              -- run the sweep service daemon
+  (``POST /jobs`` + ``/metrics``; see DESIGN §5.7)
+* ``repro-vliw submit``             -- submit kernels to a running
+  daemon over HTTP (smoke/testing client)
 
 Experiment sweeps honour ``--jobs N`` (parallel workers; output is
 byte-identical to the serial run), ``--no-cache`` and ``--cache-dir``;
@@ -109,11 +114,13 @@ def _runner(args):
 
     Caching defaults on (keys are content hashes, so stale entries are
     unreachable); ``--no-cache`` disables it and ``--cache-dir`` (or
-    ``$REPRO_CACHE_DIR``) relocates the store.
+    ``$REPRO_CACHE_DIR``) relocates the store.  The backend is picked by
+    layout: existing single-file caches stay legacy, new directories get
+    the sharded concurrently-writable store (see ``repro-vliw cache``).
     """
-    from repro.runner import ResultCache, RunnerConfig
+    from repro.runner import RunnerConfig, open_cache
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = None if args.no_cache else open_cache(args.cache_dir)
     progress = None
     if args.jobs > 1 and sys.stderr.isatty():  # pragma: no cover
         def progress(done, total):
@@ -311,19 +318,120 @@ def cmd_bench(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    from repro.runner import ResultCache
+    """Inspect or maintain the result cache, either layout.
 
-    cache = ResultCache(args.cache_dir)
-    if args.clear:
+    ``stats`` (the default action) prints entry/byte counts and -- for
+    the sharded backend -- per-shard occupancy; ``gc`` compacts every
+    shard (deduping superseded records) and, with ``--max-bytes``,
+    evicts oldest-first down to the budget; ``migrate`` folds a legacy
+    single-file store into shards; ``clear`` drops everything.
+    """
+    from repro.runner import open_cache
+
+    cache = open_cache(args.cache_dir)
+    action = args.action or ("clear" if args.clear else "stats")
+    if action == "clear":
         n = len(cache)
         cache.clear()
         print(f"cleared {n} cached results from {cache.path}")
         return 0
-    print(f"cache: {cache.path}")
+    if action == "migrate":
+        if not hasattr(cache, "migrate"):
+            cache = open_cache(args.cache_dir, backend="sharded")
+        moved = cache.migrate()
+        print(f"migrated {moved} legacy results into {cache.shard_dir}")
+        return 0
+    if action == "gc":
+        report = cache.gc(args.max_bytes)
+        print(f"gc: {report['before_bytes']} -> {report['after_bytes']} "
+              f"bytes, {report['evicted']} evicted, "
+              f"{report['compacted_shards']} shard(s) compacted")
+        return 0
     stats = cache.stats()
-    print(f"{stats['entries']} results"
+    print(f"cache: {cache.path}  [{stats['backend']}]")
+    print(f"{stats['entries']} results, {stats['bytes']} bytes"
           + (f", {stats['corrupt']} corrupt lines skipped"
              if stats["corrupt"] else ""))
+    print(f"hits {stats['hits']}  misses {stats['misses']}  "
+          f"stores {stats['stores']}  evictions {stats['evictions']}  "
+          f"compactions {stats['compactions']}")
+    occupancy = stats.get("shard_occupancy")
+    if occupancy is not None:
+        shards = " ".join(f"{n:d}" for n in occupancy)
+        print(f"shard occupancy ({stats['n_shards']} shards): {shards}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the sweep service daemon until SIGTERM/SIGINT.
+
+    The daemon shares the CLI cache knobs: ``--cache-dir`` /
+    ``--no-cache`` pick the store (sharded for new directories, so the
+    daemon and concurrent CLI sweeps can share it) and the global
+    ``--jobs`` sets the compile worker count.  ``--max-cache-bytes``
+    bounds the store; shards over budget are compacted and evicted as
+    the service runs and once more on shutdown.
+    """
+    from repro.runner import open_cache
+    from repro.service import SweepService, serve
+
+    cache = None if args.no_cache else open_cache(
+        args.cache_dir, max_bytes=args.max_cache_bytes)
+    service = SweepService(cache, n_workers=args.jobs,
+                           batch_window_s=args.batch_window,
+                           batch_max=args.batch_max)
+    serve(service, host=args.host, port=args.port)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit kernels to a running daemon (the smoke-test client)."""
+    import http.client
+    import json
+
+    from repro.service.jobspec import kernel_job_spec
+
+    options = {}
+    if args.scheduler != DEFAULT_SCHEDULER:
+        options["scheduler"] = args.scheduler
+    if args.partitioner != DEFAULT_PARTITIONER:
+        options["partitioner"] = args.partitioner
+    specs = [kernel_job_spec(k, n_fus=args.fus,
+                             n_clusters=args.clusters or None,
+                             options=options or None)
+             for k in args.kernels]
+    conn = http.client.HTTPConnection(args.host, args.port,
+                                      timeout=args.timeout)
+    try:
+        conn.request("POST", "/jobs", json.dumps({"jobs": specs}),
+                     {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        if response.status != 200:
+            print(f"submit: HTTP {response.status}: "
+                  f"{body.get('error', body)}", file=sys.stderr)
+            return 1
+        results = body["results"]
+        for result in results:
+            outcome = result["outcome"]
+            tag = "cached " if result["cached"] else "compiled"
+            print(f"{outcome['loop']:<10} {outcome['machine']:<14} "
+                  f"[{tag}] II={outcome['ii']:<3d} "
+                  f"stages={outcome['stage_count']}")
+        if args.metrics_out:
+            conn.request("GET", "/metrics")
+            snapshot = conn.getresponse().read().decode("utf-8")
+            import pathlib
+            pathlib.Path(args.metrics_out).write_text(snapshot)
+            print(f"metrics snapshot -> {args.metrics_out}")
+        if args.expect_cached and not all(r["cached"] for r in results):
+            fresh = [r["outcome"]["loop"] for r in results
+                     if not r["cached"]]
+            print(f"submit: expected every result cached, but these "
+                  f"compiled: {', '.join(fresh)}", file=sys.stderr)
+            return 1
+    finally:
+        conn.close()
     return 0
 
 
@@ -414,9 +522,59 @@ def build_parser() -> argparse.ArgumentParser:
                     help="allowed wall-time factor over the baseline "
                          "(default 1.3, the CI gate's)")
 
-    pc = sub.add_parser("cache", help="inspect or clear the result cache")
+    pc = sub.add_parser(
+        "cache", help="inspect or maintain the result cache")
+    pc.add_argument("action", nargs="?", default=None,
+                    choices=["stats", "gc", "migrate", "clear"],
+                    help="stats (default): entries/bytes/shard "
+                         "occupancy/hit counters; gc: compact shards "
+                         "and evict to --max-bytes; migrate: fold a "
+                         "legacy single-file store into shards; clear: "
+                         "drop everything")
+    pc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                    help="byte budget for gc (oldest records evicted "
+                         "per shard until the store fits)")
     pc.add_argument("--clear", action="store_true",
-                    help="delete all cached results")
+                    help="delete all cached results (same as the "
+                         "'clear' action)")
+
+    pv = sub.add_parser(
+        "serve", help="run the sweep service daemon (POST /jobs, "
+                      "GET /jobs/<key>, /healthz, /metrics)")
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument("--port", type=int, default=8123)
+    pv.add_argument("--batch-window", type=float, default=0.005,
+                    metavar="SECONDS",
+                    help="micro-batch collection window (default 5ms)")
+    pv.add_argument("--batch-max", type=int, default=64, metavar="N",
+                    help="max jobs per dispatcher batch (default 64)")
+    pv.add_argument("--max-cache-bytes", type=int, default=None,
+                    metavar="N",
+                    help="size budget for the sharded result cache "
+                         "(oldest entries evicted per shard)")
+
+    pm = sub.add_parser(
+        "submit", help="submit kernels to a running daemon over HTTP")
+    pm.add_argument("kernels", nargs="+",
+                    help=f"kernel names, e.g. {', '.join(sorted(KERNELS))}")
+    pm.add_argument("--host", default="127.0.0.1")
+    pm.add_argument("--port", type=int, default=8123)
+    pm.add_argument("--fus", type=int, default=4,
+                    help="single-cluster machine width (default 4)")
+    pm.add_argument("--clusters", type=int, default=0,
+                    help="use a clustered machine with N clusters")
+    pm.add_argument("--scheduler", default=DEFAULT_SCHEDULER,
+                    choices=available_schedulers())
+    pm.add_argument("--partitioner", default=DEFAULT_PARTITIONER,
+                    choices=available_partitioners())
+    pm.add_argument("--timeout", type=float, default=120.0,
+                    help="HTTP timeout in seconds (default 120)")
+    pm.add_argument("--expect-cached", action="store_true",
+                    help="fail unless every result was served from the "
+                         "cache (the CI duplicate-submission check)")
+    pm.add_argument("--metrics-out", default=None, metavar="FILE",
+                    help="also fetch /metrics and write the snapshot "
+                         "to FILE")
     return p
 
 
@@ -431,6 +589,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": cmd_report,
         "bench": cmd_bench,
         "cache": cmd_cache,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
     }[args.command]
     return handler(args)
 

@@ -22,7 +22,8 @@ report``; benchmarks pick the same knobs up from ``REPRO_JOBS`` /
 ``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR``.
 """
 
-from .cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from .cache import (CACHE_DIR_ENV, ResultCache, ShardedResultCache,
+                    default_cache_dir, open_cache)
 from .executor import RunnerConfig, run_jobs
 from .fingerprint import (SCHEMA_VERSION, ddg_signature, job_key,
                           machine_signature)
@@ -33,7 +34,8 @@ from .pool import PoolSession, close_all_sessions, get_session
 from .sweep import as_options, sweep
 
 __all__ = [
-    "CACHE_DIR_ENV", "ResultCache", "default_cache_dir",
+    "CACHE_DIR_ENV", "ResultCache", "ShardedResultCache",
+    "default_cache_dir", "open_cache",
     "RunnerConfig", "run_jobs",
     "PoolSession", "close_all_sessions", "get_session",
     "SCHEMA_VERSION", "ddg_signature", "job_key", "machine_signature",

@@ -1,14 +1,28 @@
-"""Content-addressed on-disk result cache.
+"""Content-addressed on-disk result caches: legacy JSONL and sharded.
 
-Results are stored as one JSON line per job under the cache directory
-(``$REPRO_CACHE_DIR``, or ``~/.cache/repro-vliw`` by default), keyed by
-the job's content hash.  The format is append-only: a repeated sweep
-appends only the jobs it actually recomputed, and concurrent runs at
-worst duplicate a line (last one wins on load).
+Two backends share one duck-typed API (``get``/``peek``/``put``/
+``put_many``/``clear``/``stats``/``gc``):
 
-The loader is deliberately forgiving: corrupt lines (truncated writes,
-hand edits, schema drift) are counted and skipped, never fatal -- a bad
-cache entry costs one recompile, not a crashed sweep.
+* :class:`ResultCache` -- the historical single-``results.jsonl`` store.
+  Append-only, forgiving loader, fine for one writer.  Kept for existing
+  cache directories and as the simplest possible backend.
+* :class:`ShardedResultCache` -- the scaling backend behind the sweep
+  service.  Records are spread over ``2^k`` shard files keyed by the
+  leading hex digits of the job fingerprint, every append/compaction
+  holds a per-shard file lock (``flock`` where available), so the
+  daemon and any number of concurrent CLI runs can write the same cache
+  without torn lines or lost shards.  A size budget (``max_bytes``)
+  triggers per-shard compaction and oldest-first ("LRU-ish": insertion
+  order approximates recency in an append-only log) eviction, and the
+  cache keeps hit/miss/store/eviction plus cumulative latency counters
+  for ``/metrics`` and BENCH telemetry.
+
+:func:`open_cache` picks the backend by looking at the directory: an
+existing legacy file keeps the legacy layout (until ``migrate()``),
+anything else gets shards.  Both loaders stay deliberately forgiving:
+corrupt lines (truncated writes, hand edits, schema drift) are counted
+and skipped, never fatal -- a bad cache entry costs one recompile, not a
+crashed sweep.
 """
 
 from __future__ import annotations
@@ -17,6 +31,9 @@ import json
 import os
 import pathlib
 import sys
+import threading
+import time
+import zlib
 from typing import Iterable, Optional
 
 from .fingerprint import SCHEMA_VERSION
@@ -25,8 +42,19 @@ from .job import JobResult
 #: Environment override for the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
-#: File name of the JSONL store inside the cache directory.
+#: File name of the legacy JSONL store inside the cache directory.
 CACHE_FILE = "results.jsonl"
+
+#: Subdirectory holding the sharded store.
+SHARD_DIR = "shards"
+
+#: Default shard count (2^4; must be a power of two <= 256).
+N_SHARDS = 16
+
+try:  # pragma: no cover - always available on the POSIX CI hosts
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -37,8 +65,82 @@ def default_cache_dir() -> pathlib.Path:
     return pathlib.Path.home() / ".cache" / "repro-vliw"
 
 
+# ---------------------------------------------------------------------------
+# shared line-level helpers
+# ---------------------------------------------------------------------------
+
+def _parse_lines(raw: str, entries: dict) -> int:
+    """Fold JSONL *raw* into *entries* (last wins); returns corrupt count."""
+    corrupt = 0
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            if record.get("v") != SCHEMA_VERSION:
+                raise ValueError("schema version mismatch")
+            key = record["key"]
+            # validate eagerly so a malformed outcome is counted as
+            # corrupt now rather than crashing a later get()
+            JobResult.from_record(record)
+        except (ValueError, KeyError, TypeError):
+            corrupt += 1
+            continue
+        entries[key] = record
+    return corrupt
+
+
+def _ends_with_newline(path: pathlib.Path) -> bool:
+    """Whether *path* is empty/absent or ends on a record boundary."""
+    try:
+        with path.open("rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() == 0:
+                return True
+            fh.seek(-1, os.SEEK_END)
+            return fh.read(1) == b"\n"
+    except (FileNotFoundError, OSError):
+        return True
+
+
+class _FileLock:
+    """Advisory per-file lock (``flock`` on a ``.lock`` sibling).
+
+    Guards shard appends and compactions across *processes*; within a
+    process the cache's own mutex serialises callers.  Degrades to a
+    no-op where ``fcntl`` is unavailable -- exactly the platforms where
+    the historical cache already ran unlocked.
+    """
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self.path = path.with_name(path.name + ".lock")
+        self._fh = None
+
+    def __enter__(self) -> "_FileLock":
+        if fcntl is not None:
+            self._fh = self.path.open("a")
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            self._fh.close()
+            self._fh = None
+
+
+# ---------------------------------------------------------------------------
+# legacy single-file backend
+# ---------------------------------------------------------------------------
+
 class ResultCache:
-    """JSONL-backed content-addressed store of :class:`JobResult` records."""
+    """JSONL-backed content-addressed store of :class:`JobResult` records.
+
+    The legacy single-file layout: fine for one writer (concurrent runs
+    at worst duplicate a line; last one wins on load), the scaling
+    bottleneck the sharded backend replaces.  ``repro-vliw cache gc``
+    and ``stats`` work on this layout too, treating it as one shard.
+    """
 
     def __init__(self, directory: "pathlib.Path | str | None" = None) -> None:
         self.directory = pathlib.Path(directory) if directory \
@@ -50,6 +152,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------- loading
 
@@ -57,26 +161,11 @@ class ResultCache:
         if self._entries is not None:
             return self._entries
         entries: dict[str, dict] = {}
-        self.n_corrupt = 0
         try:
             raw = self.path.read_text()
         except (FileNotFoundError, OSError):
             raw = ""
-        for line in raw.splitlines():
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-                if record.get("v") != SCHEMA_VERSION:
-                    raise ValueError("schema version mismatch")
-                key = record["key"]
-                # validate eagerly so a malformed outcome is counted as
-                # corrupt now rather than crashing a later get()
-                JobResult.from_record(record)
-            except (ValueError, KeyError, TypeError):
-                self.n_corrupt += 1
-                continue
-            entries[key] = record
+        self.n_corrupt = _parse_lines(raw, entries)
         self._entries = entries
         return entries
 
@@ -87,6 +176,13 @@ class ResultCache:
         return key in self._load()
 
     # ------------------------------------------------------------ get/put
+
+    def peek(self, key: str) -> Optional[JobResult]:
+        """Like :meth:`get` but without touching the hit/miss counters
+        (status probes must not skew the telemetry)."""
+        record = self._load().get(key)
+        return None if record is None else \
+            JobResult.from_record(record, cached=True)
 
     def get(self, key: str) -> Optional[JobResult]:
         """Cached result for *key*, or None (and count the hit/miss)."""
@@ -130,7 +226,7 @@ class ResultCache:
         payload = "\n".join(lines) + "\n"
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            if not self._ends_with_newline():
+            if not _ends_with_newline(self.path):
                 payload = "\n" + payload
             with self.path.open("a") as fh:
                 fh.write(payload)
@@ -139,18 +235,6 @@ class ResultCache:
             print(f"repro-vliw: result cache {self.path} is not "
                   f"writable ({exc}); caching in memory only",
                   file=sys.stderr)
-
-    def _ends_with_newline(self) -> bool:
-        """Whether the store is empty or ends on a record boundary."""
-        try:
-            with self.path.open("rb") as fh:
-                fh.seek(0, os.SEEK_END)
-                if fh.tell() == 0:
-                    return True
-                fh.seek(-1, os.SEEK_END)
-                return fh.read(1) == b"\n"
-        except (FileNotFoundError, OSError):
-            return True
 
     def clear(self) -> None:
         """Drop the on-disk store and the in-memory index."""
@@ -161,8 +245,435 @@ class ResultCache:
         self._entries = None
         self.n_corrupt = 0
 
+    # ------------------------------------------------------------- gc
+
+    def total_bytes(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except (FileNotFoundError, OSError):
+            return 0
+
+    def gc(self, max_bytes: Optional[int] = None) -> dict:
+        """Compact the store (dedupe, drop corrupt lines) and, with a
+        *max_bytes* budget, evict oldest records until it fits."""
+        before = self.total_bytes()
+        self._entries = None
+        entries = self._load()
+        lines = [json.dumps(r, sort_keys=True) for r in entries.values()]
+        evicted = 0
+        if max_bytes is not None:
+            while lines and sum(len(ln) + 1 for ln in lines) > max_bytes:
+                lines.pop(0)
+                evicted += 1
+        kept = {}
+        _parse_lines("\n".join(lines), kept)
+        try:
+            if lines:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                tmp = self.path.with_suffix(".jsonl.tmp")
+                tmp.write_text("\n".join(lines) + "\n")
+                tmp.replace(self.path)
+            else:
+                self.clear()
+        except OSError:
+            pass
+        self._entries = kept
+        self.n_corrupt = 0
+        self.evictions += evicted
+        self.compactions += 1
+        return {"before_bytes": before, "after_bytes": self.total_bytes(),
+                "evicted": evicted, "compacted_shards": 1}
+
     def stats(self) -> dict:
-        """Counters for progress reporting and benchmarks."""
-        return {"entries": len(self), "hits": self.hits,
-                "misses": self.misses, "stores": self.stores,
-                "corrupt": self.n_corrupt}
+        """Counters for progress reporting, /metrics and benchmarks."""
+        return {"backend": "legacy", "entries": len(self),
+                "bytes": self.total_bytes(),
+                "hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.n_corrupt,
+                "evictions": self.evictions,
+                "compactions": self.compactions}
+
+
+# ---------------------------------------------------------------------------
+# sharded backend
+# ---------------------------------------------------------------------------
+
+class ShardedResultCache:
+    """Sharded, concurrently-writable content-addressed result store.
+
+    ``directory/shards/shard-XX.jsonl`` for ``XX`` in ``00..N-1`` (hex),
+    where a record's shard is the leading hex digits of its fingerprint
+    key -- SHA-256 output, so shards stay uniformly occupied.  Appends
+    and compactions hold the shard's file lock, making daemon + CLI
+    concurrent writers safe; a legacy ``results.jsonl`` in the same
+    directory is read through transparently (shard records win) until
+    :meth:`migrate` folds it in.
+
+    With *max_bytes* set, any shard growing past ``max_bytes/n_shards``
+    is compacted in place and its oldest records evicted -- the same
+    policy :meth:`gc` applies on demand.  All mutating entry points are
+    serialised by an internal mutex, so the service's event-loop thread
+    can read while the batch-executor thread stores.
+    """
+
+    def __init__(self, directory: "pathlib.Path | str | None" = None, *,
+                 n_shards: int = N_SHARDS,
+                 max_bytes: Optional[int] = None) -> None:
+        if n_shards < 1 or n_shards > 256 or n_shards & (n_shards - 1):
+            raise ValueError(f"n_shards must be a power of two in "
+                             f"[1, 256], not {n_shards}")
+        self.directory = pathlib.Path(directory) if directory \
+            else default_cache_dir()
+        self.shard_dir = self.directory / SHARD_DIR
+        #: displayed by ``repro-vliw cache``; the store's on-disk home
+        self.path = self.shard_dir
+        self.legacy_path = self.directory / CACHE_FILE
+        self.n_shards = n_shards
+        self.max_bytes = max_bytes
+        self._entries: Optional[dict[str, dict]] = None
+        self._shard_of_key: dict[str, int] = {}
+        self._in_shards: set[str] = set()
+        self._unwritable = False
+        self._mutex = threading.RLock()
+        self.n_corrupt = 0
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.compactions = 0
+        #: cumulative lookup/store wall time, for /metrics latency rates
+        self.get_s = 0.0
+        self.put_s = 0.0
+
+    # ------------------------------------------------------------- layout
+
+    def _shard(self, key: str) -> int:
+        """Shard index from the fingerprint prefix (hex keys), falling
+        back to a CRC for foreign keys so nothing is unroutable."""
+        try:
+            return int(key[:2], 16) % self.n_shards
+        except (ValueError, IndexError):
+            return zlib.crc32(key.encode("utf-8")) % self.n_shards
+
+    def _shard_path(self, shard: int) -> pathlib.Path:
+        return self.shard_dir / f"shard-{shard:02x}.jsonl"
+
+    def _shard_lock(self, shard: int) -> _FileLock:
+        return _FileLock(self._shard_path(shard))
+
+    # ------------------------------------------------------------- loading
+
+    def _load(self) -> dict[str, dict]:
+        with self._mutex:
+            if self._entries is not None:
+                return self._entries
+            entries: dict[str, dict] = {}
+            corrupt = 0
+            try:
+                corrupt += _parse_lines(self.legacy_path.read_text(),
+                                        entries)
+            except (FileNotFoundError, OSError):
+                pass
+            in_shards: dict[str, dict] = {}
+            for shard in range(self.n_shards):
+                try:
+                    raw = self._shard_path(shard).read_text()
+                except (FileNotFoundError, OSError):
+                    continue
+                corrupt += _parse_lines(raw, in_shards)
+            entries.update(in_shards)
+            self._entries = entries
+            self._in_shards = set(in_shards)
+            self._shard_of_key = {k: self._shard(k) for k in entries}
+            self.n_corrupt = corrupt
+            return entries
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    # ------------------------------------------------------------ get/put
+
+    def peek(self, key: str) -> Optional[JobResult]:
+        """Like :meth:`get` but without touching the hit/miss counters
+        (status probes must not skew the telemetry)."""
+        with self._mutex:
+            record = self._load().get(key)
+        return None if record is None else \
+            JobResult.from_record(record, cached=True)
+
+    def get(self, key: str) -> Optional[JobResult]:
+        """Cached result for *key*, or None (and count the hit/miss)."""
+        t0 = time.perf_counter()
+        with self._mutex:
+            record = self._load().get(key)
+            if record is None:
+                self.misses += 1
+                self.get_s += time.perf_counter() - t0
+                return None
+            self.hits += 1
+            self.get_s += time.perf_counter() - t0
+        return JobResult.from_record(record, cached=True)
+
+    def put(self, result: JobResult) -> None:
+        self.put_many([result])
+
+    def put_many(self, results: Iterable[JobResult]) -> None:
+        """Store results: one locked, buffered append per touched shard.
+
+        Each shard's batch is serialised first and written with a single
+        ``write`` while the shard lock is held, so concurrent writers
+        (daemon + CLI sweeps) interleave whole batches, never bytes.  A
+        torn tail left by a crashed writer is isolated with a leading
+        newline, exactly like the legacy store.  An unwritable location
+        degrades to in-memory-only after one warning.
+        """
+        results = list(results)
+        if not results:
+            return
+        t0 = time.perf_counter()
+        with self._mutex:
+            entries = self._load()
+            by_shard: dict[int, list[str]] = {}
+            for result in results:
+                record = result.to_record()
+                record["v"] = SCHEMA_VERSION
+                shard = self._shard(result.key)
+                by_shard.setdefault(shard, []).append(
+                    json.dumps(record, sort_keys=True))
+                entries[result.key] = record
+                self._shard_of_key[result.key] = shard
+                self._in_shards.add(result.key)
+                self.stores += 1
+            if not self._unwritable:
+                try:
+                    self.shard_dir.mkdir(parents=True, exist_ok=True)
+                    for shard, lines in sorted(by_shard.items()):
+                        self._append_shard(shard, lines)
+                        if self.max_bytes is not None:
+                            self._maybe_evict(shard)
+                except OSError as exc:
+                    self._unwritable = True
+                    print(f"repro-vliw: result cache {self.shard_dir} is "
+                          f"not writable ({exc}); caching in memory only",
+                          file=sys.stderr)
+            self.put_s += time.perf_counter() - t0
+
+    def _append_shard(self, shard: int, lines: list[str]) -> None:
+        path = self._shard_path(shard)
+        payload = "\n".join(lines) + "\n"
+        with self._shard_lock(shard):
+            if not _ends_with_newline(path):
+                payload = "\n" + payload
+            with path.open("a") as fh:
+                fh.write(payload)
+
+    # ----------------------------------------------------- gc / eviction
+
+    def _shard_budget(self) -> Optional[int]:
+        return None if self.max_bytes is None \
+            else max(1, self.max_bytes // self.n_shards)
+
+    def _maybe_evict(self, shard: int) -> None:
+        budget = self._shard_budget()
+        if budget is None:
+            return
+        try:
+            if self._shard_path(shard).stat().st_size > budget:
+                self._compact_shard(shard, budget)
+        except (FileNotFoundError, OSError):
+            pass
+
+    def _compact_shard(self, shard: int,
+                       budget: Optional[int]) -> tuple[int, int]:
+        """Rewrite one shard deduped (and evicted down to *budget*);
+        returns ``(evicted, removed_keys_still_cached_in_memory)``.
+
+        The shard file is re-read under its lock so records appended by
+        other processes since our load survive the rewrite.
+        """
+        path = self._shard_path(shard)
+        evicted = 0
+        with self._shard_lock(shard):
+            fresh: dict[str, dict] = {}
+            try:
+                _parse_lines(path.read_text(), fresh)
+            except (FileNotFoundError, OSError):
+                return 0, 0
+            lines = {k: json.dumps(r, sort_keys=True)
+                     for k, r in fresh.items()}
+            if budget is not None:
+                # oldest-first eviction: insertion order approximates
+                # recency in an append-only log
+                for key in list(lines):
+                    if sum(len(ln) + 1 for ln in lines.values()) <= budget:
+                        break
+                    del lines[key]
+                    del fresh[key]
+                    evicted += 1
+            try:
+                if lines:
+                    tmp = path.with_suffix(".jsonl.tmp")
+                    tmp.write_text("\n".join(lines.values()) + "\n")
+                    tmp.replace(path)
+                else:
+                    path.unlink(missing_ok=True)
+            except OSError:
+                return 0, 0
+        # refresh the in-memory view of this shard
+        entries = self._load()
+        dropped = [k for k, s in self._shard_of_key.items()
+                   if s == shard and k not in fresh]
+        for key in dropped:
+            entries.pop(key, None)
+            self._shard_of_key.pop(key, None)
+            self._in_shards.discard(key)
+        for key, record in fresh.items():
+            entries[key] = record
+            self._shard_of_key[key] = shard
+            self._in_shards.add(key)
+        self.evictions += evicted
+        self.compactions += 1
+        return evicted, len(dropped)
+
+    def gc(self, max_bytes: Optional[int] = None) -> dict:
+        """Compact every shard; with a byte budget, evict down to it.
+
+        *max_bytes* defaults to the cache's configured budget.  The
+        legacy file, if still present, is migrated first so its records
+        compete under the same policy.
+        """
+        with self._mutex:
+            if max_bytes is None:
+                max_bytes = self.max_bytes
+            before = self.total_bytes()
+            if self.legacy_path.exists():
+                self.migrate()
+            budget = None if max_bytes is None \
+                else max(1, max_bytes // self.n_shards)
+            evicted = compacted = 0
+            for shard in range(self.n_shards):
+                if self._shard_path(shard).exists():
+                    n, _ = self._compact_shard(shard, budget)
+                    evicted += n
+                    compacted += 1
+            return {"before_bytes": before,
+                    "after_bytes": self.total_bytes(),
+                    "evicted": evicted, "compacted_shards": compacted}
+
+    # ----------------------------------------------------------- migrate
+
+    def migrate(self) -> int:
+        """Fold a legacy ``results.jsonl`` into the shards and remove it.
+
+        Shard records win over legacy ones (they are newer by
+        construction: the legacy file stopped growing when the sharded
+        layout took over).  Returns the number of records moved.
+        """
+        with self._mutex:
+            legacy: dict[str, dict] = {}
+            try:
+                _parse_lines(self.legacy_path.read_text(), legacy)
+            except (FileNotFoundError, OSError):
+                return 0
+            entries = self._load()
+            by_shard: dict[int, list[str]] = {}
+            moved = 0
+            for key, record in legacy.items():
+                shard = self._shard(key)
+                if key in self._in_shards:
+                    # already shard-resident (possibly newer); skip
+                    continue
+                by_shard.setdefault(shard, []).append(
+                    json.dumps(record, sort_keys=True))
+                entries.setdefault(key, record)
+                self._shard_of_key[key] = shard
+                self._in_shards.add(key)
+                moved += 1
+            try:
+                self.shard_dir.mkdir(parents=True, exist_ok=True)
+                for shard, lines in sorted(by_shard.items()):
+                    self._append_shard(shard, lines)
+                self.legacy_path.unlink(missing_ok=True)
+            except OSError as exc:
+                print(f"repro-vliw: cache migration to {self.shard_dir} "
+                      f"failed ({exc})", file=sys.stderr)
+            return moved
+
+    # ------------------------------------------------------------- misc
+
+    def clear(self) -> None:
+        """Drop the on-disk store (both layouts) and the in-memory index."""
+        with self._mutex:
+            for shard in range(self.n_shards):
+                path = self._shard_path(shard)
+                path.unlink(missing_ok=True)
+                _FileLock(path).path.unlink(missing_ok=True)
+            self.legacy_path.unlink(missing_ok=True)
+            self._entries = None
+            self._shard_of_key = {}
+            self._in_shards = set()
+            self.n_corrupt = 0
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in [self.legacy_path] + [self._shard_path(s)
+                                          for s in range(self.n_shards)]:
+            try:
+                total += path.stat().st_size
+            except (FileNotFoundError, OSError):
+                continue
+        return total
+
+    def shard_occupancy(self) -> list[int]:
+        """Entry count per shard (uniform for healthy SHA-256 keys)."""
+        with self._mutex:
+            self._load()
+            counts = [0] * self.n_shards
+            for shard in self._shard_of_key.values():
+                counts[shard] += 1
+            return counts
+
+    def stats(self) -> dict:
+        """Counters for progress reporting, /metrics and benchmarks."""
+        with self._mutex:
+            return {"backend": "sharded", "entries": len(self),
+                    "bytes": self.total_bytes(),
+                    "n_shards": self.n_shards,
+                    "shard_occupancy": self.shard_occupancy(),
+                    "max_bytes": self.max_bytes,
+                    "hits": self.hits, "misses": self.misses,
+                    "stores": self.stores, "corrupt": self.n_corrupt,
+                    "evictions": self.evictions,
+                    "compactions": self.compactions,
+                    "get_s": round(self.get_s, 6),
+                    "put_s": round(self.put_s, 6)}
+
+
+def open_cache(directory: "pathlib.Path | str | None" = None, *,
+               backend: Optional[str] = None,
+               max_bytes: Optional[int] = None,
+               ) -> "ResultCache | ShardedResultCache":
+    """Open the result cache in *directory*, picking the right backend.
+
+    ``backend`` forces ``"legacy"`` or ``"sharded"``; by default an
+    existing legacy store (and no shards) keeps the legacy layout so old
+    cache directories stay valid, and everything else -- including brand
+    new directories -- gets the sharded backend.
+    """
+    d = pathlib.Path(directory) if directory else default_cache_dir()
+    if backend is None:
+        if (d / SHARD_DIR).is_dir():
+            backend = "sharded"
+        elif (d / CACHE_FILE).exists():
+            backend = "legacy"
+        else:
+            backend = "sharded"
+    if backend == "sharded":
+        return ShardedResultCache(d, max_bytes=max_bytes)
+    if backend == "legacy":
+        return ResultCache(d)
+    raise ValueError(f"unknown cache backend {backend!r}; "
+                     f"use 'legacy' or 'sharded'")

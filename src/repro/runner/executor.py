@@ -71,8 +71,8 @@ def _run_parallel(jobs: Sequence[CompileJob], config: RunnerConfig,
         session.run(jobs, on_result,
                     pool_mod.cost_estimator(config.cache),
                     chunk_size=config.chunk_size)
-    except Exception:
-        pool_mod.discard_session(config.n_workers)
+    except Exception as exc:
+        pool_mod.discard_session(config.n_workers, cause=exc)
         for seq, job in enumerate(jobs):
             if results[seq] is None:
                 results[seq] = execute_job(job)

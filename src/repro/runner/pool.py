@@ -35,7 +35,10 @@ before.
 from __future__ import annotations
 
 import atexit
+import logging
 from typing import Callable, Optional, Sequence
+
+log = logging.getLogger("repro.runner.pool")
 
 from .fingerprint import canonical_json, machine_signature
 from .job import CompileJob, JobResult
@@ -164,9 +167,21 @@ class PoolSession:
                                                chunksize=chunk):
             on_result(seq, result)
 
-    def close(self) -> None:
+    def close(self, graceful: bool = False) -> None:
+        """Tear the pool down.
+
+        ``graceful`` retires the workers instead of killing them: the
+        pool stops accepting work, finishes what is queued, and is
+        joined -- the daemon's SIGTERM path, where terminating mid-task
+        would leak half-written worker state.  The default stays the
+        historical hard terminate (tests, error recovery, atexit).
+        """
         if self._pool is not None:
-            self._pool.terminate()
+            if graceful:
+                self._pool.close()
+                self._pool.join()
+            else:
+                self._pool.terminate()
             self._pool = None
         self._ddgs.clear()
         self._machines.clear()
@@ -192,17 +207,39 @@ def get_session(n_workers: int,
     return session
 
 
-def discard_session(n_workers: int) -> None:
-    """Tear one session down (fan-out failed; a fresh one may recover)."""
+def discard_session(n_workers: int,
+                    cause: Optional[BaseException] = None) -> None:
+    """Tear one session down (fan-out failed; a fresh one may recover).
+
+    *cause* is the fan-out failure that triggered the discard.  It used
+    to be swallowed silently -- a broken pool degraded to the serial
+    path with no trace, which made genuine worker crashes (OOM kills,
+    unpicklable payload regressions) invisible.  Now it is logged.
+    """
     session = _SESSIONS.pop(n_workers, None)
+    if cause is not None:
+        log.warning(
+            "sweep fan-out over %d workers failed (%s: %s); discarding "
+            "the pool session and finishing serially",
+            n_workers, type(cause).__name__, cause)
     if session is not None:
         session.close()
 
 
-def close_all_sessions() -> None:
-    """Terminate every pool (atexit, and the test-suite's isolation)."""
+def close_all_sessions(graceful: bool = False) -> None:
+    """Close every pool: hard terminate by default (atexit, and the
+    test-suite's isolation), or drain-and-join with ``graceful`` (the
+    service's shutdown path)."""
     for n in list(_SESSIONS):
-        discard_session(n)
+        session = _SESSIONS.pop(n, None)
+        if session is not None:
+            session.close(graceful=graceful)
+
+
+def session_counters() -> dict:
+    """Live session counters keyed by worker count (for ``/metrics``)."""
+    return {str(n): session.counters()
+            for n, session in _SESSIONS.items()}
 
 
 atexit.register(close_all_sessions)

@@ -1,0 +1,282 @@
+"""Asyncio HTTP/1.1 front door for the sweep service.
+
+A deliberately minimal server on ``asyncio.start_server`` -- stdlib
+only, no frameworks -- speaking just enough HTTP/1.1 (request line,
+headers, ``Content-Length`` bodies, keep-alive) for the four routes:
+
+* ``POST /jobs``        -- compile job specs (see :mod:`.jobspec`);
+  responds with the JSON results once every job in the request settles
+* ``GET /jobs/<key>``   -- poll one fingerprint: 200 done / 202 pending
+  / 404 unknown
+* ``GET /healthz``      -- liveness probe
+* ``GET /metrics``      -- JSON snapshot of service + cache + pool
+  counters
+
+:func:`serve` is the blocking daemon entry point (the CLI's ``serve``
+subcommand): it installs SIGTERM/SIGINT handlers that stop accepting,
+drain in-flight jobs, flush the cache shards and retire the worker pools
+before exiting.  :class:`ServerHandle`/:func:`start_in_thread` run the
+same server on a background thread for tests, benchmarks and the CI
+smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+from typing import Optional
+
+from .engine import SweepService, result_to_wire
+from .jobspec import JobSpecError, parse_jobs
+
+#: request body cap -- a sweep of thousands of specs fits comfortably;
+#: anything bigger is a client bug, not a workload
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 500: "Internal Server Error"}
+
+
+def _response(status: int, payload: dict, *,
+              keep_alive: bool = True) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n").encode("ascii")
+    return head + body
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """``(method, path, headers, body)`` or None on a closed socket."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode("ascii").split()
+    except ValueError:
+        raise JobSpecError("malformed request line")
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise JobSpecError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+class _Http:
+    """Connection handler bound to one :class:`SweepService`."""
+
+    def __init__(self, service: SweepService) -> None:
+        self.service = service
+        #: live connection-handler tasks, cancelled at shutdown so idle
+        #: keep-alive clients cannot pin the drained loop open
+        self.connections: "set[asyncio.Task]" = set()
+        #: the subset mid-request (read done, response not yet flushed);
+        #: shutdown waits these out instead of cancelling them
+        self.busy: "set[asyncio.Task]" = set()
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self.connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except JobSpecError as exc:
+                    writer.write(_response(400, {"error": str(exc)},
+                                           keep_alive=False))
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                self.busy.add(task)
+                try:
+                    status, payload = await self._route(method, target,
+                                                        body)
+                    keep = headers.get("connection", "").lower() != "close"
+                    writer.write(_response(status, payload,
+                                           keep_alive=keep))
+                    await writer.drain()
+                finally:
+                    self.busy.discard(task)
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _route(self, method: str, target: str,
+                     body: bytes) -> tuple[int, dict]:
+        service = self.service
+        if target == "/healthz" and method == "GET":
+            return 200, {"status": "ok",
+                         "uptime_s": service.metrics()["uptime_s"]}
+        if target == "/metrics" and method == "GET":
+            return 200, service.metrics()
+        if target == "/jobs" and method == "POST":
+            try:
+                specs = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {"error": f"request body is not JSON: {exc}"}
+            try:
+                jobs = parse_jobs(specs)
+            except JobSpecError as exc:
+                return 400, {"error": str(exc)}
+            try:
+                results = await service.submit(jobs)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return 200, {"results": [result_to_wire(r) for r in results]}
+        if target.startswith("/jobs/") and method == "GET":
+            key = target[len("/jobs/"):]
+            state, record = service.status(key)
+            status = {"done": 200, "pending": 202}.get(state, 404)
+            return status, {"key": key, "status": state, "result": record}
+        if target in ("/jobs", "/healthz", "/metrics") or \
+                target.startswith("/jobs/"):
+            return 405, {"error": f"{method} not allowed on {target}"}
+        return 404, {"error": f"no route {target}"}
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+async def _serve(service: SweepService, host: str, port: int, *,
+                 stop: asyncio.Event,
+                 ready: "Optional[threading.Event]" = None,
+                 bound: Optional[list] = None,
+                 install_signals: bool = True,
+                 log=sys.stderr) -> None:
+    await service.start()
+    http = _Http(service)
+    server = await asyncio.start_server(http.handle, host, port)
+    actual_port = server.sockets[0].getsockname()[1]
+    if bound is not None:
+        bound.append(actual_port)
+    if install_signals:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, ValueError):  # pragma: no cover
+                pass  # non-main thread / non-POSIX: rely on stop()
+    print(f"repro-vliw service listening on http://{host}:{actual_port} "
+          f"(workers={service.n_workers})", file=log, flush=True)
+    if ready is not None:
+        ready.set()
+    try:
+        await stop.wait()
+    finally:
+        # stop accepting first, then drain what was already admitted
+        server.close()
+        await server.wait_closed()
+        await service.stop(drain=True)
+        # let mid-request handlers flush their responses, then drop the
+        # idle keep-alive connections that would otherwise pin the loop
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + 10.0
+        while http.busy and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        for task in list(http.connections):
+            task.cancel()
+        if http.connections:
+            await asyncio.gather(*http.connections,
+                                 return_exceptions=True)
+        if service.cache is not None and hasattr(service.cache, "gc") \
+                and getattr(service.cache, "max_bytes", None) is not None:
+            # final flush: compact shards down to budget before exit
+            service.cache.gc()
+        print("repro-vliw service drained and stopped", file=log,
+              flush=True)
+
+
+def serve(service: SweepService, host: str = "127.0.0.1",
+          port: int = 8123) -> None:
+    """Run the daemon until SIGTERM/SIGINT (the CLI ``serve`` command)."""
+    async def main():
+        await _serve(service, host, port, stop=asyncio.Event())
+
+    asyncio.run(main())
+
+
+class ServerHandle:
+    """A daemon running on a background thread (tests/benchmarks/CI)."""
+
+    def __init__(self, service: SweepService, host: str,
+                 thread: threading.Thread, port: int,
+                 loop: asyncio.AbstractEventLoop,
+                 stop_event: asyncio.Event) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._thread = thread
+        self._loop = loop
+        self._stop_event = stop_event
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: drain, flush, retire; join the thread."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+            self._thread.join(timeout)
+
+
+def start_in_thread(service: SweepService, host: str = "127.0.0.1",
+                    port: int = 0, log=sys.stderr) -> ServerHandle:
+    """Start the daemon on a fresh thread; returns once it is accepting.
+
+    ``port=0`` binds an ephemeral port (read it off the handle).  The
+    server thread owns its own event loop; ``handle.stop()`` performs
+    the same graceful drain as SIGTERM on the blocking daemon.
+    """
+    ready = threading.Event()
+    holder: dict = {}
+    bound: list = []
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        stop = asyncio.Event()
+        holder["loop"] = loop
+        holder["stop"] = stop
+        try:
+            loop.run_until_complete(_serve(
+                service, host, port, stop=stop, ready=ready, bound=bound,
+                install_signals=False, log=log))
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-sweep-service",
+                              daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30.0):  # pragma: no cover - startup hang
+        raise RuntimeError("sweep service failed to start within 30s")
+    return ServerHandle(service, host, thread, bound[0],
+                        holder["loop"], holder["stop"])

@@ -1,0 +1,228 @@
+"""The sweep service core: dedup, micro-batching, metrics.
+
+:class:`SweepService` is the daemon's engine, independent of HTTP so the
+in-process tests and the throughput benchmark can drive it directly.
+One submission path:
+
+1. **Fingerprint** -- every incoming :class:`CompileJob` already carries
+   its content-hash key (:mod:`repro.runner.fingerprint`), the identity
+   used everywhere below.
+2. **In-flight dedup** -- a key currently being compiled has a future in
+   ``_inflight``; N identical concurrent requests await that one future,
+   so the service compiles each distinct job at most once no matter how
+   many clients hammer it (``dedup_inflight`` counts the coalesced
+   requests).
+3. **Cache** -- settled keys are served straight from the (sharded)
+   result cache without touching the dispatcher.
+4. **Micro-batch** -- genuinely new jobs land on an ``asyncio.Queue``; a
+   single dispatcher task drains it into batches (up to ``batch_max``
+   jobs, or whatever arrives within ``batch_window_s`` of the first),
+   and runs each batch through :func:`~repro.runner.executor.run_jobs`
+   on a worker thread -- which fans out onto the persistent
+   :class:`~repro.runner.pool.PoolSession` exactly like a CLI sweep.
+   Batching is what lets many single-job HTTP requests amortise the
+   pool's chunked dispatch instead of paying per-request IPC.
+
+Shutdown (:meth:`stop`) drains the queue, waits for every in-flight
+future, then retires the worker pools gracefully (``close_all_sessions
+(graceful=True)``) -- nothing is silently dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional, Sequence
+
+from repro.runner import pool as pool_mod
+from repro.runner.executor import RunnerConfig, run_jobs
+from repro.runner.job import CompileJob, JobResult
+
+#: sentinel that tells the dispatcher to finish up
+_STOP = object()
+
+
+def result_to_wire(result: JobResult) -> dict:
+    """JSON-shaped response record for one settled job."""
+    record = result.to_record()
+    record["cached"] = result.cached
+    return record
+
+
+class SweepService:
+    """Schedule-compilation-as-a-service over the sweep runner."""
+
+    def __init__(self, cache=None, *, n_workers: int = 1,
+                 batch_window_s: float = 0.005, batch_max: int = 64,
+                 chunk_size: Optional[int] = None) -> None:
+        self.cache = cache
+        self.n_workers = n_workers
+        self.batch_window_s = batch_window_s
+        self.batch_max = batch_max
+        self.chunk_size = chunk_size
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.t_started = time.monotonic()
+        # ------------------------------------------------ counters
+        self.c_requests = 0          # submit() calls
+        self.c_jobs = 0              # job specs received
+        self.c_dedup_inflight = 0    # coalesced onto a live compile
+        self.c_cache_hits = 0        # served straight from the cache
+        self.c_compiled = 0          # jobs that actually compiled
+        self.c_batches = 0           # dispatcher batches executed
+        self.c_batch_jobs = 0        # jobs across all batches
+        self.submit_s = 0.0          # cumulative submit latency
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Bind to the running event loop and start the dispatcher."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._dispatcher = self._loop.create_task(self._dispatch())
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down: drain in-flight jobs, flush state, retire pools.
+
+        With ``drain`` (the SIGTERM path) every queued and in-flight job
+        completes and its waiters are answered before the pools retire;
+        without it, queued jobs are failed fast with CancelledError.
+        """
+        if self._queue is None:
+            return
+        if not drain:
+            while not self._queue.empty():
+                item = self._queue.get_nowait()
+                if item is not _STOP:
+                    job, fut = item
+                    if not fut.done():
+                        fut.cancel()
+                    self._inflight.pop(job.key, None)
+        await self._queue.put(_STOP)
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        if self._inflight:  # pragma: no cover - defensive
+            await asyncio.gather(*self._inflight.values(),
+                                 return_exceptions=True)
+        # retire the persistent worker pools without killing mid-task
+        await asyncio.get_running_loop().run_in_executor(
+            None, lambda: pool_mod.close_all_sessions(graceful=True))
+        self._queue = None
+
+    # ------------------------------------------------------------ serving
+
+    async def submit(self, jobs: Sequence[CompileJob]) -> list[JobResult]:
+        """Compile *jobs* (deduped against in-flight work and the cache),
+        returning results in request order."""
+        assert self._queue is not None, "SweepService.start() not awaited"
+        t0 = time.perf_counter()
+        self.c_requests += 1
+        futures: list[asyncio.Future] = []
+        for job in jobs:
+            key = job.key
+            self.c_jobs += 1
+            fut = self._inflight.get(key)
+            if fut is not None:
+                self.c_dedup_inflight += 1
+                futures.append(fut)
+                continue
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                self.c_cache_hits += 1
+                done: asyncio.Future = self._loop.create_future()
+                done.set_result(hit)
+                futures.append(done)
+                continue
+            fut = self._loop.create_future()
+            self._inflight[key] = fut
+            futures.append(fut)
+            await self._queue.put((job, fut))
+        results = list(await asyncio.gather(*futures))
+        self.submit_s += time.perf_counter() - t0
+        return results
+
+    def status(self, key: str) -> tuple[str, Optional[dict]]:
+        """``("done", record)`` / ``("pending", None)`` /
+        ``("unknown", None)`` for one fingerprint key."""
+        if key in self._inflight:
+            return "pending", None
+        if self.cache is not None:
+            hit = self.cache.peek(key)
+            if hit is not None:
+                return "done", result_to_wire(hit)
+        return "unknown", None
+
+    # ---------------------------------------------------------- dispatcher
+
+    async def _dispatch(self) -> None:
+        """Single consumer: drain the queue into micro-batches."""
+        stopping = False
+        while not stopping:
+            item = await self._queue.get()
+            if item is _STOP:
+                break
+            batch = [item]
+            deadline = self._loop.time() + self.batch_window_s
+            while len(batch) < self.batch_max:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(),
+                                                 remaining)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is _STOP:
+                    stopping = True
+                    break
+                batch.append(nxt)
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch) -> None:
+        jobs = [job for job, _ in batch]
+        config = RunnerConfig(n_workers=self.n_workers, cache=self.cache,
+                              chunk_size=self.chunk_size)
+        try:
+            results = await self._loop.run_in_executor(
+                None, run_jobs, jobs, config)
+        except Exception as exc:  # pragma: no cover - runner never raises
+            for job, fut in batch:
+                self._inflight.pop(job.key, None)
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        self.c_batches += 1
+        self.c_batch_jobs += len(batch)
+        self.c_compiled += sum(1 for r in results if not r.cached)
+        for (job, fut), result in zip(batch, results):
+            self._inflight.pop(job.key, None)
+            if not fut.done():
+                fut.set_result(result)
+
+    # ------------------------------------------------------------- metrics
+
+    def metrics(self) -> dict:
+        """One JSON-shaped snapshot: service, cache and pool counters."""
+        return {
+            "uptime_s": round(time.monotonic() - self.t_started, 3),
+            "service": {
+                "requests": self.c_requests,
+                "jobs": self.c_jobs,
+                "dedup_inflight": self.c_dedup_inflight,
+                "served_from_cache": self.c_cache_hits,
+                "compiled": self.c_compiled,
+                "batches": self.c_batches,
+                "batch_jobs": self.c_batch_jobs,
+                "inflight": len(self._inflight),
+                "queue_depth": (self._queue.qsize()
+                                if self._queue is not None else 0),
+                "submit_s": round(self.submit_s, 6),
+                "n_workers": self.n_workers,
+            },
+            "cache": (self.cache.stats()
+                      if self.cache is not None else None),
+            "pool": pool_mod.session_counters(),
+        }

@@ -1,0 +1,195 @@
+"""JSON job specifications: the wire format of ``POST /jobs``.
+
+A job spec is a plain JSON object naming the three inputs of a
+:class:`~repro.runner.job.CompileJob`::
+
+    {"loop":    {"kernel": "daxpy"},
+     "machine": {"kind": "clustered", "n_clusters": 4},
+     "options": {"scheduler": "sms", "extras": ["sched_stats"]}}
+
+Loops come from the kernel catalogue (``{"kernel": name}``) or the
+seeded synthetic generator (``{"synth": {"seed": S, "index": I, ...}}``
+-- deterministic: the same spec always yields the same DDG, hence the
+same fingerprint).  Machines are the paper presets: ``qrf``/``crf``
+single-cluster machines (``n_fus``) or the ring-``clustered`` machine
+(``n_clusters``, ``allow_moves``).  ``options`` maps straight onto
+:class:`~repro.runner.job.PipelineOptions` fields.
+
+Parsed loops are memoised by canonical spec, which matters beyond speed:
+the persistent worker pool keys its payload tables by DDG *identity*, so
+serving every request a fresh copy of the same loop would restart the
+pool (and defeat the front-end memo) on every submission.  Malformed
+specs raise :class:`JobSpecError`, which the daemon maps to HTTP 400.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional
+
+from repro.ir.ddg import Ddg
+from repro.machine.presets import clustered_machine, crf_machine, qrf_machine
+from repro.runner.fingerprint import canonical_json
+from repro.runner.job import CompileJob, PipelineOptions
+from repro.workloads.kernels import KERNELS
+from repro.workloads.synth import SynthConfig, generate_loop
+
+
+class JobSpecError(ValueError):
+    """A malformed job spec (unknown kernel, bad machine kind, ...)."""
+
+
+#: canonical loop spec -> Ddg; grow-only, bounded by the spec space the
+#: clients actually use (kernel names x synth configs)
+_LOOP_MEMO: dict[str, Ddg] = {}
+
+#: canonical machine spec -> machine object
+_MACHINE_MEMO: dict[str, object] = {}
+
+_SYNTH_FIELDS = {f.name for f in dataclasses.fields(SynthConfig)}
+_OPTION_FIELDS = {f.name for f in dataclasses.fields(PipelineOptions)}
+
+
+def _require_mapping(spec, what: str) -> dict:
+    if not isinstance(spec, dict):
+        raise JobSpecError(f"{what} spec must be a JSON object, "
+                           f"not {type(spec).__name__}")
+    return spec
+
+
+def parse_loop(spec) -> Ddg:
+    """Loop spec -> DDG (memoised; identical specs share one object)."""
+    spec = _require_mapping(spec, "loop")
+    memo_key = canonical_json(spec)
+    hit = _LOOP_MEMO.get(memo_key)
+    if hit is not None:
+        return hit
+    if "kernel" in spec:
+        name = spec["kernel"]
+        extra = set(spec) - {"kernel"}
+        if extra:
+            raise JobSpecError(f"unknown loop spec fields: {sorted(extra)}")
+        factory = KERNELS.get(name)
+        if factory is None:
+            raise JobSpecError(f"unknown kernel {name!r}; available: "
+                               f"{', '.join(sorted(KERNELS))}")
+        ddg = factory()
+    elif "synth" in spec:
+        cfg_spec = dict(_require_mapping(spec["synth"], "synth"))
+        index = cfg_spec.pop("index", 0)
+        if not isinstance(index, int) or index < 0:
+            raise JobSpecError("synth 'index' must be a non-negative int")
+        unknown = set(cfg_spec) - _SYNTH_FIELDS
+        if unknown:
+            raise JobSpecError(f"unknown synth fields: {sorted(unknown)}; "
+                               f"known: {sorted(_SYNTH_FIELDS)}")
+        try:
+            cfg = SynthConfig(**cfg_spec)
+        except TypeError as exc:
+            raise JobSpecError(f"bad synth config: {exc}") from None
+        # the generator is sequential-state: loop i depends on the draws
+        # of loops 0..i-1, so replay the stream up to the asked index --
+        # exactly how the corpus builder produces it
+        rng = random.Random(cfg.seed)
+        ddg = generate_loop(rng, cfg, 0)
+        for i in range(1, index + 1):
+            ddg = generate_loop(rng, cfg, i)
+    else:
+        raise JobSpecError("loop spec needs 'kernel' or 'synth'")
+    _LOOP_MEMO[memo_key] = ddg
+    return ddg
+
+
+def parse_machine(spec):
+    """Machine spec -> preset machine object (memoised)."""
+    spec = _require_mapping(spec, "machine")
+    memo_key = canonical_json(spec)
+    hit = _MACHINE_MEMO.get(memo_key)
+    if hit is not None:
+        return hit
+    kind = spec.get("kind", "qrf")
+    if kind in ("qrf", "crf"):
+        extra = set(spec) - {"kind", "n_fus"}
+        if extra:
+            raise JobSpecError(
+                f"unknown machine spec fields: {sorted(extra)}")
+        n_fus = spec.get("n_fus", 4)
+        if not isinstance(n_fus, int) or n_fus < 1:
+            raise JobSpecError("'n_fus' must be a positive int")
+        machine = (qrf_machine if kind == "qrf" else crf_machine)(n_fus)
+    elif kind == "clustered":
+        extra = set(spec) - {"kind", "n_clusters", "allow_moves"}
+        if extra:
+            raise JobSpecError(
+                f"unknown machine spec fields: {sorted(extra)}")
+        n_clusters = spec.get("n_clusters", 4)
+        if not isinstance(n_clusters, int) or n_clusters < 2:
+            raise JobSpecError("'n_clusters' must be an int >= 2")
+        machine = clustered_machine(
+            n_clusters, allow_moves=bool(spec.get("allow_moves", False)))
+    else:
+        raise JobSpecError(f"unknown machine kind {kind!r}; "
+                           f"use 'qrf', 'crf' or 'clustered'")
+    _MACHINE_MEMO[memo_key] = machine
+    return machine
+
+
+def parse_options(spec) -> PipelineOptions:
+    """Options spec -> :class:`PipelineOptions` (engine names validated
+    by the pipeline itself, exactly as for library callers)."""
+    if spec is None:
+        return PipelineOptions()
+    spec = dict(_require_mapping(spec, "options"))
+    unknown = set(spec) - _OPTION_FIELDS
+    if unknown:
+        raise JobSpecError(f"unknown option fields: {sorted(unknown)}; "
+                           f"known: {sorted(_OPTION_FIELDS)}")
+    if "extras" in spec:
+        extras = spec["extras"]
+        if not isinstance(extras, (list, tuple)) or \
+                not all(isinstance(e, str) for e in extras):
+            raise JobSpecError("'extras' must be a list of strings")
+        spec["extras"] = tuple(extras)
+    try:
+        return PipelineOptions(**spec)
+    except TypeError as exc:
+        raise JobSpecError(f"bad options: {exc}") from None
+
+
+def parse_job(spec) -> CompileJob:
+    """Full job spec -> :class:`CompileJob` (fingerprinted lazily)."""
+    spec = _require_mapping(spec, "job")
+    unknown = set(spec) - {"loop", "machine", "options"}
+    if unknown:
+        raise JobSpecError(f"unknown job spec fields: {sorted(unknown)}")
+    if "loop" not in spec:
+        raise JobSpecError("job spec needs a 'loop'")
+    return CompileJob(ddg=parse_loop(spec["loop"]),
+                      machine=parse_machine(spec.get("machine", {})),
+                      options=parse_options(spec.get("options")))
+
+
+def parse_jobs(body) -> list[CompileJob]:
+    """Request body -> job list: one spec object, or ``{"jobs": [...]}``."""
+    body = _require_mapping(body, "request")
+    if "jobs" in body:
+        specs = body["jobs"]
+        if not isinstance(specs, list) or not specs:
+            raise JobSpecError("'jobs' must be a non-empty list")
+        return [parse_job(s) for s in specs]
+    return [parse_job(body)]
+
+
+def kernel_job_spec(kernel: str, *, n_fus: Optional[int] = None,
+                    n_clusters: Optional[int] = None,
+                    options: Optional[dict] = None) -> dict:
+    """Convenience builder for clients (the CLI ``submit`` command)."""
+    if n_clusters:
+        machine = {"kind": "clustered", "n_clusters": n_clusters}
+    else:
+        machine = {"kind": "qrf", "n_fus": n_fus or 4}
+    spec = {"loop": {"kernel": kernel}, "machine": machine}
+    if options:
+        spec["options"] = options
+    return spec

@@ -1,0 +1,284 @@
+"""Sharded result cache: concurrency, migration, eviction, layout."""
+
+import hashlib
+import json
+import multiprocessing
+
+import pytest
+
+from repro.machine.presets import qrf_machine
+from repro.runner import (CompileJob, ResultCache, ShardedResultCache,
+                          execute_job, open_cache)
+from repro.runner.cache import CACHE_FILE, SHARD_DIR
+from repro.runner.fingerprint import SCHEMA_VERSION
+from repro.runner.job import JobResult
+from repro.workloads.kernels import kernel
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ShardedResultCache(tmp_path / "cache")
+
+
+def _job(name="daxpy", n_fus=4):
+    return CompileJob(kernel(name), qrf_machine(n_fus))
+
+
+def _fake_result(tag: str) -> JobResult:
+    """A schema-valid record without the cost of a real compile."""
+    from repro.analysis.metrics import LoopOutcome
+
+    key = hashlib.sha256(tag.encode()).hexdigest()
+    outcome = LoopOutcome(
+        loop=f"loop-{tag}", machine="m", n_source_ops=4, n_body_ops=4,
+        unroll_factor=1, n_copies=0, ii=2, mii=2, res_mii=2, rec_mii=1,
+        stage_count=2, trip_count=100)
+    return JobResult(key=key, outcome=outcome)
+
+
+# ---------------------------------------------------------------------------
+# basics
+# ---------------------------------------------------------------------------
+
+def test_miss_then_hit_and_persistence(cache, tmp_path):
+    job = _job()
+    assert cache.get(job.key) is None
+    result = execute_job(job)
+    cache.put(result)
+    assert cache.get(job.key) == result
+    assert cache.stats()["hits"] == 1
+    reopened = ShardedResultCache(tmp_path / "cache")
+    assert reopened.get(job.key) == result
+    assert reopened.get(job.key).cached
+
+
+def test_records_land_on_fingerprint_shards(cache):
+    results = [_fake_result(f"r{i}") for i in range(32)]
+    cache.put_many(results)
+    for result in results:
+        shard = int(result.key[:2], 16) % cache.n_shards
+        raw = cache._shard_path(shard).read_text()
+        assert result.key in raw
+    occupancy = cache.shard_occupancy()
+    assert sum(occupancy) == 32
+
+
+def test_peek_does_not_count(cache):
+    result = _fake_result("peek")
+    cache.put(result)
+    assert cache.peek(result.key) == result
+    assert cache.peek("0" * 64) is None
+    stats = cache.stats()
+    assert stats["hits"] == 0 and stats["misses"] == 0
+
+
+def test_torn_shard_tail_is_isolated_and_healed(cache):
+    result = _fake_result("torn")
+    cache.put(result)
+    shard = cache._shard(result.key)
+    with cache._shard_path(shard).open("a") as fh:
+        fh.write('{"v": %d, "key": "dead' % SCHEMA_VERSION)
+    reopened = ShardedResultCache(cache.directory)
+    assert reopened.get(result.key) == result
+    assert reopened.n_corrupt == 1
+    second = _fake_result("torn2-xyz")
+    # force it onto the torn shard so the append crosses the tear
+    second = JobResult(key=result.key[:2] + second.key[2:],
+                       outcome=second.outcome)
+    reopened.put(second)
+    healed = ShardedResultCache(cache.directory)
+    assert healed.get(result.key) == result
+    assert healed.get(second.key).outcome == second.outcome
+    assert healed.n_corrupt == 1
+
+
+def test_clear_drops_both_layouts(tmp_path):
+    legacy = ResultCache(tmp_path / "cache")
+    legacy.put(_fake_result("legacy"))
+    sharded = ShardedResultCache(tmp_path / "cache")
+    sharded.put(_fake_result("sharded"))
+    assert len(sharded) == 2
+    sharded.clear()
+    assert len(ShardedResultCache(tmp_path / "cache")) == 0
+    assert not (tmp_path / "cache" / CACHE_FILE).exists()
+
+
+def test_bad_shard_count_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        ShardedResultCache(tmp_path, n_shards=12)
+
+
+# ---------------------------------------------------------------------------
+# legacy migration
+# ---------------------------------------------------------------------------
+
+def test_legacy_records_read_through(tmp_path):
+    legacy = ResultCache(tmp_path / "cache")
+    result = execute_job(_job())
+    legacy.put(result)
+    sharded = ShardedResultCache(tmp_path / "cache")
+    assert sharded.get(result.key) == result
+
+
+def test_migrate_moves_and_removes_legacy(tmp_path):
+    legacy = ResultCache(tmp_path / "cache")
+    results = [_fake_result(f"m{i}") for i in range(10)]
+    legacy.put_many(results)
+
+    sharded = ShardedResultCache(tmp_path / "cache")
+    assert sharded.migrate() == 10
+    assert not (tmp_path / "cache" / CACHE_FILE).exists()
+    reloaded = ShardedResultCache(tmp_path / "cache")
+    for result in results:
+        assert reloaded.get(result.key).outcome == result.outcome
+    # shard-resident records are not re-migrated
+    assert reloaded.migrate() == 0
+
+
+def test_migrate_prefers_newer_shard_records(tmp_path):
+    stale = _fake_result("dup")
+    legacy = ResultCache(tmp_path / "cache")
+    legacy.put(stale)
+    sharded = ShardedResultCache(tmp_path / "cache")
+    fresh = JobResult(key=stale.key, outcome=stale.outcome,
+                      extras={"marker": 1})
+    sharded.put(fresh)
+    sharded.migrate()
+    reloaded = ShardedResultCache(tmp_path / "cache")
+    assert reloaded.get(stale.key).extras == {"marker": 1}
+
+
+def test_open_cache_autodetects_layout(tmp_path):
+    # brand-new directory -> sharded
+    assert isinstance(open_cache(tmp_path / "new"), ShardedResultCache)
+    # existing legacy store stays legacy
+    legacy_dir = tmp_path / "old"
+    ResultCache(legacy_dir).put(_fake_result("x"))
+    assert isinstance(open_cache(legacy_dir), ResultCache)
+    # ... until migrated, after which shards win
+    sharded = ShardedResultCache(legacy_dir)
+    sharded.migrate()
+    assert isinstance(open_cache(legacy_dir), ShardedResultCache)
+    # and the backend override forces either way
+    assert isinstance(open_cache(legacy_dir, backend="legacy"),
+                      ResultCache)
+    with pytest.raises(ValueError):
+        open_cache(legacy_dir, backend="nope")
+
+
+# ---------------------------------------------------------------------------
+# gc / eviction
+# ---------------------------------------------------------------------------
+
+def test_gc_compacts_superseded_records(cache):
+    result = _fake_result("dup-gc")
+    cache.put(result)
+    cache.put(result)
+    shard = cache._shard(result.key)
+    raw = cache._shard_path(shard).read_text()
+    assert raw.count(result.key) == 2
+    report = cache.gc()
+    assert report["after_bytes"] < report["before_bytes"]
+    raw = cache._shard_path(shard).read_text()
+    assert raw.count(result.key) == 1
+    assert cache.get(result.key).outcome == result.outcome
+
+
+def test_gc_evicts_oldest_to_budget(cache):
+    results = [_fake_result(f"e{i}") for i in range(64)]
+    cache.put_many(results)
+    before = cache.total_bytes()
+    report = cache.gc(max_bytes=before // 2)
+    assert report["evicted"] > 0
+    assert cache.total_bytes() <= before // 2 + before // 8
+    assert cache.stats()["evictions"] == report["evicted"]
+    # everything still present is readable; everything evicted misses
+    reopened = ShardedResultCache(cache.directory)
+    survivors = sum(1 for r in results if reopened.peek(r.key))
+    assert survivors == 64 - report["evicted"]
+
+
+def test_max_bytes_budget_evicts_during_put(tmp_path):
+    cache = ShardedResultCache(tmp_path / "cache", n_shards=2,
+                               max_bytes=2048)
+    for i in range(64):
+        cache.put(_fake_result(f"auto{i}"))
+    assert cache.evictions > 0
+    # the store is held near the budget (per-shard slack allowed)
+    assert cache.total_bytes() <= 2048 + 1024
+
+
+# ---------------------------------------------------------------------------
+# concurrent writers
+# ---------------------------------------------------------------------------
+
+def _writer_process(directory, worker_id, n_records, n_batches):
+    cache = ShardedResultCache(directory)
+    per_batch = n_records // n_batches
+    for b in range(n_batches):
+        batch = [_fake_result(f"w{worker_id}-{b}-{i}")
+                 for i in range(per_batch)]
+        cache.put_many(batch)
+
+
+def test_concurrent_multiprocess_writers_lose_nothing(tmp_path):
+    """Several processes hammer the same sharded store; afterwards every
+    record is readable -- no torn lines, no lost shards."""
+    directory = tmp_path / "cache"
+    n_workers, n_records, n_batches = 4, 48, 8
+    ctx = multiprocessing.get_context()
+    procs = [ctx.Process(target=_writer_process,
+                         args=(str(directory), w, n_records, n_batches))
+             for w in range(n_workers)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(60)
+        assert p.exitcode == 0
+
+    cache = ShardedResultCache(directory)
+    assert cache.n_corrupt == 0
+    assert len(cache) == n_workers * n_records
+    for w in range(n_workers):
+        for b in range(n_batches):
+            for i in range(n_records // n_batches):
+                result = _fake_result(f"w{w}-{b}-{i}")
+                assert cache.peek(result.key) is not None
+
+
+def test_daemon_plus_cli_shape_sharing(tmp_path):
+    """Two cache instances over one directory (the daemon + a CLI sweep)
+    interleave writes without clobbering each other."""
+    a = ShardedResultCache(tmp_path / "cache")
+    b = ShardedResultCache(tmp_path / "cache")
+    ra, rb = _fake_result("from-a"), _fake_result("from-b")
+    a.put(ra)
+    b.put(rb)                     # b's view predates a's write
+    fresh = ShardedResultCache(tmp_path / "cache")
+    assert fresh.peek(ra.key) is not None
+    assert fresh.peek(rb.key) is not None
+    assert fresh.n_corrupt == 0
+
+
+def test_json_round_trip_matches_legacy_wire_format(cache, tmp_path):
+    """Shard lines carry the same record schema as the legacy store, so
+    cost estimation (and any external reader) works unchanged."""
+    result = execute_job(_job("dot"))
+    cache.put(result)
+    legacy = ResultCache(tmp_path / "legacy")
+    legacy.put(result)
+    shard_line = json.loads(
+        cache._shard_path(cache._shard(result.key)).read_text())
+    legacy_line = json.loads(legacy.path.read_text())
+    assert shard_line == legacy_line
+
+
+def test_cost_estimator_reads_sharded_cache(cache):
+    from repro.runner.pool import cost_estimator
+
+    job = _job("fir4")
+    result = execute_job(job)
+    result.wall_s = 0.25
+    cache.put(result)
+    cost = cost_estimator(ShardedResultCache(cache.directory))
+    assert cost(job) == pytest.approx(0.25)

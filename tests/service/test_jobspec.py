@@ -1,0 +1,95 @@
+"""JSON job specs: parsing, validation, memoisation, fingerprints."""
+
+import pytest
+
+from repro.machine.cluster import ClusteredMachine
+from repro.machine.machine import RfKind
+from repro.runner import CompileJob, PipelineOptions
+from repro.service import (JobSpecError, kernel_job_spec, parse_job,
+                           parse_jobs, parse_loop, parse_machine,
+                           parse_options)
+from repro.workloads.kernels import kernel
+
+
+def test_kernel_spec_matches_library_fingerprint(qrf4):
+    job = parse_job({"loop": {"kernel": "daxpy"},
+                     "machine": {"kind": "qrf", "n_fus": 4}})
+    direct = CompileJob(kernel("daxpy"), qrf4)
+    assert job.key == direct.key
+
+
+def test_loops_are_memoised_by_spec():
+    a = parse_loop({"kernel": "dot"})
+    b = parse_loop({"kernel": "dot"})
+    assert a is b           # identity matters: pool tables key by id()
+
+
+def test_synth_spec_is_deterministic():
+    spec = {"synth": {"seed": 11, "index": 3}}
+    a, b = parse_loop(spec), parse_loop(dict(spec))
+    assert a is b
+    other = parse_loop({"synth": {"seed": 11, "index": 4}})
+    assert other is not a
+
+
+def test_machine_kinds():
+    qrf = parse_machine({"kind": "qrf", "n_fus": 6})
+    assert qrf.rf_kind is RfKind.QUEUE
+    crf = parse_machine({"kind": "crf", "n_fus": 6})
+    assert crf.rf_kind is RfKind.CONVENTIONAL
+    ring = parse_machine({"kind": "clustered", "n_clusters": 4})
+    assert isinstance(ring, ClusteredMachine)
+    assert ring.n_clusters == 4
+
+
+def test_default_machine_is_qrf4():
+    job = parse_job({"loop": {"kernel": "daxpy"}})
+    assert job.machine.name == "queu-4fu"
+
+
+def test_options_round_trip():
+    opts = parse_options({"scheduler": "sms", "do_unroll": True,
+                          "extras": ["sched_stats"]})
+    assert opts == PipelineOptions(scheduler="sms", do_unroll=True,
+                                   extras=("sched_stats",))
+    assert parse_options(None) == PipelineOptions()
+
+
+@pytest.mark.parametrize("bad", [
+    {"loop": {"kernel": "no-such-kernel"}},
+    {"loop": {}},
+    {"loop": {"kernel": "daxpy", "typo": 1}},
+    {"loop": {"synth": {"seed": 1, "index": -1}}},
+    {"loop": {"synth": {"bogus_field": 3}}},
+    {"loop": {"kernel": "daxpy"}, "machine": {"kind": "tpu"}},
+    {"loop": {"kernel": "daxpy"}, "machine": {"kind": "qrf", "n_fus": 0}},
+    {"loop": {"kernel": "daxpy"},
+     "machine": {"kind": "clustered", "n_clusters": 1}},
+    {"loop": {"kernel": "daxpy"}, "options": {"bogus": True}},
+    {"loop": {"kernel": "daxpy"}, "options": {"extras": [3]}},
+    {"loop": {"kernel": "daxpy"}, "stray": 1},
+    "not an object",
+    42,
+])
+def test_malformed_specs_raise(bad):
+    with pytest.raises(JobSpecError):
+        parse_job(bad)
+
+
+def test_parse_jobs_single_and_batch():
+    single = parse_jobs({"loop": {"kernel": "daxpy"}})
+    assert len(single) == 1
+    batch = parse_jobs({"jobs": [{"loop": {"kernel": "daxpy"}},
+                                 {"loop": {"kernel": "dot"}}]})
+    assert [j.ddg.name for j in batch] == ["daxpy", "dot"]
+    with pytest.raises(JobSpecError):
+        parse_jobs({"jobs": []})
+
+
+def test_kernel_job_spec_builder():
+    spec = kernel_job_spec("fir4", n_clusters=4,
+                           options={"partitioner": "agglomerative"})
+    job = parse_job(spec)
+    assert job.ddg.name == "fir4"
+    assert isinstance(job.machine, ClusteredMachine)
+    assert job.options.partitioner == "agglomerative"

@@ -1,0 +1,212 @@
+"""Sweep service: engine dedup/batching and the HTTP daemon end to end."""
+
+import asyncio
+import dataclasses
+import json
+import http.client
+import threading
+
+import pytest
+
+from repro.runner import ShardedResultCache, compile_loop
+from repro.runner.job import CompileJob
+from repro.machine.presets import qrf_machine
+from repro.service import SweepService, parse_job, start_in_thread
+from repro.workloads.kernels import kernel
+
+
+def _spec(name="daxpy", n_fus=4):
+    return {"loop": {"kernel": name},
+            "machine": {"kind": "qrf", "n_fus": n_fus}}
+
+
+# ---------------------------------------------------------------------------
+# engine level
+# ---------------------------------------------------------------------------
+
+def test_submit_compiles_then_serves_from_cache(tmp_path):
+    cache = ShardedResultCache(tmp_path / "cache")
+    service = SweepService(cache, n_workers=1)
+
+    async def scenario():
+        await service.start()
+        jobs = [parse_job(_spec("daxpy")), parse_job(_spec("dot"))]
+        first = await service.submit(jobs)
+        second = await service.submit(jobs)
+        await service.stop()
+        return first, second
+
+    first, second = asyncio.run(scenario())
+    assert [r.outcome.loop for r in first] == ["daxpy", "dot"]
+    assert not any(r.cached for r in first)
+    assert all(r.cached for r in second)
+    assert service.c_compiled == 2
+    assert service.metrics()["service"]["served_from_cache"] == 2
+    # results persisted: a fresh cache instance can replay them
+    replay = ShardedResultCache(tmp_path / "cache")
+    assert replay.peek(first[0].key) is not None
+
+
+def test_concurrent_identical_submissions_compile_once(tmp_path):
+    """The acceptance invariant: N identical concurrent requests, one
+    compile, N answers, all byte-identical to the direct library call."""
+    cache = ShardedResultCache(tmp_path / "cache")
+    service = SweepService(cache, n_workers=1)
+    job_spec = _spec("fir4")
+
+    async def scenario():
+        await service.start()
+        a, b = await asyncio.gather(
+            service.submit([parse_job(job_spec)]),
+            service.submit([parse_job(job_spec)]))
+        await service.stop()
+        return a[0], b[0]
+
+    a, b = asyncio.run(scenario())
+    assert service.c_dedup_inflight == 1
+    assert service.c_compiled == 1
+    assert a == b
+    direct = compile_loop(kernel("fir4"), qrf_machine(4))
+    assert dataclasses.asdict(a.outcome) == \
+        dataclasses.asdict(direct.outcome)
+
+
+def test_micro_batching_coalesces_queued_jobs(tmp_path):
+    service = SweepService(ShardedResultCache(tmp_path / "cache"),
+                           n_workers=1, batch_window_s=0.25)
+
+    async def scenario():
+        await service.start()
+        submissions = [service.submit([parse_job(_spec(name))])
+                       for name in ("daxpy", "dot", "vadd", "scale")]
+        await asyncio.gather(*submissions)
+        await service.stop()
+
+    asyncio.run(scenario())
+    # four independent submissions, far fewer dispatcher batches
+    assert service.c_batches < 4
+    assert service.c_batch_jobs == 4
+
+
+def test_stop_drains_inflight_work(tmp_path):
+    service = SweepService(ShardedResultCache(tmp_path / "cache"),
+                           n_workers=1, batch_window_s=0.0)
+
+    async def scenario():
+        await service.start()
+        pending = asyncio.ensure_future(
+            service.submit([parse_job(_spec("stencil3"))]))
+        await asyncio.sleep(0)          # let it enqueue
+        await service.stop(drain=True)
+        return await pending
+
+    [result] = asyncio.run(scenario())
+    assert result.outcome.loop == "stencil3"
+    assert not result.outcome.failed
+
+
+# ---------------------------------------------------------------------------
+# HTTP daemon
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def server(tmp_path):
+    cache = ShardedResultCache(tmp_path / "svc-cache")
+    handle = start_in_thread(SweepService(cache, n_workers=1))
+    yield handle
+    handle.stop()
+
+
+def _request(handle, method, path, body=None):
+    conn = http.client.HTTPConnection(handle.host, handle.port,
+                                      timeout=120)
+    try:
+        conn.request(method, path,
+                     json.dumps(body) if body is not None else None,
+                     {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def test_http_end_to_end(server):
+    status, health = _request(server, "GET", "/healthz")
+    assert status == 200 and health["status"] == "ok"
+
+    status, out = _request(server, "POST", "/jobs", _spec("daxpy"))
+    assert status == 200
+    [result] = out["results"]
+    assert not result["cached"]
+    direct = compile_loop(kernel("daxpy"), qrf_machine(4))
+    assert result["outcome"] == dataclasses.asdict(direct.outcome)
+
+    # duplicate submission: served from the cache, byte-identical
+    status, again = _request(server, "POST", "/jobs", _spec("daxpy"))
+    assert again["results"][0]["cached"]
+    assert again["results"][0]["outcome"] == result["outcome"]
+
+    # poll the fingerprint
+    status, poll = _request(server, "GET", f"/jobs/{result['key']}")
+    assert status == 200 and poll["status"] == "done"
+    assert poll["result"]["outcome"] == result["outcome"]
+    status, poll = _request(server, "GET", "/jobs/" + "0" * 64)
+    assert status == 404 and poll["status"] == "unknown"
+
+    status, metrics = _request(server, "GET", "/metrics")
+    assert status == 200
+    assert metrics["service"]["served_from_cache"] == 1
+    assert metrics["cache"]["backend"] == "sharded"
+    assert metrics["cache"]["hits"] >= 1
+
+
+def test_http_concurrent_identical_posts_dedup(server):
+    spec = {"jobs": [_spec("tridiag")]}
+    results = [None, None]
+
+    def post(i):
+        results[i] = _request(server, "POST", "/jobs", spec)
+
+    threads = [threading.Thread(target=post, args=(i,)) for i in (0, 1)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+
+    (sa, ra), (sb, rb) = results
+    assert sa == sb == 200
+    assert ra["results"][0]["outcome"] == rb["results"][0]["outcome"]
+    _, metrics = _request(server, "GET", "/metrics")
+    service = metrics["service"]
+    # one of the two either coalesced in-flight or replayed the cache --
+    # never a second compile
+    assert service["compiled"] == 1
+    assert service["dedup_inflight"] + service["served_from_cache"] == 1
+
+
+def test_http_error_paths(server):
+    status, out = _request(server, "POST", "/jobs",
+                           {"loop": {"kernel": "nope"}})
+    assert status == 400 and "unknown kernel" in out["error"]
+    status, _ = _request(server, "GET", "/nothing-here")
+    assert status == 404
+    status, _ = _request(server, "DELETE", "/jobs")
+    assert status == 405
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        conn.request("POST", "/jobs", "{not json",
+                     {"Content-Type": "application/json"})
+        assert conn.getresponse().status == 400
+    finally:
+        conn.close()
+
+
+def test_graceful_stop_flushes_cache(tmp_path):
+    cache = ShardedResultCache(tmp_path / "flush-cache")
+    handle = start_in_thread(SweepService(cache, n_workers=1))
+    status, out = _request(handle, "POST", "/jobs", _spec("iir1"))
+    assert status == 200
+    handle.stop()
+    # after the drain, a brand-new process-view of the cache has the job
+    replay = ShardedResultCache(tmp_path / "flush-cache")
+    assert replay.peek(out["results"][0]["key"]) is not None

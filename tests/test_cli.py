@@ -207,6 +207,72 @@ def test_cache_subcommand_reports_and_clears(capsys, tmp_path):
     assert "0 results" in out
 
 
+def test_cache_stats_gc_and_migrate_actions(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    run_cli(capsys, "--sample", "6", "--cache-dir", cache,
+            "experiment", "fig3")
+    code, out, _ = run_cli(capsys, "--cache-dir", cache, "cache", "stats")
+    assert code == 0
+    assert "[sharded]" in out
+    assert "shard occupancy" in out
+    code, out, _ = run_cli(capsys, "--cache-dir", cache,
+                           "cache", "gc", "--max-bytes", "1")
+    assert code == 0
+    assert "evicted" in out
+    code, out, _ = run_cli(capsys, "--cache-dir", cache, "cache", "stats")
+    assert "0 results" in out
+
+
+def test_cache_gc_on_legacy_layout(capsys, tmp_path):
+    from repro.runner import ResultCache, execute_job
+    from repro.runner.job import CompileJob
+    from repro.machine.presets import qrf_machine
+    from repro.workloads.kernels import kernel
+
+    cache_dir = tmp_path / "cache"
+    legacy = ResultCache(cache_dir)
+    result = execute_job(CompileJob(kernel("daxpy"), qrf_machine(4)))
+    legacy.put(result)
+    legacy.put(result)  # duplicate line the gc can fold away
+    code, out, _ = run_cli(capsys, "--cache-dir", str(cache_dir),
+                           "cache", "stats")
+    assert code == 0 and "[legacy]" in out
+    code, out, _ = run_cli(capsys, "--cache-dir", str(cache_dir),
+                           "cache", "gc")
+    assert code == 0 and "evicted" in out
+    code, out, _ = run_cli(capsys, "--cache-dir", str(cache_dir),
+                           "cache", "migrate")
+    assert code == 0 and "migrated" in out
+    code, out, _ = run_cli(capsys, "--cache-dir", str(cache_dir),
+                           "cache", "stats")
+    assert "[sharded]" in out and "1 results" in out
+
+
+def test_submit_against_thread_server(capsys, tmp_path):
+    from repro.runner import ShardedResultCache
+    from repro.service import SweepService, start_in_thread
+
+    handle = start_in_thread(
+        SweepService(ShardedResultCache(tmp_path / "cache"), n_workers=1))
+    try:
+        port = str(handle.port)
+        code, out, _ = run_cli(capsys, "submit", "daxpy", "dot",
+                               "--port", port)
+        assert code == 0
+        assert "compiled" in out and "II=" in out
+        metrics_file = tmp_path / "metrics.json"
+        code, out, _ = run_cli(capsys, "submit", "daxpy", "dot",
+                               "--port", port, "--expect-cached",
+                               "--metrics-out", str(metrics_file))
+        assert code == 0
+        assert "cached" in out
+        import json
+        metrics = json.loads(metrics_file.read_text())
+        assert metrics["service"]["served_from_cache"] >= 2
+    finally:
+        handle.stop()
+
+
 # ---------------------------------------------------------------------------
 # II search flag
 # ---------------------------------------------------------------------------
