@@ -87,7 +87,7 @@ def test_service_warm_qps_and_dedup(benchmark):
 
             # dedup race: clients hammer one cold spec concurrently
             race_spec = kernel_job_spec("daxpy", n_clusters=4)
-            pre = _get(host, port, "/metrics")["service"]
+            pre = _get(host, port, "/metrics.json")["service"]
             outs = [None] * DEDUP_CLIENTS
 
             def race(i):
@@ -104,11 +104,11 @@ def test_service_warm_qps_and_dedup(benchmark):
             assert all(o[1]["results"][0]["outcome"] == baseline
                        for o in outs)
 
-            post = _get(host, port, "/metrics")["service"]
+            post = _get(host, port, "/metrics.json")["service"]
             compiled = post["compiled"] - pre["compiled"]
             coalesced = (post["dedup_inflight"] - pre["dedup_inflight"]) \
                 + (post["served_from_cache"] - pre["served_from_cache"])
-            metrics = _get(host, port, "/metrics")
+            metrics = _get(host, port, "/metrics.json")
         finally:
             handle.stop()
 

@@ -83,31 +83,56 @@ def record_bench_json(name: str, wall_s: float, *,
     The scheduling-arena counters (buffer hits / allocations / attempt
     resets, see :mod:`repro.sched.arena`) ride along in every record's
     metrics, and ``ARENA_COUNTERS.json`` beside the records keeps one
-    entry *per benchmark name* (read-modify-write, so separate pytest
-    invocations -- how CI's perf-smoke job runs -- accumulate instead of
-    clobbering each other): the artifact CI uploads so arena
-    effectiveness is observable run over run.  The counters are read
-    from *this* process's arena (the ``scope`` field says so): under
+    entry *per benchmark name* in the same schema-2 envelope as the
+    BENCH records (``metrics`` maps bench name to counters;
+    read-modify-write, so separate pytest invocations -- how CI's
+    perf-smoke job runs -- accumulate instead of clobbering each
+    other): the artifact CI uploads so arena effectiveness is
+    observable run over run.  The counters are read from *this*
+    process's arena (the ``scope`` field says so): under
     ``REPRO_JOBS > 1`` the scheduling happens in pool workers whose
     arenas fork per process, so serial runs -- the perf-smoke default --
-    are the meaningful trajectory."""
+    are the meaningful trajectory.
+
+    When tracing is enabled (``REPRO_TRACE=1``), the per-stage span
+    aggregate accumulated so far in this process rides along under
+    ``metrics["trace"]``, so a traced benchmark run leaves its stage
+    breakdown in the committed record."""
+    import datetime
     import json
 
     import telemetry
 
+    from repro.obs.trace import trace_snapshot, tracing_enabled
+
     counters = dict(_arena_delta(), scope="parent-process")
+    extra = {"arena": counters}
+    if tracing_enabled():
+        snap = trace_snapshot()
+        extra["trace"] = {"stages": snap["stages"],
+                          "counters": snap["counters"]}
     telemetry.write_bench_json(name, wall_s, corpus_size=corpus_size,
-                               metrics={**metrics, "arena": counters})
+                               metrics={**metrics, **extra})
     snapshot_path = telemetry.bench_dir() / "ARENA_COUNTERS.json"
     try:
-        snapshot = json.loads(snapshot_path.read_text())
-        if not isinstance(snapshot, dict) or "generation" in snapshot:
-            snapshot = {}          # pre-keyed or corrupt: start over
+        existing = json.loads(snapshot_path.read_text())
+        per_bench = existing.get("metrics") if isinstance(existing, dict) \
+            else None
+        if not isinstance(per_bench, dict):
+            per_bench = {}         # schema-1 / flat / corrupt: start over
     except (OSError, ValueError):
-        snapshot = {}
-    snapshot[name] = counters
+        per_bench = {}
+    per_bench[name] = counters
+    envelope = {
+        "schema": telemetry.SCHEMA_VERSION,
+        "name": "arena_counters",
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "provenance": telemetry.provenance(),
+        "metrics": per_bench,
+    }
     snapshot_path.write_text(
-        json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+        json.dumps(envelope, indent=1, sort_keys=True) + "\n")
 
 
 def run_recorded(benchmark, name: str, fn, *,

@@ -25,13 +25,20 @@ from __future__ import annotations
 
 import argparse
 import datetime
+import hashlib
 import json
 import os
 import pathlib
+import platform
+import socket
+import subprocess
 import sys
 from typing import Iterable, Optional
 
-SCHEMA_VERSION = 1
+#: Schema 2 adds the ``provenance`` block (git sha, hostname
+#: fingerprint, python version); schema-1 records stay readable --
+#: every consumer treats provenance as optional.
+SCHEMA_VERSION = 2
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
 DEFAULT_TOLERANCE = 1.3
@@ -40,6 +47,44 @@ DEFAULT_TOLERANCE = 1.3
 def bench_dir() -> pathlib.Path:
     """Where ``BENCH_<name>.json`` records land (repo root by default)."""
     return pathlib.Path(os.environ.get("REPRO_BENCH_DIR", REPO_ROOT))
+
+
+_PROVENANCE: Optional[dict] = None
+
+
+def _git_sha() -> str:
+    sha = os.environ.get("REPRO_GIT_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10)
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def provenance() -> dict:
+    """Where a record came from: git sha, host fingerprint, python.
+
+    The hostname is fingerprinted (truncated SHA-256), not recorded
+    raw -- records are committed and uploaded as CI artifacts, and the
+    trajectory only needs to distinguish machines, not name them.
+    Memoised per process (the git subprocess is not free).
+    """
+    global _PROVENANCE
+    if _PROVENANCE is None:
+        host = hashlib.sha256(
+            socket.gethostname().encode("utf-8", "replace")).hexdigest()
+        _PROVENANCE = {
+            "git_sha": _git_sha(),
+            "host": host[:12],
+            "python": platform.python_version(),
+        }
+    return dict(_PROVENANCE)
 
 
 def write_bench_json(name: str, wall_s: float, *,
@@ -53,6 +98,7 @@ def write_bench_json(name: str, wall_s: float, *,
         "corpus_size": corpus_size,
         "timestamp": datetime.datetime.now(
             datetime.timezone.utc).isoformat(timespec="seconds"),
+        "provenance": provenance(),
         "metrics": metrics or {},
     }
     out = bench_dir() / f"BENCH_{name}.json"

@@ -11,13 +11,19 @@ Subcommands:
   engines
 * ``repro-vliw partitioners``       -- list the registered
   cluster-partitioning engines
-* ``repro-vliw report``             -- the headline experiment bundle
+* ``repro-vliw report``             -- the perf observatory: trend
+  tables + HTML dashboard over the committed ``BENCH_*.json`` records
+  and the bench history (``--check`` gates regressions, ``--append``
+  grows the history; ``--experiments`` is the old experiment bundle)
+* ``repro-vliw trace <kernel>``     -- compile one kernel with tracing
+  on and print the per-stage time breakdown (``schedule --trace`` does
+  the same after the normal schedule dump)
 * ``repro-vliw bench``              -- run a named benchmark and gate it
   against ``benchmarks/baseline.json`` (the CI perf-smoke check, local)
 * ``repro-vliw cache``              -- inspect (``stats``), compact
   (``gc --max-bytes``), migrate or clear the result cache
 * ``repro-vliw serve``              -- run the sweep service daemon
-  (``POST /jobs`` + ``/metrics``; see DESIGN §5.7)
+  (``POST /jobs`` + Prometheus ``/metrics``; see DESIGN §5.7/§5.8)
 * ``repro-vliw submit``             -- submit kernels to a running
   daemon over HTTP (smoke/testing client)
 
@@ -136,27 +142,47 @@ def cmd_corpus(args) -> int:
     return 0
 
 
-def cmd_schedule(args) -> int:
+def _kernel_target(args) -> "Optional[tuple]":
+    """Resolve the (ddg, machine) a ``schedule``/``trace`` invocation
+    names, or None after printing the listing / an error (the caller
+    returns ``args.exit_code``)."""
     if args.list:
         for name in sorted(KERNELS):
             print(f"{name:<12} {KERNELS[name]().n_ops:3d} ops")
-        return 0
+        args.exit_code = 0
+        return None
     if args.kernel is None:
-        print("schedule: kernel name required (or --list)",
+        print(f"{args.command}: kernel name required (or --list)",
               file=sys.stderr)
-        return 2
+        args.exit_code = 2
+        return None
     if args.kernel not in KERNELS:
         print(f"unknown kernel {args.kernel!r}; available: "
               f"{', '.join(sorted(KERNELS))}", file=sys.stderr)
-        return 2
-    ddg = kernel(args.kernel)
+        args.exit_code = 2
+        return None
     machine = (clustered_machine(args.clusters) if args.clusters
                else qrf_machine(args.fus))
+    return kernel(args.kernel), machine
+
+
+def cmd_schedule(args) -> int:
+    target = _kernel_target(args)
+    if target is None:
+        return args.exit_code
+    ddg, machine = target
+    if args.trace:
+        from repro.obs.trace import enable_tracing, reset_tracing
+        enable_tracing()
+        reset_tracing()
+    import time
+    t0 = time.perf_counter()
     res = run_pipeline(ddg, machine, unroll_factor=args.unroll,
                        iterations=args.iterations,
                        scheduler=args.scheduler,
                        partitioner=args.partitioner,
                        ii_search=args.ii_search)
+    wall = time.perf_counter() - t0
     print(res.schedule.render())
     if args.asm:
         from repro.codegen.encode import render_assembly
@@ -171,6 +197,40 @@ def cmd_schedule(args) -> int:
     print(f"simulated {sim.iterations} iterations: {sim.cycles} cycles, "
           f"{sim.ops_executed} ops, {sim.reads_checked} reads verified, "
           f"dynamic IPC {sim.dynamic_ipc:.2f}")
+    if args.trace:
+        from repro.obs.trace import stage_breakdown, trace_snapshot
+        print()
+        print(stage_breakdown(trace_snapshot(), wall_s=wall))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Compile one kernel with tracing enabled and print the per-stage
+    breakdown -- same knobs as ``schedule``, but the schedule dump is
+    replaced by the time accounting."""
+    import time
+
+    from repro.obs.trace import (enable_tracing, reset_tracing,
+                                 stage_breakdown, trace_snapshot)
+
+    target = _kernel_target(args)
+    if target is None:
+        return args.exit_code
+    ddg, machine = target
+    enable_tracing()
+    reset_tracing()
+    t0 = time.perf_counter()
+    res = run_pipeline(ddg, machine, unroll_factor=args.unroll,
+                       iterations=args.iterations,
+                       scheduler=args.scheduler,
+                       partitioner=args.partitioner,
+                       ii_search=args.ii_search)
+    wall = time.perf_counter() - t0
+    print(f"{args.kernel}: II={res.schedule.ii} "
+          f"stages={res.schedule.stage_count} "
+          f"dynamic IPC {res.sim.dynamic_ipc:.2f}")
+    print()
+    print(stage_breakdown(trace_snapshot(), wall_s=wall))
     return 0
 
 
@@ -209,10 +269,55 @@ def cmd_partitioners(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.analysis.report import full_report
+    """The perf observatory (default) or the old experiment bundle.
 
-    print(full_report(_loops(args), include_sweep=args.sweep,
-                      runner=_runner(args)))
+    The default ingests the ``BENCH_*.json`` records beside the history
+    file, prints the per-metric trend table (robust median+MAD gate with
+    the fixed-ratio fallback on short history) and renders the static
+    HTML dashboard.  ``--check`` exits 1 when any gated metric is
+    flagged; ``--append`` folds the fresh records into the history
+    *after* gating, so a run never vouches for itself.
+    ``--experiments`` restores the previous behaviour (the headline
+    experiment bundle, with ``--sweep`` for the slow IPC sweep).
+    """
+    if args.experiments:
+        from repro.analysis.report import full_report
+
+        print(full_report(_loops(args), include_sweep=args.sweep,
+                          runner=_runner(args)))
+        return 0
+
+    import json
+    import os
+    import pathlib
+
+    from repro.obs import (BenchHistory, render_dashboard,
+                           rows_from_record, trend_stats, trend_table)
+
+    records_dir = pathlib.Path(
+        args.records or os.environ.get("REPRO_BENCH_DIR") or ".")
+    records = []
+    for path in sorted(records_dir.glob("BENCH_*.json")):
+        try:
+            records.append(json.loads(path.read_text()))
+        except (OSError, ValueError):
+            print(f"report: skipping unreadable record {path}",
+                  file=sys.stderr)
+    history = BenchHistory(args.history)
+    stats = trend_stats(history, records)
+    print(trend_table(stats))
+    if args.html:
+        out = pathlib.Path(args.html)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(render_dashboard(history, stats))
+        print(f"\ndashboard -> {out}")
+    if args.append:
+        rows = [row for rec in records for row in rows_from_record(rec)]
+        appended = history.append(rows)
+        print(f"history: {appended} new row(s) -> {history.path}")
+    if args.check and any(s.verdict in ("regression", "missing")
+                          for s in stats):
+        return 1
     return 0
 
 
@@ -371,10 +476,17 @@ def cmd_serve(args) -> int:
     ``--jobs`` sets the compile worker count.  ``--max-cache-bytes``
     bounds the store; shards over budget are compacted and evicted as
     the service runs and once more on shutdown.
+
+    Tracing is on by default (the daemon exists to be observed: the
+    per-stage latency histograms feed ``GET /metrics``); ``--no-trace``
+    turns it off for overhead-sensitive deployments.
     """
     from repro.runner import open_cache
     from repro.service import SweepService, serve
 
+    if not args.no_trace:
+        from repro.obs.trace import enable_tracing
+        enable_tracing()
     cache = None if args.no_cache else open_cache(
         args.cache_dir, max_bytes=args.max_cache_bytes)
     service = SweepService(cache, n_workers=args.jobs,
@@ -419,7 +531,7 @@ def cmd_submit(args) -> int:
                   f"[{tag}] II={outcome['ii']:<3d} "
                   f"stages={outcome['stage_count']}")
         if args.metrics_out:
-            conn.request("GET", "/metrics")
+            conn.request("GET", "/metrics.json")
             snapshot = conn.getresponse().read().decode("utf-8")
             import pathlib
             pathlib.Path(args.metrics_out).write_text(snapshot)
@@ -455,31 +567,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("corpus", help="corpus statistics")
 
+    def kernel_flags(parser) -> None:
+        """The kernel/machine/engine knobs shared by schedule + trace."""
+        parser.add_argument("kernel", nargs="?", default=None,
+                            help=f"one of: {', '.join(sorted(KERNELS))}")
+        parser.add_argument("--list", action="store_true",
+                            help="list the available kernels and exit")
+        parser.add_argument("--fus", type=int, default=4,
+                            help="single-cluster machine width "
+                                 "(default 4)")
+        parser.add_argument("--clusters", type=int, default=0,
+                            help="use a clustered machine with N "
+                                 "clusters")
+        parser.add_argument("--unroll", type=int, default=1)
+        parser.add_argument("--iterations", type=int, default=16)
+        parser.add_argument("--scheduler", default=DEFAULT_SCHEDULER,
+                            choices=available_schedulers(),
+                            help="scheduling engine (see `repro-vliw "
+                                 "schedulers`)")
+        parser.add_argument("--partitioner", default=DEFAULT_PARTITIONER,
+                            choices=available_partitioners(),
+                            help="cluster-partitioning engine, used with "
+                                 "--clusters (see `repro-vliw "
+                                 "partitioners`)")
+        parser.add_argument("--ii-search", default=DEFAULT_II_SEARCH,
+                            choices=II_SEARCH_MODES,
+                            help="II search mode: adaptive bracketing "
+                                 "(default) or the historical linear "
+                                 "walk -- identical schedules either "
+                                 "way")
+
     ps = sub.add_parser("schedule", help="schedule one named kernel")
-    ps.add_argument("kernel", nargs="?", default=None,
-                    help=f"one of: {', '.join(sorted(KERNELS))}")
-    ps.add_argument("--list", action="store_true",
-                    help="list the available kernels and exit")
-    ps.add_argument("--fus", type=int, default=4,
-                    help="single-cluster machine width (default 4)")
-    ps.add_argument("--clusters", type=int, default=0,
-                    help="use a clustered machine with N clusters")
-    ps.add_argument("--unroll", type=int, default=1)
-    ps.add_argument("--iterations", type=int, default=16)
-    ps.add_argument("--scheduler", default=DEFAULT_SCHEDULER,
-                    choices=available_schedulers(),
-                    help="scheduling engine (see `repro-vliw schedulers`)")
-    ps.add_argument("--partitioner", default=DEFAULT_PARTITIONER,
-                    choices=available_partitioners(),
-                    help="cluster-partitioning engine, used with "
-                         "--clusters (see `repro-vliw partitioners`)")
-    ps.add_argument("--ii-search", default=DEFAULT_II_SEARCH,
-                    choices=II_SEARCH_MODES,
-                    help="II search mode: adaptive bracketing (default) "
-                         "or the historical linear walk -- identical "
-                         "schedules either way")
+    kernel_flags(ps)
     ps.add_argument("--asm", action="store_true",
                     help="print the queue-addressed assembly listing")
+    ps.add_argument("--trace", action="store_true",
+                    help="compile with tracing on and print the "
+                         "per-stage time breakdown after the report")
+
+    pt = sub.add_parser(
+        "trace", help="compile one kernel with tracing enabled and "
+                      "print the per-stage time breakdown")
+    kernel_flags(pt)
 
     pe = sub.add_parser("experiment", help="run one paper experiment")
     pe.add_argument("id", nargs="?", default=None,
@@ -506,9 +635,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("partitioners",
                    help="list the registered cluster-partitioning engines")
 
-    pr = sub.add_parser("report", help="headline experiment bundle")
+    pr = sub.add_parser(
+        "report", help="perf observatory: trend tables + HTML dashboard "
+                       "over the BENCH_*.json records and bench history")
+    pr.add_argument("--records", default=None, metavar="DIR",
+                    help="directory holding the BENCH_*.json records "
+                         "(default: $REPRO_BENCH_DIR or .)")
+    pr.add_argument("--history", default="benchmarks/history.jsonl",
+                    metavar="FILE",
+                    help="bench-history JSONL file (default: "
+                         "benchmarks/history.jsonl)")
+    pr.add_argument("--html", default="benchmarks/results/dashboard.html",
+                    metavar="FILE",
+                    help="where to write the HTML dashboard "
+                         "(default: benchmarks/results/dashboard.html; "
+                         "'' skips it)")
+    pr.add_argument("--check", action="store_true",
+                    help="exit 1 when any gated metric regresses "
+                         "against its history (the CI perf gate)")
+    pr.add_argument("--append", action="store_true",
+                    help="append the fresh records to the history file "
+                         "after gating")
+    pr.add_argument("--experiments", action="store_true",
+                    help="print the headline experiment bundle instead "
+                         "(the previous `report` behaviour)")
     pr.add_argument("--sweep", action="store_true",
-                    help="include the (slow) IPC sweep")
+                    help="include the (slow) IPC sweep "
+                         "(with --experiments)")
 
     pb = sub.add_parser(
         "bench", help="run a named benchmark and gate it against "
@@ -552,6 +705,9 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="N",
                     help="size budget for the sharded result cache "
                          "(oldest entries evicted per shard)")
+    pv.add_argument("--no-trace", action="store_true",
+                    help="disable compile-stage tracing (on by default "
+                         "so /metrics carries latency histograms)")
 
     pm = sub.add_parser(
         "submit", help="submit kernels to a running daemon over HTTP")
@@ -583,6 +739,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handler = {
         "corpus": cmd_corpus,
         "schedule": cmd_schedule,
+        "trace": cmd_trace,
         "experiment": cmd_experiment,
         "schedulers": cmd_schedulers,
         "partitioners": cmd_partitioners,

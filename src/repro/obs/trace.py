@@ -1,0 +1,290 @@
+"""Lightweight span/counter tracing for the compile pipeline.
+
+The tracer answers "where inside a compile does the time go" -- II-search
+attempts vs. placement rounds vs. copy insertion vs. queue allocation --
+without perturbing the numbers it measures:
+
+* **Spans** -- ``with span("pipeline.schedule"):`` times a stage on the
+  monotonic clock and folds it into a per-stage aggregate (count, total,
+  min, max, log-spaced latency histogram).  Spans nest freely; stages are
+  attributed by name, so a nested span never corrupts its parent's
+  accounting.
+* **Counters** -- ``trace_count("sched.ii_rejected")`` for events with no
+  duration (accepted/rejected attempts, evictions, cache hits).
+* **Disabled path** -- tracing is *off* unless ``REPRO_TRACE=1`` or
+  :func:`enable_tracing` ran.  ``span()`` then returns one shared no-op
+  context manager and ``trace_count`` returns immediately: the hot
+  control paths pay a single flag test (the perf-smoke gate holds the
+  overhead under its 1.3x budget, and the acceptance bar is <= 2%).
+  Sites inside per-attempt loops additionally guard on
+  :func:`tracing_enabled` so the disabled cost is one check per *search*,
+  not per probe.
+* **Process boundaries** -- pool workers trace into their own
+  (copy-on-fork) aggregate; :func:`job_capture` snapshots the delta one
+  job contributed, which rides back on ``JobResult.extras["trace"]`` and
+  is folded into the parent's aggregate by ``run_jobs`` via
+  :func:`merge_job_trace`.  The service's ``/metrics`` histograms are a
+  straight export of the parent aggregate.
+
+Aggregation is process-global and lock-protected (the service records
+from executor threads); per-event cost while enabled is one
+``perf_counter`` pair plus a dict update.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional
+
+#: Upper edges of the per-stage latency histogram, seconds (log-spaced);
+#: the implicit final bucket is +Inf.  Matches Prometheus ``le`` buckets.
+BUCKETS = (0.0001, 0.000316, 0.001, 0.00316, 0.01, 0.0316,
+           0.1, 0.316, 1.0, 3.16, 10.0)
+
+_N_BUCKETS = len(BUCKETS) + 1
+
+
+class _StageStat:
+    """Aggregate of every span recorded under one stage name."""
+
+    __slots__ = ("count", "total_s", "min_s", "max_s", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+        self.buckets = [0] * _N_BUCKETS
+
+    def add(self, elapsed: float) -> None:
+        self.count += 1
+        self.total_s += elapsed
+        if elapsed < self.min_s:
+            self.min_s = elapsed
+        if elapsed > self.max_s:
+            self.max_s = elapsed
+        for i, edge in enumerate(BUCKETS):
+            if elapsed <= edge:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def summary(self) -> dict:
+        return {"count": self.count, "total_s": round(self.total_s, 6),
+                "min_s": round(self.min_s, 6), "max_s": round(self.max_s, 6),
+                "buckets": list(self.buckets)}
+
+
+class Tracer:
+    """One process's span/counter aggregate (normally the global one)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.stages: dict[str, _StageStat] = {}
+        self.counters: dict[str, int] = {}
+
+    def record(self, name: str, elapsed: float) -> None:
+        with self._lock:
+            stat = self.stages.get(name)
+            if stat is None:
+                stat = self.stages[name] = _StageStat()
+            stat.add(elapsed)
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def reset(self) -> None:
+        with self._lock:
+            self.stages.clear()
+            self.counters.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-shaped aggregate: per-stage stats plus counters."""
+        with self._lock:
+            return {"stages": {name: stat.summary()
+                               for name, stat in self.stages.items()},
+                    "counters": dict(self.counters)}
+
+    def merge(self, summary: Optional[dict]) -> None:
+        """Fold a :meth:`snapshot`/:func:`job_capture` summary (e.g. one
+        shipped back from a pool worker) into this aggregate."""
+        if not summary:
+            return
+        with self._lock:
+            for name, s in (summary.get("stages") or {}).items():
+                stat = self.stages.get(name)
+                if stat is None:
+                    stat = self.stages[name] = _StageStat()
+                stat.count += int(s.get("count", 0))
+                stat.total_s += float(s.get("total_s", 0.0))
+                stat.min_s = min(stat.min_s, float(s.get("min_s", "inf")))
+                stat.max_s = max(stat.max_s, float(s.get("max_s", 0.0)))
+                incoming = s.get("buckets")
+                if incoming and len(incoming) == _N_BUCKETS:
+                    for i, n in enumerate(incoming):
+                        stat.buckets[i] += int(n)
+            for name, n in (summary.get("counters") or {}).items():
+                self.counters[name] = self.counters.get(name, 0) + int(n)
+
+
+_TRACER = Tracer()
+_ENABLED = os.environ.get("REPRO_TRACE", "") not in ("", "0")
+
+
+def tracing_enabled() -> bool:
+    return _ENABLED
+
+
+def enable_tracing() -> None:
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable_tracing() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+def reset_tracing() -> None:
+    """Clear the aggregate (the enabled flag is untouched)."""
+    _TRACER.reset()
+
+
+def trace_snapshot() -> dict:
+    """The process-global aggregate, JSON-shaped."""
+    return _TRACER.snapshot()
+
+
+def merge_job_trace(summary: Optional[dict]) -> None:
+    """Fold one job's worker-side trace summary into this process."""
+    _TRACER.merge(summary)
+
+
+def trace_count(name: str, n: int = 1) -> None:
+    if _ENABLED:
+        _TRACER.count(name, n)
+
+
+class _NullSpan:
+    """Shared do-nothing context manager: the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _TRACER.record(self.name, time.perf_counter() - self._t0)
+        return False
+
+
+def span(name: str):
+    """Context manager timing one stage; a shared no-op when disabled."""
+    if not _ENABLED:
+        return _NULL_SPAN
+    return _Span(name)
+
+
+class _JobCapture:
+    """Delta of the aggregate across one job (see :func:`job_capture`)."""
+
+    __slots__ = ("summary", "_before")
+
+    def __init__(self) -> None:
+        self.summary: Optional[dict] = None
+        self._before: Optional[dict] = None
+
+    def __enter__(self) -> "_JobCapture":
+        self._before = _TRACER.snapshot()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        after = _TRACER.snapshot()
+        before = self._before
+        stages = {}
+        for name, s in after["stages"].items():
+            b = before["stages"].get(name)
+            if b is None:
+                stages[name] = s
+                continue
+            count = s["count"] - b["count"]
+            if count <= 0:
+                continue
+            stages[name] = {
+                "count": count,
+                "total_s": round(s["total_s"] - b["total_s"], 6),
+                # min/max are not recoverable from a cumulative snapshot;
+                # report the per-job mean bounds conservatively
+                "min_s": b["min_s"], "max_s": s["max_s"],
+                "buckets": [x - y for x, y
+                            in zip(s["buckets"], b["buckets"])],
+            }
+        counters = {}
+        for name, n in after["counters"].items():
+            d = n - before["counters"].get(name, 0)
+            if d:
+                counters[name] = d
+        self.summary = {"stages": stages, "counters": counters}
+        return False
+
+
+def job_capture() -> _JobCapture:
+    """Capture the trace delta one job contributes (worker side).
+
+    ``with job_capture() as cap: ...`` then ``cap.summary`` is the
+    JSON-shaped per-job stage summary that rides on
+    ``JobResult.extras["trace"]``.
+    """
+    return _JobCapture()
+
+
+def stage_breakdown(snapshot: dict, *, prefix: str = "pipeline.",
+                    wall_s: Optional[float] = None) -> str:
+    """Render a per-stage breakdown table from a :func:`trace_snapshot`.
+
+    Only stages under *prefix* count toward the coverage line (nested
+    spans -- II attempts inside ``pipeline.schedule`` -- would otherwise
+    double-count), but every stage is listed.  With *wall_s* the footer
+    reports how much of the wall clock the top-level stages cover.
+    """
+    stages = snapshot.get("stages", {})
+    lines = [f"{'stage':<28} {'count':>7} {'total s':>10} {'mean ms':>9}"]
+    top_total = 0.0
+    for name in sorted(stages):
+        s = stages[name]
+        mean_ms = 1e3 * s["total_s"] / max(1, s["count"])
+        lines.append(f"{name:<28} {s['count']:>7d} {s['total_s']:>10.4f} "
+                     f"{mean_ms:>9.3f}")
+        if name.startswith(prefix):
+            top_total += s["total_s"]
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<38} {'n':>8}")
+        for name in sorted(counters):
+            lines.append(f"{name:<38} {counters[name]:>8d}")
+    if wall_s is not None and wall_s > 0.0:
+        lines.append("")
+        lines.append(f"stage sum {top_total:.4f}s over wall {wall_s:.4f}s "
+                     f"({100.0 * top_total / wall_s:.1f}% covered)")
+    return "\n".join(lines)

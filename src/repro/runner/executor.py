@@ -18,6 +18,8 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro.obs import trace as _trace
+
 from . import pool as pool_mod
 from .cache import ResultCache
 from .job import CompileJob, JobResult
@@ -61,18 +63,27 @@ def _run_parallel(jobs: Sequence[CompileJob], config: RunnerConfig,
     serially -- a sweep is never lost to a broken pool.
     """
     results: list[Optional[JobResult]] = [None] * len(jobs)
+    merge_traces = _trace.tracing_enabled()
 
     def on_result(seq: int, result: JobResult) -> None:
         results[seq] = result
+        if merge_traces:
+            # worker-side spans never reach this process's aggregate;
+            # the per-job summary on the result is how they come home
+            _trace.merge_job_trace(result.extras.get("trace"))
         tick()
 
     try:
-        session = pool_mod.get_session(config.n_workers, _pool_context)
-        session.run(jobs, on_result,
-                    pool_mod.cost_estimator(config.cache),
-                    chunk_size=config.chunk_size)
+        with _trace.span("runner.dispatch"):
+            session = pool_mod.get_session(config.n_workers,
+                                           _pool_context)
+            session.run(jobs, on_result,
+                        pool_mod.cost_estimator(config.cache),
+                        chunk_size=config.chunk_size)
     except Exception as exc:
         pool_mod.discard_session(config.n_workers, cause=exc)
+        # serial completion records into this process directly -- the
+        # remaining results carry no foreign trace to merge
         for seq, job in enumerate(jobs):
             if results[seq] is None:
                 results[seq] = execute_job(job)
@@ -100,13 +111,19 @@ def run_jobs(jobs: Sequence[CompileJob],
             config.progress(settled, total)
 
     pending: list[int] = []
-    for i, job in enumerate(jobs):
-        hit = config.cache.get(job.key) if config.cache is not None else None
-        if hit is not None:
-            results[i] = hit
-            tick()
-        else:
-            pending.append(i)
+    traced = _trace.tracing_enabled()
+    with _trace.span("runner.cache_lookup"):
+        for i, job in enumerate(jobs):
+            hit = (config.cache.get(job.key)
+                   if config.cache is not None else None)
+            if hit is not None:
+                results[i] = hit
+                tick()
+            else:
+                pending.append(i)
+    if traced and config.cache is not None:
+        _trace.trace_count("runner.cache_hits", total - len(pending))
+        _trace.trace_count("runner.cache_misses", len(pending))
 
     if pending:
         todo = [jobs[i] for i in pending]

@@ -27,6 +27,7 @@ from repro.ir.ddg import Ddg
 from repro.ir.unroll import select_unroll_factor, unroll
 from repro.machine.cluster import ClusteredMachine
 from repro.machine.machine import Machine
+from repro.obs.trace import job_capture, span, tracing_enabled
 from repro.regalloc.queues import allocate_for_schedule
 from repro.sched.iisearch import DEFAULT_II_SEARCH
 from repro.sched.mii import mii_report
@@ -148,25 +149,28 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                     ii_search=ii_search)
             return rolled
         factor = 1
-    work, n_copies = _frontend(ddg, factor, copies, copy_strategy)
+    with span("pipeline.frontend"):
+        work, n_copies = _frontend(ddg, factor, copies, copy_strategy)
 
     clustered = isinstance(machine, ClusteredMachine)
-    report = mii_report(work, machine)
+    with span("pipeline.mii"):
+        report = mii_report(work, machine)
     try:
-        if clustered and use_moves:
-            sched = schedule_with_moves(
-                work, machine,
-                config=PartitionConfig(partitioner=partitioner,
-                                       ii_search=ii_search)
-            ).schedule
-        elif clustered:
-            sched = partitioned_schedule(
-                work, machine,
-                config=PartitionConfig(partitioner=partitioner,
-                                       ii_search=ii_search))
-        else:
-            sched = get_scheduler(scheduler).schedule(
-                work, machine, ii_search=ii_search).schedule
+        with span("pipeline.schedule"):
+            if clustered and use_moves:
+                sched = schedule_with_moves(
+                    work, machine,
+                    config=PartitionConfig(partitioner=partitioner,
+                                           ii_search=ii_search)
+                ).schedule
+            elif clustered:
+                sched = partitioned_schedule(
+                    work, machine,
+                    config=PartitionConfig(partitioner=partitioner,
+                                           ii_search=ii_search))
+            else:
+                sched = get_scheduler(scheduler).schedule(
+                    work, machine, ii_search=ii_search).schedule
     except SchedulingError:
         return CompiledLoop(outcome=LoopOutcome(
             loop=ddg.name, machine=machine.name,
@@ -178,8 +182,9 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
     usage = None
     total_queues = max_depth = None
     if allocate:
-        usage = allocate_for_schedule(
-            sched, machine if clustered else None)
+        with span("pipeline.allocate"):
+            usage = allocate_for_schedule(
+                sched, machine if clustered else None)
         total_queues = usage.total_queues
         max_depth = usage.max_depth
 
@@ -321,11 +326,21 @@ def execute_job(job: CompileJob) -> JobResult:
     dispatch reads back from cache records.
     """
     t0 = time.perf_counter()
-    compiled = compile_loop(job.ddg, job.machine,
-                            **job.options.compile_kwargs())
+    capture = job_capture() if tracing_enabled() else None
+    if capture is not None:
+        with capture:
+            compiled = compile_loop(job.ddg, job.machine,
+                                    **job.options.compile_kwargs())
+    else:
+        compiled = compile_loop(job.ddg, job.machine,
+                                **job.options.compile_kwargs())
     extras = {}
     for spec in job.options.extras:
         extras[spec] = (None if compiled.outcome.failed
                         else compute_extra(spec, compiled))
+    if capture is not None:
+        # the per-job stage summary rides home on the result, crossing
+        # the worker-process boundary; run_jobs folds it into the parent
+        extras["trace"] = capture.summary
     return JobResult(key=job.key, outcome=compiled.outcome, extras=extras,
                      wall_s=time.perf_counter() - t0)

@@ -37,7 +37,10 @@ finds an II produces the identical schedule at that II.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional, TypeVar
+
+from repro.obs import trace as _trace
 
 T = TypeVar("T")
 
@@ -66,6 +69,20 @@ def check_ii_search(mode: str) -> str:
     return mode
 
 
+def _traced_probe(probe: Callable[[int], Optional[T]],
+                  ) -> Callable[[int], Optional[T]]:
+    """Instrument one II attempt per call: span + accept/reject counts."""
+    def run(ii: int) -> Optional[T]:
+        t0 = time.perf_counter()
+        result = probe(ii)
+        _trace._TRACER.record("sched.ii_attempt",
+                              time.perf_counter() - t0)
+        _trace.trace_count("sched.ii_accepted" if result is not None
+                           else "sched.ii_rejected")
+        return result
+    return run
+
+
 def search_ii(probe: Callable[[int], Optional[T]],
               first_ii: int, limit: int, *,
               mode: str = DEFAULT_II_SEARCH,
@@ -83,6 +100,10 @@ def search_ii(probe: Callable[[int], Optional[T]],
     check_ii_search(mode)
     if limit < first_ii:
         return None
+    if _trace.tracing_enabled():
+        # wrap outside the walk so the disabled path costs one flag test
+        # per *search*, never per probe
+        probe = _traced_probe(probe)
 
     if mode == "linear":
         for ii in range(first_ii, limit + 1):

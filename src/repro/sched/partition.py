@@ -33,6 +33,7 @@ from repro.ir.ddg import Ddg, DepKind
 from repro.ir.operations import Opcode
 from repro.ir.validate import validate_ddg
 from repro.machine.cluster import ClusteredMachine
+from repro.obs import trace as _trace
 
 from .arena import global_arena
 from .iisearch import DEFAULT_II_SEARCH, search_ii
@@ -132,6 +133,20 @@ def partitioned_schedule(ddg: Ddg, cm: ClusteredMachine, *,
     def probe(ii: int) -> Optional[PartitionState]:
         stats.iis_tried += 1
         stats.budget = cfg.budget_for(ddg.n_ops)
+        if _trace.tracing_enabled():
+            # placement-round / eviction accounting per attempt: the
+            # engine accumulates onto *stats*, so the counter deltas
+            # across one try_at_ii call are this attempt's rounds
+            placed0, evicted0 = stats.attempts, stats.evictions
+            state = engine.try_at_ii(
+                ddg, cm, ii, budget=stats.budget, pinned=pinned,
+                relax_adjacency=relax_adjacency, stats=stats, rng=rng,
+                arena=arena)
+            _trace.trace_count("partition.placements",
+                               stats.attempts - placed0)
+            _trace.trace_count("partition.evictions",
+                               stats.evictions - evicted0)
+            return state
         return engine.try_at_ii(
             ddg, cm, ii, budget=stats.budget, pinned=pinned,
             relax_adjacency=relax_adjacency, stats=stats, rng=rng,

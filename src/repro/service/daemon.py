@@ -7,10 +7,13 @@ headers, ``Content-Length`` bodies, keep-alive) for the four routes:
 * ``POST /jobs``        -- compile job specs (see :mod:`.jobspec`);
   responds with the JSON results once every job in the request settles
 * ``GET /jobs/<key>``   -- poll one fingerprint: 200 done / 202 pending
-  / 404 unknown
-* ``GET /healthz``      -- liveness probe
-* ``GET /metrics``      -- JSON snapshot of service + cache + pool
-  counters
+  / 404 unknown (the done record carries the per-stage trace summary on
+  ``extras["trace"]`` when tracing is enabled)
+* ``GET /healthz``      -- liveness probe: version, uptime, worker count
+* ``GET /metrics``      -- Prometheus text exposition (HELP/TYPE lines,
+  ``_total`` counters, per-stage latency histograms) over service +
+  cache + pool + arena + tracing counters
+* ``GET /metrics.json`` -- the same snapshot, JSON-shaped
 
 :func:`serve` is the blocking daemon entry point (the CLI's ``serve``
 subcommand): it installs SIGTERM/SIGINT handlers that stop accepting,
@@ -41,11 +44,18 @@ _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             413: "Payload Too Large", 500: "Internal Server Error"}
 
 
-def _response(status: int, payload: dict, *,
+def _response(status: int, payload, *,
               keep_alive: bool = True) -> bytes:
-    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    """Serialise one response; a ``str`` payload goes out as Prometheus
+    text exposition, anything else as JSON."""
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        content_type = "application/json"
     head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n").encode("ascii")
@@ -127,12 +137,18 @@ class _Http:
                 pass
 
     async def _route(self, method: str, target: str,
-                     body: bytes) -> tuple[int, dict]:
+                     body: bytes) -> "tuple[int, dict | str]":
         service = self.service
         if target == "/healthz" and method == "GET":
+            import repro
             return 200, {"status": "ok",
-                         "uptime_s": service.metrics()["uptime_s"]}
+                         "version": repro.__version__,
+                         "uptime_s": service.metrics()["uptime_s"],
+                         "n_workers": service.n_workers}
         if target == "/metrics" and method == "GET":
+            from repro.obs.report import prometheus_text
+            return 200, prometheus_text(service.metrics())
+        if target == "/metrics.json" and method == "GET":
             return 200, service.metrics()
         if target == "/jobs" and method == "POST":
             try:
@@ -155,7 +171,8 @@ class _Http:
             state, record = service.status(key)
             status = {"done": 200, "pending": 202}.get(state, 404)
             return status, {"key": key, "status": state, "result": record}
-        if target in ("/jobs", "/healthz", "/metrics") or \
+        if target in ("/jobs", "/healthz", "/metrics",
+                      "/metrics.json") or \
                 target.startswith("/jobs/"):
             return 405, {"error": f"{method} not allowed on {target}"}
         return 404, {"error": f"no route {target}"}

@@ -205,9 +205,16 @@ class SweepService:
     # ------------------------------------------------------------- metrics
 
     def metrics(self) -> dict:
-        """One JSON-shaped snapshot: service, cache and pool counters."""
+        """One JSON-shaped snapshot: service, cache, pool, arena and
+        tracing counters (the source of both ``/metrics.json`` and the
+        Prometheus ``/metrics`` exposition)."""
+        import repro
+        from repro.obs.trace import trace_snapshot
+        from repro.sched import arena_counters
+
         return {
             "uptime_s": round(time.monotonic() - self.t_started, 3),
+            "version": repro.__version__,
             "service": {
                 "requests": self.c_requests,
                 "jobs": self.c_jobs,
@@ -225,4 +232,6 @@ class SweepService:
             "cache": (self.cache.stats()
                       if self.cache is not None else None),
             "pool": pool_mod.session_counters(),
+            "arena": arena_counters(),
+            "trace": trace_snapshot(),
         }

@@ -22,6 +22,7 @@ from typing import Optional, Union
 from repro.ir.copyins import insert_copies
 from repro.ir.ddg import Ddg
 from repro.ir.unroll import unroll
+from repro.obs.trace import span
 from repro.machine.cluster import ClusteredMachine
 from repro.machine.machine import Machine
 from repro.regalloc.queues import ScheduleQueueUsage, allocate_for_schedule
@@ -88,10 +89,12 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
     :class:`repro.sched.schedule.SchedulingError` or a validation error if
     anything is inconsistent; returns the artefacts otherwise.
     """
-    work = unroll(ddg, unroll_factor) if unroll_factor > 1 else ddg
+    with span("pipeline.unroll"):
+        work = unroll(ddg, unroll_factor) if unroll_factor > 1 else ddg
     n_copies = 0
     if machine.needs_copies:
-        res = insert_copies(work, strategy=copy_strategy)  # type: ignore[arg-type]
+        with span("pipeline.copy_insert"):
+            res = insert_copies(work, strategy=copy_strategy)  # type: ignore[arg-type]
         work, n_copies = res.ddg, res.n_copies
 
     if isinstance(machine, ClusteredMachine):
@@ -105,8 +108,10 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
         else:
             cfg = PartitionConfig(partitioner=partitioner,
                                   ii_search=ii_search)
-        sched = partitioned_schedule(work, machine, config=cfg)
-        usage = allocate_for_schedule(sched, machine)
+        with span("pipeline.schedule"):
+            sched = partitioned_schedule(work, machine, config=cfg)
+        with span("pipeline.allocate"):
+            usage = allocate_for_schedule(sched, machine)
         capacities = machine.cluster.fus.as_dict()
     else:
         from repro.sched.strategies import SmsConfig, get_scheduler
@@ -121,21 +126,27 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
         else:
             engine = get_scheduler(scheduler)
         mode = None if sched_config is not None else ii_search
-        sched = engine.schedule(work, machine, ii_search=mode).schedule
+        with span("pipeline.schedule"):
+            sched = engine.schedule(work, machine, ii_search=mode).schedule
         capacities = machine.fus.as_dict()
         if not machine.needs_copies:
             # conventional RF: no queues to allocate, the queue simulator
             # does not apply -- report register demand instead
             from repro.regalloc.conventional import register_requirement
+            with span("pipeline.regalloc"):
+                registers = register_requirement(sched)
             return PipelineResult(
                 ddg=sched.ddg, schedule=sched, usage=None, sim=None,
                 unroll_factor=unroll_factor, n_copies=0,
-                registers=register_requirement(sched))
-        usage = allocate_for_schedule(sched)
+                registers=registers)
+        with span("pipeline.allocate"):
+            usage = allocate_for_schedule(sched)
 
-    usage.verify()
-    sim = simulate(sched, usage, iterations=iterations,
-                   capacities=capacities)
+    with span("pipeline.verify"):
+        usage.verify()
+    with span("pipeline.simulate"):
+        sim = simulate(sched, usage, iterations=iterations,
+                       capacities=capacities)
     return PipelineResult(
         ddg=sched.ddg, schedule=sched, usage=usage, sim=sim,
         unroll_factor=unroll_factor, n_copies=n_copies)

@@ -1,0 +1,148 @@
+"""Bench history + the statistical regression gate (obs.history)."""
+
+import json
+
+import pytest
+
+from repro.obs.history import (BenchHistory, detect_regressions,
+                               evaluate_metric, robust_stats,
+                               rows_from_record, trend_stats)
+
+
+def _record(name="demo", wall=1.0, sha="abc1234", ts="2026-01-01T00:00:00",
+            metrics=None, schema=2):
+    rec = {"schema": schema, "name": name, "wall_s": wall,
+           "timestamp": ts, "metrics": metrics or {}}
+    if schema >= 2:
+        rec["provenance"] = {"git_sha": sha, "host": "0" * 12,
+                             "python": "3.11.0"}
+    return rec
+
+
+def _seed(history, name, values, sha_prefix="old"):
+    rows = []
+    for i, v in enumerate(values):
+        rows.append({"bench": name, "metric": "wall_s", "value": v,
+                     "git_sha": f"{sha_prefix}{i:04d}",
+                     "timestamp": f"2025-12-{(i % 28) + 1:02d}T00:00:00"})
+    history.append(rows)
+
+
+# ---------------------------------------------------------------------------
+# ingest
+# ---------------------------------------------------------------------------
+
+def test_rows_from_schema2_record_flatten_nested_metrics():
+    rec = _record(wall=2.5, metrics={"ipc": 3.1,
+                                     "arena": {"hits": 7, "allocs": 2},
+                                     "label": "text-skipped",
+                                     "flag": True})
+    rows = rows_from_record(rec)
+    by_metric = {r["metric"]: r for r in rows}
+    assert by_metric["wall_s"]["value"] == 2.5
+    assert by_metric["arena.hits"]["value"] == 7.0
+    assert "label" not in by_metric and "flag" not in by_metric
+    assert all(r["git_sha"] == "abc1234" for r in rows)
+
+
+def test_rows_from_schema1_record_still_readable():
+    rec = _record(schema=1)
+    rows = rows_from_record(rec)
+    assert rows and all(r["git_sha"] == "unknown" for r in rows)
+
+
+def test_append_dedups_on_identity(tmp_path):
+    history = BenchHistory(tmp_path / "h.jsonl")
+    rows = rows_from_record(_record())
+    assert history.append(rows) == len(rows)
+    assert history.append(rows) == 0          # exact duplicates skipped
+    # same metric from a different commit is new
+    assert history.append(rows_from_record(_record(sha="def5678"))) \
+        == len(rows)
+
+
+def test_load_tolerates_corrupt_lines(tmp_path):
+    path = tmp_path / "h.jsonl"
+    good = {"bench": "b", "metric": "wall_s", "value": 1.0,
+            "git_sha": "x", "timestamp": "t"}
+    path.write_text(json.dumps(good) + "\n"
+                    "this is not json\n"
+                    '{"not": "a row"}\n'
+                    "\n"
+                    + json.dumps(dict(good, git_sha="y")) + "\n")
+    assert len(BenchHistory(path).load()) == 2
+
+
+# ---------------------------------------------------------------------------
+# the gate's edge cases
+# ---------------------------------------------------------------------------
+
+def test_short_history_uses_ratio_fallback(tmp_path):
+    history = BenchHistory(tmp_path / "h.jsonl")
+    _seed(history, "demo", [1.0, 1.1])          # < MIN_HISTORY points
+    ok = trend_stats(history, [_record(wall=1.2)])
+    assert [s.test for s in ok] == ["ratio"]
+    assert not any(s.regressed for s in ok)
+    bad = trend_stats(history, [_record(wall=2.0)])   # > 1.3x median
+    assert bad[0].regressed
+
+
+def test_zero_variance_series_falls_back_to_ratio():
+    stat = evaluate_metric([1.0] * 8, 1.2, bench="b", metric="wall_s")
+    assert stat.test == "ratio" and not stat.regressed
+    stat = evaluate_metric([1.0] * 8, 1.5, bench="b", metric="wall_s")
+    assert stat.test == "ratio" and stat.regressed
+
+
+def test_missing_gated_metric_in_newest_record_is_flagged(tmp_path):
+    history = BenchHistory(tmp_path / "h.jsonl")
+    _seed(history, "demo", [1.0, 1.0, 1.1, 1.0, 0.9])
+    rec = _record()
+    del rec["wall_s"]                       # telemetry break
+    flagged = detect_regressions(history, [rec])
+    assert [s.verdict for s in flagged] == ["missing"]
+    assert "MISSING" in flagged[0].describe()
+
+
+def test_seeded_2x_regression_must_flag(tmp_path):
+    """The acceptance fixture: healthy history, then a 2x slowdown."""
+    history = BenchHistory(tmp_path / "h.jsonl")
+    healthy = [1.00, 1.02, 0.98, 1.01, 0.99, 1.03, 1.00, 0.97]
+    _seed(history, "fig6_partition", healthy)
+    clean = trend_stats(history, [_record("fig6_partition", wall=1.01)])
+    assert not any(s.regressed for s in clean)
+    assert clean[0].test == "mad-z"
+    flagged = detect_regressions(
+        history, [_record("fig6_partition", wall=2.0)])
+    assert len(flagged) == 1
+    assert flagged[0].regressed and flagged[0].z > 3.5
+
+
+def test_no_history_never_fails(tmp_path):
+    history = BenchHistory(tmp_path / "empty.jsonl")
+    stats = trend_stats(history, [_record("brand_new", wall=99.0)])
+    assert [s.verdict for s in stats] == ["no-history"]
+    assert not detect_regressions(history, [_record("brand_new",
+                                                    wall=99.0)])
+
+
+def test_newest_rows_never_vouch_for_themselves(tmp_path):
+    """Appending before gating must not shift the comparison window."""
+    history = BenchHistory(tmp_path / "h.jsonl")
+    _seed(history, "demo", [1.0] * 6)
+    rec = _record(wall=2.0, sha="fresh01")
+    history.append(rows_from_record(rec))    # already appended
+    flagged = detect_regressions(history, [rec])
+    assert len(flagged) == 1                 # still gated against priors
+
+
+def test_tiny_drift_below_slowdown_floor_passes():
+    # statistically significant (MAD is microscopic) but < 5% slower
+    stat = evaluate_metric([1.0, 1.0001, 0.9999, 1.0002, 1.0, 1.0001],
+                           1.03, bench="b", metric="wall_s")
+    assert stat.test == "mad-z" and not stat.regressed
+
+
+def test_robust_stats():
+    med, mad = robust_stats([1.0, 2.0, 3.0, 4.0, 100.0])
+    assert med == 3.0 and mad == 1.0

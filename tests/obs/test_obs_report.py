@@ -1,0 +1,128 @@
+"""Observatory rendering: trend table, dashboard HTML, Prometheus text."""
+
+import re
+
+from repro.obs.history import BenchHistory, trend_stats
+from repro.obs.report import (prometheus_text, render_dashboard,
+                              sparkline, trend_table)
+from repro.obs.trace import BUCKETS
+
+
+def _history(tmp_path, name="demo", values=(1.0, 1.1, 0.9, 1.0, 1.05)):
+    history = BenchHistory(tmp_path / "h.jsonl")
+    history.append([
+        {"bench": name, "metric": "wall_s", "value": v,
+         "git_sha": f"old{i:04d}", "timestamp": f"2025-12-01T00:00:{i:02d}"}
+        for i, v in enumerate(values)])
+    return history
+
+
+def _record(name="demo", wall=1.0):
+    return {"schema": 2, "name": name, "wall_s": wall,
+            "timestamp": "2026-01-01T00:00:00", "metrics": {},
+            "provenance": {"git_sha": "fresh01", "host": "0" * 12,
+                           "python": "3.11.0"}}
+
+
+def test_sparkline_scales_to_glyph_range():
+    assert sparkline([]) == ""
+    assert sparkline([1.0, 1.0]) == "▁▁"
+    line = sparkline([0.0, 0.5, 1.0])
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_trend_table_lists_metrics_and_flags(tmp_path):
+    history = _history(tmp_path)
+    ok = trend_table(trend_stats(history, [_record(wall=1.0)]))
+    assert "demo" in ok and "wall_s" in ok
+    assert "no regressions flagged" in ok
+    bad = trend_table(trend_stats(history, [_record(wall=5.0)]))
+    assert "REGRESSION" in bad and "flagged" in bad
+    assert trend_table([]) == "no benchmark records to report on"
+
+
+def test_dashboard_html_is_self_contained(tmp_path):
+    history = _history(tmp_path)
+    stats = trend_stats(history, [_record(wall=1.0)])
+    page = render_dashboard(history, stats)
+    assert page.startswith("<!DOCTYPE html>")
+    assert "<svg" in page and "<polyline" in page
+    assert "<title>" in page                 # native point tooltips
+    assert "prefers-color-scheme: dark" in page
+    assert "<table>" in page                 # accessible table view
+    assert "no regressions flagged" in page
+    assert "http" not in page.lower().replace("html", "")  # no ext assets
+
+
+def test_dashboard_flags_regressions_with_glyph_not_color_alone(tmp_path):
+    history = _history(tmp_path)
+    stats = trend_stats(history, [_record(wall=5.0)])
+    page = render_dashboard(history, stats)
+    assert "&#9650;" in page                 # ▲ marker next to the color
+    assert "pt-last-bad" in page             # newest point emphasised
+    assert "1 flagged" in page
+
+
+def test_prometheus_text_is_valid_exposition():
+    snapshot = {
+        "uptime_s": 12.5,
+        "service": {"requests": 3, "jobs": 5, "dedup_inflight": 1,
+                    "served_from_cache": 2, "compiled": 3, "batches": 2,
+                    "batch_jobs": 3, "inflight": 0, "queue_depth": 0,
+                    "submit_s": 0.25, "n_workers": 2},
+        "cache": {"backend": "sharded", "hits": 2, "misses": 3,
+                  "stores": 3, "evictions": 0, "compactions": 1,
+                  "entries": 3, "bytes": 4096},
+        "pool": {2: {"spawns": 1, "reuses": 4}},
+        "arena": {"hits": 10, "allocs": 2, "resets": 12,
+                  "pooled_mrts": 2, "generation": 12},
+        "trace": {"stages": {"pipeline.schedule": {
+            "count": 3, "total_s": 0.5, "min_s": 0.1, "max_s": 0.3,
+            "buckets": [0, 0, 0, 0, 0, 1, 2] + [0] * 5}},
+            "counters": {"sched.ii_accepted": 3}},
+    }
+    text = prometheus_text(snapshot)
+    lines = text.splitlines()
+    assert text.endswith("\n")
+
+    # every sample line belongs to a family with HELP and TYPE
+    families = {m.group(1) for line in lines
+                if (m := re.match(r"# TYPE (\S+) ", line))}
+    helped = {m.group(1) for line in lines
+              if (m := re.match(r"# HELP (\S+) ", line))}
+    assert families == helped
+    sample = re.compile(r"^([a-zA-Z_][a-zA-Z0-9_]*)(\{[^}]*\})? \S+$")
+    for line in lines:
+        if line.startswith("#"):
+            continue
+        m = sample.match(line)
+        assert m, line
+        name = m.group(1)
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in families or base in families, line
+
+    # counters carry the _total suffix
+    assert "repro_service_jobs_total 5" in text
+    assert "repro_cache_hits_total 2" in text
+    assert "repro_arena_hits_total 10" in text
+    assert "repro_trace_sched_ii_accepted_total 3" in text
+    assert 'repro_pool_spawns_total{workers="2"} 1' in text
+
+    # histogram: cumulative buckets ending at +Inf == count
+    buckets = [line for line in lines
+               if line.startswith("repro_stage_seconds_bucket")]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+    assert counts == sorted(counts)          # cumulative
+    assert len(buckets) == len(BUCKETS) + 1  # every edge + +Inf
+    assert buckets[-1].startswith(
+        'repro_stage_seconds_bucket{stage="pipeline_schedule",le="+Inf"}')
+    assert counts[-1] == 3
+    assert 'repro_stage_seconds_count{stage="pipeline_schedule"} 3' in text
+
+
+def test_prometheus_text_minimal_snapshot():
+    text = prometheus_text({"uptime_s": 0.0, "service": {},
+                            "cache": None, "pool": {}, "arena": {},
+                            "trace": {}})
+    assert "repro_uptime_seconds 0" in text
+    assert "repro_cache_info" not in text

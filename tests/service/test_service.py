@@ -130,9 +130,26 @@ def _request(handle, method, path, body=None):
         conn.close()
 
 
+def _request_text(handle, method, path):
+    conn = http.client.HTTPConnection(handle.host, handle.port,
+                                      timeout=120)
+    try:
+        conn.request(method, path)
+        response = conn.getresponse()
+        return (response.status, response.getheader("Content-Type"),
+                response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
 def test_http_end_to_end(server):
+    import repro
+
     status, health = _request(server, "GET", "/healthz")
     assert status == 200 and health["status"] == "ok"
+    assert health["version"] == repro.__version__
+    assert health["n_workers"] == 1
+    assert health["uptime_s"] >= 0.0
 
     status, out = _request(server, "POST", "/jobs", _spec("daxpy"))
     assert status == 200
@@ -153,11 +170,19 @@ def test_http_end_to_end(server):
     status, poll = _request(server, "GET", "/jobs/" + "0" * 64)
     assert status == 404 and poll["status"] == "unknown"
 
-    status, metrics = _request(server, "GET", "/metrics")
+    status, metrics = _request(server, "GET", "/metrics.json")
     assert status == 200
     assert metrics["service"]["served_from_cache"] == 1
     assert metrics["cache"]["backend"] == "sharded"
     assert metrics["cache"]["hits"] >= 1
+
+    # /metrics itself speaks Prometheus text exposition
+    status, content_type, text = _request_text(server, "GET", "/metrics")
+    assert status == 200
+    assert content_type.startswith("text/plain")
+    assert "# TYPE repro_service_jobs_total counter" in text
+    assert "repro_service_served_from_cache_total 1" in text
+    assert 'repro_cache_info{backend="sharded"} 1' in text
 
 
 def test_http_concurrent_identical_posts_dedup(server):
@@ -176,7 +201,7 @@ def test_http_concurrent_identical_posts_dedup(server):
     (sa, ra), (sb, rb) = results
     assert sa == sb == 200
     assert ra["results"][0]["outcome"] == rb["results"][0]["outcome"]
-    _, metrics = _request(server, "GET", "/metrics")
+    _, metrics = _request(server, "GET", "/metrics.json")
     service = metrics["service"]
     # one of the two either coalesced in-flight or replayed the cache --
     # never a second compile

@@ -396,3 +396,130 @@ def test_bench_failing_run_propagates(capsys, monkeypatch):
     code, _, err = run_cli(capsys, "bench", "fig6_partition")
     assert code == 3
     assert "failed" in err
+
+
+# ---------------------------------------------------------------------------
+# observatory: report + trace subcommands
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def untraced():
+    """Restore the tracing default after a command that enables it
+    in-process (`trace`, `schedule --trace`)."""
+    from repro.obs import trace as tr
+    was_enabled = tr.tracing_enabled()
+    yield
+    tr.reset_tracing()
+    if not was_enabled:
+        tr.disable_tracing()
+
+
+def _bench_record(tmp_path, name, wall):
+    import json
+
+    (tmp_path / f"BENCH_{name}.json").write_text(json.dumps(
+        {"schema": 2, "name": name, "wall_s": wall, "corpus_size": 1,
+         "timestamp": "2026-01-01T00:00:00", "metrics": {},
+         "provenance": {"git_sha": "fresh01", "host": "0" * 12,
+                        "python": "3.11.0"}}))
+
+
+def _seed_history(path, name, values):
+    import json
+
+    with path.open("w") as fh:
+        for i, v in enumerate(values):
+            fh.write(json.dumps(
+                {"bench": name, "metric": "wall_s", "value": v,
+                 "git_sha": f"old{i:04d}",
+                 "timestamp": f"2025-12-01T00:00:{i:02d}"}) + "\n")
+
+
+def test_report_renders_observatory_and_dashboard(capsys, tmp_path):
+    _bench_record(tmp_path, "demo", 1.0)
+    history = tmp_path / "history.jsonl"
+    _seed_history(history, "demo", [1.0, 1.05, 0.95, 1.0, 1.02])
+    html_out = tmp_path / "out" / "dashboard.html"
+    code, out, _ = run_cli(capsys, "report",
+                           "--records", str(tmp_path),
+                           "--history", str(history),
+                           "--html", str(html_out))
+    assert code == 0
+    assert "demo" in out and "wall_s" in out
+    assert "no regressions flagged" in out
+    page = html_out.read_text()
+    assert page.startswith("<!DOCTYPE html>") and "<svg" in page
+
+
+def test_report_check_flags_seeded_regression(capsys, tmp_path):
+    _bench_record(tmp_path, "demo", 2.0)          # 2x the history
+    history = tmp_path / "history.jsonl"
+    _seed_history(history, "demo",
+                  [1.0, 1.02, 0.98, 1.01, 0.99, 1.03, 1.0, 0.97])
+    code, out, _ = run_cli(capsys, "report", "--check",
+                           "--records", str(tmp_path),
+                           "--history", str(history), "--html", "")
+    assert code == 1
+    assert "REGRESSION" in out
+    # the same history without --check still reports, exit 0
+    code, _, _ = run_cli(capsys, "report",
+                         "--records", str(tmp_path),
+                         "--history", str(history), "--html", "")
+    assert code == 0
+
+
+def test_report_append_grows_history_once(capsys, tmp_path):
+    _bench_record(tmp_path, "demo", 1.0)
+    history = tmp_path / "history.jsonl"
+    code, out, _ = run_cli(capsys, "report", "--append",
+                           "--records", str(tmp_path),
+                           "--history", str(history), "--html", "")
+    assert code == 0
+    assert "1 new row(s)" in out
+    code, out, _ = run_cli(capsys, "report", "--append",
+                           "--records", str(tmp_path),
+                           "--history", str(history), "--html", "")
+    assert "0 new row(s)" in out               # identity-deduped
+
+
+def test_report_experiments_keeps_old_bundle(capsys):
+    code, out, _ = run_cli(capsys, "--sample", "6", "--no-cache",
+                           "report", "--experiments")
+    assert code == 0
+    assert "Fig. 3" in out
+
+
+def _coverage_pct(out):
+    import re
+
+    m = re.search(r"\((\d+(?:\.\d+)?)% covered\)", out)
+    assert m, out
+    return float(m.group(1))
+
+
+def test_trace_command_breakdown_covers_wall(capsys, untraced):
+    code, out, _ = run_cli(capsys, "trace", "fir4")
+    assert code == 0
+    assert "pipeline.schedule" in out
+    assert "sched.ii_accepted" in out
+    assert _coverage_pct(out) >= 90.0          # stage sum within 10%
+
+
+def test_trace_clustered_counts_partition_rounds(capsys, untraced):
+    code, out, _ = run_cli(capsys, "trace", "dot", "--clusters", "2")
+    assert code == 0
+    assert "partition.placements" in out
+
+
+def test_schedule_trace_flag_appends_breakdown(capsys, untraced):
+    code, out, _ = run_cli(capsys, "schedule", "daxpy", "--trace")
+    assert code == 0
+    assert "simulated" in out                  # normal dump still there
+    assert "pipeline.schedule" in out
+    assert _coverage_pct(out) >= 90.0
+
+
+def test_trace_unknown_kernel(capsys):
+    code, _, err = run_cli(capsys, "trace", "nope")
+    assert code == 2
+    assert "unknown kernel" in err

@@ -63,7 +63,8 @@ def test_every_public_module_has_docstring():
 
     packages = ["repro", "repro.ir", "repro.machine", "repro.sched",
                 "repro.regalloc", "repro.codegen", "repro.sim",
-                "repro.workloads", "repro.analysis", "repro.runner"]
+                "repro.workloads", "repro.analysis", "repro.runner",
+                "repro.service", "repro.obs"]
     for pkg_name in packages:
         pkg = importlib.import_module(pkg_name)
         assert pkg.__doc__, pkg_name

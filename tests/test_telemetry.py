@@ -27,6 +27,17 @@ def test_write_bench_json_shape(bench_dir):
     assert rec["metrics"] == {"hit_rate": 0.9}
     assert rec["schema"] == telemetry.SCHEMA_VERSION
     assert "timestamp" in rec
+    prov = rec["provenance"]
+    assert set(prov) == {"git_sha", "host", "python"}
+    assert len(prov["host"]) == 12
+    assert prov["python"].count(".") == 2
+
+
+def test_provenance_git_sha_env_override(bench_dir, monkeypatch):
+    monkeypatch.setattr(telemetry, "_PROVENANCE", None)
+    monkeypatch.setenv("REPRO_GIT_SHA", "cafe123")
+    assert telemetry.provenance()["git_sha"] == "cafe123"
+    monkeypatch.setattr(telemetry, "_PROVENANCE", None)
 
 
 def _baseline(tmp_path, benches):
