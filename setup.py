@@ -32,6 +32,7 @@ setup(
     python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     install_requires=[
         "networkx>=2.6",
     ],
@@ -41,6 +42,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-vliw=repro.cli:main",
+            "repro-lint=repro.analysis.lint.cli:main",
         ],
     },
     classifiers=[
@@ -48,6 +50,7 @@ setup(
         "Intended Audience :: Science/Research",
         "License :: OSI Approved :: MIT License",
         "Programming Language :: Python :: 3",
+        "Typing :: Typed",
         "Topic :: Software Development :: Compilers",
     ],
 )

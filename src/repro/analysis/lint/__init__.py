@@ -1,0 +1,37 @@
+"""Project lint: AST-walking analyzers for repo-specific disciplines.
+
+The generic linters this repo could run know nothing about its actual
+invariants -- that the packed schedulers must not allocate inside the
+placement loop, that fingerprinted compile paths must stay free of
+wall-clock and unseeded randomness, that every shard write of the
+result cache happens under its flock, that the daemon never swallows
+exceptions bare, that tracer call sites go through the shared no-op
+span pattern.  Each of those is a one-screen AST rule, and this package
+is the small framework that runs them (DESIGN §5.9).
+
+Findings diff against a committed baseline (``tools/lint-baseline.json``)
+so pre-existing debt is visible but only *new* findings fail the build:
+
+    python -m repro.analysis.lint            # exit 1 on new findings
+    python -m repro.analysis.lint --update-baseline
+
+Adding a rule: subclass :class:`Rule` in ``rules.py``, give it a unique
+``name``/``description``, implement ``check(tree, source, path)``, and
+append it to ``ALL_RULES``.  The runner, the baseline diff, the CLI and
+the tests pick it up from the registry.
+"""
+
+from .core import (Baseline, Finding, Rule, load_baseline, new_findings,
+                   run_lint, write_baseline)
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "load_baseline",
+    "new_findings",
+    "run_lint",
+    "write_baseline",
+]

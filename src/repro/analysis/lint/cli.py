@@ -1,0 +1,104 @@
+"""Lint runner CLI: ``python -m repro.analysis.lint`` / ``repro-lint``.
+
+Exit codes follow the repo convention: 0 = no new findings; 1 = new
+findings vs the baseline; 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from .core import load_baseline, new_findings, run_lint, write_baseline
+from .rules import ALL_RULES
+
+DEFAULT_BASELINE = "tools/lint-baseline.json"
+
+
+def _repo_root(start: Optional[str]) -> pathlib.Path:
+    """The repository root: --root, or the nearest ancestor of cwd that
+    has a src/repro tree."""
+    if start:
+        return pathlib.Path(start)
+    here = pathlib.Path.cwd()
+    for candidate in (here, *here.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return here
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="project lint: repo-specific AST rules "
+                    "(DESIGN §5.9)",
+        epilog="exit codes: 0 = no new findings; 1 = new findings vs "
+               "the baseline; 2 = usage error")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint "
+                        "(default: src/, repo-relative)")
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="repository root (default: nearest ancestor "
+                        "with a src/repro tree)")
+    p.add_argument("--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+                   help=f"findings baseline, repo-relative "
+                        f"(default {DEFAULT_BASELINE}); '' compares "
+                        f"against an empty baseline")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline to accept the current "
+                        "findings as debt")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the rule catalogue and exit")
+    p.add_argument("--json", action="store_true",
+                   help="emit all findings (not just new ones) as JSON")
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name:<24} {rule.description}")
+        return 0
+
+    root = _repo_root(args.root)
+    if not (root / "src").is_dir():
+        print(f"repro-lint: no src/ under {root} (pass --root)",
+              file=sys.stderr)
+        return 2
+    findings = run_lint(root, paths=args.paths or None)
+
+    if args.json:
+        print(json.dumps([{
+            "rule": f.rule, "path": f.path, "line": f.line,
+            "message": f.message, "fingerprint": f.fingerprint,
+        } for f in findings], indent=2))
+
+    baseline_path = root / args.baseline if args.baseline else None
+    if args.update_baseline:
+        if baseline_path is None:
+            print("repro-lint: --update-baseline needs --baseline",
+                  file=sys.stderr)
+            return 2
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        write_baseline(baseline_path, findings)
+        print(f"baseline: {len(findings)} finding(s) accepted -> "
+              f"{baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path) if baseline_path else {}
+    fresh = new_findings(findings, baseline)
+    if not args.json:
+        for f in fresh:
+            print(f.describe())
+    known = len(findings) - len(fresh)
+    print(f"repro-lint: {len(findings)} finding(s), {known} in "
+          f"baseline, {len(fresh)} new", file=sys.stderr)
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

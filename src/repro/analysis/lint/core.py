@@ -1,0 +1,162 @@
+"""Lint framework: findings, rules, the runner and the baseline diff.
+
+A :class:`Finding` is identified for baseline purposes by its
+*fingerprint* -- a hash of (rule, file, source line text), deliberately
+not the line number, so unrelated edits that shift code up or down do
+not invalidate the baseline.  The baseline stores a count per
+fingerprint: a file may legitimately contain the same idiom twice, and
+only occurrences *beyond* the recorded count are new.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import pathlib
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+#: fingerprint -> allowed occurrence count
+Baseline = dict[str, int]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str          # repo-relative, posix separators
+    line: int
+    message: str
+    snippet: str = ""  # the stripped source line, for the fingerprint
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-drift-stable identity: hashes the source text, not the
+        line number."""
+        doc = f"{self.rule}|{self.path}|{self.snippet}"
+        return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+
+    def describe(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+                + (f"\n    {self.snippet}" if self.snippet else ""))
+
+
+class Rule:
+    """Base class for project lint rules.
+
+    Subclasses set ``name`` (the ``R###-slug`` id) and ``description``,
+    optionally narrow ``applies_to``, and implement ``check``.  Use
+    :meth:`finding` to emit violations so fingerprints stay uniform.
+    """
+
+    name = ""
+    description = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether *path* (repo-relative posix) is in this rule's scope."""
+        return True
+
+    def check(self, tree: ast.AST, source_lines: Sequence[str],
+              path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str,
+                source_lines: Sequence[str]) -> Finding:
+        line = getattr(node, "lineno", 0)
+        snippet = (source_lines[line - 1].strip()
+                   if 0 < line <= len(source_lines) else "")
+        return Finding(rule=self.name, path=path, line=line,
+                       message=message, snippet=snippet)
+
+
+def _iter_sources(root: pathlib.Path,
+                  paths: Optional[Sequence[str]]) -> Iterator[pathlib.Path]:
+    if paths:
+        for p in paths:
+            target = (root / p) if not pathlib.Path(p).is_absolute() \
+                else pathlib.Path(p)
+            if target.is_dir():
+                yield from sorted(target.rglob("*.py"))
+            else:
+                yield target
+        return
+    yield from sorted((root / "src").rglob("*.py"))
+
+
+def run_lint(root: "pathlib.Path | str", *,
+             rules: Optional[Sequence[Rule]] = None,
+             paths: Optional[Sequence[str]] = None) -> list[Finding]:
+    """Run *rules* (default: the full catalogue) over the tree at *root*.
+
+    Files that fail to parse produce a synthetic ``parse-error`` finding
+    rather than aborting the run: a broken file must fail the gate, not
+    hide from it.
+    """
+    from .rules import ALL_RULES
+
+    root = pathlib.Path(root)
+    active = list(ALL_RULES) if rules is None else list(rules)
+    findings: list[Finding] = []
+    for source_path in _iter_sources(root, paths):
+        rel = source_path.resolve().relative_to(root.resolve()).as_posix()
+        try:
+            source = source_path.read_text()
+            tree = ast.parse(source, filename=rel)
+        except (OSError, SyntaxError) as exc:
+            findings.append(Finding(rule="parse-error", path=rel, line=1,
+                                    message=str(exc)))
+            continue
+        source_lines = source.splitlines()
+        for rule in active:
+            if rule.applies_to(rel):
+                findings.extend(rule.check(tree, source_lines, rel))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# ---------------------------------------------------------------- baseline
+
+def load_baseline(path: "pathlib.Path | str") -> Baseline:
+    """Read a committed baseline; a missing file is an empty baseline."""
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except FileNotFoundError:
+        return {}
+    return {str(k): int(v) for k, v in doc.get("findings", {}).items()}
+
+
+def write_baseline(path: "pathlib.Path | str",
+                   findings: Iterable[Finding]) -> Baseline:
+    """Persist the current findings as the new accepted debt."""
+    counts = Counter(f.fingerprint for f in findings)
+    doc = {
+        "comment": "accepted lint debt -- regenerate with "
+                   "`python -m repro.analysis.lint --update-baseline`; "
+                   "keys are line-drift-stable finding fingerprints",
+        "findings": dict(sorted(counts.items())),
+    }
+    pathlib.Path(path).write_text(json.dumps(doc, indent=2,
+                                             sort_keys=True) + "\n")
+    return dict(counts)
+
+
+def new_findings(findings: Sequence[Finding],
+                 baseline: Baseline) -> list[Finding]:
+    """Occurrences beyond the baseline's per-fingerprint allowance.
+
+    Within one fingerprint the earliest occurrences are considered
+    covered, so the reported "new" ones are the later duplicates --
+    arbitrary but deterministic.
+    """
+    remaining = dict(baseline)
+    out = []
+    for f in findings:
+        allowance = remaining.get(f.fingerprint, 0)
+        if allowance > 0:
+            remaining[f.fingerprint] = allowance - 1
+        else:
+            out.append(f)
+    return out

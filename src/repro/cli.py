@@ -11,6 +11,10 @@ Subcommands:
   engines
 * ``repro-vliw partitioners``       -- list the registered
   cluster-partitioning engines
+* ``repro-vliw verify``             -- prove schedules with the static
+  verifier (DESIGN §5.9): the full golden engine x kernel matrix by
+  default, ``--mutations N`` to also demand the seeded corruption
+  corpus is 100% rejected
 * ``repro-vliw report``             -- the perf observatory: trend
   tables + HTML dashboard over the committed ``BENCH_*.json`` records
   and the bench history (``--check`` gates regressions, ``--append``
@@ -547,6 +551,104 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Prove schedules with the static verifier (DESIGN §5.9).
+
+    With no kernel arguments this proves the full golden matrix: every
+    registered scheduler x kernel on the 12-FU QRF machine and every
+    registered partitioner x kernel on the 4-cluster ring -- the same
+    engine x kernel grid the golden-fixture tests replay dynamically.
+    ``--mutations N`` additionally runs N rounds of the seeded
+    corruption corpus against each proved schedule and demands a 100%
+    rejection rate (a verifier that cannot reject proves nothing).
+
+    Exit codes: 0 = every schedule proved (and every mutation
+    rejected); 1 = a proof failed or a corruption survived; 2 = usage
+    error.
+    """
+    import json
+
+    from repro.ir.copyins import insert_copies
+    from repro.sched.partition import PartitionConfig, partitioned_schedule
+    from repro.sched.schedule import SchedulingError
+    from repro.sched.strategies import get_scheduler
+    from repro.verify import mutation_corpus, verify_schedule
+
+    names = args.kernels or sorted(KERNELS)
+    unknown = [k for k in names if k not in KERNELS]
+    if unknown:
+        print(f"verify: unknown kernel(s) {', '.join(unknown)}; "
+              f"available: {', '.join(sorted(KERNELS))}", file=sys.stderr)
+        return 2
+
+    single = qrf_machine(args.fus)
+    ring = clustered_machine(args.clusters)
+    targets = []          # (label, machine, build)
+    for kernel_name in names:
+        for scheduler in available_schedulers():
+            targets.append((
+                f"{scheduler}/{kernel_name}", single,
+                lambda w, s=scheduler, m=single: get_scheduler(s)
+                .schedule(w, m).schedule))
+        for partitioner in available_partitioners():
+            targets.append((
+                f"{partitioner}/{kernel_name}", ring,
+                lambda w, p=partitioner, m=ring: partitioned_schedule(
+                    w, m, config=PartitionConfig(partitioner=p))))
+
+    proof_failures = mutation_misses = n_mutations = 0
+    verdicts = []
+    for label, machine, build in targets:
+        kernel_name = label.rsplit("/", 1)[1]
+        work = insert_copies(kernel(kernel_name)).ddg
+        try:
+            sched = build(work)
+        except SchedulingError as exc:
+            print(f"FAIL  {label}: did not schedule ({exc})",
+                  file=sys.stderr)
+            proof_failures += 1
+            continue
+        verdict = verify_schedule(sched, machine)
+        verdicts.append(verdict)
+        if not verdict.ok:
+            proof_failures += 1
+            print("FAIL  " + verdict.describe(), file=sys.stderr)
+        elif not args.json:
+            print("ok    " + verdict.describe())
+        if verdict.ok and args.mutations:
+            for mut in mutation_corpus(sched, machine, seed=args.seed,
+                                       rounds=args.mutations):
+                n_mutations += 1
+                got = verify_schedule(mut.schedule, mut.machine).kinds()
+                if not (got & mut.expected):
+                    mutation_misses += 1
+                    print(f"MISS  {label}: {mut.name} survived "
+                          f"({mut.description}); expected "
+                          f"{sorted(k.value for k in mut.expected)}, "
+                          f"got {sorted(k.value for k in got)}",
+                          file=sys.stderr)
+
+    if args.json:
+        print(json.dumps([v.to_json() for v in verdicts], indent=2))
+    else:
+        proved = sum(1 for v in verdicts if v.ok)
+        line = (f"\nverify: {proved}/{len(targets)} schedules proved, "
+                f"{sum(sum(v.proved.values()) for v in verdicts)} "
+                f"inequalities checked")
+        if args.mutations:
+            line += (f"; {n_mutations - mutation_misses}/{n_mutations} "
+                     f"corruptions rejected")
+        print(line)
+    return 1 if (proof_failures or mutation_misses) else 0
+
+
+#: the shared failure-exit convention: 0 = success, 1 = the check the
+#: command was asked to make failed, 2 = usage error.  ``verify``,
+#: ``report --check`` and ``submit --expect-cached`` all follow it.
+EXIT_CODES_HELP = ("exit codes: 0 = success; 1 = check failed; "
+                   "2 = usage error")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro-vliw",
@@ -635,9 +737,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("partitioners",
                    help="list the registered cluster-partitioning engines")
 
+    pf = sub.add_parser(
+        "verify",
+        help="prove schedules with the static verifier (golden "
+             "engine x kernel matrix by default)",
+        epilog=EXIT_CODES_HELP + " (1 = a proof failed or a seeded "
+               "corruption survived)")
+    pf.add_argument("kernels", nargs="*",
+                    help="kernels to prove (default: all of "
+                         f"{', '.join(sorted(KERNELS))})")
+    pf.add_argument("--fus", type=int, default=12,
+                    help="single-cluster machine width for the "
+                         "scheduler matrix (default 12, the golden "
+                         "fixtures' machine)")
+    pf.add_argument("--clusters", type=int, default=4,
+                    help="ring size for the partitioner matrix "
+                         "(default 4, the golden fixtures' machine)")
+    pf.add_argument("--mutations", type=int, default=0, metavar="N",
+                    help="also run N rounds of the seeded corruption "
+                         "corpus per schedule and require every one "
+                         "rejected")
+    pf.add_argument("--seed", type=int, default=0,
+                    help="seed for the corruption corpus (default 0)")
+    pf.add_argument("--json", action="store_true",
+                    help="emit the verdicts as JSON instead of the "
+                         "per-schedule lines")
+
     pr = sub.add_parser(
         "report", help="perf observatory: trend tables + HTML dashboard "
-                       "over the BENCH_*.json records and bench history")
+                       "over the BENCH_*.json records and bench history",
+        epilog=EXIT_CODES_HELP + " (1 = --check found a regression)")
     pr.add_argument("--records", default=None, metavar="DIR",
                     help="directory holding the BENCH_*.json records "
                          "(default: $REPRO_BENCH_DIR or .)")
@@ -710,7 +839,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "so /metrics carries latency histograms)")
 
     pm = sub.add_parser(
-        "submit", help="submit kernels to a running daemon over HTTP")
+        "submit", help="submit kernels to a running daemon over HTTP",
+        epilog=EXIT_CODES_HELP + " (1 = HTTP error, or --expect-cached "
+               "saw a fresh compile)")
     pm.add_argument("kernels", nargs="+",
                     help=f"kernel names, e.g. {', '.join(sorted(KERNELS))}")
     pm.add_argument("--host", default="127.0.0.1")
@@ -743,6 +874,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": cmd_experiment,
         "schedulers": cmd_schedulers,
         "partitioners": cmd_partitioners,
+        "verify": cmd_verify,
         "report": cmd_report,
         "bench": cmd_bench,
         "cache": cmd_cache,

@@ -100,7 +100,8 @@ class _Node:
 
     __slots__ = ("left", "right")
 
-    def __init__(self, left, right) -> None:
+    def __init__(self, left: "_Node | _Leaf",
+                 right: "_Node | _Leaf") -> None:
         self.left = left
         self.right = right
 
@@ -206,7 +207,8 @@ def insert_copies(ddg: Ddg, *, strategy: CopyStrategy = "slack",
         producer = out.op(oid)
         cp_index = itertools.count()
 
-        def materialise(node, parent_id: int, depth: int) -> None:
+        def materialise(node: "_Node | _Leaf", parent_id: int,
+                        depth: int) -> None:
             nonlocal n_copies
             if isinstance(node, _Leaf):
                 e = node.edge

@@ -20,11 +20,14 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 import networkx as nx
 
 from .operations import FuType, LatencyModel, Opcode, Operation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ddgarrays import DdgArrays
 
 
 class DepKind(enum.Enum):
@@ -377,7 +380,7 @@ class Ddg:
         out._next_id = self._next_id
         return out
 
-    def arrays(self):
+    def arrays(self) -> "DdgArrays":
         """Packed struct-of-arrays view (:class:`~repro.ir.ddgarrays.
         DdgArrays`) of this graph -- the schedulers' hot-path
         representation.  Built lazily, memoised on the structural cache:

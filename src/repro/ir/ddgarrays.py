@@ -135,7 +135,9 @@ class DdgArrays:
         self.scc_id = _scc_ids(n, out_ptr, self.out_dst)
         self._build_cycle_edges(edges)
 
-    def _build_cycle_edges(self, edges) -> None:
+    def _build_cycle_edges(
+            self,
+            edges: list[tuple[int, int, int, int, int]]) -> None:
         """Compact the edges that can participate in a dependence cycle.
 
         An edge can only lie on a cycle when both endpoints share an SCC
@@ -164,7 +166,8 @@ class DdgArrays:
             if scc[s] == scc[d] and scc[s] in cyclic]
 
 
-def _scc_ids(n: int, out_ptr, out_dst) -> list[int]:
+def _scc_ids(n: int, out_ptr: list[int],
+             out_dst: list[int]) -> list[int]:
     """Strongly connected components over a CSR digraph (iterative
     Tarjan); returns a component id per node."""
     ids = [-1] * n

@@ -9,8 +9,13 @@ from __future__ import annotations
 
 from repro.machine.resources import POOL_ID_FOR
 
+from typing import TYPE_CHECKING
+
 from .ddg import Ddg
 from .operations import FuType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ddgarrays import DdgArrays
 
 
 class DdgValidationError(ValueError):
@@ -106,7 +111,7 @@ def validate_ddg(ddg: Ddg, *, require_schedulable: bool = True,
 _COPY_POOL = POOL_ID_FOR[FuType.COPY]
 
 
-def _has_zero_distance_cycle(arr) -> bool:
+def _has_zero_distance_cycle(arr: "DdgArrays") -> bool:
     """Any cycle of distance-0 edges?  Restricted to the recurrence
     subgraph (a distance-0 cycle is a cycle, so all its edges live in
     ``cyc_edges``), then an iterative DFS 3-colouring."""
@@ -141,7 +146,7 @@ def _has_zero_distance_cycle(arr) -> bool:
     return False
 
 
-def is_valid(ddg: Ddg, **kwargs) -> bool:
+def is_valid(ddg: Ddg, **kwargs: object) -> bool:
     """Boolean convenience wrapper around :func:`validate_ddg`."""
     try:
         validate_ddg(ddg, **kwargs)

@@ -168,6 +168,17 @@ def trace_count(name: str, n: int = 1) -> None:
         _TRACER.count(name, n)
 
 
+def trace_time(name: str, seconds: float) -> None:
+    """Record one pre-measured duration sample.
+
+    For call sites that already hold a ``perf_counter`` delta (e.g. a
+    probe wrapper installed only when tracing is on) and cannot use the
+    :func:`span` context manager.
+    """
+    if _ENABLED:
+        _TRACER.record(name, seconds)
+
+
 class _NullSpan:
     """Shared do-nothing context manager: the disabled fast path."""
 

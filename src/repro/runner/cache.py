@@ -122,7 +122,7 @@ class _FileLock:
             fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         if self._fh is not None:
             fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
             self._fh.close()

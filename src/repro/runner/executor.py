@@ -43,7 +43,7 @@ class RunnerConfig:
     chunk_size: Optional[int] = None
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer fork (cheap, inherits the corpus); fall back to default."""
     try:
         return multiprocessing.get_context("fork")

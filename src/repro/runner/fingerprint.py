@@ -31,10 +31,12 @@ if TYPE_CHECKING:  # pragma: no cover
 #:     alias against v2 entries).
 #: v4: options signature gained ``ii_search`` (the II search mode) and
 #:     cached records gained the optional ``wall_s`` cost estimate.
-SCHEMA_VERSION = 4
+#: v5: options signature gained ``verify`` (the static schedule proof);
+#:     a verified and an unverified compile must never share a record.
+SCHEMA_VERSION = 5
 
 
-def canonical_json(obj) -> str:
+def canonical_json(obj: object) -> str:
     """Canonical (sorted-key, minimal-separator) JSON encoding."""
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 

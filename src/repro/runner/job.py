@@ -52,6 +52,10 @@ class PipelineOptions:
     use_moves: bool = False
     scheduler: str = DEFAULT_SCHEDULER
     ii_search: str = DEFAULT_II_SEARCH
+    #: prove the schedule with the independent verifier
+    #: (:mod:`repro.verify`) before the result leaves the worker; a
+    #: failed proof raises instead of producing a result
+    verify: bool = False
     extras: tuple[str, ...] = ()
 
     def compile_kwargs(self) -> dict:

@@ -29,14 +29,16 @@ from repro.machine.cluster import ClusteredMachine
 from repro.machine.machine import Machine
 from repro.obs.trace import job_capture, span, tracing_enabled
 from repro.regalloc.queues import allocate_for_schedule
-from repro.sched.iisearch import DEFAULT_II_SEARCH
+from repro.sched.iisearch import DEFAULT_II_SEARCH, check_ii_search
 from repro.sched.mii import mii_report
 from repro.sched.partition import (PartitionConfig, partitioned_schedule,
                                    schedule_with_moves)
-from repro.sched.partitioners import DEFAULT_PARTITIONER
+from repro.sched.partitioners import (DEFAULT_PARTITIONER,
+                                      check_partitioner)
 from repro.sched.schedule import SchedulingError
-from repro.sched.strategies import (DEFAULT_SCHEDULER,
+from repro.sched.strategies import (DEFAULT_SCHEDULER, check_scheduler,
                                     get_scheduler)
+from repro.verify import VerificationError, verify_schedule
 
 from .job import CompileJob, JobResult
 
@@ -98,7 +100,8 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                  partitioner: str = DEFAULT_PARTITIONER,
                  use_moves: bool = False,
                  scheduler: str = DEFAULT_SCHEDULER,
-                 ii_search: str = DEFAULT_II_SEARCH) -> CompiledLoop:
+                 ii_search: str = DEFAULT_II_SEARCH,
+                 verify: bool = False) -> CompiledLoop:
     """Run (unroll ->) (copy-insert ->) schedule (-> allocate queues).
 
     ``scheduler`` selects the single-cluster scheduling engine from the
@@ -110,7 +113,19 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
     (see :mod:`repro.sched.iisearch`).  Scheduling failures produce a
     ``failed`` outcome instead of raising, so corpus sweeps always
     complete.
+
+    ``verify`` runs the independent checker (:mod:`repro.verify`) over
+    the finished schedule and raises
+    :class:`~repro.verify.VerificationError` if any invariant fails --
+    unlike a scheduling failure, a broken *successful* schedule is a
+    compiler bug, never a workload property.
     """
+    # fail fast on engine-name typos: the same registry-listing error
+    # whether the name arrives from the CLI, the service, or a library
+    # caller, and before any scheduling work is spent
+    check_scheduler(scheduler)
+    check_partitioner(partitioner)
+    check_ii_search(ii_search)
     factor = 1
     if unroll_factor is not None:
         factor = unroll_factor
@@ -127,13 +142,13 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                 ddg, machine, copies=copies, copy_strategy=copy_strategy,
                 allocate=False, partitioner=partitioner,
                 use_moves=use_moves, scheduler=scheduler,
-                ii_search=ii_search)
+                ii_search=ii_search, verify=verify)
             unrolled = compile_loop(
                 ddg, machine, unroll_factor=factor, copies=copies,
                 copy_strategy=copy_strategy, allocate=allocate,
                 partitioner=partitioner,
                 use_moves=use_moves, scheduler=scheduler,
-                ii_search=ii_search)
+                ii_search=ii_search, verify=verify)
             if (unrolled.outcome.failed
                     or rolled.outcome.failed
                     or unrolled.outcome.ii_per_iteration
@@ -146,7 +161,7 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                     copy_strategy=copy_strategy, allocate=True,
                     partitioner=partitioner,
                     use_moves=use_moves, scheduler=scheduler,
-                    ii_search=ii_search)
+                    ii_search=ii_search, verify=verify)
             return rolled
         factor = 1
     with span("pipeline.frontend"):
@@ -188,6 +203,12 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
         total_queues = usage.total_queues
         max_depth = usage.max_depth
 
+    if verify:
+        with span("pipeline.verify"):
+            verdict = verify_schedule(sched, machine)
+        if not verdict.ok:
+            raise VerificationError(verdict)
+
     # MII of the *scheduled* ddg can exceed the pre-move report; recompute
     # cheaply off the schedule's ddg only when moves were added
     outcome = LoopOutcome(
@@ -202,7 +223,7 @@ def compile_loop(ddg: Ddg, machine: "Machine | ClusteredMachine", *,
                         work=work)
 
 
-def _fu_counts(machine: "Machine | ClusteredMachine"):
+def _fu_counts(machine: "Machine | ClusteredMachine") -> dict:
     from repro.ir.operations import FuType
     return {t: machine.capacity(t)
             for t in (FuType.LS, FuType.ADD, FuType.MUL)}
@@ -212,7 +233,7 @@ def _fu_counts(machine: "Machine | ClusteredMachine"):
 # extras: derived metrics computed in the worker
 # ---------------------------------------------------------------------------
 
-def _extra_queue_locations(compiled: CompiledLoop, arg: str):
+def _extra_queue_locations(compiled: CompiledLoop, arg: str) -> object:
     """Per-location queue allocation summary (Sec. 4 / Fig. 7 driver)."""
     if compiled.usage is None:
         return None
@@ -221,7 +242,7 @@ def _extra_queue_locations(compiled: CompiledLoop, arg: str):
             for loc, alloc in compiled.usage.by_location.items()]
 
 
-def _extra_crf_registers(compiled: CompiledLoop, arg: str):
+def _extra_crf_registers(compiled: CompiledLoop, arg: str) -> object:
     """Conventional-RF register demand of the schedule (S1 / S2 drivers)."""
     from repro.regalloc.conventional import register_requirement
     from repro.regalloc.rotating import (mve_register_requirement,
@@ -237,7 +258,7 @@ def _extra_crf_registers(compiled: CompiledLoop, arg: str):
             "mve_unroll": mrep.kernel_unroll}
 
 
-def _extra_spills(compiled: CompiledLoop, arg: str):
+def _extra_spills(compiled: CompiledLoop, arg: str) -> object:
     """Spill counts under each ``QxP`` hardware budget in *arg* (E6b)."""
     from repro.regalloc.lifetimes import extract_lifetimes
     from repro.regalloc.spill import allocate_with_budget
@@ -254,7 +275,7 @@ def _extra_spills(compiled: CompiledLoop, arg: str):
     return out
 
 
-def _extra_cluster_stats(compiled: CompiledLoop, arg: str):
+def _extra_cluster_stats(compiled: CompiledLoop, arg: str) -> object:
     """Spatial quality of a clustered schedule (PC driver): how many
     values cross the ring, and the per-cluster MaxLive peak."""
     from repro.regalloc.lifetimes import Lifetime, max_live
@@ -281,7 +302,7 @@ def _extra_cluster_stats(compiled: CompiledLoop, arg: str):
                                  for c, v in sorted(live.items())}}
 
 
-def _extra_sched_stats(compiled: CompiledLoop, arg: str):
+def _extra_sched_stats(compiled: CompiledLoop, arg: str) -> object:
     """Search-effort counters of the scheduling engine (SC driver)."""
     if compiled.schedule is None:
         return None
@@ -300,12 +321,12 @@ EXTRA_EXTRACTORS: dict[str, Callable[[CompiledLoop, str], object]] = {
 }
 
 
-def spill_spec(budgets) -> str:
+def spill_spec(budgets: Sequence[tuple[int, int]]) -> str:
     """Extras spec string for :func:`_extra_spills`, e.g. ``"spills:8x16"``."""
     return "spills:" + ",".join(f"{q}x{p}" for q, p in budgets)
 
 
-def compute_extra(spec: str, compiled: CompiledLoop):
+def compute_extra(spec: str, compiled: CompiledLoop) -> object:
     """Evaluate one extras spec against a compiled loop."""
     name, _, arg = spec.partition(":")
     try:

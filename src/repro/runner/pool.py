@@ -57,13 +57,13 @@ _WORKER_DDGS: Sequence = ()
 _WORKER_MACHINES: Sequence = ()
 
 
-def _init_worker(ddgs, machines) -> None:
+def _init_worker(ddgs: Sequence, machines: Sequence) -> None:
     global _WORKER_DDGS, _WORKER_MACHINES
     _WORKER_DDGS = ddgs
     _WORKER_MACHINES = machines
 
 
-def _run_task(task) -> tuple[int, JobResult]:
+def _run_task(task: tuple) -> tuple[int, JobResult]:
     seq, ddg_i, machine_i, options, key = task
     job = CompileJob(ddg=_WORKER_DDGS[ddg_i],
                      machine=_WORKER_MACHINES[machine_i],
@@ -92,8 +92,8 @@ class PoolSession:
 
     # ------------------------------------------------------------- tables
 
-    def _index_of(self, obj, idx: dict, table: list, key,
-                  ) -> tuple[int, bool]:
+    def _index_of(self, obj: object, idx: dict, table: list,
+                  key: object) -> tuple[int, bool]:
         """Table index of *obj* under *key*; True when newly added.
 
         Loops are keyed by identity (the table's strong reference keeps
@@ -109,7 +109,7 @@ class PoolSession:
         idx[key] = len(table) - 1
         return len(table) - 1, True
 
-    def _ensure_pool(self, grew: bool):
+    def _ensure_pool(self, grew: bool) -> object:
         """A live pool whose workers hold the current tables."""
         if self._pool is not None and not grew:
             self.reuses += 1
@@ -249,7 +249,7 @@ atexit.register(close_all_sessions)
 # cost model
 # ---------------------------------------------------------------------------
 
-def cost_estimator(cache) -> Callable[[CompileJob], float]:
+def cost_estimator(cache: object) -> Callable[[CompileJob], float]:
     """Job-cost estimator from prior cache records.
 
     Averages ``wall_s`` per ``(loop, machine)`` over everything the cache

@@ -70,7 +70,7 @@ class SchedArena:
         return self.generation
 
     def take_mrts(self, k: int, ii: int,
-                  capacities) -> list[PackedMRT]:
+                  capacities: dict) -> list[PackedMRT]:
         """Borrow *k* empty reservation tables at *ii* for this attempt.
 
         Tables stay owned by the arena: they are recycled wholesale at the
@@ -87,7 +87,7 @@ class SchedArena:
         self._mrts_out = end
         return [pool[i].reset(ii, capacities) for i in range(start, end)]
 
-    def take_mrt(self, ii: int, capacities) -> PackedMRT:
+    def take_mrt(self, ii: int, capacities: dict) -> PackedMRT:
         return self.take_mrts(1, ii, capacities)[0]
 
     # ---------------------------------------------------------- topology

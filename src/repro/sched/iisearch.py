@@ -75,8 +75,8 @@ def _traced_probe(probe: Callable[[int], Optional[T]],
     def run(ii: int) -> Optional[T]:
         t0 = time.perf_counter()
         result = probe(ii)
-        _trace._TRACER.record("sched.ii_attempt",
-                              time.perf_counter() - t0)
+        _trace.trace_time("sched.ii_attempt",
+                          time.perf_counter() - t0)
         _trace.trace_count("sched.ii_accepted" if result is not None
                            else "sched.ii_rejected")
         return result

@@ -32,8 +32,9 @@ Adding an engine is a self-registering subclass::
 """
 
 from .base import Partitioner, PartitionState
-from .registry import (available_partitioners, get_partitioner,
-                       partitioner_descriptions, register_partitioner)
+from .registry import (available_partitioners, check_partitioner,
+                       get_partitioner, partitioner_descriptions,
+                       register_partitioner)
 from .slotsearch import (AffinityPartitioner, BalancePartitioner,
                          FirstFitPartitioner, RandomPartitioner,
                          SlotSearchPartitioner)
@@ -45,7 +46,7 @@ DEFAULT_PARTITIONER = "affinity"
 
 __all__ = [
     "Partitioner", "PartitionState",
-    "available_partitioners", "get_partitioner",
+    "available_partitioners", "check_partitioner", "get_partitioner",
     "partitioner_descriptions", "register_partitioner",
     "SlotSearchPartitioner", "AffinityPartitioner", "BalancePartitioner",
     "FirstFitPartitioner", "RandomPartitioner",

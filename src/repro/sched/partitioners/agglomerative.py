@@ -190,7 +190,8 @@ class AgglomerativePartitioner(SlotSearchPartitioner):
                    "with clusters pinned")
 
     # the pinned phase (and the fallback) rank candidates like affinity
-    def candidate_key(self, aff, t, load, c, rng):
+    def candidate_key(self, aff: int, t: int, load: int, c: int,
+                      rng: _random.Random) -> tuple:
         return (-aff, t, load, c)
 
     def try_at_ii(self, ddg: Ddg, cm: ClusteredMachine, ii: int, *,

@@ -43,7 +43,19 @@ def available_partitioners() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def get_partitioner(name: str, **kwargs) -> Partitioner:
+def check_partitioner(name: str) -> str:
+    """Validate an engine name (raises ``KeyError`` listing the
+    registered engines); returns it unchanged -- the partitioner twin
+    of :func:`repro.sched.strategies.check_scheduler`.
+    """
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown partitioner {name!r}; available: "
+            f"{', '.join(available_partitioners())}")
+    return name
+
+
+def get_partitioner(name: str, **kwargs: object) -> Partitioner:
     """Instantiate the engine registered under *name*.
 
     ``kwargs`` are forwarded to the engine constructor; raises
@@ -51,13 +63,7 @@ def get_partitioner(name: str, **kwargs) -> Partitioner:
     typo'd ``--partitioner`` never surfaces as a bare failure deep inside
     scheduling.
     """
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown partitioner {name!r}; available: "
-            f"{', '.join(available_partitioners())}") from None
-    return cls(**kwargs)
+    return _REGISTRY[check_partitioner(name)](**kwargs)
 
 
 def partitioner_descriptions() -> dict[str, str]:

@@ -237,7 +237,8 @@ class AffinityPartitioner(SlotSearchPartitioner):
     description = ("most scheduled DATA neighbours first, then earliest "
                    "slot, then lightest load (paper default)")
 
-    def candidate_key(self, aff, t, load, c, rng):
+    def candidate_key(self, aff: int, t: int, load: int, c: int,
+                      rng: _random.Random) -> tuple:
         return (-aff, t, load, c)
 
 
@@ -246,7 +247,8 @@ class BalancePartitioner(SlotSearchPartitioner):
     name = "balance"
     description = "least-loaded cluster first, then earliest slot"
 
-    def candidate_key(self, aff, t, load, c, rng):
+    def candidate_key(self, aff: int, t: int, load: int, c: int,
+                      rng: _random.Random) -> tuple:
         return (load, t, -aff, c)
 
 
@@ -255,7 +257,8 @@ class FirstFitPartitioner(SlotSearchPartitioner):
     name = "first"
     description = "earliest slot, lowest cluster index (naive baseline)"
 
-    def candidate_key(self, aff, t, load, c, rng):
+    def candidate_key(self, aff: int, t: int, load: int, c: int,
+                      rng: _random.Random) -> tuple:
         return (t, c)
 
 
@@ -268,5 +271,6 @@ class RandomPartitioner(SlotSearchPartitioner):
     # to the linear walk (see Partitioner.stochastic)
     stochastic = True
 
-    def candidate_key(self, aff, t, load, c, rng):
+    def candidate_key(self, aff: int, t: int, load: int, c: int,
+                      rng: _random.Random) -> tuple:
         return (rng.random(),)

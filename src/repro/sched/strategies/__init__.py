@@ -30,8 +30,9 @@ Adding an engine is a self-registering subclass::
 
 from .base import SchedulerResult, SchedulerStrategy
 from .ims import ImsStrategy
-from .registry import (available_schedulers, get_scheduler,
-                       register_scheduler, scheduler_descriptions)
+from .registry import (available_schedulers, check_scheduler,
+                       get_scheduler, register_scheduler,
+                       scheduler_descriptions)
 from .sms import (SmsConfig, SmsStrategy, sms_order, sms_schedule,
                   time_bounds, try_sms_at_ii)
 
@@ -41,7 +42,8 @@ DEFAULT_SCHEDULER = "ims"
 __all__ = [
     "SchedulerResult", "SchedulerStrategy",
     "ImsStrategy", "SmsStrategy", "SmsConfig",
-    "available_schedulers", "get_scheduler", "register_scheduler",
+    "available_schedulers", "check_scheduler", "get_scheduler",
+    "register_scheduler",
     "scheduler_descriptions",
     "sms_order", "sms_schedule", "time_bounds", "try_sms_at_ii",
     "DEFAULT_SCHEDULER",

@@ -42,20 +42,30 @@ def available_schedulers() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def get_scheduler(name: str, **kwargs) -> SchedulerStrategy:
+def check_scheduler(name: str) -> str:
+    """Validate an engine name (raises ``KeyError`` listing the
+    registered engines); returns it unchanged.
+
+    The shared validation seam: the pipeline calls it up front and the
+    service calls it at the request boundary, so a typo'd engine name
+    produces the same registry-listing message everywhere instead of a
+    bare failure deep inside scheduling.
+    """
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: "
+            f"{', '.join(available_schedulers())}")
+    return name
+
+
+def get_scheduler(name: str, **kwargs: object) -> SchedulerStrategy:
     """Instantiate the engine registered under *name*.
 
     ``kwargs`` are forwarded to the strategy constructor (engine-specific
     config objects); raises ``KeyError`` with the available names on an
     unknown engine.
     """
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scheduler {name!r}; available: "
-            f"{', '.join(available_schedulers())}") from None
-    return cls(**kwargs)
+    return _REGISTRY[check_scheduler(name)](**kwargs)
 
 
 def scheduler_descriptions() -> dict[str, str]:

@@ -30,7 +30,7 @@ import json
 import signal
 import sys
 import threading
-from typing import Optional
+from typing import Optional, TextIO
 
 from .engine import SweepService, result_to_wire
 from .jobspec import JobSpecError, parse_jobs
@@ -44,7 +44,7 @@ _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             413: "Payload Too Large", 500: "Internal Server Error"}
 
 
-def _response(status: int, payload, *,
+def _response(status: int, payload: object, *,
               keep_alive: bool = True) -> bytes:
     """Serialise one response; a ``str`` payload goes out as Prometheus
     text exposition, anything else as JSON."""
@@ -62,7 +62,8 @@ def _response(status: int, payload, *,
     return head + body
 
 
-async def _read_request(reader: asyncio.StreamReader):
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> "Optional[tuple[str, str, dict, bytes]]":
     """``(method, path, headers, body)`` or None on a closed socket."""
     request_line = await reader.readline()
     if not request_line:
@@ -187,7 +188,7 @@ async def _serve(service: SweepService, host: str, port: int, *,
                  ready: "Optional[threading.Event]" = None,
                  bound: Optional[list] = None,
                  install_signals: bool = True,
-                 log=sys.stderr) -> None:
+                 log: TextIO = sys.stderr) -> None:
     await service.start()
     http = _Http(service)
     server = await asyncio.start_server(http.handle, host, port)
@@ -234,7 +235,7 @@ async def _serve(service: SweepService, host: str, port: int, *,
 def serve(service: SweepService, host: str = "127.0.0.1",
           port: int = 8123) -> None:
     """Run the daemon until SIGTERM/SIGINT (the CLI ``serve`` command)."""
-    async def main():
+    async def main() -> None:
         await _serve(service, host, port, stop=asyncio.Event())
 
     asyncio.run(main())
@@ -266,7 +267,8 @@ class ServerHandle:
 
 
 def start_in_thread(service: SweepService, host: str = "127.0.0.1",
-                    port: int = 0, log=sys.stderr) -> ServerHandle:
+                    port: int = 0, log: TextIO = sys.stderr
+                    ) -> ServerHandle:
     """Start the daemon on a fresh thread; returns once it is accepting.
 
     ``port=0`` binds an ephemeral port (read it off the handle).  The

@@ -52,7 +52,7 @@ def result_to_wire(result: JobResult) -> dict:
 class SweepService:
     """Schedule-compilation-as-a-service over the sweep runner."""
 
-    def __init__(self, cache=None, *, n_workers: int = 1,
+    def __init__(self, cache: object = None, *, n_workers: int = 1,
                  batch_window_s: float = 0.005, batch_max: int = 64,
                  chunk_size: Optional[int] = None) -> None:
         self.cache = cache
@@ -181,7 +181,7 @@ class SweepService:
                 batch.append(nxt)
             await self._run_batch(batch)
 
-    async def _run_batch(self, batch) -> None:
+    async def _run_batch(self, batch: list) -> None:
         jobs = [job for job, _ in batch]
         config = RunnerConfig(n_workers=self.n_workers, cache=self.cache,
                               chunk_size=self.chunk_size)

@@ -31,6 +31,9 @@ from typing import Optional
 from repro.ir.ddg import Ddg
 from repro.machine.presets import clustered_machine, crf_machine, qrf_machine
 from repro.runner.fingerprint import canonical_json
+from repro.sched.iisearch import check_ii_search
+from repro.sched.partitioners import check_partitioner
+from repro.sched.strategies import check_scheduler
 from repro.runner.job import CompileJob, PipelineOptions
 from repro.workloads.kernels import KERNELS
 from repro.workloads.synth import SynthConfig, generate_loop
@@ -51,14 +54,14 @@ _SYNTH_FIELDS = {f.name for f in dataclasses.fields(SynthConfig)}
 _OPTION_FIELDS = {f.name for f in dataclasses.fields(PipelineOptions)}
 
 
-def _require_mapping(spec, what: str) -> dict:
+def _require_mapping(spec: object, what: str) -> dict:
     if not isinstance(spec, dict):
         raise JobSpecError(f"{what} spec must be a JSON object, "
                            f"not {type(spec).__name__}")
     return spec
 
 
-def parse_loop(spec) -> Ddg:
+def parse_loop(spec: object) -> Ddg:
     """Loop spec -> DDG (memoised; identical specs share one object)."""
     spec = _require_mapping(spec, "loop")
     memo_key = canonical_json(spec)
@@ -101,7 +104,7 @@ def parse_loop(spec) -> Ddg:
     return ddg
 
 
-def parse_machine(spec):
+def parse_machine(spec: object) -> object:
     """Machine spec -> preset machine object (memoised)."""
     spec = _require_mapping(spec, "machine")
     memo_key = canonical_json(spec)
@@ -135,9 +138,14 @@ def parse_machine(spec):
     return machine
 
 
-def parse_options(spec) -> PipelineOptions:
-    """Options spec -> :class:`PipelineOptions` (engine names validated
-    by the pipeline itself, exactly as for library callers)."""
+def parse_options(spec: object) -> PipelineOptions:
+    """Options spec -> :class:`PipelineOptions`.
+
+    Engine names (``scheduler``/``partitioner``/``ii_search``) are
+    validated here, at the request boundary, so a typo comes back as a
+    400 listing the registered engines -- the same message the registry
+    raises for library callers -- instead of a worker-side 500.
+    """
     if spec is None:
         return PipelineOptions()
     spec = dict(_require_mapping(spec, "options"))
@@ -152,12 +160,20 @@ def parse_options(spec) -> PipelineOptions:
             raise JobSpecError("'extras' must be a list of strings")
         spec["extras"] = tuple(extras)
     try:
-        return PipelineOptions(**spec)
+        options = PipelineOptions(**spec)
     except TypeError as exc:
         raise JobSpecError(f"bad options: {exc}") from None
+    try:
+        check_scheduler(options.scheduler)
+        check_partitioner(options.partitioner)
+        check_ii_search(options.ii_search)
+    except (KeyError, ValueError) as exc:
+        raise JobSpecError(str(exc.args[0]) if exc.args
+                           else str(exc)) from None
+    return options
 
 
-def parse_job(spec) -> CompileJob:
+def parse_job(spec: object) -> CompileJob:
     """Full job spec -> :class:`CompileJob` (fingerprinted lazily)."""
     spec = _require_mapping(spec, "job")
     unknown = set(spec) - {"loop", "machine", "options"}
@@ -170,7 +186,7 @@ def parse_job(spec) -> CompileJob:
                       options=parse_options(spec.get("options")))
 
 
-def parse_jobs(body) -> list[CompileJob]:
+def parse_jobs(body: object) -> list[CompileJob]:
     """Request body -> job list: one spec object, or ``{"jobs": [...]}``."""
     body = _require_mapping(body, "request")
     if "jobs" in body:

@@ -33,9 +33,19 @@ from repro.sched.partitioners import DEFAULT_PARTITIONER
 from repro.sched.schedule import ModuloSchedule
 from repro.sched.strategies import DEFAULT_SCHEDULER
 
+from repro.verify import VerificationError, verify_schedule
+
 from .vliwsim import SimReport, simulate
 
 AnyMachine = Union[Machine, ClusteredMachine]
+
+
+def _prove(sched: ModuloSchedule, machine: AnyMachine) -> None:
+    """Static proof of the schedule's invariants (DESIGN §5.9); the
+    simulator then replays what the verifier already proved."""
+    verdict = verify_schedule(sched, machine)
+    if not verdict.ok:
+        raise VerificationError(verdict)
 
 
 @dataclass
@@ -135,6 +145,8 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
             from repro.regalloc.conventional import register_requirement
             with span("pipeline.regalloc"):
                 registers = register_requirement(sched)
+            with span("pipeline.verify"):
+                _prove(sched, machine)
             return PipelineResult(
                 ddg=sched.ddg, schedule=sched, usage=None, sim=None,
                 unroll_factor=unroll_factor, n_copies=0,
@@ -144,6 +156,7 @@ def run_pipeline(ddg: Ddg, machine: AnyMachine, *,
 
     with span("pipeline.verify"):
         usage.verify()
+        _prove(sched, machine)
     with span("pipeline.simulate"):
         sim = simulate(sched, usage, iterations=iterations,
                        capacities=capacities)

@@ -93,3 +93,17 @@ def test_kernel_job_spec_builder():
     assert job.ddg.name == "fir4"
     assert isinstance(job.machine, ClusteredMachine)
     assert job.options.partitioner == "agglomerative"
+
+
+@pytest.mark.parametrize("field,expect", [
+    ("scheduler", "unknown scheduler 'bogus'; available:"),
+    ("partitioner", "unknown partitioner 'bogus'; available:"),
+    ("ii_search", "unknown II search mode 'bogus'; known:"),
+])
+def test_engine_name_typos_are_spec_errors(field, expect):
+    """A typo'd engine name is rejected at the request boundary (HTTP
+    400) with the registry-listing message, never a worker-side 500."""
+    with pytest.raises(JobSpecError) as exc:
+        parse_job({"loop": {"kernel": "daxpy"},
+                   "options": {field: "bogus"}})
+    assert expect in str(exc.value)
