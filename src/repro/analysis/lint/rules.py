@@ -41,6 +41,7 @@ TYPED_PREFIXES = (
     "src/repro/sched/",
     "src/repro/runner/",
     "src/repro/service/",
+    "src/repro/faults/",
 )
 
 

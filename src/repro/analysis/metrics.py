@@ -37,6 +37,11 @@ class LoopOutcome:
     total_queues: Optional[int] = None
     max_queue_depth: Optional[int] = None
     failed: bool = False
+    #: infrastructure-error kind (``"TypeError: ..."``): the job did not
+    #: fail to *schedule*, its execution blew up.  Always paired with
+    #: ``failed=True``; such results are counted but never cached, so a
+    #: transient fault costs one recompile, not a poisoned cache entry.
+    error: Optional[str] = None
 
     @property
     def static_ipc(self) -> float:

@@ -32,7 +32,9 @@ Subcommands:
   daemon over HTTP (smoke/testing client)
 
 Experiment sweeps honour ``--jobs N`` (parallel workers; output is
-byte-identical to the serial run), ``--no-cache`` and ``--cache-dir``;
+byte-identical to the serial run), ``--no-cache`` and ``--cache-dir``,
+plus the supervision knobs ``--job-deadline`` / ``--retries`` and the
+chaos flag ``--faults SPEC`` (seeded fault injection, DESIGN §5.10);
 ``schedule`` and ``experiment`` take ``--scheduler`` to pick the
 scheduling engine (default ``ims``), ``--partitioner`` to pick the
 clustered engine (default ``affinity``) and ``--ii-search`` to pick the
@@ -137,7 +139,9 @@ def _runner(args):
             print(f"\r{done}/{total} jobs", end="", file=sys.stderr,
                   flush=True)
     return RunnerConfig(n_workers=args.jobs, cache=cache,
-                        progress=progress)
+                        progress=progress,
+                        job_deadline_s=args.job_deadline or None,
+                        max_retries=args.retries)
 
 
 def cmd_corpus(args) -> int:
@@ -495,7 +499,13 @@ def cmd_serve(args) -> int:
         args.cache_dir, max_bytes=args.max_cache_bytes)
     service = SweepService(cache, n_workers=args.jobs,
                            batch_window_s=args.batch_window,
-                           batch_max=args.batch_max)
+                           batch_max=args.batch_max,
+                           request_deadline_s=args.request_deadline,
+                           max_queue_depth=args.max_queue_depth,
+                           breaker_threshold=args.breaker_threshold,
+                           breaker_cooldown_s=args.breaker_cooldown,
+                           job_deadline_s=args.job_deadline or None,
+                           max_retries=args.retries)
     serve(service, host=args.host, port=args.port)
     return 0
 
@@ -665,6 +675,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="result cache location (default: $REPRO_CACHE_DIR "
                         "or ~/.cache/repro-vliw)")
+    from repro.runner.pool import (DEFAULT_JOB_DEADLINE_S,
+                                   DEFAULT_MAX_RETRIES)
+    p.add_argument("--job-deadline", type=float, metavar="SECONDS",
+                   default=DEFAULT_JOB_DEADLINE_S,
+                   help="fan-out watchdog: respawn the workers when no "
+                        "job settles for this long (default "
+                        f"{DEFAULT_JOB_DEADLINE_S:g}; 0 disables the "
+                        "watchdog)")
+    p.add_argument("--retries", type=int, default=DEFAULT_MAX_RETRIES,
+                   metavar="N",
+                   help="failed dispatch rounds a job may ride before "
+                        "it is quarantined to the serial path "
+                        "(default 1; a job executes at most 1+N times)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="arm seeded fault injection, e.g. "
+                        "'seed=7;pool.worker=crash:0.05;cache.put="
+                        "torn:0.2' (equivalent to $REPRO_FAULTS; "
+                        "chaos testing only)")
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("corpus", help="corpus statistics")
@@ -837,6 +865,24 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--no-trace", action="store_true",
                     help="disable compile-stage tracing (on by default "
                          "so /metrics carries latency histograms)")
+    pv.add_argument("--request-deadline", type=float, default=None,
+                    metavar="SECONDS",
+                    help="answer POST /jobs with 504 + the job keys "
+                         "when results do not settle in time (default: "
+                         "no deadline; the compile keeps running and "
+                         "clients poll GET /jobs/<key>)")
+    pv.add_argument("--max-queue-depth", type=int, default=1024,
+                    metavar="N",
+                    help="shed requests (503 + Retry-After) once the "
+                         "dispatch queue holds N jobs (default 1024)")
+    pv.add_argument("--breaker-threshold", type=int, default=5,
+                    metavar="N",
+                    help="consecutive batch failures that open the "
+                         "circuit breaker (default 5; 0 disables it)")
+    pv.add_argument("--breaker-cooldown", type=float, default=30.0,
+                    metavar="SECONDS",
+                    help="how long an open breaker fails fast before "
+                         "half-opening to probe (default 30)")
 
     pm = sub.add_parser(
         "submit", help="submit kernels to a running daemon over HTTP",
@@ -867,6 +913,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.faults:
+        from repro.faults import enable_faults
+
+        try:
+            enable_faults(args.faults)
+        except ValueError as exc:
+            print(f"repro-vliw: bad --faults spec: {exc}",
+                  file=sys.stderr)
+            return 2
     handler = {
         "corpus": cmd_corpus,
         "schedule": cmd_schedule,

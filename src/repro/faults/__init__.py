@@ -1,0 +1,47 @@
+"""Seeded, deterministic fault injection for the sweep fabric.
+
+The runner and the service recover from worker crashes, torn cache
+writes and slow batches -- but none of those happen on a developer
+laptop, so the recovery paths would rot untested.  This package turns
+infrastructure faults into a *reproducible input*: a
+:class:`FaultPlan` names the injection sites threaded through the hot
+seams and decides, deterministically, which operations fail.
+
+Design rules (mirroring the tracer, :mod:`repro.obs.trace`):
+
+* **one process-global plan** -- :func:`fault_point` is a single
+  ``is None`` test when injection is disabled, so production paths pay
+  nothing;
+* **stateless draws** -- whether a site fires for a given operation is
+  a pure function ``hash(seed, site, kind, token) < rate`` of the plan
+  seed and a caller-supplied token (the job fingerprint, the cache
+  key...).  There is no RNG stream to advance, so the verdicts do not
+  depend on scheduling order: the same seed injects the same faults
+  into the same jobs whether the sweep runs serially, over 2 workers
+  or over 16, which is what makes chaos runs replayable;
+* **fork-friendly** -- worker processes inherit the parent's plan
+  through ``fork`` (and through ``REPRO_FAULTS`` in the environment
+  otherwise), so worker-side sites fire without any per-task plumbing.
+
+Spec grammar (also the ``REPRO_FAULTS`` format)::
+
+    seed=7;pool.worker=crash:0.05,hang:0.02:2.0;cache.put=torn:0.25
+
+i.e. ``;``-separated assignments; ``seed`` and ``ledger`` are reserved
+keys, everything else is ``site=kind:rate[:arg],...``.  See
+:data:`SITES` for the site/kind catalogue and DESIGN §5.10 for how the
+supervision layers respond to each kind.
+"""
+
+from .plan import (CRASH_EXIT_STATUS, FAULTS_ENV, FaultError, FaultPlan,
+                   FaultSpec, SITES, active_plan, disable_faults,
+                   enable_faults, fault_counters, fault_point,
+                   faults_enabled, on_job_execute, read_ledger,
+                   torn_payload)
+
+__all__ = [
+    "CRASH_EXIT_STATUS", "FAULTS_ENV", "FaultError", "FaultPlan",
+    "FaultSpec", "SITES", "active_plan", "disable_faults",
+    "enable_faults", "fault_counters", "fault_point", "faults_enabled",
+    "on_job_execute", "read_ledger", "torn_payload",
+]

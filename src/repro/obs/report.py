@@ -294,6 +294,12 @@ def prometheus_text(snapshot: dict) -> str:
         "compiled": "Jobs that actually compiled.",
         "batches": "Dispatcher micro-batches executed.",
         "batch_jobs": "Jobs across all micro-batches.",
+        "shed": "Requests shed on dispatcher queue depth (503).",
+        "breaker_rejected": "Requests failed fast by the open breaker.",
+        "breaker_trips": "Circuit-breaker transitions to open.",
+        "batch_failures": "Micro-batches that failed wholesale.",
+        "deadline_exceeded": "Requests past their deadline (504).",
+        "cache_errors": "Cache lookups degraded to misses.",
     }
     for key, help_text in service_counters.items():
         _metric(lines, f"repro_service_{key}_total", "counter", help_text,
@@ -307,6 +313,11 @@ def prometheus_text(snapshot: dict) -> str:
             ("n_workers", "Configured compile worker count.")):
         _metric(lines, f"repro_service_{key}", "gauge", help_text,
                 [("", float(service.get(key, 0)))])
+    breaker_state = service.get("breaker_state")
+    if breaker_state is not None:
+        _metric(lines, "repro_service_breaker_state", "gauge",
+                "Circuit-breaker state (the label carries it).",
+                [(f'{{state="{_sanitize(str(breaker_state))}"}}', 1)])
 
     cache = snapshot.get("cache")
     if cache:
@@ -333,12 +344,31 @@ def prometheus_text(snapshot: dict) -> str:
     pool = snapshot.get("pool") or {}
     for key, help_text in (
             ("spawns", "Worker pools (re)created."),
-            ("reuses", "run_jobs calls served by a live pool.")):
+            ("reuses", "run_jobs calls served by a live pool."),
+            ("respawns", "Partial recoveries (workers replaced)."),
+            ("retries", "Jobs re-dispatched after a failed round."),
+            ("quarantines", "Jobs quarantined to the serial path.")):
         samples = [(f'{{workers="{n}"}}', float(c.get(key, 0)))
                    for n, c in sorted(pool.items())]
         if samples:
             _metric(lines, f"repro_pool_{key}_total", "counter",
                     help_text, samples)
+
+    faults = snapshot.get("faults") or {}
+    _metric(lines, "repro_faults_enabled", "gauge",
+            "Whether a fault-injection plan is armed.",
+            [("", 1.0 if faults.get("enabled") else 0.0)])
+    injected = faults.get("injected") or {}
+    if injected:
+        samples = []
+        for name in sorted(injected):
+            site, _, kind = name.rpartition(".")
+            samples.append((f'{{site="{_sanitize(site)}",'
+                            f'kind="{_sanitize(kind)}"}}',
+                            float(injected[name])))
+        _metric(lines, "repro_faults_injected_total", "counter",
+                "Deterministically injected faults fired, by site/kind.",
+                samples)
 
     arena = snapshot.get("arena") or {}
     for key, help_text in (

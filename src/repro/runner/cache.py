@@ -36,6 +36,8 @@ import time
 import zlib
 from typing import Iterable, Optional
 
+from repro.faults import fault_point, torn_payload
+
 from .fingerprint import SCHEMA_VERSION
 from .job import JobResult
 
@@ -175,6 +177,14 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return key in self._load()
 
+    def iter_records(self) -> list[dict]:
+        """Snapshot of the raw cached records (cost estimation, audits).
+
+        A list copy, so callers iterate without coordinating with
+        writers; the records themselves are shared -- read-only.
+        """
+        return list(self._load().values())
+
     # ------------------------------------------------------------ get/put
 
     def peek(self, key: str) -> Optional[JobResult]:
@@ -185,7 +195,12 @@ class ResultCache:
             JobResult.from_record(record, cached=True)
 
     def get(self, key: str) -> Optional[JobResult]:
-        """Cached result for *key*, or None (and count the hit/miss)."""
+        """Cached result for *key*, or None (and count the hit/miss).
+
+        May raise on I/O failure (or an injected ``cache.get`` fault);
+        callers treat a failed lookup as a miss.
+        """
+        fault_point("cache.get", key)
         record = self._load().get(key)
         if record is None:
             self.misses += 1
@@ -213,6 +228,10 @@ class ResultCache:
         results = list(results)
         if not results:
             return
+        # injected before any state changes: a raising put models I/O
+        # failure -- the batch is neither indexed nor written, and the
+        # caller's sweep still completes (results just recompile later)
+        fault_point("cache.put", results[0].key)
         entries = self._load()
         lines = []
         for result in results:
@@ -224,6 +243,7 @@ class ResultCache:
         if self._unwritable:
             return
         payload = "\n".join(lines) + "\n"
+        payload = torn_payload("cache.put", results[0].key, payload)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             if not _ends_with_newline(self.path):
@@ -394,6 +414,15 @@ class ShardedResultCache:
     def __contains__(self, key: str) -> bool:
         return key in self._load()
 
+    def iter_records(self) -> list[dict]:
+        """Snapshot of the raw cached records (cost estimation, audits).
+
+        A list copy taken under the mutex, so callers iterate without
+        racing writers; the records themselves are shared -- read-only.
+        """
+        with self._mutex:
+            return list(self._load().values())
+
     # ------------------------------------------------------------ get/put
 
     def peek(self, key: str) -> Optional[JobResult]:
@@ -405,7 +434,12 @@ class ShardedResultCache:
             JobResult.from_record(record, cached=True)
 
     def get(self, key: str) -> Optional[JobResult]:
-        """Cached result for *key*, or None (and count the hit/miss)."""
+        """Cached result for *key*, or None (and count the hit/miss).
+
+        May raise on I/O failure (or an injected ``cache.get`` fault);
+        callers treat a failed lookup as a miss.
+        """
+        fault_point("cache.get", key)
         t0 = time.perf_counter()
         with self._mutex:
             record = self._load().get(key)
@@ -433,16 +467,22 @@ class ShardedResultCache:
         results = list(results)
         if not results:
             return
+        # injected before any state changes: a raising put models I/O
+        # failure -- the batch is neither indexed nor written, and the
+        # caller's sweep still completes (results just recompile later)
+        fault_point("cache.put", results[0].key)
         t0 = time.perf_counter()
         with self._mutex:
             entries = self._load()
             by_shard: dict[int, list[str]] = {}
+            shard_token: dict[int, str] = {}
             for result in results:
                 record = result.to_record()
                 record["v"] = SCHEMA_VERSION
                 shard = self._shard(result.key)
                 by_shard.setdefault(shard, []).append(
                     json.dumps(record, sort_keys=True))
+                shard_token.setdefault(shard, result.key)
                 entries[result.key] = record
                 self._shard_of_key[result.key] = shard
                 self._in_shards.add(result.key)
@@ -451,7 +491,8 @@ class ShardedResultCache:
                 try:
                     self.shard_dir.mkdir(parents=True, exist_ok=True)
                     for shard, lines in sorted(by_shard.items()):
-                        self._append_shard(shard, lines)
+                        self._append_shard(shard, lines,
+                                           fault_token=shard_token[shard])
                         if self.max_bytes is not None:
                             self._maybe_evict(shard)
                 except OSError as exc:
@@ -461,9 +502,15 @@ class ShardedResultCache:
                           file=sys.stderr)
             self.put_s += time.perf_counter() - t0
 
-    def _append_shard(self, shard: int, lines: list[str]) -> None:
+    def _append_shard(self, shard: int, lines: list[str], *,
+                      fault_token: Optional[str] = None) -> None:
         path = self._shard_path(shard)
         payload = "\n".join(lines) + "\n"
+        if fault_token is not None:
+            # torn-write injection is keyed by the first stored key, not
+            # the payload (wall_s differs run to run): the same seed
+            # tears the same shards regardless of timing
+            payload = torn_payload("cache.put", fault_token, payload)
         with self._shard_lock(shard):
             if not _ends_with_newline(path):
                 payload = "\n" + payload

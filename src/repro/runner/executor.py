@@ -8,16 +8,21 @@ through.  The contract:
   identical result lists (a tested invariant -- parallel sweeps must be
   byte-identical to serial ones);
 * jobs whose key is already in the cache are replayed without compiling;
-* any failure to fan out (unpicklable payloads, fork bombs disabled,
-  exhausted file descriptors) degrades gracefully to the serial path.
+* one job is one failure domain: worker crashes and hangs are absorbed
+  by the pool session's watchdog/retry/quarantine supervision, in-job
+  exceptions become error-kind failed results (never cached), and cache
+  I/O failures degrade lookups to misses and stores to no-ops -- a
+  sweep is never lost to a broken pool, a poisonous job or a bad disk.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro import faults as _faults
 from repro.obs import trace as _trace
 
 from . import pool as pool_mod
@@ -25,22 +30,30 @@ from .cache import ResultCache
 from .job import CompileJob, JobResult
 from .pipeline import execute_job
 
+log = logging.getLogger("repro.runner.executor")
+
 
 @dataclass
 class RunnerConfig:
-    """How a sweep executes: parallelism, caching, progress reporting.
+    """How a sweep executes: parallelism, caching, progress, supervision.
 
     ``progress`` is called as ``progress(done, total)`` after every job
     settles (cache hit or fresh compile).  ``chunk_size`` overrides how
     many tasks each worker pulls at once; by default the persistent pool
     derives it from the job count and stripes cost-ranked tasks across
-    chunks.
+    chunks.  ``job_deadline_s`` is the fan-out watchdog (None disables
+    it); ``max_retries`` bounds how many dispatch rounds a job may ride
+    before it is quarantined to the serial path (the serial run counts
+    as the final retry, so a job executes at most ``1 + max_retries``
+    times).
     """
 
     n_workers: int = 1
     cache: Optional[ResultCache] = None
     progress: Optional[Callable[[int, int], None]] = None
     chunk_size: Optional[int] = None
+    job_deadline_s: Optional[float] = pool_mod.DEFAULT_JOB_DEADLINE_S
+    max_retries: int = pool_mod.DEFAULT_MAX_RETRIES
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -53,14 +66,17 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 def _run_parallel(jobs: Sequence[CompileJob], config: RunnerConfig,
                   tick: Callable[[], None]) -> list[JobResult]:
-    """Ordered fan-out over the persistent pool, serial completion on
-    failure.
+    """Ordered fan-out over the persistent pool, serial completion of
+    whatever the pool could not deliver.
 
     The pool session (one per worker count) survives across ``run_jobs``
     calls: workers are initialized once with the deduplicated machine /
-    corpus payload and reuse their scheduling arenas job to job.  Any
-    fan-out failure discards the session and finishes the remaining jobs
-    serially -- a sweep is never lost to a broken pool.
+    corpus payload and reuse their scheduling arenas job to job.  Worker
+    crashes and hangs are the session's problem (watchdog + respawn +
+    quarantine, the pool stays alive); only a failure of the fan-out
+    machinery itself -- or of the caller's own callbacks -- still
+    discards the session.  Either way the jobs left unsettled finish on
+    the serial path below, so a sweep is never lost.
     """
     results: list[Optional[JobResult]] = [None] * len(jobs)
     merge_traces = _trace.tracing_enabled()
@@ -77,18 +93,37 @@ def _run_parallel(jobs: Sequence[CompileJob], config: RunnerConfig,
         with _trace.span("runner.dispatch"):
             session = pool_mod.get_session(config.n_workers,
                                            _pool_context)
-            session.run(jobs, on_result,
-                        pool_mod.cost_estimator(config.cache),
-                        chunk_size=config.chunk_size)
+            quarantined = session.run(
+                jobs, on_result, pool_mod.cost_estimator(config.cache),
+                chunk_size=config.chunk_size,
+                deadline_s=config.job_deadline_s,
+                max_retries=config.max_retries)
+            if quarantined:
+                _trace.trace_count("runner.quarantined",
+                                   len(quarantined))
     except Exception as exc:
         pool_mod.discard_session(config.n_workers, cause=exc)
-        # serial completion records into this process directly -- the
-        # remaining results carry no foreign trace to merge
-        for seq, job in enumerate(jobs):
-            if results[seq] is None:
-                results[seq] = execute_job(job)
-                tick()
+    # serial completion of the undelivered seqs -- quarantined repeat
+    # offenders, or everything unsettled after a discarded session.
+    # Settled seqs are final: a job whose result was already reported
+    # must not run twice (exactly-once accounting)
+    for seq, job in enumerate(jobs):
+        if results[seq] is None:
+            _faults.on_job_execute(job.key)
+            results[seq] = execute_job(job)
+            tick()
     return results  # type: ignore[return-value]
+
+
+def _cache_get(cache: ResultCache, key: str) -> Optional[JobResult]:
+    """A lookup that treats cache I/O failure as a miss (counted)."""
+    try:
+        return cache.get(key)
+    except Exception as exc:
+        _trace.trace_count("runner.cache_errors")
+        log.warning("cache lookup failed (%s: %s); treating as a miss",
+                    type(exc).__name__, exc)
+        return None
 
 
 def run_jobs(jobs: Sequence[CompileJob],
@@ -114,7 +149,7 @@ def run_jobs(jobs: Sequence[CompileJob],
     traced = _trace.tracing_enabled()
     with _trace.span("runner.cache_lookup"):
         for i, job in enumerate(jobs):
-            hit = (config.cache.get(job.key)
+            hit = (_cache_get(config.cache, job.key)
                    if config.cache is not None else None)
             if hit is not None:
                 results[i] = hit
@@ -132,11 +167,22 @@ def run_jobs(jobs: Sequence[CompileJob],
         else:
             fresh = []
             for job in todo:
+                _faults.on_job_execute(job.key)
                 fresh.append(execute_job(job))
                 tick()
         for i, result in zip(pending, fresh):
             results[i] = result
         if config.cache is not None:
-            config.cache.put_many(fresh)
+            # error-kind results are transient infrastructure failures,
+            # not compilation outcomes: caching one would pin the fault
+            durable = [r for r in fresh if not r.outcome.error]
+            try:
+                config.cache.put_many(durable)
+            except Exception as exc:
+                _trace.trace_count("runner.cache_errors")
+                log.warning(
+                    "cache store of %d result(s) failed (%s: %s); sweep "
+                    "results are unaffected", len(durable),
+                    type(exc).__name__, exc)
 
     return results  # type: ignore[return-value]

@@ -22,12 +22,14 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.analysis.metrics import LoopOutcome
+from repro.faults import fault_point
 from repro.ir.copyins import insert_copies
 from repro.ir.ddg import Ddg
 from repro.ir.unroll import select_unroll_factor, unroll
 from repro.machine.cluster import ClusteredMachine
 from repro.machine.machine import Machine
-from repro.obs.trace import job_capture, span, tracing_enabled
+from repro.obs.trace import (job_capture, span, trace_count,
+                             tracing_enabled)
 from repro.regalloc.queues import allocate_for_schedule
 from repro.sched.iisearch import DEFAULT_II_SEARCH, check_ii_search
 from repro.sched.mii import mii_report
@@ -337,6 +339,25 @@ def compute_extra(spec: str, compiled: CompiledLoop) -> object:
     return extractor(compiled, arg)
 
 
+def error_result(job: CompileJob, exc: BaseException, *,
+                 wall_s: float = 0.0) -> JobResult:
+    """A structured failed :class:`JobResult` for an in-job blow-up.
+
+    The error kind (``outcome.error``) carries the exception so sweeps
+    can report *what* broke per job; callers treat these like scheduling
+    failures (one failed row) but never cache them -- a transient fault
+    must cost one recompile, not a poisoned cache entry.
+    """
+    outcome = LoopOutcome(
+        loop=job.ddg.name,
+        machine=getattr(job.machine, "name", type(job.machine).__name__),
+        n_source_ops=job.ddg.n_ops, n_body_ops=job.ddg.n_ops,
+        unroll_factor=1, n_copies=0, ii=0, mii=0, res_mii=0, rec_mii=0,
+        stage_count=0, trip_count=job.ddg.trip_count, failed=True,
+        error=f"{type(exc).__name__}: {exc}")
+    return JobResult(key=job.key, outcome=outcome, wall_s=wall_s)
+
+
 def execute_job(job: CompileJob) -> JobResult:
     """Run one job's pipeline and extras; the worker-process entry point.
 
@@ -345,23 +366,36 @@ def execute_job(job: CompileJob) -> JobResult:
     under the job key.  ``wall_s`` (excluded from equality) records the
     compile time -- the cost estimate the persistent pool's chunked
     dispatch reads back from cache records.
+
+    **Failure containment**: one job is one failure domain.  Anything
+    the pipeline raises beyond the expected ``SchedulingError`` (already
+    folded into the outcome by ``compile_loop``) -- a verifier rejection,
+    an extras extractor bug, an injected fault -- becomes an error-kind
+    failed result instead of poisoning the whole fan-out; see
+    :func:`error_result`.
     """
     t0 = time.perf_counter()
-    capture = job_capture() if tracing_enabled() else None
-    if capture is not None:
-        with capture:
+    try:
+        fault_point("job.execute", job.key)
+        capture = job_capture() if tracing_enabled() else None
+        if capture is not None:
+            with capture:
+                compiled = compile_loop(job.ddg, job.machine,
+                                        **job.options.compile_kwargs())
+        else:
             compiled = compile_loop(job.ddg, job.machine,
                                     **job.options.compile_kwargs())
-    else:
-        compiled = compile_loop(job.ddg, job.machine,
-                                **job.options.compile_kwargs())
-    extras = {}
-    for spec in job.options.extras:
-        extras[spec] = (None if compiled.outcome.failed
-                        else compute_extra(spec, compiled))
-    if capture is not None:
-        # the per-job stage summary rides home on the result, crossing
-        # the worker-process boundary; run_jobs folds it into the parent
-        extras["trace"] = capture.summary
-    return JobResult(key=job.key, outcome=compiled.outcome, extras=extras,
-                     wall_s=time.perf_counter() - t0)
+        extras = {}
+        for spec in job.options.extras:
+            extras[spec] = (None if compiled.outcome.failed
+                            else compute_extra(spec, compiled))
+        if capture is not None:
+            # the per-job stage summary rides home on the result, crossing
+            # the worker-process boundary; run_jobs folds it into the parent
+            extras["trace"] = capture.summary
+        return JobResult(key=job.key, outcome=compiled.outcome,
+                         extras=extras,
+                         wall_s=time.perf_counter() - t0)
+    except Exception as exc:
+        trace_count("runner.job_errors")
+        return error_result(job, exc, wall_s=time.perf_counter() - t0)

@@ -36,9 +36,13 @@ from __future__ import annotations
 
 import atexit
 import logging
+import multiprocessing
+import time
 from typing import Callable, Optional, Sequence
 
 log = logging.getLogger("repro.runner.pool")
+
+from repro import faults as _faults
 
 from .fingerprint import canonical_json, machine_signature
 from .job import CompileJob, JobResult
@@ -47,6 +51,21 @@ from .pipeline import execute_job
 #: Grow-only table cap; beyond it the session recycles itself so a
 #: pathological stream of one-shot loop objects cannot hoard memory.
 MAX_TABLE_ENTRIES = 4096
+
+#: Per-job progress watchdog: if no job settles for this long, the pool
+#: is declared wedged (hung worker, lost chunk) and respawned.  Generous
+#: -- the slowest corpus job compiles in well under a second -- while
+#: still bounding a sweep's exposure to a hung worker.
+DEFAULT_JOB_DEADLINE_S = 120.0
+
+#: Dispatch rounds per job beyond the first: after this many failed
+#: rounds a job is quarantined to the caller's serial path, so one
+#: poisonous task cannot respawn the pool forever.  The serial run *is*
+#: the final retry: with the default of 1 a job executes at most twice.
+DEFAULT_MAX_RETRIES = 1
+
+#: Backoff before re-dispatching survivors of a failed round.
+RETRY_BACKOFF_S = 0.05
 
 # ---------------------------------------------------------------------------
 # worker side
@@ -65,10 +84,29 @@ def _init_worker(ddgs: Sequence, machines: Sequence) -> None:
 
 def _run_task(task: tuple) -> tuple[int, JobResult]:
     seq, ddg_i, machine_i, options, key = task
+    # worker entry is an injection seam (crash / hang / slow) and the
+    # attempt ledger's recording point; execute_job itself contains any
+    # exception into an error-kind result, so a task can only fail by
+    # taking the whole worker process down with it
+    _faults.on_job_execute(key)
+    _faults.fault_point("pool.worker", key)
     job = CompileJob(ddg=_WORKER_DDGS[ddg_i],
                      machine=_WORKER_MACHINES[machine_i],
                      options=options, _key=key)
     return seq, execute_job(job)
+
+
+def _run_chunk(tasks: list) -> list:
+    """Execute one pre-built chunk of tasks in a worker.
+
+    Chunking is explicit (rather than ``imap_unordered``'s
+    ``chunksize``) because the chunked iterator the pool returns is a
+    plain generator with no timeout support -- the supervision watchdog
+    needs ``IMapUnorderedIterator.next(timeout)``, which only the
+    one-item-per-task form provides.  A crashed worker loses exactly
+    its in-flight chunk; everything else keeps streaming.
+    """
+    return [_run_task(task) for task in tasks]
 
 
 # ---------------------------------------------------------------------------
@@ -89,6 +127,9 @@ class PoolSession:
         self._machine_idx: dict[str, int] = {}   # content sig -> index
         self.spawns = 0        # pools (re)created
         self.reuses = 0        # run_jobs calls served by a live pool
+        self.respawns = 0      # partial recoveries (workers replaced)
+        self.retries = 0       # jobs re-dispatched after a failed round
+        self.quarantines = 0   # jobs handed back for serial execution
 
     # ------------------------------------------------------------- tables
 
@@ -130,17 +171,29 @@ class PoolSession:
     def run(self, jobs: Sequence[CompileJob],
             on_result: Callable[[int, JobResult], None],
             cost_of: Callable[[CompileJob], float],
-            chunk_size: Optional[int] = None) -> None:
+            chunk_size: Optional[int] = None, *,
+            deadline_s: Optional[float] = DEFAULT_JOB_DEADLINE_S,
+            max_retries: int = DEFAULT_MAX_RETRIES) -> list[int]:
         """Execute *jobs*, reporting ``(position, result)`` as each
-        settles (any completion order); raises on fan-out failure with
-        the unreported positions simply never delivered -- the caller
-        finishes those serially."""
+        settles (any completion order), under per-job supervision.
+
+        A wall-clock watchdog (*deadline_s* without any job settling)
+        or a broken pool fails the *round*, not the sweep: the workers
+        are respawned with the payload tables kept, the undelivered
+        jobs are re-dispatched after a short backoff, and jobs that
+        survive *max_retries* failed rounds are **quarantined** --
+        returned (sorted) for the caller to finish on its serial path,
+        which counts as their final retry.  Exceptions from *on_result*
+        itself still propagate: the callback belongs to the caller, and
+        a settled-then-redelivered job would break exactly-once
+        accounting.
+        """
         if len(self._ddgs) + len(self._machines) > MAX_TABLE_ENTRIES:
             # recycle before indexing: the tables restart from only the
             # objects of this call, and the pool respawns with them
             self.close()
         grew = False
-        tasks = []
+        pending: dict[int, tuple] = {}
         for seq, job in enumerate(jobs):
             # loops are keyed by identity AND structural version: a DDG
             # mutated since the workers forked must not be served from
@@ -151,21 +204,92 @@ class PoolSession:
                 job.machine, self._machine_idx, self._machines,
                 canonical_json(machine_signature(job.machine)))
             grew = grew or new_d or new_m
-            tasks.append((seq, di, mi, job.options, job.key))
-        pool = self._ensure_pool(grew)
-        # cost-balanced chunked dispatch: rank tasks costliest-first,
-        # then *stripe* them across the chunks -- contiguous chunking
-        # after the sort would hand all the expensive jobs to one worker
-        # and grow the tail instead of shrinking it
-        tasks.sort(key=lambda t: -cost_of(jobs[t[0]]))
-        chunk = chunk_size or max(
-            1, min(32, len(tasks) // (self.n_workers * 4)))
-        if chunk > 1:
+            pending[seq] = (seq, di, mi, job.options, job.key)
+        attempts: dict[int, int] = {}
+        quarantined: list[int] = []
+        failed_rounds = 0
+        while pending:
+            pool = self._ensure_pool(grew)
+            grew = False
+            # cost-balanced chunked dispatch: rank tasks costliest-first,
+            # then *stripe* them across the chunks -- contiguous chunking
+            # after the sort would hand all the expensive jobs to one
+            # worker and grow the tail instead of shrinking it
+            tasks = sorted(pending.values(),
+                           key=lambda t: -cost_of(jobs[t[0]]))
+            chunk = chunk_size or max(
+                1, min(32, len(tasks) // (self.n_workers * 4)))
             n_chunks = -(-len(tasks) // chunk)
-            tasks = [t for i in range(n_chunks) for t in tasks[i::n_chunks]]
-        for seq, result in pool.imap_unordered(_run_task, tasks,
-                                               chunksize=chunk):
-            on_result(seq, result)
+            chunks = [tasks[i::n_chunks] for i in range(n_chunks)]
+            it = pool.imap_unordered(_run_chunk, chunks)
+            failure: Optional[BaseException] = None
+            while True:
+                try:
+                    if deadline_s is None:
+                        settled = next(it)
+                    else:
+                        settled = it.next(timeout=deadline_s)
+                except StopIteration:
+                    break
+                except multiprocessing.TimeoutError:
+                    failure = TimeoutError(
+                        f"no chunk settled within the {deadline_s:g}s "
+                        f"watchdog; a worker is hung or its chunk was "
+                        f"lost to a crash")
+                    break
+                except Exception as exc:
+                    # infra failure surfacing through the iterator (dead
+                    # pool, unpicklable result); job-level exceptions
+                    # were already contained into error results
+                    failure = exc
+                    break
+                for seq, result in settled:
+                    # settle *before* on_result: if the callback raises,
+                    # the job must not be eligible for re-dispatch
+                    pending.pop(seq, None)
+                    on_result(seq, result)
+            if failure is None:
+                break
+            self.respawn(cause=failure)
+            failed_rounds += 1
+            retry: dict[int, tuple] = {}
+            for seq, task in pending.items():
+                attempts[seq] = attempts.get(seq, 0) + 1
+                # the serial quarantine run counts as the last retry, so
+                # a job is dispatched at most 1 + max_retries times total
+                if attempts[seq] >= max_retries:
+                    quarantined.append(seq)
+                else:
+                    retry[seq] = task
+            self.retries += len(retry)
+            pending = retry
+            if pending:
+                time.sleep(min(1.0, RETRY_BACKOFF_S * 2 ** (failed_rounds - 1)))
+        if quarantined:
+            quarantined.sort()
+            self.quarantines += len(quarantined)
+            log.warning(
+                "quarantining %d job(s) to the serial path after %d "
+                "failed dispatch round(s)", len(quarantined), failed_rounds)
+        return quarantined
+
+    def respawn(self, cause: Optional[BaseException] = None) -> None:
+        """Replace the workers, keeping the payload tables.
+
+        Partial recovery: terminating only the pool means the next
+        round re-forks workers that still receive the already-built
+        dedup tables through the initializer -- unlike
+        :func:`discard_session`, nothing the session learned is lost.
+        """
+        if cause is not None:
+            log.warning(
+                "pool of %d workers failed a dispatch round (%s: %s); "
+                "respawning workers, payload tables kept",
+                self.n_workers, type(cause).__name__, cause)
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool = None
+        self.respawns += 1
 
     def close(self, graceful: bool = False) -> None:
         """Tear the pool down.
@@ -190,6 +314,8 @@ class PoolSession:
 
     def counters(self) -> dict:
         return {"spawns": self.spawns, "reuses": self.reuses,
+                "respawns": self.respawns, "retries": self.retries,
+                "quarantines": self.quarantines,
                 "ddgs": len(self._ddgs), "machines": len(self._machines)}
 
 
@@ -265,8 +391,12 @@ def cost_estimator(cache: object) -> Callable[[CompileJob], float]:
         if cached_hints is not None:
             hints = cached_hints
         else:
-            try:
-                for record in cache._load().values():
+            # both cache backends expose iter_records(); the getattr
+            # keeps foreign duck-typed caches (tests, adapters) working
+            # -- they just run without history-based hints
+            iter_records = getattr(cache, "iter_records", None)
+            if iter_records is not None:
+                for record in iter_records():
                     wall = float(record.get("wall_s") or 0.0)
                     if wall <= 0.0:
                         continue
@@ -274,8 +404,6 @@ def cost_estimator(cache: object) -> Callable[[CompileJob], float]:
                     key = (outcome.get("loop"), outcome.get("machine"))
                     total, n = hints.get(key, (0.0, 0))
                     hints[key] = (total + wall, n + 1)
-            except Exception:  # cache internals are best-effort here
-                hints = {}
             cache._cost_hints = hints
 
     def cost(job: CompileJob) -> float:

@@ -23,12 +23,14 @@ Quick start::
 """
 
 from .daemon import ServerHandle, serve, start_in_thread
-from .engine import SweepService, result_to_wire
+from .engine import (DeadlineExceeded, ServiceOverloaded, SweepService,
+                     result_to_wire)
 from .jobspec import (JobSpecError, kernel_job_spec, parse_job, parse_jobs,
                       parse_loop, parse_machine, parse_options)
 
 __all__ = [
     "ServerHandle", "serve", "start_in_thread",
+    "DeadlineExceeded", "ServiceOverloaded",
     "SweepService", "result_to_wire",
     "JobSpecError", "kernel_job_spec", "parse_job", "parse_jobs",
     "parse_loop", "parse_machine", "parse_options",

@@ -26,14 +26,22 @@ smoke job.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
+import logging
+import math
 import signal
 import sys
 import threading
 from typing import Optional, TextIO
 
-from .engine import SweepService, result_to_wire
+from repro import faults as _faults
+
+from .engine import (DeadlineExceeded, ServiceOverloaded, SweepService,
+                     result_to_wire)
 from .jobspec import JobSpecError, parse_jobs
+
+logger = logging.getLogger("repro.service.daemon")
 
 #: request body cap -- a sweep of thousands of specs fits comfortably;
 #: anything bigger is a client bug, not a workload
@@ -41,11 +49,12 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
-            413: "Payload Too Large", 500: "Internal Server Error"}
+            413: "Payload Too Large", 500: "Internal Server Error",
+            503: "Service Unavailable", 504: "Gateway Timeout"}
 
 
-def _response(status: int, payload: object, *,
-              keep_alive: bool = True) -> bytes:
+def _response(status: int, payload: object, *, keep_alive: bool = True,
+              headers: Optional[dict] = None) -> bytes:
     """Serialise one response; a ``str`` payload goes out as Prometheus
     text exposition, anything else as JSON."""
     if isinstance(payload, str):
@@ -54,9 +63,12 @@ def _response(status: int, payload: object, *,
     else:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         content_type = "application/json"
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in (headers or {}).items())
     head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n").encode("ascii")
     return head + body
@@ -117,11 +129,12 @@ class _Http:
                 method, target, headers, body = request
                 self.busy.add(task)
                 try:
-                    status, payload = await self._route(method, target,
-                                                        body)
+                    status, payload, extra = await self._route(
+                        method, target, body)
                     keep = headers.get("connection", "").lower() != "close"
                     writer.write(_response(status, payload,
-                                           keep_alive=keep))
+                                           keep_alive=keep,
+                                           headers=extra))
                     await writer.drain()
                 finally:
                     self.busy.discard(task)
@@ -137,46 +150,67 @@ class _Http:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
-    async def _route(self, method: str, target: str,
-                     body: bytes) -> "tuple[int, dict | str]":
+    async def _route(self, method: str, target: str, body: bytes
+                     ) -> "tuple[int, dict | str, Optional[dict]]":
+        """``(status, payload, extra_headers)`` for one request."""
         service = self.service
         if target == "/healthz" and method == "GET":
             import repro
             return 200, {"status": "ok",
                          "version": repro.__version__,
                          "uptime_s": service.metrics()["uptime_s"],
-                         "n_workers": service.n_workers}
+                         "n_workers": service.n_workers,
+                         "breaker": service.breaker_state()}, None
         if target == "/metrics" and method == "GET":
             from repro.obs.report import prometheus_text
-            return 200, prometheus_text(service.metrics())
+            return 200, prometheus_text(service.metrics()), None
         if target == "/metrics.json" and method == "GET":
-            return 200, service.metrics()
+            return 200, service.metrics(), None
         if target == "/jobs" and method == "POST":
             try:
                 specs = json.loads(body.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                return 400, {"error": f"request body is not JSON: {exc}"}
+                return 400, {"error": f"request body is not JSON: "
+                                      f"{exc}"}, None
             try:
                 jobs = parse_jobs(specs)
             except JobSpecError as exc:
-                return 400, {"error": str(exc)}
+                return 400, {"error": str(exc)}, None
             try:
+                # request-handling injection seam, keyed by the body
+                # digest so a replay storms the same requests
+                _faults.fault_point(
+                    "daemon.request", hashlib.sha256(body).hexdigest())
                 results = await service.submit(jobs)
+            except ServiceOverloaded as exc:
+                retry_after = max(1, math.ceil(exc.retry_after_s))
+                return 503, {"error": str(exc),
+                             "retry_after_s": exc.retry_after_s}, \
+                    {"Retry-After": str(retry_after)}
+            except DeadlineExceeded as exc:
+                # the jobs keep compiling: hand back the keys so the
+                # client polls GET /jobs/<key> instead of resubmitting
+                return 504, {"error": str(exc), "status": "pending",
+                             "keys": exc.keys}, None
             except asyncio.CancelledError:
                 raise
-            except Exception as exc:  # pragma: no cover - defensive
-                return 500, {"error": f"{type(exc).__name__}: {exc}"}
-            return 200, {"results": [result_to_wire(r) for r in results]}
+            except Exception as exc:
+                return 500, {"error": f"{type(exc).__name__}: "
+                                      f"{exc}"}, None
+            return 200, {"results": [result_to_wire(r)
+                                     for r in results]}, None
         if target.startswith("/jobs/") and method == "GET":
             key = target[len("/jobs/"):]
             state, record = service.status(key)
             status = {"done": 200, "pending": 202}.get(state, 404)
-            return status, {"key": key, "status": state, "result": record}
+            return status, {"key": key, "status": state,
+                            "result": record}, None
         if target in ("/jobs", "/healthz", "/metrics",
                       "/metrics.json") or \
                 target.startswith("/jobs/"):
-            return 405, {"error": f"{method} not allowed on {target}"}
-        return 404, {"error": f"no route {target}"}
+            return 405, {"error": f"{method} not allowed on "
+                                  f"{target}"}, None
+        return 404, {"error": f"no route {target}"}, None
 
 
 # ---------------------------------------------------------------------------
@@ -188,7 +222,13 @@ async def _serve(service: SweepService, host: str, port: int, *,
                  ready: "Optional[threading.Event]" = None,
                  bound: Optional[list] = None,
                  install_signals: bool = True,
-                 log: TextIO = sys.stderr) -> None:
+                 log: TextIO = sys.stderr,
+                 stage: Optional[dict] = None) -> None:
+    # *stage* is a shared progress marker for the shutdown sequence:
+    # ServerHandle.stop reads it to name where a stuck drain is wedged
+    if stage is None:
+        stage = {}
+    stage["shutdown"] = "serving"
     await service.start()
     http = _Http(service)
     server = await asyncio.start_server(http.handle, host, port)
@@ -210,15 +250,19 @@ async def _serve(service: SweepService, host: str, port: int, *,
         await stop.wait()
     finally:
         # stop accepting first, then drain what was already admitted
+        stage["shutdown"] = "closing listener"
         server.close()
         await server.wait_closed()
+        stage["shutdown"] = "draining service"
         await service.stop(drain=True)
         # let mid-request handlers flush their responses, then drop the
         # idle keep-alive connections that would otherwise pin the loop
+        stage["shutdown"] = "flushing busy handlers"
         loop = asyncio.get_running_loop()
         deadline = loop.time() + 10.0
         while http.busy and loop.time() < deadline:
             await asyncio.sleep(0.02)
+        stage["shutdown"] = "cancelling idle connections"
         for task in list(http.connections):
             task.cancel()
         if http.connections:
@@ -227,7 +271,9 @@ async def _serve(service: SweepService, host: str, port: int, *,
         if service.cache is not None and hasattr(service.cache, "gc") \
                 and getattr(service.cache, "max_bytes", None) is not None:
             # final flush: compact shards down to budget before exit
+            stage["shutdown"] = "compacting cache shards"
             service.cache.gc()
+        stage["shutdown"] = "stopped"
         print("repro-vliw service drained and stopped", file=log,
               flush=True)
 
@@ -247,23 +293,39 @@ class ServerHandle:
     def __init__(self, service: SweepService, host: str,
                  thread: threading.Thread, port: int,
                  loop: asyncio.AbstractEventLoop,
-                 stop_event: asyncio.Event) -> None:
+                 stop_event: asyncio.Event,
+                 stage: Optional[dict] = None) -> None:
         self.service = service
         self.host = host
         self.port = port
         self._thread = thread
         self._loop = loop
         self._stop_event = stop_event
+        self._stage = stage if stage is not None else {}
 
     @property
     def address(self) -> tuple[str, int]:
         return self.host, self.port
 
-    def stop(self, timeout: float = 30.0) -> None:
-        """Graceful shutdown: drain, flush, retire; join the thread."""
+    def stop(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown: drain, flush, retire; join the thread.
+
+        Returns True when the daemon thread actually stopped.  A join
+        that times out is *not* silent success: the stuck shutdown
+        stage (drain, handler flush, shard compaction...) is logged so
+        a wedged daemon in a test run or CI job names its suspect.
+        """
         if self._thread.is_alive():
             self._loop.call_soon_threadsafe(self._stop_event.set)
             self._thread.join(timeout)
+            if self._thread.is_alive():
+                logger.warning(
+                    "sweep-service thread still alive %.1fs after stop "
+                    "(stuck at stage: %s); abandoning the join -- the "
+                    "daemon thread may still hold its port", timeout,
+                    self._stage.get("shutdown", "serving"))
+                return False
+        return True
 
 
 def start_in_thread(service: SweepService, host: str = "127.0.0.1",
@@ -278,6 +340,7 @@ def start_in_thread(service: SweepService, host: str = "127.0.0.1",
     ready = threading.Event()
     holder: dict = {}
     bound: list = []
+    stage: dict = {}
 
     def run() -> None:
         loop = asyncio.new_event_loop()
@@ -288,7 +351,7 @@ def start_in_thread(service: SweepService, host: str = "127.0.0.1",
         try:
             loop.run_until_complete(_serve(
                 service, host, port, stop=stop, ready=ready, bound=bound,
-                install_signals=False, log=log))
+                install_signals=False, log=log, stage=stage))
         finally:
             loop.close()
 
@@ -298,4 +361,4 @@ def start_in_thread(service: SweepService, host: str = "127.0.0.1",
     if not ready.wait(timeout=30.0):  # pragma: no cover - startup hang
         raise RuntimeError("sweep service failed to start within 30s")
     return ServerHandle(service, host, thread, bound[0],
-                        holder["loop"], holder["stop"])
+                        holder["loop"], holder["stop"], stage)

@@ -26,6 +26,15 @@ One submission path:
 Shutdown (:meth:`stop`) drains the queue, waits for every in-flight
 future, then retires the worker pools gracefully (``close_all_sessions
 (graceful=True)``) -- nothing is silently dropped.
+
+Overload and failure are answered at the front door rather than by
+queueing forever (DESIGN §5.10): requests carry a **deadline**
+(:class:`DeadlineExceeded` -> HTTP 504, with the job keys so clients
+poll ``GET /jobs/<key>`` instead of resubmitting), a full dispatcher
+queue **sheds load** (:class:`ServiceOverloaded` -> 503 +
+``Retry-After``), and a **circuit breaker** fails fast after
+``breaker_threshold`` consecutive batch failures, half-opening after
+``breaker_cooldown_s`` to probe with real traffic.
 """
 
 from __future__ import annotations
@@ -34,12 +43,43 @@ import asyncio
 import time
 from typing import Optional, Sequence
 
+from repro import faults as _faults
+from repro.obs.trace import trace_count
 from repro.runner import pool as pool_mod
 from repro.runner.executor import RunnerConfig, run_jobs
 from repro.runner.job import CompileJob, JobResult
 
 #: sentinel that tells the dispatcher to finish up
 _STOP = object()
+
+
+def _swallow_result(fut: "asyncio.Future") -> None:
+    """Detach a future: consume its outcome so nothing is logged."""
+    if not fut.cancelled():
+        fut.exception()
+
+
+class ServiceOverloaded(RuntimeError):
+    """Shed at the front door: full queue or an open circuit breaker."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(reason)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(RuntimeError):
+    """A submit request ran past its deadline; the jobs keep compiling.
+
+    Carries the request's job keys so the client can poll
+    ``GET /jobs/<key>`` -- the work is *not* cancelled (other coalesced
+    requests may be waiting on the same futures) and will land in the
+    cache when it finishes.
+    """
+
+    def __init__(self, keys: Sequence[str]) -> None:
+        super().__init__(f"deadline exceeded; {len(keys)} job(s) still "
+                         f"compiling")
+        self.keys = list(keys)
 
 
 def result_to_wire(result: JobResult) -> dict:
@@ -54,17 +94,33 @@ class SweepService:
 
     def __init__(self, cache: object = None, *, n_workers: int = 1,
                  batch_window_s: float = 0.005, batch_max: int = 64,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 request_deadline_s: Optional[float] = None,
+                 max_queue_depth: int = 1024,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown_s: float = 30.0,
+                 job_deadline_s: Optional[float] =
+                 pool_mod.DEFAULT_JOB_DEADLINE_S,
+                 max_retries: int = pool_mod.DEFAULT_MAX_RETRIES) -> None:
         self.cache = cache
         self.n_workers = n_workers
         self.batch_window_s = batch_window_s
         self.batch_max = batch_max
         self.chunk_size = chunk_size
+        self.request_deadline_s = request_deadline_s
+        self.max_queue_depth = max_queue_depth
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.job_deadline_s = job_deadline_s
+        self.max_retries = max_retries
         self._inflight: dict[str, asyncio.Future] = {}
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self.t_started = time.monotonic()
+        # --------------------------------------------- breaker state
+        self._consec_batch_failures = 0
+        self._breaker_open_until: Optional[float] = None
         # ------------------------------------------------ counters
         self.c_requests = 0          # submit() calls
         self.c_jobs = 0              # job specs received
@@ -74,6 +130,12 @@ class SweepService:
         self.c_batches = 0           # dispatcher batches executed
         self.c_batch_jobs = 0        # jobs across all batches
         self.submit_s = 0.0          # cumulative submit latency
+        self.c_shed = 0              # requests shed on queue depth
+        self.c_breaker_rejected = 0  # requests failed fast by the breaker
+        self.c_breaker_trips = 0     # closed/half-open -> open transitions
+        self.c_batch_failures = 0    # batches that failed wholesale
+        self.c_deadline_exceeded = 0  # requests answered 504
+        self.c_cache_errors = 0      # lookups degraded to misses
 
     # ------------------------------------------------------------ lifecycle
 
@@ -114,12 +176,60 @@ class SweepService:
 
     # ------------------------------------------------------------ serving
 
-    async def submit(self, jobs: Sequence[CompileJob]) -> list[JobResult]:
+    def breaker_state(self) -> str:
+        """``"closed"`` (normal) / ``"open"`` (failing fast) /
+        ``"half-open"`` (cooldown over; next batch is the probe)."""
+        if self._breaker_open_until is None:
+            return "closed"
+        if time.monotonic() < self._breaker_open_until:
+            return "open"
+        return "half-open"
+
+    def _admit(self) -> None:
+        """Front-door admission control: breaker, then queue depth."""
+        if self.breaker_state() == "open":
+            self.c_breaker_rejected += 1
+            trace_count("service.breaker_rejected")
+            retry_after = max(0.0,
+                              self._breaker_open_until - time.monotonic())
+            raise ServiceOverloaded(
+                f"circuit breaker open after "
+                f"{self._consec_batch_failures} consecutive batch "
+                f"failures", retry_after_s=retry_after)
+        if self._queue.qsize() >= self.max_queue_depth:
+            self.c_shed += 1
+            trace_count("service.shed")
+            raise ServiceOverloaded(
+                f"dispatch queue depth {self._queue.qsize()} at the "
+                f"{self.max_queue_depth} bound", retry_after_s=1.0)
+
+    def _cache_get(self, key: str) -> Optional[JobResult]:
+        """A lookup that degrades cache I/O failure to a miss."""
+        if self.cache is None:
+            return None
+        try:
+            return self.cache.get(key)
+        except Exception:
+            self.c_cache_errors += 1
+            trace_count("service.cache_errors")
+            return None
+
+    async def submit(self, jobs: Sequence[CompileJob],
+                     deadline_s: Optional[float] = None
+                     ) -> list[JobResult]:
         """Compile *jobs* (deduped against in-flight work and the cache),
-        returning results in request order."""
+        returning results in request order.
+
+        Raises :class:`ServiceOverloaded` when admission control sheds
+        the request, and :class:`DeadlineExceeded` when results do not
+        settle within *deadline_s* (default: the service-wide
+        ``request_deadline_s``) -- the compile itself keeps running for
+        coalesced waiters and the cache.
+        """
         assert self._queue is not None, "SweepService.start() not awaited"
         t0 = time.perf_counter()
         self.c_requests += 1
+        self._admit()
         futures: list[asyncio.Future] = []
         for job in jobs:
             key = job.key
@@ -129,7 +239,7 @@ class SweepService:
                 self.c_dedup_inflight += 1
                 futures.append(fut)
                 continue
-            hit = self.cache.get(key) if self.cache is not None else None
+            hit = self._cache_get(key)
             if hit is not None:
                 self.c_cache_hits += 1
                 done: asyncio.Future = self._loop.create_future()
@@ -140,7 +250,25 @@ class SweepService:
             self._inflight[key] = fut
             futures.append(fut)
             await self._queue.put((job, fut))
-        results = list(await asyncio.gather(*futures))
+        if deadline_s is None:
+            deadline_s = self.request_deadline_s
+        gathered = asyncio.gather(*futures)
+        if deadline_s is None:
+            results = list(await gathered)
+        else:
+            try:
+                # shield: a timed-out request must not cancel futures
+                # other coalesced requests are still awaiting
+                results = list(await asyncio.wait_for(
+                    asyncio.shield(gathered), deadline_s))
+            except asyncio.TimeoutError:
+                self.c_deadline_exceeded += 1
+                trace_count("service.deadline_exceeded")
+                # the gather keeps running detached; swallow its
+                # eventual result so it never logs "never retrieved"
+                gathered.add_done_callback(_swallow_result)
+                raise DeadlineExceeded([job.key for job in jobs]) \
+                    from None
         self.submit_s += time.perf_counter() - t0
         return results
 
@@ -184,16 +312,37 @@ class SweepService:
     async def _run_batch(self, batch: list) -> None:
         jobs = [job for job, _ in batch]
         config = RunnerConfig(n_workers=self.n_workers, cache=self.cache,
-                              chunk_size=self.chunk_size)
+                              chunk_size=self.chunk_size,
+                              job_deadline_s=self.job_deadline_s,
+                              max_retries=self.max_retries)
         try:
+            _faults.fault_point("service.batch", jobs[0].key)
             results = await self._loop.run_in_executor(
                 None, run_jobs, jobs, config)
-        except Exception as exc:  # pragma: no cover - runner never raises
+        except Exception as exc:
+            # run_jobs contains per-job failures; landing here means the
+            # dispatch machinery itself broke (or a fault was injected)
+            # -- fail this batch's waiters and feed the breaker
+            self.c_batch_failures += 1
+            self._consec_batch_failures += 1
+            trace_count("service.batch_failures")
+            half_open_probe_failed = self._breaker_open_until is not None
+            if self.breaker_threshold > 0 and (
+                    half_open_probe_failed or
+                    self._consec_batch_failures >= self.breaker_threshold):
+                self._breaker_open_until = (time.monotonic() +
+                                            self.breaker_cooldown_s)
+                self.c_breaker_trips += 1
+                trace_count("service.breaker_trips")
             for job, fut in batch:
                 self._inflight.pop(job.key, None)
                 if not fut.done():
                     fut.set_exception(exc)
             return
+        # any completed batch -- including the half-open probe -- closes
+        # the breaker and resets the consecutive-failure streak
+        self._consec_batch_failures = 0
+        self._breaker_open_until = None
         self.c_batches += 1
         self.c_batch_jobs += len(batch)
         self.c_compiled += sum(1 for r in results if not r.cached)
@@ -228,10 +377,21 @@ class SweepService:
                                 if self._queue is not None else 0),
                 "submit_s": round(self.submit_s, 6),
                 "n_workers": self.n_workers,
+                "shed": self.c_shed,
+                "breaker_rejected": self.c_breaker_rejected,
+                "breaker_trips": self.c_breaker_trips,
+                "breaker_state": self.breaker_state(),
+                "batch_failures": self.c_batch_failures,
+                "deadline_exceeded": self.c_deadline_exceeded,
+                "cache_errors": self.c_cache_errors,
             },
             "cache": (self.cache.stats()
                       if self.cache is not None else None),
             "pool": pool_mod.session_counters(),
             "arena": arena_counters(),
             "trace": trace_snapshot(),
+            "faults": {
+                "enabled": _faults.faults_enabled(),
+                "injected": _faults.fault_counters(),
+            },
         }

@@ -43,6 +43,13 @@ class JobSpecError(ValueError):
     """A malformed job spec (unknown kernel, bad machine kind, ...)."""
 
 
+#: Job specs one request may carry.  A bound, not a throughput limit:
+#: bigger sweeps split into several requests and still dedup/batch the
+#: same -- while a runaway client cannot park an unbounded parse +
+#: compile obligation behind a single deadline-less POST.
+MAX_JOBS_PER_REQUEST = 4096
+
+
 #: canonical loop spec -> Ddg; grow-only, bounded by the spec space the
 #: clients actually use (kernel names x synth configs)
 _LOOP_MEMO: dict[str, Ddg] = {}
@@ -193,6 +200,10 @@ def parse_jobs(body: object) -> list[CompileJob]:
         specs = body["jobs"]
         if not isinstance(specs, list) or not specs:
             raise JobSpecError("'jobs' must be a non-empty list")
+        if len(specs) > MAX_JOBS_PER_REQUEST:
+            raise JobSpecError(
+                f"'jobs' lists {len(specs)} specs; the per-request "
+                f"bound is {MAX_JOBS_PER_REQUEST} -- split the sweep")
         return [parse_job(s) for s in specs]
     return [parse_job(body)]
 

@@ -1,0 +1,20 @@
+"""Chaos-suite isolation: every test starts and ends fault-free.
+
+The fault plan is process-global and the worker pools inherit it at
+fork time, so each test gets pristine state on both sides: no armed
+plan, no live pool whose workers captured a previous test's plan.
+"""
+
+import pytest
+
+from repro import faults
+from repro.runner import pool as pool_mod
+
+
+@pytest.fixture(autouse=True)
+def _fault_free():
+    faults.disable_faults()
+    pool_mod.close_all_sessions()
+    yield
+    faults.disable_faults()
+    pool_mod.close_all_sessions()

@@ -1,0 +1,157 @@
+"""Fault-plan unit tests: spec grammar, deterministic draws, helpers."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import faults
+from repro.faults import (FaultError, FaultPlan, FaultSpec, fault_point,
+                          torn_payload)
+
+_SRC = os.path.join(os.path.dirname(faults.__file__), "..", "..")
+
+
+# ---------------------------------------------------------------------------
+# spec grammar
+# ---------------------------------------------------------------------------
+
+def test_spec_round_trips():
+    text = "seed=7;pool.worker=crash:0.05,hang:0.02:2;ledger=/tmp/led"
+    plan = FaultPlan.from_spec(text)
+    assert plan.seed == 7
+    assert plan.ledger == "/tmp/led"
+    assert plan.sites["pool.worker"] == (FaultSpec("crash", 0.05),
+                                         FaultSpec("hang", 0.02, 2.0))
+    assert plan.spec() == text
+    assert FaultPlan.from_spec(plan.spec()).spec() == plan.spec()
+
+
+def test_empty_and_whitespace_clauses_are_ignored():
+    plan = FaultPlan.from_spec(" seed=3 ;; cache.put=torn:1 ;")
+    assert plan.seed == 3
+    assert plan.sites["cache.put"] == (FaultSpec("torn", 1.0),)
+
+
+@pytest.mark.parametrize("bad", [
+    "nope.site=raise:1",          # unknown site
+    "pool.worker=raise:1",        # kind the site does not understand
+    "cache.put=torn:1.5",         # rate out of [0, 1]
+    "cache.put=torn",             # missing rate
+    "cache.put=torn:x",           # non-numeric rate
+    "seed=eleven",                # non-int seed
+    "just-a-word",                # clause without '='
+])
+def test_bad_specs_raise(bad):
+    with pytest.raises(ValueError):
+        FaultPlan.from_spec(bad)
+
+
+# ---------------------------------------------------------------------------
+# deterministic draws
+# ---------------------------------------------------------------------------
+
+def test_draws_are_pure_functions_of_seed_site_kind_token():
+    a = FaultPlan.from_spec("seed=5;cache.put=torn:0.5")
+    b = FaultPlan.from_spec("seed=5;cache.put=torn:0.5")
+    tokens = [f"job-{i}" for i in range(200)]
+    fired_a = [t for t in tokens if a.draw("cache.put", t)]
+    fired_b = [t for t in tokens if b.draw("cache.put", t)]
+    assert fired_a == fired_b                      # replayable
+    assert 40 < len(fired_a) < 160                 # ~rate, not degenerate
+    other = FaultPlan.from_spec("seed=6;cache.put=torn:0.5")
+    assert [t for t in tokens if other.draw("cache.put", t)] != fired_a
+
+
+def test_rate_one_always_fires_and_rate_zero_never():
+    plan = FaultPlan.from_spec("seed=0;cache.put=torn:1;cache.get=raise:0")
+    assert plan.draw("cache.put", "k") == FaultSpec("torn", 1.0)
+    assert plan.draw("cache.get", "k") is None
+    assert plan.draw("service.batch", "k") is None  # unarmed site
+    assert plan.counters() == {"cache.put.torn": 1}
+
+
+# ---------------------------------------------------------------------------
+# the process-global plan and injection helpers
+# ---------------------------------------------------------------------------
+
+def test_enable_disable_mirror_the_environment():
+    plan = faults.enable_faults("seed=2;daemon.request=raise:0.5")
+    assert faults.faults_enabled()
+    assert faults.active_plan() is plan
+    assert os.environ[faults.FAULTS_ENV] == plan.spec()
+    faults.disable_faults()
+    assert not faults.faults_enabled()
+    assert faults.FAULTS_ENV not in os.environ
+    assert faults.fault_counters() == {}
+
+
+def test_fault_point_raise_and_slow_and_disabled():
+    assert fault_point("job.execute", "whatever") is None  # disabled
+    faults.enable_faults("seed=1;job.execute=raise:1")
+    with pytest.raises(FaultError) as err:
+        fault_point("job.execute", "token-abc")
+    assert err.value.site == "job.execute"
+    assert faults.fault_counters() == {"job.execute.raise": 1}
+    faults.enable_faults("seed=1;job.execute=slow:1:0.01")
+    assert fault_point("job.execute", "token-abc") == "slow"
+
+
+def test_torn_payload_cuts_inside_the_final_record():
+    payload = '{"key": "aaaa"}\n{"key": "bbbb"}\n{"key": "cccc"}\n'
+    assert torn_payload("cache.put", "k", payload) == payload  # disabled
+    faults.enable_faults("seed=1;cache.put=torn:1")
+    torn = torn_payload("cache.put", "k", payload)
+    assert torn == payload[:2 * len(payload) // 3].rstrip("\n")
+    assert not torn.endswith("\n")                # mid-write death
+    assert payload.startswith(torn)
+    # a non-torn draw leaves the payload alone
+    faults.enable_faults("seed=1;cache.put=raise:0")
+    assert torn_payload("cache.put", "k", payload) == payload
+
+
+def test_ledger_records_and_reads_attempts(tmp_path):
+    ledger = tmp_path / "attempts.ledger"
+    faults.on_job_execute("before-plan")          # no plan: no-op
+    faults.enable_faults(f"seed=0;ledger={ledger}")
+    faults.on_job_execute("job-a")
+    faults.on_job_execute("job-a")
+    faults.on_job_execute("job-b")
+    assert faults.read_ledger(str(ledger)) == {"job-a": 2, "job-b": 1}
+    assert faults.read_ledger(str(tmp_path / "missing")) == {}
+
+
+# ---------------------------------------------------------------------------
+# process boundaries: env arming at import, crash exit status
+# ---------------------------------------------------------------------------
+
+def _run(code, spec):
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    env[faults.FAULTS_ENV] = spec
+    return subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True, timeout=60)
+
+
+def test_env_spec_arms_the_plan_at_import():
+    done = _run("from repro import faults; "
+                "plan = faults.active_plan(); "
+                "print(plan.seed, plan.spec())",
+                "seed=9;cache.put=torn:0.5")
+    assert done.returncode == 0, done.stderr
+    assert done.stdout.split() == ["9", "seed=9;cache.put=torn:0.5"]
+
+
+def test_bad_env_spec_is_a_startup_error():
+    done = _run("import repro.faults", "seed=9;bogus.site=raise:1")
+    assert done.returncode != 0
+    assert "bad REPRO_FAULTS spec" in done.stderr
+
+
+def test_crash_kind_exits_with_the_distinctive_status():
+    done = _run("from repro.faults import fault_point; "
+                "fault_point('pool.worker', 'k'); "
+                "print('survived')",
+                "seed=0;pool.worker=crash:1")
+    assert done.returncode == faults.CRASH_EXIT_STATUS
+    assert "survived" not in done.stdout

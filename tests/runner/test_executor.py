@@ -124,6 +124,43 @@ def test_failed_outcomes_survive_parallel_and_cache(tmp_path):
     assert all(r.cached for r in replayed)
 
 
+def test_raising_progress_callback_never_reruns_settled_jobs(tmp_path):
+    """A flaky observer mid-fan-out costs the pool session, not the
+    sweep: settled jobs are final (no job executes more than the retry
+    bound allows) and the tick stream stays monotonic and complete."""
+    from repro import faults
+    from repro.runner import pool as pool_mod
+
+    pool_mod.close_all_sessions()
+    ledger = tmp_path / "attempts.ledger"
+    faults.enable_faults(f"seed=0;ledger={ledger}")
+    try:
+        jobs = sweep(all_kernels()[:8], [qrf_machine(4)],
+                     [dict(copies=True, allocate=False)])
+        ticks = []
+
+        def progress(done, total):
+            ticks.append((done, total))
+            if done == len(jobs) // 2:
+                raise RuntimeError("flaky observer")
+
+        results = run_jobs(jobs, RunnerConfig(n_workers=2,
+                                              progress=progress))
+    finally:
+        faults.disable_faults()
+        pool_mod.close_all_sessions()
+    assert results == run_jobs(jobs)
+    # monotonic and complete: one tick per job, no double-counting of
+    # the jobs that settled before the callback blew up
+    assert [d for d, _ in ticks] == list(range(1, len(jobs) + 1))
+    assert all(t == len(jobs) for _, t in ticks)
+    attempts = faults.read_ledger(str(ledger))
+    assert set(attempts) == {j.key for j in jobs}
+    # settled-then-lost in-flight work may legitimately re-run once on
+    # the serial path; nothing runs beyond the 1 + retries bound
+    assert max(attempts.values()) <= 2
+
+
 class TestPersistentPool:
     def test_pool_survives_across_run_jobs_calls(self, corpus_sample):
         from repro.runner import pool as pool_mod
@@ -155,6 +192,29 @@ class TestPersistentPool:
         run_jobs(sweep(corpus_sample[:4], [qrf_machine(6)], None),
                  RunnerConfig(n_workers=2))
         assert session.spawns == 2
+        pool_mod.close_all_sessions()
+
+    def test_table_cap_recycles_the_session_mid_stream(self, monkeypatch,
+                                                       corpus_sample):
+        from repro.runner import pool as pool_mod
+
+        pool_mod.close_all_sessions()
+        monkeypatch.setattr(pool_mod, "MAX_TABLE_ENTRIES", 4)
+        jobs_a = sweep(corpus_sample[:4], [qrf_machine(4)], None)
+        jobs_b = sweep(corpus_sample[4:8], [qrf_machine(4)], None)
+        first = run_jobs(jobs_a, RunnerConfig(n_workers=2))
+        session = pool_mod._SESSIONS[2]
+        assert session.spawns == 1
+        assert session.counters()["ddgs"] == 4       # 4 + 1 > the cap
+        second = run_jobs(jobs_b, RunnerConfig(n_workers=2))
+        # the cap tripped mid-stream: the session recycled itself and
+        # restarted the tables from only the second call's objects
+        assert session.spawns == 2
+        counters = session.counters()
+        assert counters["ddgs"] == 4
+        assert counters["machines"] == 1
+        assert first == run_jobs(jobs_a)             # parity kept
+        assert second == run_jobs(jobs_b)
         pool_mod.close_all_sessions()
 
     def test_cost_estimator_prefers_cache_history(self, tmp_path):

@@ -523,3 +523,41 @@ def test_trace_unknown_kernel(capsys):
     code, _, err = run_cli(capsys, "trace", "nope")
     assert code == 2
     assert "unknown kernel" in err
+
+
+def test_faults_flag_arms_the_global_plan(capsys):
+    from repro import faults
+
+    try:
+        code, out, _ = run_cli(capsys, "--faults",
+                               "seed=7;cache.put=torn:0.5", "schedulers")
+        assert code == 0
+        plan = faults.active_plan()
+        assert plan is not None and plan.seed == 7
+    finally:
+        faults.disable_faults()
+
+
+def test_bad_faults_spec_is_a_usage_error(capsys):
+    from repro import faults
+
+    code, _, err = run_cli(capsys, "--faults", "bogus.site=raise:1",
+                           "schedulers")
+    assert code == 2
+    assert "bad --faults spec" in err
+    assert not faults.faults_enabled()
+
+
+def test_supervision_flags_reach_the_runner_config():
+    from repro.cli import _runner
+
+    args = build_parser().parse_args(
+        ["--jobs", "2", "--no-cache", "--job-deadline", "0",
+         "--retries", "3", "corpus"])
+    config = _runner(args)
+    assert config.job_deadline_s is None          # 0 disables
+    assert config.max_retries == 3
+    args = build_parser().parse_args(["--no-cache", "corpus"])
+    config = _runner(args)
+    assert config.job_deadline_s == 120.0
+    assert config.max_retries == 1
