@@ -27,8 +27,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Literal, Optional
 
-from .ddg import Ddg, DepEdge, DepKind
-from .operations import Opcode
+from repro.kernels import active as _kernel_backend
+
+from .ddg import Ddg, DepKind
+from .operations import Opcode, Operation
 
 CopyStrategy = Literal["chain", "balanced", "slack"]
 
@@ -55,42 +57,26 @@ class CopyInsertionResult:
 # --------------------------------------------------------------------------
 
 def _heights(ddg: Ddg) -> dict[int, int]:
-    """Longest downstream path per op over distance-0 edges (packed
-    Bellman-Ford on the arrays view; the distance-0 subgraph is acyclic
-    for any valid loop, so |V| passes always converge)."""
+    """Longest downstream path per op over distance-0 edges (runs on the
+    active kernel backend; the distance-0 subgraph is acyclic for any
+    valid loop, so the relaxation always converges)."""
     arr = ddg.arrays()
-    h = [0] * arr.n
-    zero = [(s, d, lat)
-            for s, d, lat, dist in zip(arr.e_src, arr.e_dst, arr.e_lat,
-                                       arr.e_dist) if dist == 0]
-    for _ in range(arr.n + 1):
-        changed = False
-        for s, d, lat in zero:
-            cand = h[d] + lat
-            if cand > h[s]:
-                h[s] = cand
-                changed = True
-        if not changed:
-            break
-    return dict(zip(arr.ids, h))
-
-
-def _scc_index(ddg: Ddg) -> dict[int, int]:
-    """Strongly-connected-component id per op over the *full* edge set
-    (loop-carried edges included): an edge inside an SCC lies on a
-    recurrence circuit, and every copy on its path raises RecMII."""
-    arr = ddg.arrays()
-    return dict(zip(arr.ids, arr.scc_id))
+    return dict(zip(arr.ids, _kernel_backend().zero_heights(arr)))
 
 
 # ----------------------------------------------------------- tree shaping
 
 class _Leaf:
-    """A consumer edge to be served by the fan-out tree."""
+    """A consumer edge to be served by the fan-out tree.
+
+    ``edge`` is the raw ``(dst, key, latency, distance)`` tuple of the
+    original DATA edge (see :meth:`Ddg._data_out_raw`); the producer is
+    implicit (one tree per producer)."""
 
     __slots__ = ("edge", "weight")
 
-    def __init__(self, edge: DepEdge, weight: float) -> None:
+    def __init__(self, edge: tuple[int, int, int, int],
+                 weight: float) -> None:
         self.edge = edge
         self.weight = weight
 
@@ -160,75 +146,83 @@ def insert_copies(ddg: Ddg, *, strategy: CopyStrategy = "slack",
     if strategy not in _BUILDERS:
         raise ValueError(f"unknown copy strategy {strategy!r}")
     out = ddg.copy()
-    heights = _heights(ddg)
-    scc = _scc_index(ddg)
-    scc_sizes: dict[int, int] = {}
-    for comp in scc.values():
-        scc_sizes[comp] = scc_sizes.get(comp, 0) + 1
     arr = ddg.arrays()
-    has_self_cycle = {arr.ids[s]
-                      for s, d in zip(arr.e_src, arr.e_dst) if s == d}
+    index = arr.index
+    # criticality inputs, all in packed (op-index) form
+    heights = _kernel_backend().zero_heights(arr)
+    scc = arr.scc_id
+    scc_sizes = [0] * (max(scc) + 1 if scc else 0)
+    for comp in scc:
+        scc_sizes[comp] += 1
+    has_self_cycle = {s for s, d in zip(arr.e_src, arr.e_dst) if s == d}
     n_copies = 0
     depth_by_edge: dict[tuple[int, int, int], int] = {}
+    # the rewrite is thousands of edge mutations per loop: run them on
+    # the bulk editor (same networkx semantics, one deferred cache
+    # invalidation) instead of the per-call public API
+    edit = out._bulk_edit()
+    next_id = out.fresh_id()
 
     # snapshot every producer's consumer list up front: rewriting one
-    # producer's fan-out never touches another producer's DATA out-edges,
-    # and querying `out` after each mutation would rebuild its edge cache
-    # per producer
-    consumers_of = {oid: out.consumers(oid) for oid in ddg.op_ids}
+    # producer's fan-out never touches another producer's DATA out-edges
+    consumers_of = {oid: ddg._data_out_raw(oid) for oid in ddg.op_ids}
 
     for oid in ddg.op_ids:
         consumers = consumers_of[oid]
         if len(consumers) <= 1:
-            for e in consumers:
-                depth_by_edge[(e.src, e.dst, e.key)] = 0
+            for dst, key, _lat, _dist in consumers:
+                depth_by_edge[(oid, dst, key)] = 0
             continue
 
         # weight: edges on a recurrence circuit dominate (every copy on
         # their path raises RecMII directly); otherwise the consumer's
         # downstream height (+1 so weights > 0).
+        i_src = index[oid]
+        comp = scc[i_src]
+        src_cyclic = scc_sizes[comp] > 1 or i_src in has_self_cycle
         leaves = []
-        for e in consumers:
-            on_cycle = (scc[e.src] == scc[e.dst]
-                        and (scc_sizes[scc[e.src]] > 1
-                             or e.src in has_self_cycle))
-            if on_cycle:
+        for cons in consumers:
+            dst, _key, _lat, dist = cons
+            if src_cyclic and scc[index[dst]] == comp:
                 # scale by 1/distance: tighter recurrences are more
                 # sensitive to added latency
-                weight = 1e6 / max(1, e.distance)
+                weight = 1e6 / max(1, dist)
             else:
-                weight = float(heights.get(e.dst, 0) + 1)
-            leaves.append(_Leaf(e, weight))
+                weight = float(heights[index[dst]] + 1)
+            leaves.append(_Leaf(cons, weight))
         tree = _BUILDERS[strategy](leaves)
 
-        for e in consumers:
-            out.remove_edge(e)
+        for dst, key, _lat, _dist in consumers:
+            edit.remove_edge(oid, dst, key)
 
-        producer = out.op(oid)
+        producer = ddg.op(oid)
+        producer_lat = producer.latency
         cp_index = itertools.count()
 
         def materialise(node: "_Node | _Leaf", parent_id: int,
-                        depth: int) -> None:
-            nonlocal n_copies
+                        parent_lat: int, depth: int) -> None:
+            nonlocal n_copies, next_id
             if isinstance(node, _Leaf):
-                e = node.edge
-                out.add_dependence(parent_id, e.dst, distance=e.distance,
-                                   kind=DepKind.DATA)
-                depth_by_edge[(e.src, e.dst, e.key)] = depth
+                dst, key, _lat, dist = node.edge
+                edit.add_edge(parent_id, dst, parent_lat, dist,
+                              DepKind.DATA)
+                depth_by_edge[(oid, dst, key)] = depth
                 return
-            cp = out.add_operation(
-                Opcode.COPY,
+            cp_id = next_id
+            next_id += 1
+            edit.add_op(Operation(
+                op_id=cp_id, opcode=Opcode.COPY,
                 name=f"{producer.name}.cp{next(cp_index)}",
                 latency=copy_latency, origin=oid,
-                unroll_index=producer.unroll_index)
+                unroll_index=producer.unroll_index))
             n_copies += 1
-            out.add_dependence(parent_id, cp.op_id, distance=0,
-                               kind=DepKind.DATA)
-            materialise(node.left, cp.op_id, depth + 1)
-            materialise(node.right, cp.op_id, depth + 1)
+            edit.add_edge(parent_id, cp_id, parent_lat, 0, DepKind.DATA)
+            materialise(node.left, cp_id, copy_latency, depth + 1)
+            materialise(node.right, cp_id, copy_latency, depth + 1)
 
-        materialise(tree, oid, 0)
+        materialise(tree, oid, producer_lat, 0)
 
+    edit.done(next_id)
     return CopyInsertionResult(out, n_copies, depth_by_edge)
 
 

@@ -76,6 +76,101 @@ class DepEdge:
         return self.kind is DepKind.DATA
 
 
+def _graph_copy(g: nx.MultiDiGraph) -> nx.MultiDiGraph:
+    """Structure-identical copy of *g* without per-edge ``add_edge``
+    machinery.
+
+    Produces the structure ``MultiDiGraph.copy()`` would -- same node
+    order, node attribute dicts copied (``replace_operation`` mutates
+    them in place), and each key dict shared between ``_succ[u][v]`` and
+    ``_pred[v][u]`` the way networkx builds them -- but several times
+    faster, which matters because the front-end transforms copy every
+    loop body they rewrite.  Edge attribute dicts are *shared* with the
+    source graph rather than copied: :class:`Ddg` exposes no edge-update
+    API (rewrites remove and re-add), so they are immutable in
+    practice."""
+    out = nx.MultiDiGraph()
+    out.graph.update(g.graph)
+    node, succ, pred = out._node, out._succ, out._pred
+    for nid, nd in g._node.items():
+        node[nid] = nd.copy()
+        succ[nid] = {}
+        pred[nid] = {}
+    for u, nbrs in g._succ.items():
+        su = succ[u]
+        for v, keydict in nbrs.items():
+            kd = dict(keydict)
+            su[v] = kd
+            pred[v][u] = kd
+    return out
+
+
+class _BulkEdit:
+    """Structural editor for the graph-rewriting front-end transforms.
+
+    ``add_operation`` / ``add_dependence`` / ``remove_edge`` pay for
+    validation, :class:`DepEdge` construction and a cache invalidation
+    *per call*; the copy inserter and the unroller perform thousands of
+    such calls per loop and dominated the sweep profiles.  This editor
+    applies the same mutations directly to the underlying dicts while
+    reproducing networkx's ``MultiDiGraph`` semantics exactly -- in
+    particular ``new_edge_key``'s key assignment, on which the
+    deterministic edge order (and therefore every golden schedule)
+    depends.  Callers own the invariants the public API would have
+    checked: endpoints exist, DATA sources produce values, op ids are
+    fresh.  ``done()`` performs one deferred cache invalidation."""
+
+    __slots__ = ("_ddg", "_node", "_succ", "_pred")
+
+    def __init__(self, ddg: "Ddg") -> None:
+        self._ddg = ddg
+        g = ddg._g
+        self._node = g._node
+        self._succ = g._succ
+        self._pred = g._pred
+
+    def add_op(self, op: "Operation") -> None:
+        """Insert a pre-built operation with a fresh, unused id."""
+        oid = op.op_id
+        self._node[oid] = {"op": op}
+        self._succ[oid] = {}
+        self._pred[oid] = {}
+
+    def add_edge(self, u: int, v: int, latency: int, distance: int,
+                 kind: DepKind) -> int:
+        """Add one edge; returns the key ``MultiDiGraph.add_edge`` would
+        have assigned (``new_edge_key`` semantics)."""
+        dd = {"latency": latency, "distance": distance, "kind": kind}
+        nbrs = self._succ[u]
+        kd = nbrs.get(v)
+        if kd is None:
+            nbrs[v] = self._pred[v][u] = {0: dd}
+            return 0
+        key = len(kd)
+        while key in kd:
+            key += 1
+        kd[key] = dd
+        return key
+
+    def remove_edge(self, u: int, v: int, key: int) -> None:
+        """Remove the (u, v, key) edge, which must exist."""
+        succ = self._succ
+        kd = succ[u][v]
+        del kd[key]
+        if not kd:
+            del succ[u][v]
+            del self._pred[v][u]
+
+    def done(self, next_id: Optional[int] = None) -> None:
+        """Finish the edit: advance the id counter and invalidate the
+        graph's caches once for the whole batch."""
+        ddg = self._ddg
+        if next_id is not None and next_id > ddg._next_id:
+            ddg._next_id = next_id
+        nx._clear_cache(ddg._g)
+        ddg._bump()
+
+
 class Ddg:
     """A data-dependence graph for one innermost loop.
 
@@ -376,8 +471,25 @@ class Ddg:
         structure -- including parallel-edge keys -- is copied wholesale
         rather than rebuilt edge by edge)."""
         out = Ddg(name or self.name, self.trip_count)
-        out._g = self._g.copy()
+        out._g = _graph_copy(self._g)
         out._next_id = self._next_id
+        return out
+
+    def _bulk_edit(self) -> _BulkEdit:
+        """Structural editor for hot graph transforms (see
+        :class:`_BulkEdit`; callers must finish with ``done()``)."""
+        return _BulkEdit(self)
+
+    def _data_out_raw(self, op_id: int) -> list[tuple[int, int, int, int]]:
+        """``(dst, key, latency, distance)`` per DATA out-edge of *op_id*
+        in (dst, key) order -- the tuple form of :meth:`consumers`
+        without :class:`DepEdge` construction (hot transforms only)."""
+        out = []
+        for dst, kd in self._g._succ[op_id].items():
+            for key, dd in kd.items():
+                if dd["kind"] is DepKind.DATA:
+                    out.append((dst, key, dd["latency"], dd["distance"]))
+        out.sort()
         return out
 
     def arrays(self) -> "DdgArrays":

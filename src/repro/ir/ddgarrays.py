@@ -72,10 +72,23 @@ class DdgArrays:
         self.produces = [op.produces_value for op in ops]
 
         # one pass over the (src, dst, key)-sorted edge list buckets both
-        # CSRs in Ddg.in_edges / Ddg.out_edges order
-        edges = [(index[e.src], index[e.dst], e.latency, e.distance,
-                  1 if e.kind is DepKind.DATA else 0)
-                 for e in ddg.edges()]
+        # CSRs in Ddg.in_edges / Ddg.out_edges order.  Walk the raw
+        # adjacency dicts instead of Ddg.edges(): ``index`` is monotone
+        # in op id and (iu, iv, key) is unique, so sorting the packed
+        # tuples reproduces the (src, dst, key) DepEdge order exactly
+        # without building a DepEdge per edge.
+        data = DepKind.DATA
+        raw = []
+        succ = ddg._g._succ
+        for u, nbrs in succ.items():
+            iu = index[u]
+            for v, keydict in nbrs.items():
+                iv = index[v]
+                for key, dd in keydict.items():
+                    raw.append((iu, iv, key, dd["latency"], dd["distance"],
+                                1 if dd["kind"] is data else 0))
+        raw.sort()
+        edges = [(t[0], t[1], t[3], t[4], t[5]) for t in raw]
         m = len(edges)
         self.e_src = [e[0] for e in edges]
         self.e_dst = [e[1] for e in edges]

@@ -30,10 +30,29 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from .ddg import Ddg
-from .operations import FuType
+from .operations import FuType, Operation
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.machine import Machine
+
+
+def _op_clone(op: Operation, op_id: int, u: int) -> Operation:
+    """Replicate *op* as unroll copy *u* under a fresh id.
+
+    Equivalent to ``dataclasses.replace(op, op_id=..., origin=op.op_id,
+    unroll_index=u, name=...)`` but skips the field introspection and
+    re-validation (the source op is already validated and none of the
+    changed fields participate in validation) -- unrolling clones every
+    op ``factor`` times, so this runs thousands of times per sweep."""
+    new = object.__new__(Operation)
+    d = new.__dict__
+    d.update(op.__dict__)
+    d["op_id"] = op_id
+    d["origin"] = op.op_id
+    d["unroll_index"] = u
+    if u:
+        d["name"] = f"{op.name}.u{u}"
+    return new
 
 
 def unroll(ddg: Ddg, factor: int, *, name: Optional[str] = None) -> Ddg:
@@ -48,25 +67,26 @@ def unroll(ddg: Ddg, factor: int, *, name: Optional[str] = None) -> Ddg:
         return ddg.copy(name or ddg.name)
 
     out = Ddg(name or f"{ddg.name}.x{factor}", ddg.trip_count)
+    # body replication is factor * (ops + edges) mutations: run it on the
+    # bulk editor (same networkx semantics as the per-call API, one
+    # deferred cache invalidation)
+    edit = out._bulk_edit()
     # id of copy u of original op o
     remap: dict[tuple[int, int], int] = {}
     next_id = 0
     for u in range(factor):
         for op in ddg.operations:
-            label = op.name if u == 0 else f"{op.name}.u{u}"
-            new_op = op.with_id(next_id, origin=op.op_id, unroll_index=u)
-            new_op = new_op.renamed(label)
-            out.insert_operation(new_op)
+            edit.add_op(_op_clone(op, next_id, u))
             remap[(op.op_id, u)] = next_id
             next_id += 1
 
     for e in ddg.edges():
+        src, dst, lat, dist, kind = (e.src, e.dst, e.latency, e.distance,
+                                     e.kind)
         for u in range(factor):
-            dst_u = (u + e.distance) % factor
-            new_dist = (u + e.distance) // factor
-            out.add_dependence(
-                remap[(e.src, u)], remap[(e.dst, dst_u)],
-                distance=new_dist, kind=e.kind, latency=e.latency)
+            edit.add_edge(remap[(src, u)], remap[(dst, (u + dist) % factor)],
+                          lat, (u + dist) // factor, kind)
+    edit.done(next_id)
     return out
 
 

@@ -1,0 +1,149 @@
+"""Kernel backend registry and selection.
+
+The schedulers' hot primitives (Bellman-Ford relaxations, schedule
+audits, MRT bulk operations, the slot-search placement round) are
+implemented twice -- pure Python (:mod:`repro.kernels.pybackend`, always
+available) and NumPy-vectorised (:mod:`repro.kernels.npbackend`) -- and
+selected once per process:
+
+* ``REPRO_KERNELS=python|numpy|auto`` (environment; default ``auto``);
+* the ``--kernels`` CLI flag (calls :func:`set_backend` before work
+  starts);
+* ``auto`` resolves to ``numpy`` when NumPy imports, else ``python``.
+
+Backends are decision-identical (see :mod:`repro.kernels.base`), so the
+selection is **observability state, not cache state**: it is stamped
+into BENCH provenance, ``/metrics`` and perf-history rows, and it must
+never enter job fingerprints -- the same job key stands for the same
+schedule under either backend.
+
+Requesting ``numpy`` explicitly on a machine without NumPy raises;
+``auto`` falls back silently (``repro-vliw kernels`` shows what it
+resolved to).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .base import KernelBackend
+from .npbackend import NumpyBackend
+from .pybackend import PythonBackend
+
+__all__ = ["KernelBackend", "PythonBackend", "NumpyBackend",
+           "BACKENDS", "ENV_VAR", "DEFAULT_CHOICE", "available_backends",
+           "numpy_available", "resolve", "set_backend", "active",
+           "active_name", "backend_info", "check_kernels"]
+
+#: Environment variable consulted on first use (and by worker processes,
+#: which inherit it).
+ENV_VAR = "REPRO_KERNELS"
+
+#: Registry of constructable backends, in fallback order.
+BACKENDS: dict[str, type[KernelBackend]] = {
+    PythonBackend.name: PythonBackend,
+    NumpyBackend.name: NumpyBackend,
+}
+
+#: Accepted selector values (``auto`` is a selector, not a backend).
+DEFAULT_CHOICE = "auto"
+CHOICES = tuple(BACKENDS) + (DEFAULT_CHOICE,)
+
+_active: Optional[KernelBackend] = None
+_requested: Optional[str] = None  # the selector that produced _active
+
+
+def numpy_available() -> bool:
+    return NumpyBackend.available()
+
+
+def available_backends() -> list[str]:
+    """Backend names usable in this process, registry order."""
+    return [name for name, cls in BACKENDS.items() if cls.available()]
+
+
+def resolve(choice: str) -> str:
+    """Map a selector (``python``/``numpy``/``auto``) to a backend name.
+
+    ``auto`` prefers ``numpy`` when available.  Raises ``ValueError`` on
+    unknown selectors and ``RuntimeError`` when an explicitly requested
+    backend cannot run here -- a silent fallback would invalidate any
+    benchmark that asked for it.
+    """
+    if choice == DEFAULT_CHOICE:
+        return NumpyBackend.name if numpy_available() \
+            else PythonBackend.name
+    cls = BACKENDS.get(choice)
+    if cls is None:
+        raise ValueError(
+            f"unknown kernel backend {choice!r} "
+            f"(choices: {', '.join(CHOICES)})")
+    if not cls.available():
+        raise RuntimeError(
+            f"kernel backend {choice!r} requested via {ENV_VAR} or "
+            f"--kernels but is not importable here (NumPy missing?)")
+    return choice
+
+
+def set_backend(choice: str) -> KernelBackend:
+    """Select the process-wide backend (CLI flag / tests).  Also exports
+    ``REPRO_KERNELS`` so forked workers inherit the selection."""
+    global _active, _requested
+    name = resolve(choice)
+    _active = BACKENDS[name]()
+    _requested = choice
+    os.environ[ENV_VAR] = choice
+    return _active
+
+
+def active() -> KernelBackend:
+    """The process-wide backend, initialised from ``REPRO_KERNELS`` on
+    first use."""
+    global _active, _requested
+    if _active is None:
+        choice = os.environ.get(ENV_VAR, DEFAULT_CHOICE) or DEFAULT_CHOICE
+        _active = BACKENDS[resolve(choice)]()
+        _requested = choice
+    return _active
+
+
+def active_name() -> str:
+    """Name of the active backend (telemetry / provenance surface)."""
+    return active().name
+
+
+def backend_info() -> dict:
+    """Structured selection report (``repro-vliw kernels``, ``/metrics``,
+    service health)."""
+    act = active()
+    return {
+        "active": act.name,
+        "requested": _requested or DEFAULT_CHOICE,
+        "env": os.environ.get(ENV_VAR),
+        "auto_resolves_to": (NumpyBackend.name if numpy_available()
+                             else PythonBackend.name),
+        "numpy_available": numpy_available(),
+        "backends": [BACKENDS[name]().info() if BACKENDS[name].available()
+                     else {"name": name, "available": False,
+                           "description": BACKENDS[name].description}
+                     for name in BACKENDS],
+    }
+
+
+def check_kernels() -> list[str]:
+    """Static-gate style self-check: every registered backend that claims
+    availability must construct and identify itself."""
+    problems = []
+    for name, cls in BACKENDS.items():
+        if cls.name != name:
+            problems.append(f"backend {name!r} reports name {cls.name!r}")
+        if cls.available():
+            try:
+                cls()
+            except Exception as exc:  # pragma: no cover - defensive
+                problems.append(f"backend {name!r} failed to construct: "
+                                f"{exc}")
+    if PythonBackend.name not in BACKENDS:
+        problems.append("python fallback backend missing from registry")
+    return problems

@@ -1,0 +1,19 @@
+"""The pure-Python kernel backend.
+
+The reference implementation lives on :class:`~repro.kernels.base.
+KernelBackend` itself (so accelerated backends can delegate per call
+under their batching floors); this subclass only gives it a concrete
+registry identity.
+"""
+
+from __future__ import annotations
+
+from .base import KernelBackend
+
+
+class PythonBackend(KernelBackend):
+    """Plain bytecode over packed ``array('i')``/list state -- always
+    available, always the fallback, and the semantics every accelerated
+    backend must reproduce bit-for-bit."""
+
+    name = "python"

@@ -10,7 +10,9 @@ read one queue and write one).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Mapping
 
 from repro.ir.operations import FuType
@@ -102,6 +104,19 @@ class FuSet:
 
     def as_dict(self) -> dict[FuType, int]:
         return dict(self.counts)
+
+    @cached_property
+    def pool_caps(self) -> "array":
+        """Packed per-pool capacity vector (indexed by
+        :data:`POOL_IDS`), cached on the (immutable) FU set.  This is
+        the form :class:`repro.sched.mrt.PackedMRT` and the schedule
+        audit consume; handing them the cached array skips the
+        dict-to-array conversion on every reservation-table reset."""
+        caps = [0] * N_POOLS
+        for pool, n in self.counts.items():
+            if n > 0:
+                caps[POOL_IDS[pool]] = n
+        return array("i", caps)
 
 
 #: The paper's basic cluster datapath (Fig. 5a / Fig. 7): one L/S, one

@@ -100,11 +100,39 @@ def machine_signature(machine: "Machine | ClusteredMachine") -> dict:
 
 def job_key(ddg: "Ddg", machine: "Machine | ClusteredMachine",
             options_signature: dict) -> str:
-    """SHA-256 content hash identifying one compile job."""
-    doc = {
-        "v": SCHEMA_VERSION,
-        "ddg": ddg_signature(ddg),
-        "machine": machine_signature(machine),
-        "options": options_signature,
-    }
-    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+    """SHA-256 content hash identifying one compile job.
+
+    The document is composed textually from per-part canonical JSON --
+    identical bytes to ``canonical_json({"v": ..., "ddg": ..., ...})``
+    ("ddg" < "machine" < "options" < "v" is already sorted order) -- so
+    the DDG fragment, by far the largest, can be serialised once per
+    graph and memoised alongside :func:`ddg_signature`.
+    """
+    ddg_json = ddg._edge_cache.get("fingerprint_json")
+    if ddg_json is None:
+        ddg_json = canonical_json(ddg_signature(ddg))
+        ddg._edge_cache["fingerprint_json"] = ddg_json
+    doc = '{"ddg":%s,"machine":%s,"options":%s,"v":%d}' % (
+        ddg_json, _machine_json(machine),
+        canonical_json(options_signature), SCHEMA_VERSION)
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+#: Identity-keyed machine-signature JSON memo.  Machines are immutable
+#: (frozen dataclasses) but hold dict-valued parts, so they cannot key a
+#: hash-based cache; a sweep reuses a handful of machine objects across
+#: thousands of jobs, so identity is the right key.  The held reference
+#: keeps the id from being recycled; the size cap bounds long-lived
+#: processes (the sweep service) that build machines ad hoc.
+_MACHINE_JSON: dict[int, tuple[object, str]] = {}
+
+
+def _machine_json(machine: "Machine | ClusteredMachine") -> str:
+    entry = _MACHINE_JSON.get(id(machine))
+    if entry is not None:
+        return entry[1]
+    if len(_MACHINE_JSON) > 512:
+        _MACHINE_JSON.clear()
+    js = canonical_json(machine_signature(machine))
+    _MACHINE_JSON[id(machine)] = (machine, js)
+    return js

@@ -28,6 +28,7 @@ from typing import Optional
 
 from repro.ir.ddg import Ddg
 from repro.ir.validate import validate_ddg
+from repro.kernels import active as _kernel_backend
 from repro.machine.machine import Machine
 
 from .arena import SchedArena, global_arena
@@ -85,9 +86,9 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
     cursor = 0
     if arena is not None:
         arena.begin_attempt()
-        mrt = arena.take_mrt(ii, machine.fus.as_dict())
+        mrt = arena.take_mrt(ii, machine.fus.pool_caps)
     else:
-        mrt = PackedMRT(ii, machine.fus.as_dict())
+        mrt = PackedMRT(ii, machine.fus.pool_caps)
     ids = arr.ids
     index = arr.index
     pool = arr.pool
@@ -98,6 +99,24 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
     sig = [-1] * n          # issue time per op index (-1 = unscheduled)
     last_time = [-1] * n
     unscheduled = set(order)
+    # wide-fan-in ops take the kernel backend's gathered earliest-start;
+    # narrow ones keep the inline CSR walk (identical results)
+    backend = _kernel_backend()
+    arrival_min = backend.arrival_batch_min
+    backend_estart = backend.estart
+    # table hoists: the full-row mask list and caps array are mutated in
+    # place (never reassigned) during an attempt, so the inlined
+    # first_free below -- same mask rotation as PackedMRT.first_free --
+    # reads them through loop-invariant locals
+    full = mrt._full
+    caps = mrt.caps
+    counts = mrt._counts
+    rows = mrt._rows
+    usage = mrt._usage
+    where = mrt._where
+    all_full = (1 << ii) - 1
+    mrt_remove = mrt.remove
+    mrt_evict = mrt.evict_for
 
     while unscheduled:
         if budget <= 0:
@@ -110,22 +129,41 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
         i = order[cursor]
         unscheduled.discard(i)
 
-        est = 0
-        for j in range(in_ptr[i], in_ptr[i + 1]):
-            t = sig[in_src[j]]
-            if t >= 0:
-                cand = t + in_lat[j] - in_dist[j] * ii
-                if cand > est:
-                    est = cand
+        if in_ptr[i + 1] - in_ptr[i] >= arrival_min:
+            est = backend_estart(arr, i, sig, ii)
+        else:
+            est = 0
+            for j in range(in_ptr[i], in_ptr[i + 1]):
+                t = sig[in_src[j]]
+                if t >= 0:
+                    cand = t + in_lat[j] - in_dist[j] * ii
+                    if cand > est:
+                        est = cand
 
-        placed_at = mrt.first_free(pool[i], est)
+        # inlined PackedMRT.first_free (one probe per placement, the
+        # attempt's hottest expression)
+        p_i = pool[i]
+        if caps[p_i] <= 0:
+            placed_at = -1
+        else:
+            mask = full[p_i]
+            if not mask:
+                placed_at = est
+            elif mask == all_full:
+                placed_at = -1
+            else:
+                r = est % ii
+                if r:
+                    mask = ((mask >> r) | (mask << (ii - r))) & all_full
+                fr = ~mask & all_full
+                placed_at = est + (fr & -fr).bit_length() - 1
         if placed_at < 0:
             # forced placement with eviction
             placed_at = est
             prev = last_time[i]
             if prev >= 0 and placed_at <= prev:
                 placed_at = prev + 1
-            evicted = mrt.evict_for(pool[i], placed_at)
+            evicted = mrt_evict(p_i, placed_at)
             if stats is not None:
                 stats.evictions += len(evicted)
             for victim in evicted:
@@ -135,7 +173,20 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
                 if pos[v] < cursor:
                     cursor = pos[v]
 
-        mrt.place(ids[i], pool[i], placed_at)
+        # inlined PackedMRT.place (validity is guaranteed here: the
+        # probe above found a free unit, or evict_for just made room)
+        op_id = ids[i]
+        row = placed_at % ii
+        slot = p_i * ii + row
+        rows[slot].append(op_id)
+        cnt = counts[slot] + 1
+        counts[slot] = cnt
+        if cnt >= caps[p_i]:
+            full[p_i] |= 1 << row
+        usage[p_i] += 1
+        mrt._load += 1
+        mrt._mut += 1
+        where[op_id] = (p_i, placed_at)
         sig[i] = placed_at
         last_time[i] = placed_at
         if stats is not None:
@@ -149,7 +200,7 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
             if ts >= 0 and d != i and ts + out_dist[j] * ii \
                     < t + out_lat[j]:
                 sig[d] = -1
-                mrt.remove(ids[d])
+                mrt_remove(ids[d])
                 unscheduled.add(d)
                 if pos[d] < cursor:
                     cursor = pos[d]
@@ -159,7 +210,7 @@ def try_schedule_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
             if tp >= 0 and s != i and t + in_dist[j] * ii \
                     < tp + in_lat[j]:
                 sig[s] = -1
-                mrt.remove(ids[s])
+                mrt_remove(ids[s])
                 unscheduled.add(s)
                 if pos[s] < cursor:
                     cursor = pos[s]
@@ -215,5 +266,5 @@ def modulo_schedule(ddg: Ddg, machine: Machine, *,
         ddg=ddg, ii=ii, sigma=sigma, machine_name=machine.name,
         stats=stats)
     if cfg.validate_output:
-        sched.validate(machine.fus.as_dict())
+        sched.validate(machine.fus.pool_caps)
     return sched

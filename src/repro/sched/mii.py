@@ -22,6 +22,7 @@ from typing import Protocol
 
 from repro.ir.ddg import Ddg
 from repro.ir.operations import FuType
+from repro.kernels import active as _kernel_backend
 
 
 class _HasCapacity(Protocol):  # Machine or ClusteredMachine
@@ -64,20 +65,11 @@ def _cycle_edges(ddg: Ddg) -> tuple[int, list[tuple[int, int, int, int]]]:
 def _positive_cycle(n: int, edges: list[tuple[int, int, int, int]],
                     ii: float) -> bool:
     """Bellman-Ford longest-path over index-mapped edges: does any cycle
-    have ``sum(lat) - ii * sum(dist) > eps``?"""
-    eps = 1e-9
-    weighted = [(s, d, lat - ii * dd) for s, d, lat, dd in edges]
-    dist = [0.0] * n
-    for _ in range(n):
-        changed = False
-        for s, d, w in weighted:
-            cand = dist[s] + w
-            if cand > dist[d] + eps:
-                dist[d] = cand
-                changed = True
-        if not changed:
-            return False
-    return True  # still relaxing after |V| passes -> positive cycle
+    have ``sum(lat) - ii * sum(dist) > eps``?  Runs on the active kernel
+    backend (:mod:`repro.kernels`); decision-identical across backends.
+    Bisections build one tester via ``cycle_tester`` instead of calling
+    this per probe."""
+    return _kernel_backend().positive_cycle(n, edges, ii)
 
 
 def _has_positive_cycle(nodes: list[int],
@@ -104,16 +96,19 @@ def rec_mii(ddg: Ddg) -> int:
     if not edges:
         ddg._edge_cache["rec_mii"] = 1
         return 1
+    # one tester serves every probe of the bisection (backends hoist
+    # their per-graph setup into the closure)
+    positive = _kernel_backend().cycle_tester(n, edges)
     # at II > sum of latencies only a zero-distance cycle can stay positive,
     # and such a loop is unschedulable at any II
-    if _positive_cycle(n, edges, ddg.sum_latency() + 1.0):
+    if positive(ddg.sum_latency() + 1.0):
         raise ValueError(
             f"loop {ddg.name!r} has a zero-distance dependence cycle")
     lo, hi = 1, max(1, ddg.sum_latency())
-    if _positive_cycle(n, edges, lo):
+    if positive(lo):
         while lo < hi:
             mid = (lo + hi) // 2
-            if _positive_cycle(n, edges, mid):
+            if positive(mid):
                 lo = mid + 1
             else:
                 hi = mid
@@ -137,7 +132,8 @@ def max_cycle_ratio(ddg: Ddg, *, tol: float = 1e-6) -> float:
     n, edges = _cycle_edges(ddg)
     if not edges:
         return 0.0
-    if not _positive_cycle(n, edges, 0.0 + 1e-9):
+    positive = _kernel_backend().cycle_tester(n, edges)
+    if not positive(0.0 + 1e-9):
         # even at ii ~ 0 nothing is positive -> no cycles with latency
         ddg._edge_cache[cache_key] = 0.0
         return 0.0
@@ -147,7 +143,7 @@ def max_cycle_ratio(ddg: Ddg, *, tol: float = 1e-6) -> float:
     lo, hi = float(rec - 1), float(rec)
     while hi - lo > tol:
         mid = (lo + hi) / 2
-        if _positive_cycle(n, edges, mid):
+        if positive(mid):
             lo = mid
         else:
             hi = mid

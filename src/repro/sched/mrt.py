@@ -17,6 +17,7 @@ from typing import Iterator, Optional, Sequence, Union
 
 from repro.ir.operations import FuType
 
+from repro.kernels import active as _kernel_backend
 from repro.machine.resources import (HARDWARE_POOLS, N_POOLS, POOL_IDS,
                                      pool_for)
 
@@ -202,11 +203,18 @@ class PackedMRT:
     """
 
     __slots__ = ("ii", "caps", "_counts", "_rows", "_usage", "_load",
-                 "_where", "_full")
+                 "_where", "_full", "_mut", "_occ_memo", "_conf_memo",
+                 "_npc")
 
     @staticmethod
     def _caps_array(capacities: Union[dict[FuType, int], Sequence[int]],
                     ) -> array:
+        if isinstance(capacities, array):
+            # pre-packed (FuSet.pool_caps); adopted as-is -- the caps
+            # vector is never mutated in place, so tables may share it
+            if len(capacities) != N_POOLS:
+                raise ValueError(f"expected {N_POOLS} pool capacities")
+            return capacities
         if isinstance(capacities, dict):
             caps = [0] * N_POOLS
             for pool, n in capacities.items():
@@ -235,6 +243,16 @@ class PackedMRT:
         # first_free() reads the answer off the mask instead of probing
         # the count vector row by row from the start slot.
         self._full = [0] * N_POOLS
+        # mutation stamp + one-entry memos: occupants()/conflicts() on an
+        # unchanged table return the previously built tuple instead of
+        # rebuilding it (the forced-placement paths probe the same slot
+        # more than once per eviction round)
+        self._mut = 0
+        self._occ_memo: Optional[tuple[int, int, tuple[int, ...]]] = None
+        self._conf_memo: Optional[tuple[int, int, tuple[int, ...]]] = None
+        # lazily built zero-copy NumPy int32 view of _counts (owned by
+        # the numpy kernel backend; invalidated when _counts reallocates)
+        self._npc = None
 
     # ------------------------------------------------------------ queries
 
@@ -272,8 +290,14 @@ class PackedMRT:
         return est + (free & -free).bit_length() - 1
 
     def occupants(self, pool: int, time: int) -> tuple[int, ...]:
-        row = self._rows[pool * self.ii + time % self.ii]
-        return tuple(row) if row else _NO_VICTIMS
+        slot = pool * self.ii + time % self.ii
+        memo = self._occ_memo
+        if memo is not None and memo[0] == slot and memo[1] == self._mut:
+            return memo[2]
+        row = self._rows[slot]
+        result = tuple(row) if row else _NO_VICTIMS
+        self._occ_memo = (slot, self._mut, result)
+        return result
 
     def placement_of(self, op_id: int) -> Optional[Placement]:
         entry = self._where.get(op_id)
@@ -318,6 +342,7 @@ class PackedMRT:
             self._full[pool] |= 1 << row
         self._usage[pool] += 1
         self._load += 1
+        self._mut += 1
         self._where[op_id] = (pool, time)
 
     def remove(self, op_id: int) -> None:
@@ -329,6 +354,7 @@ class PackedMRT:
         self._full[pool] &= ~(1 << row)
         self._usage[pool] -= 1
         self._load -= 1
+        self._mut += 1
 
     def conflicts(self, pool: int, time: int) -> tuple[int, ...]:
         """Occupants a forced placement at ``time`` must displace,
@@ -338,11 +364,17 @@ class PackedMRT:
         if cap == 0:
             raise ValueError(
                 f"machine has no {HARDWARE_POOLS[pool].value} units at all")
-        occupants = self._rows[pool * self.ii + time % self.ii]
+        slot = pool * self.ii + time % self.ii
+        occupants = self._rows[slot]
         spare = len(occupants) - cap + 1
         if spare <= 0:
             return _NO_VICTIMS
-        return tuple(occupants[:-(spare + 1):-1])
+        memo = self._conf_memo
+        if memo is not None and memo[0] == slot and memo[1] == self._mut:
+            return memo[2]
+        result = tuple(occupants[:-(spare + 1):-1])
+        self._conf_memo = (slot, self._mut, result)
+        return result
 
     def evict_for(self, pool: int, time: int) -> tuple[int, ...]:
         """Make room for one op at ``time`` by evicting the newest
@@ -368,12 +400,21 @@ class PackedMRT:
             old_ii = self.ii
             counts = self._counts
             rows = self._rows
-            for pool, time in self._where.values():
-                slot = pool * old_ii + time % old_ii
-                if counts[slot]:
-                    counts[slot] = 0
-                    rows[slot].clear()
+            if len(self._where) >= _kernel_backend().reset_bulk_min:
+                # bulk teardown: one whole-vector sweep on the backend's
+                # native view beats per-slot stores once enough slots
+                # were touched (occupant lists still clear per slot)
+                _kernel_backend().zero_counts(self)
+                for pool, time in self._where.values():
+                    rows[pool * old_ii + time % old_ii].clear()
+            else:
+                for pool, time in self._where.values():
+                    slot = pool * old_ii + time % old_ii
+                    if counts[slot]:
+                        counts[slot] = 0
+                        rows[slot].clear()
             self._where.clear()
+            self._mut += 1
         for i in range(N_POOLS):
             self._usage[i] = 0
             self._full[i] = 0
@@ -389,6 +430,7 @@ class PackedMRT:
                 self._counts = array("i", bytes(4 * need))
                 self._rows.extend([] for _ in
                                   range(need - len(self._rows)))
+                self._npc = None  # view points at the old buffer
         return self
 
     def clear(self) -> None:

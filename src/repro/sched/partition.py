@@ -172,7 +172,7 @@ def partitioned_schedule(ddg: Ddg, cm: ClusteredMachine, *,
         n_clusters=cm.n_clusters, machine_name=cm.name, stats=stats)
     if cfg.validate_output:
         sched.validate(
-            cm.cluster.fus.as_dict(),
+            cm.cluster.fus.pool_caps,
             adjacency=None if relax_adjacency else cm)
     return sched
 
@@ -254,7 +254,7 @@ def schedule_with_moves(ddg: Ddg, cm: ClusteredMachine, *,
     n_moves = moved.n_ops - relaxed.ddg.n_ops
     if n_moves == 0:
         # relaxed pass was already ring-legal
-        relaxed.validate(cm.cluster.fus.as_dict(), adjacency=cm)
+        relaxed.validate(cm.cluster.fus.pool_caps, adjacency=cm)
         via_moves = MoveScheduleResult(relaxed, 0, relaxed.ddg)
     else:
         try:

@@ -65,7 +65,7 @@ class PartitionState:
         self.sigma: dict[int, int] = {}
         self.cluster_of: dict[int, int] = {}
         self.last_time: dict[int, int] = {}
-        caps = cm.cluster.fus.as_dict()
+        caps = cm.cluster.fus.pool_caps
         n = cm.n_clusters
         if arena is not None:
             arena.begin_attempt()

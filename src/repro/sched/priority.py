@@ -19,13 +19,16 @@ from __future__ import annotations
 
 from repro.ir.ddg import Ddg
 from repro.ir.ddgarrays import DdgArrays
+from repro.kernels import active as _kernel_backend
 
 
 def heights_list(arr: DdgArrays, ii: int) -> list[int]:
     """Height per op *index* at initiation interval *ii* (packed form).
 
     Raises ``ValueError`` if *ii* is below RecMII (a positive cycle makes
-    heights diverge).  Memoised per (lowering, II) on ``arr.ii_cache``
+    heights diverge).  The relaxation runs on the active kernel backend
+    (:mod:`repro.kernels`; the fixed point is unique, so backends agree
+    bit-for-bit).  Memoised per (lowering, II) on ``arr.ii_cache``
     (every II driver probes the same points across machines); callers
     treat the returned list as immutable.
     """
@@ -34,23 +37,13 @@ def heights_list(arr: DdgArrays, ii: int) -> list[int]:
     cached = arr.ii_cache.get(("heights", ii))
     if cached is not None:
         return cached
-    h = [0] * arr.n
-    e_src = arr.e_src
-    e_dst = arr.e_dst
-    w = [lat - dist * ii for lat, dist in zip(arr.e_lat, arr.e_dist)]
-    for _ in range(arr.n + 1):
-        changed = False
-        for s, d, wt in zip(e_src, e_dst, w):
-            cand = h[d] + wt
-            if cand > h[s]:
-                h[s] = cand
-                changed = True
-        if not changed:
-            arr.ii_cache[("heights", ii)] = h
-            return h
-    raise ValueError(
-        f"heights diverge at II={ii}: positive dependence cycle "
-        f"(II below RecMII?)")
+    h = _kernel_backend().heights(arr, ii)
+    if h is None:
+        raise ValueError(
+            f"heights diverge at II={ii}: positive dependence cycle "
+            f"(II below RecMII?)")
+    arr.ii_cache[("heights", ii)] = h
+    return h
 
 
 def heights(ddg: Ddg, ii: int) -> dict[int, int]:

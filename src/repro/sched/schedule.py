@@ -11,10 +11,11 @@ exercises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 from repro.ir.ddg import Ddg, DepEdge, DepKind
 from repro.ir.operations import FuType
+from repro.kernels import active as _kernel_backend
 
 from repro.machine.resources import HARDWARE_POOLS, POOL_IDS, pool_for
 
@@ -148,13 +149,15 @@ class ModuloSchedule:
 
     # ----------------------------------------------------- validation
 
-    def validate(self, capacities: Optional[dict[FuType, int]] = None,
+    def validate(self, capacities: "Union[dict[FuType, int], Sequence[int], None]" = None,
                  *, adjacency: Optional[object] = None) -> None:
         """Audit the schedule; raise :class:`ScheduleValidationError`.
 
         Checks: every op scheduled exactly once at time >= 0; every
         dependence satisfied; (optionally) per-cluster modulo resource
-        limits given per-cluster pool *capacities*; (optionally, clustered)
+        limits given per-cluster pool *capacities* (a FuType-keyed dict
+        or a pre-packed per-pool-id vector such as ``FuSet.pool_caps``);
+        (optionally, clustered)
         every DATA edge connects ring-adjacent clusters, given the
         :class:`~repro.machine.cluster.ClusteredMachine` as *adjacency*.
         """
@@ -179,39 +182,56 @@ class ModuloSchedule:
             if extra not in known:
                 problems.append(f"sigma has unknown op {extra}")
 
-        for s, d, lat, dist in zip(arr.e_src, arr.e_dst, arr.e_lat,
-                                   arr.e_dist):
-            ts, td = sig[s], sig[d]
-            if ts < 0 or td < 0:
-                continue
-            if td + dist * ii - ts - lat < 0:
-                problems.append(
-                    f"dependence violated: {ddg.op(ids[s]).name}"
-                    f"@{ts} -> {ddg.op(ids[d]).name}"
-                    f"@{td} (lat={lat}, d={dist}, II={ii})")
+        # fast boolean audits on the kernel backend first: a clean,
+        # fully-scheduled schedule (the overwhelmingly common case --
+        # every scheduler output is validated) skips the per-edge
+        # diagnostic loops entirely; any problem falls through to them
+        # so the error text is identical on every backend
+        backend = _kernel_backend()
+        clean = not problems
+        if clean and not backend.dependence_clean(arr, sig, ii):
+            clean = False
+        if not clean:
+            for s, d, lat, dist in zip(arr.e_src, arr.e_dst, arr.e_lat,
+                                       arr.e_dist):
+                ts, td = sig[s], sig[d]
+                if ts < 0 or td < 0:
+                    continue
+                if td + dist * ii - ts - lat < 0:
+                    problems.append(
+                        f"dependence violated: {ddg.op(ids[s]).name}"
+                        f"@{ts} -> {ddg.op(ids[d]).name}"
+                        f"@{td} (lat={lat}, d={dist}, II={ii})")
 
         if capacities is not None:
             cluster_of = self.cluster_of
             pool = arr.pool
-            usage: dict[tuple[int, int, int], int] = {}
-            for i, o in enumerate(ids):
-                t = sig[i]
-                if t < 0:
-                    continue
-                key = (cluster_of.get(o, 0), pool[i], t % ii)
-                usage[key] = usage.get(key, 0) + 1
-            caps = [0] * len(HARDWARE_POOLS)
-            for p, n in capacities.items():
-                caps[POOL_IDS[pool_for(p)]] = n
-            for (cl, pid, row), n in sorted(
-                    usage.items(),
-                    key=lambda kv: (kv[0][0], HARDWARE_POOLS[kv[0][1]].name,
-                                    kv[0][2])):
-                if n > caps[pid]:
-                    problems.append(
-                        f"cluster {cl}: {n} ops on "
-                        f"{HARDWARE_POOLS[pid].value} at row "
-                        f"{row} (capacity {caps[pid]})")
+            if isinstance(capacities, dict):
+                caps = [0] * len(HARDWARE_POOLS)
+                for p, n in capacities.items():
+                    caps[POOL_IDS[pool_for(p)]] = n
+            else:
+                # pre-packed per-pool vector (FuSet.pool_caps)
+                caps = capacities
+            cl_list = [cluster_of.get(o, 0) for o in ids]
+            if not backend.capacity_clean(pool, sig, cl_list, ii, caps):
+                usage: dict[tuple[int, int, int], int] = {}
+                for i, o in enumerate(ids):
+                    t = sig[i]
+                    if t < 0:
+                        continue
+                    key = (cl_list[i], pool[i], t % ii)
+                    usage[key] = usage.get(key, 0) + 1
+                for (cl, pid, row), n in sorted(
+                        usage.items(),
+                        key=lambda kv: (kv[0][0],
+                                        HARDWARE_POOLS[kv[0][1]].name,
+                                        kv[0][2])):
+                    if n > caps[pid]:
+                        problems.append(
+                            f"cluster {cl}: {n} ops on "
+                            f"{HARDWARE_POOLS[pid].value} at row "
+                            f"{row} (capacity {caps[pid]})")
 
         if adjacency is not None:
             cluster_of = self.cluster_of

@@ -52,6 +52,7 @@ import networkx as nx
 
 from repro.ir.ddg import Ddg
 from repro.ir.validate import validate_ddg
+from repro.kernels import active as _kernel_backend
 from repro.machine.machine import Machine
 
 from ..arena import SchedArena, global_arena
@@ -98,19 +99,8 @@ def _analyse(ddg: Ddg, ii: int) -> _Analysis:
     cached = arr.ii_cache.get(("sms_analysis", ii))
     if cached is not None:
         return cached
-    e_list = [0] * arr.n
-    e_src, e_dst = arr.e_src, arr.e_dst
-    w = [lat - dist * ii for lat, dist in zip(arr.e_lat, arr.e_dist)]
-    for _ in range(arr.n + 1):
-        changed = False
-        for src, dst, wt in zip(e_src, e_dst, w):
-            cand = e_list[src] + wt
-            if cand > e_list[dst]:
-                e_list[dst] = cand
-                changed = True
-        if not changed:
-            break
-    else:
+    e_list = _kernel_backend().earliest_starts(arr, ii)
+    if e_list is None:
         raise ValueError(
             f"earliest starts diverge at II={ii}: positive dependence "
             f"cycle (II below RecMII?)")
@@ -277,9 +267,9 @@ def try_sms_at_ii(ddg: Ddg, machine: Machine, ii: int, *,
     out_lat, out_dist = arr.out_lat, arr.out_dist
     if arena is not None:
         arena.begin_attempt()
-        mrt = arena.take_mrt(ii, machine.fus.as_dict())
+        mrt = arena.take_mrt(ii, machine.fus.pool_caps)
     else:
-        mrt = PackedMRT(ii, machine.fus.as_dict())
+        mrt = PackedMRT(ii, machine.fus.pool_caps)
     # SMS times go negative (bottom-up placements), so the unscheduled
     # sentinel cannot be -1; track placement separately
     sig = [0] * arr.n
@@ -377,7 +367,7 @@ def sms_schedule(ddg: Ddg, machine: Machine, *,
         ddg=ddg, ii=ii, sigma=sigma, machine_name=machine.name,
         stats=stats)
     if cfg.validate_output:
-        sched.validate(machine.fus.as_dict())
+        sched.validate(machine.fus.pool_caps)
     return sched
 
 

@@ -156,10 +156,12 @@ class _Http:
         service = self.service
         if target == "/healthz" and method == "GET":
             import repro
+            from repro.kernels import active_name
             return 200, {"status": "ok",
                          "version": repro.__version__,
                          "uptime_s": service.metrics()["uptime_s"],
                          "n_workers": service.n_workers,
+                         "kernels": active_name(),
                          "breaker": service.breaker_state()}, None
         if target == "/metrics" and method == "GET":
             from repro.obs.report import prometheus_text

@@ -1,0 +1,244 @@
+"""Backend parity: the NumPy kernels must match the reference exactly.
+
+The batching floors normally route tiny inputs to the pure-Python
+reference, so real workloads only exercise the vectorised paths on big
+graphs.  Here the floors are forced to zero on a private
+:class:`NumpyBackend` instance, driving every input -- including the
+tiny ones -- through the batched implementations, and every result is
+compared bit-for-bit against :class:`PythonBackend`.  Seeded random
+structures cover the edge cases the workloads cannot (negative slack,
+unplaced predecessors, zero-capacity pools, full rows, II at the uint64
+rotation limit).
+"""
+
+import random
+
+import pytest
+
+from repro.ir.copyins import insert_copies
+from repro.ir.operations import FuType
+from repro.ir.unroll import unroll
+from repro.kernels import NumpyBackend, PythonBackend
+from repro.machine.presets import qrf_machine
+from repro.machine.resources import POOL_ID_FOR
+from repro.sched.ims import modulo_schedule
+from repro.sched.mrt import PackedMRT
+from repro.sched.partitioners.base import PartitionState
+from repro.workloads.kernels import kernel
+
+pytestmark = pytest.mark.skipif(not NumpyBackend.available(),
+                                reason="NumPy not importable here")
+
+PY = PythonBackend()
+
+
+@pytest.fixture(scope="module")
+def np_forced():
+    """A NumPy backend whose floors are zeroed: every call takes the
+    vectorised path regardless of input size."""
+    b = NumpyBackend()
+    b.arrival_batch_min = 0
+    b.probe_batch_min = 0
+    b.reset_bulk_min = 0
+    b.relax_batch_min = 0
+    b.audit_batch_min = 0
+    return b
+
+
+def _arrays(name, factor=1):
+    d = kernel(name)
+    if factor > 1:
+        d = unroll(d, factor)
+    return insert_copies(d).ddg.arrays()
+
+
+WORKLOADS = [("daxpy", 1), ("dot", 4), ("fir4", 2), ("hydro1", 1),
+             ("tridiag", 2)]
+
+
+# ---------------------------------------------------------- Bellman-Ford
+
+@pytest.mark.parametrize("seed", range(4))
+def test_cycle_tester_parity_random(np_forced, seed):
+    rng = random.Random(seed)
+    n = rng.randint(4, 24)
+    edges = [(rng.randrange(n), rng.randrange(n),
+              rng.randint(1, 4), rng.randint(0, 2))
+             for _ in range(rng.randint(1, 6 * n))]
+    py_test = PY.cycle_tester(n, edges)
+    np_test = np_forced.cycle_tester(n, edges)
+    for ii in (0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 8.0):
+        assert py_test(ii) == np_test(ii), (seed, ii)
+        assert (PY.positive_cycle(n, edges, ii)
+                == np_forced.positive_cycle(n, edges, ii))
+
+
+@pytest.mark.parametrize("name,factor", WORKLOADS)
+def test_relaxation_parity_workloads(np_forced, name, factor):
+    arr = _arrays(name, factor)
+    for ii in (1, 2, 3, 5):
+        assert PY.heights(arr, ii) == np_forced.heights(arr, ii)
+        assert (PY.earliest_starts(arr, ii)
+                == np_forced.earliest_starts(arr, ii))
+    assert PY.zero_heights(arr) == np_forced.zero_heights(arr)
+
+
+def test_relaxation_divergence_parity(np_forced):
+    """A recurrence too tight for the probed II must diverge (return
+    ``None``) on both backends, never just on one."""
+    arr = _arrays("dot", 4)
+    # ii=0 makes every distance-carrying cycle positive
+    for ii in (0, 1):
+        assert (PY.heights(arr, ii) is None) \
+            == (np_forced.heights(arr, ii) is None)
+        assert (PY.earliest_starts(arr, ii) is None) \
+            == (np_forced.earliest_starts(arr, ii) is None)
+
+
+# --------------------------------------------------------------- audits
+
+@pytest.mark.parametrize("name,factor", WORKLOADS[:3])
+def test_audit_parity_on_real_schedules(np_forced, name, factor):
+    d = kernel(name)
+    if factor > 1:
+        d = unroll(d, factor)
+    work = insert_copies(d).ddg
+    machine = qrf_machine(4)
+    sched = modulo_schedule(work, machine)
+    arr = sched.ddg.arrays()
+    sig = [sched.sigma[o] for o in arr.ids]
+    cl = [0] * arr.n
+    caps = machine.fus.pool_caps
+    ii = sched.ii
+    assert PY.dependence_clean(arr, sig, ii)
+    assert np_forced.dependence_clean(arr, sig, ii)
+    assert PY.capacity_clean(arr.pool, sig, cl, ii, caps)
+    assert np_forced.capacity_clean(arr.pool, sig, cl, ii, caps)
+    # corrupt one placement at a time: verdicts must track exactly
+    rng = random.Random(factor)
+    for _ in range(12):
+        i = rng.randrange(arr.n)
+        old = sig[i]
+        sig[i] = rng.randint(-1, 3 * ii)
+        assert (PY.dependence_clean(arr, sig, ii)
+                == np_forced.dependence_clean(arr, sig, ii)) \
+            if sig[i] >= 0 else True
+        assert (PY.capacity_clean(arr.pool, sig, cl, ii, caps)
+                == np_forced.capacity_clean(arr.pool, sig, cl, ii, caps))
+        sig[i] = old
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_capacity_parity_random(np_forced, seed):
+    rng = random.Random(100 + seed)
+    n = rng.randint(3, 80)
+    ii = rng.randint(1, 9)
+    caps = [rng.randint(0, 3) for _ in range(4)]
+    pool = [rng.randrange(4) for _ in range(n)]
+    sig = [rng.randint(-1, 4 * ii) for _ in range(n)]
+    cl = [rng.randrange(3) for _ in range(n)]
+    assert (PY.capacity_clean(pool, sig, cl, ii, caps)
+            == np_forced.capacity_clean(pool, sig, cl, ii, caps))
+
+
+# ------------------------------------------------------------- MRT bulk
+
+def _random_mrt(rng, ii):
+    caps = {FuType.LS: rng.randint(0, 2), FuType.ADD: rng.randint(1, 3),
+            FuType.MUL: rng.randint(0, 2), FuType.COPY: rng.randint(1, 2)}
+    mrt = PackedMRT(ii, caps)
+    oid = 0
+    for _ in range(rng.randint(0, 6 * ii)):
+        fu = rng.choice((FuType.LS, FuType.ADD, FuType.MUL, FuType.COPY))
+        pid = POOL_ID_FOR[fu]
+        t = rng.randint(0, 3 * ii)
+        if mrt.can_place(pid, t):
+            mrt.place(oid, pid, t)
+            oid += 1
+    return mrt
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_zero_counts_parity(np_forced, seed):
+    rng = random.Random(200 + seed)
+    ii = rng.randint(1, 12)
+    a = _random_mrt(rng, ii)
+    b = PackedMRT(ii, list(a.caps))
+    PY.zero_counts(a)
+    np_forced.zero_counts(b)
+    assert list(a._counts) == [0] * len(a._counts)
+    assert list(b._counts) == [0] * len(b._counts)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_can_place_batch_parity(np_forced, seed):
+    rng = random.Random(300 + seed)
+    ii = rng.randint(1, 12)
+    mrt = _random_mrt(rng, ii)
+    times = [rng.randint(0, 5 * ii) for _ in range(rng.randint(1, 40))]
+    for pid in range(4):
+        assert (PY.can_place_batch(mrt, pid, times)
+                == np_forced.can_place_batch(mrt, pid, times))
+
+
+@pytest.mark.parametrize("ii", [1, 2, 7, 63])
+def test_first_free_batch_parity(np_forced, ii):
+    """Batched uint64 probe vs the scalar mask rotation, including the
+    ii == 63 rotation-limit row count and zero-capacity pools."""
+    rng = random.Random(ii)
+    mrts = [_random_mrt(rng, ii) for _ in range(20)]
+    ests = [rng.randint(0, 4 * ii) for _ in mrts]
+    for pid in range(4):
+        expect = [m.first_free(pid, e) for m, e in zip(mrts, ests)]
+        assert np_forced.first_free_batch(mrts, pid, ests) == expect
+        assert PY.first_free_batch(mrts, pid, ests) == expect
+
+
+def test_first_free_batch_wide_ii_falls_back(np_forced):
+    """IIs beyond 63 rows cannot ride the uint64 lane; the backend must
+    delegate, not truncate."""
+    rng = random.Random(64)
+    mrts = [_random_mrt(rng, 70) for _ in range(20)]
+    ests = [rng.randint(0, 140) for _ in mrts]
+    pid = POOL_ID_FOR[FuType.ADD]
+    expect = [m.first_free(pid, e) for m, e in zip(mrts, ests)]
+    assert np_forced.first_free_batch(mrts, pid, ests) == expect
+
+
+# ----------------------------------------------------- slot-search round
+
+def _arrival_decisions(res, xlat, n_clusters):
+    """Collapse an arrivals result to its observable decision: the
+    uniform flag/est plus ``estart_from`` on every candidate cluster
+    (the only way consumers read the arrival terms)."""
+    arrivals, uniform, est0 = res
+    ests = tuple(PartitionState.estart_from(arrivals, c, xlat)
+                 for c in range(n_clusters))
+    return uniform, (est0 if uniform else None), ests
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_pred_arrivals_round_decision_parity(np_forced, seed):
+    rng = random.Random(400 + seed)
+    arr = _arrays("dot", 4)
+    n_clusters = 4
+    xlat = rng.choice((0, 1, 2))
+    sig = [rng.choice((-1, rng.randint(0, 30))) for _ in range(arr.n)]
+    cl = [rng.randrange(n_clusters) for _ in range(arr.n)]
+    for i in range(arr.n):
+        got_py = PY.pred_arrivals_round(arr, i, sig, cl, ii=2, xlat=xlat)
+        got_np = np_forced.pred_arrivals_round(arr, i, sig, cl, ii=2,
+                                               xlat=xlat)
+        assert (_arrival_decisions(got_py, xlat, n_clusters)
+                == _arrival_decisions(got_np, xlat, n_clusters)), (seed, i)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_estart_parity(np_forced, seed):
+    rng = random.Random(500 + seed)
+    arr = _arrays("fir4", 2)
+    ii = rng.randint(1, 5)
+    sig = [rng.choice((-1, rng.randint(0, 40))) for _ in range(arr.n)]
+    for i in range(arr.n):
+        assert PY.estart(arr, i, sig, ii) \
+            == np_forced.estart(arr, i, sig, ii), (seed, i, ii)

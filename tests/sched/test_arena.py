@@ -90,7 +90,8 @@ class TestDriverIntegration:
         after = arena_counters()
         assert after["resets"] > before
         assert set(after) == {"generation", "resets", "hits", "allocs",
-                              "pooled_mrts"}
+                              "pooled_mrts", "kernels"}
+        assert after["kernels"] in {"python", "numpy"}
         assert global_arena().counters() == after
 
     def test_returned_schedules_survive_later_arena_attempts(self):

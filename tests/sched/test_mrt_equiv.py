@@ -38,7 +38,7 @@ def _assert_agree(legacy: ModuloReservationTable, packed: PackedMRT,
 
 
 @pytest.mark.parametrize("seed", range(8))
-def test_random_sequences_agree(seed):
+def test_random_sequences_agree(seed, each_kernel_backend):
     rng = random.Random(seed)
     ii = rng.randint(1, 7)
     caps = {FuType.LS: rng.randint(0, 2), FuType.ADD: rng.randint(1, 3),
@@ -124,6 +124,35 @@ def test_conflicts_empty_is_shared_tuple():
     packed = PackedMRT(4, {FuType.ADD: 1})
     pid = POOL_ID_FOR[FuType.ADD]
     assert packed.conflicts(pid, 0) is packed.conflicts(pid, 2)
+
+
+def test_occupants_conflicts_memo_mutation_safety():
+    """Regression: the one-entry ``occupants()``/``conflicts()`` memos
+    are keyed on the mutation stamp -- an unchanged table returns the
+    *same* cached tuple, and any place/remove/evict must invalidate it
+    (a stale tuple here silently corrupts eviction decisions)."""
+    packed = PackedMRT(4, {FuType.ADD: 2})
+    pid = POOL_ID_FOR[FuType.ADD]
+    packed.place(1, pid, 0)
+    first = packed.occupants(pid, 0)
+    assert first == (1,)
+    # untouched table: the memoised tuple object itself comes back
+    assert packed.occupants(pid, 0) is first
+    packed.place(2, pid, 0)
+    assert packed.occupants(pid, 0) == (1, 2)   # stale (1,) is the bug
+    conf = packed.conflicts(pid, 0)
+    assert conf == (2,)
+    assert packed.conflicts(pid, 0) is conf
+    packed.remove(2)
+    assert packed.conflicts(pid, 0) == ()
+    assert packed.occupants(pid, 0) == (1,)
+    # eviction is a mutation too
+    packed.place(3, pid, 0)
+    assert packed.evict_for(pid, 0) == (3,)
+    assert packed.occupants(pid, 0) == (1,)
+    # reset must not leak a memo into the next attempt
+    packed.reset()
+    assert packed.occupants(pid, 0) == ()
 
 
 def test_packed_rejects_bad_shapes():
